@@ -1,0 +1,59 @@
+//! One benchmark per paper *figure*: regenerating the numeric series each
+//! figure plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ewhoring_bench::{small_report, small_world};
+use ewhoring_core::actors::{actor_metrics, interest_evolution};
+use ewhoring_core::extract::extract_ewhoring_threads;
+use ewhoring_core::finance::{analyse_earnings, harvest_earnings};
+use ewhoring_core::report::{self, quantiles};
+use safety::SafetyGate;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let world = small_world();
+    let r = small_report();
+    let threads = extract_ewhoring_threads(&world.corpus).all_threads();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Figure 2: the §5.1 harvest (crawl + screen + NSFV + annotate) plus
+    // per-actor aggregation and CDF quantiles.
+    group.bench_function("fig2_earnings_harvest_and_cdf", |b| {
+        b.iter(|| {
+            let gate = SafetyGate::new(world.hashlist.clone());
+            let h = harvest_earnings(world, &gate, &threads);
+            let a = analyse_earnings(&h);
+            let usd: Vec<f64> = a.per_actor.iter().map(|&(u, _)| u).collect();
+            black_box(quantiles(&usd, &[0.25, 0.5, 0.75, 0.9, 0.99]))
+        })
+    });
+
+    // Figure 3: monthly platform series from already harvested proofs.
+    group.bench_function("fig3_platform_evolution", |b| {
+        b.iter(|| black_box(report::fig3(r).len()))
+    });
+
+    // Figure 4: per-cohort CDF quantiles of actor metrics.
+    group.bench_function("fig4_actor_cdfs", |b| {
+        b.iter(|| {
+            let m = actor_metrics(&world.corpus, &threads);
+            let before: Vec<f64> = m.iter().map(|x| f64::from(x.days_before)).collect();
+            black_box(quantiles(&before, &[0.5, 0.9]))
+        })
+    });
+
+    // Figure 5: interest evolution over the key actors.
+    group.bench_function("fig5_interest_evolution", |b| {
+        let metrics = actor_metrics(&world.corpus, &threads);
+        b.iter(|| {
+            let evo = interest_evolution(&world.corpus, &metrics, &r.key_actors.all);
+            black_box(evo.shares.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

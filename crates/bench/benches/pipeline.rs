@@ -1,0 +1,59 @@
+//! Whole-system benchmarks: world generation and the end-to-end pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ewhoring_bench::{small_world, BENCH_SEED};
+use ewhoring_core::pipeline::{measure_batch, Pipeline, PipelineOptions};
+use std::hint::black_box;
+use websim::{HostedObject, StoredImage};
+use worldgen::{World, WorldConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    // Deterministic world generation (corpus + web + index + truth).
+    group.bench_function("world_generation_2pct", |b| {
+        b.iter(|| {
+            let w = World::generate(WorldConfig::test_scale(BENCH_SEED));
+            black_box(w.corpus.posts().len())
+        })
+    });
+
+    // The full eight-stage pipeline over a pre-built world.
+    let world = small_world();
+    group.bench_function("pipeline_end_to_end_2pct", |b| {
+        b.iter(|| {
+            let r = Pipeline::new(PipelineOptions {
+                k_key_actors: 10,
+                ..PipelineOptions::default()
+            })
+            .run(world);
+            black_box(r.funnel.unique_files)
+        })
+    });
+
+    // Parallel image measurement (render + hash + NSFW + OCR), the only
+    // pixel-touching stage.
+    let images: Vec<StoredImage> = world
+        .web
+        .urls()
+        .filter_map(|u| world.web.entry(u))
+        .filter_map(|e| match &e.object {
+            HostedObject::Pack { images } => Some(images.clone()),
+            _ => None,
+        })
+        .flatten()
+        .take(2_000)
+        .collect();
+    group.bench_function("measure_2000_images_parallel", |b| {
+        b.iter(|| black_box(measure_batch(&images, 0).len()))
+    });
+    group.bench_function("measure_500_images_serial", |b| {
+        b.iter(|| black_box(measure_batch(&images[..500.min(images.len())], 1).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

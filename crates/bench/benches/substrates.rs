@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the substrate algorithms the pipeline is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ewhoring_bench::small_world;
+use ewhoring_core::actors::interaction_graph;
+use ewhoring_core::extract::extract_ewhoring_threads;
+use imagesim::{nsfw_score, ocr_word_count, ImageClass, ImageSpec, RobustHash};
+use linsvm::{LinearSvm, SparseVec, SvmConfig};
+use socgraph::eigenvector_centrality;
+use std::hint::black_box;
+use synthrand::{rng_from_seed, LogNormal, Zipf};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    // Image rendering and the three per-image measurements.
+    let spec = ImageSpec::model_photo(ImageClass::ModelNude, 42, 7);
+    let bmp = spec.render();
+    group.bench_function("render_model_photo", |b| {
+        b.iter(|| black_box(spec.render().width()))
+    });
+    group.bench_function("robust_hash_256bit", |b| {
+        b.iter(|| black_box(RobustHash::of(&bmp)))
+    });
+    group.bench_function("nsfw_score", |b| b.iter(|| black_box(nsfw_score(&bmp))));
+    group.bench_function("ocr_word_count", |b| {
+        let shot = ImageSpec::of(
+            ImageClass::PaymentScreenshot(imagesim::PaymentPlatform::PayPal),
+            3,
+        )
+        .render();
+        b.iter(|| black_box(ocr_word_count(&shot)))
+    });
+
+    // Reverse-index query against the shared world's index.
+    let world = small_world();
+    let hash = RobustHash::of(&bmp);
+    group.bench_function("reverse_index_query", |b| {
+        b.iter(|| black_box(world.index.query(&hash).len()))
+    });
+
+    // Hash-list screening.
+    group.bench_function("hashlist_match", |b| {
+        b.iter(|| black_box(world.hashlist.match_hash(&hash).is_some()))
+    });
+
+    // Linear SVM training on a synthetic separable set.
+    let mut rng = rng_from_seed(5);
+    let rows: Vec<SparseVec> = (0..800)
+        .map(|_| {
+            use rand::Rng;
+            SparseVec::from_pairs(vec![
+                (0, rng.gen_range(0.0..1.0)),
+                (1, rng.gen_range(0.0..1.0)),
+                (rng.gen_range(2..200), 1.0),
+            ])
+        })
+        .collect();
+    let labels: Vec<bool> = rows.iter().map(|r| r.get(0) > r.get(1)).collect();
+    group.bench_function("svm_train_800x200", |b| {
+        b.iter(|| black_box(LinearSvm::train(&rows, &labels, SvmConfig::default()).dim()))
+    });
+
+    // Eigenvector centrality over the real interaction graph.
+    let threads = extract_ewhoring_threads(&world.corpus).all_threads();
+    let graph = interaction_graph(&world.corpus, &threads);
+    group.bench_function("eigenvector_centrality", |b| {
+        b.iter(|| black_box(eigenvector_centrality(&graph, 100).len()))
+    });
+
+    // Samplers.
+    group.bench_function("zipf_sample_10k", |b| {
+        let z = Zipf::new(10_000, 1.1);
+        let mut rng = rng_from_seed(9);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+    group.bench_function("lognormal_sample", |b| {
+        let d = LogNormal::from_median(4.0, 1.5);
+        let mut rng = rng_from_seed(10);
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+
+    // URL extraction over a typical TOP body.
+    let body = "Fresh pack! Download: https://mediafire.com/f/abc123 \
+                Preview: https://i.imgur.com/x1y2z3 Preview: https://gyazo.com/q9w8e7 enjoy";
+    group.bench_function("url_extraction", |b| {
+        b.iter(|| black_box(textkit::extract_urls(body).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

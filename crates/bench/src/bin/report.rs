@@ -1,0 +1,151 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--intervention]
+//! ```
+//!
+//! `scale` defaults to 0.3 (≈30% of the paper's corpus — same shapes, a
+//! third of the wall clock); use `1.0` for full paper scale. The text
+//! report prints to stdout; `--json` additionally dumps the raw
+//! `PipelineReport`; `--intervention` appends the §8 countermeasure
+//! simulations (shared hash-blacklist + payment screening).
+
+use ewhoring_core::pipeline::{Pipeline, PipelineOptions};
+use ewhoring_core::report::full_report;
+use std::time::Instant;
+use worldgen::{World, WorldConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.3f64;
+    let mut seed = 0xE400_2019u64;
+    let mut json_path: Option<String> = None;
+    let mut with_intervention = false;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            json_path = it.next().cloned();
+            continue;
+        }
+        if arg == "--intervention" {
+            with_intervention = true;
+            continue;
+        }
+        match positional {
+            0 => scale = arg.parse().expect("scale must be a float"),
+            1 => seed = parse_seed(arg),
+            _ => {}
+        }
+        positional += 1;
+    }
+
+    let config = WorldConfig {
+        seed,
+        scale,
+        origin_domains: ((5_917.0 * scale.sqrt()) as u32).max(200),
+        csam_images: ((36.0 * scale).round() as u32).max(4),
+        with_side_boards: true,
+    };
+    eprintln!("generating world: scale {scale}, seed {seed:#x} …");
+    let t = Instant::now();
+    let world = World::generate(config);
+    eprintln!(
+        "world ready in {:.1?}: {} posts, {} threads, {} actors, {} hosted objects, {} indexed images",
+        t.elapsed(),
+        world.corpus.posts().len(),
+        world.corpus.threads().len(),
+        world.corpus.actors().len(),
+        world.web.len(),
+        world.index.len(),
+    );
+
+    let k = ((50.0 * scale).round() as usize).clamp(8, 50);
+    let t = Instant::now();
+    let report = Pipeline::new(PipelineOptions {
+        k_key_actors: k,
+        ..PipelineOptions::default()
+    })
+    .run(&world);
+    eprintln!("pipeline finished in {:.1?}", t.elapsed());
+
+    println!(
+        "=== Measuring eWhoring — reproduction report (scale {scale}, seed {seed:#x}) ===\n"
+    );
+    println!("{}", full_report(&report));
+
+    if with_intervention {
+        println!("{}", intervention_section(&report));
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(&path, json).expect("write JSON report");
+        eprintln!("raw report written to {path}");
+    }
+}
+
+/// Runs the §8 countermeasure simulations against the already-crawled
+/// material and renders them as a report section.
+fn intervention_section(report: &ewhoring_core::pipeline::PipelineReport) -> String {
+    use ewhoring_core::intervention::{deployment_sweep, screen_payment_accounts};
+    use ewhoring_core::nsfv::ImageMeasures;
+    use std::fmt::Write as _;
+
+    let mut out = String::from("Extension (§8): intervention simulations
+");
+
+    // Shared hash-blacklist over the crawled packs.
+    let owned: Vec<(&ewhoring_core::crawl::PackDownload, Vec<ImageMeasures>)> = report
+        .crawl
+        .packs
+        .iter()
+        .map(|p| {
+            let measures = p
+                .images
+                .iter()
+                .take(30)
+                .map(|img| ImageMeasures::of(&img.render()))
+                .collect();
+            (p, measures)
+        })
+        .collect();
+    let packs: Vec<(&ewhoring_core::crawl::PackDownload, &[ImageMeasures])> =
+        owned.iter().map(|(p, m)| (*p, m.as_slice())).collect();
+    if !packs.is_empty() {
+        let mut dates: Vec<synthrand::Day> = packs.iter().map(|(p, _)| p.link.posted).collect();
+        dates.sort_unstable();
+        let sweep_dates: Vec<synthrand::Day> =
+            (1..=4).map(|i| dates[dates.len() * i / 5]).collect();
+        for (date, block, disrupt) in deployment_sweep(&packs, &sweep_dates) {
+            let _ = writeln!(
+                out,
+                "  blacklist deployed {date}: blocks {:.1}% of later images, disrupts {:.1}% of later packs",
+                100.0 * block,
+                100.0 * disrupt
+            );
+        }
+    }
+
+    // Payment screening over the harvested proofs.
+    for min_tx in [5u32, 10, 20] {
+        let s = screen_payment_accounts(&report.harvest.proofs, min_tx);
+        let _ = writeln!(
+            out,
+            "  payment screening (≥{min_tx} tx/proof): {}/{} actors flagged, {:.0}% of revenue covered",
+            s.flagged_actors,
+            s.flagged_actors + s.unflagged_actors,
+            100.0 * s.usd_coverage()
+        );
+    }
+    let _ = writeln!(out, "  (see examples/intervention.rs and DESIGN.md §7)");
+    out
+}
+
+fn parse_seed(arg: &str) -> u64 {
+    if let Some(hex) = arg.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("hex seed")
+    } else {
+        arg.parse().expect("seed must be an integer")
+    }
+}

@@ -1,0 +1,443 @@
+//! Stage 7: financial profits and monetisation (paper §5).
+//!
+//! Two measurements:
+//!
+//! * **Proof-of-earnings.** Threads whose headings contain "you make" or
+//!   "earn" plus the Bragging Rights board yield posts with image links;
+//!   a second query finds posts containing "proof" plus trading terms.
+//!   The images are crawled, screened, NSFV-filtered, and the SFV
+//!   remainder manually annotated (platform, currency, amount,
+//!   transactions) and converted to USD with date-correct rates
+//!   → Figures 2/3 and the §5.2 headline numbers.
+//! * **Currency Exchange.** `[H]/[W]` headings of CE threads opened by
+//!   ≥50-post eWhoring actors after they started eWhoring → Table 7.
+
+use crate::crawl::snowball_whitelist;
+use crate::nsfv::ImageMeasures;
+use crimebb::{ActorId, BoardCategory, Corpus, PostId, ThreadId};
+use safety::{HostingRegion, SafetyGate, ScreenOutcome, SiteType};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use synthrand::Day;
+use textkit::hw::{parse_hw_heading, Currency};
+use textkit::lexicon::{heading_is_earnings, post_is_proof_offer};
+use textkit::url::extract_urls;
+use websim::{FetchOutcome, SiteKind, StoredImage};
+use worldgen::World;
+
+/// One verified proof-of-earnings record (post-annotation).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProofRecord {
+    /// The earning actor.
+    pub actor: ActorId,
+    /// Platform shown on the screenshot.
+    pub platform: imagesim::PaymentPlatform,
+    /// Amount converted to USD at the screenshot date.
+    pub usd: f64,
+    /// Itemised incoming transactions, when shown (~60% of proofs).
+    pub transactions: Option<u32>,
+    /// Month bucket (for the Figure 3 series).
+    pub month_index: i32,
+}
+
+/// Counters for the §5.1 harvest funnel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EarningsHarvest {
+    /// Threads matched by the heading query + Bragging Rights (paper: 1 084).
+    pub earnings_threads: usize,
+    /// Posts contributing image links (paper: 1 276).
+    pub posts_with_links: usize,
+    /// Unique image URLs extracted (paper: 2 694).
+    pub unique_urls: usize,
+    /// Successfully downloaded images (paper: 2 366).
+    pub downloaded: usize,
+    /// Images excluded by the NSFV filter (paper: 299).
+    pub filtered_nsfv: usize,
+    /// Images flagged by the safety gate (paper: none in this corpus).
+    pub filtered_csam: usize,
+    /// Images manually analysed (paper: 2 067).
+    pub analysed: usize,
+    /// Analysed images that were not proofs (paper: 199).
+    pub not_proof: usize,
+    /// Verified proof records (paper: 1 868).
+    pub proofs: Vec<ProofRecord>,
+}
+
+/// Aggregates over the harvest (§5.2, Figures 2/3).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EarningsAnalysis {
+    /// Actors with at least one proof (paper: 661).
+    pub actors: usize,
+    /// Total reported earnings in USD (paper: ≈US$511k).
+    pub total_usd: f64,
+    /// Mean per reporting actor (paper: ≈US$774).
+    pub mean_per_actor: f64,
+    /// Highest per-actor total (paper: >US$20k).
+    pub max_per_actor: f64,
+    /// Per-actor `(usd_total, proof_image_count)` — Figure 2's two CDFs.
+    pub per_actor: Vec<(f64, usize)>,
+    /// Proofs with itemised transactions (paper: ~60%).
+    pub detailed_proofs: usize,
+    /// Mean USD per itemised transaction (paper: ≈US$41.90).
+    pub avg_transaction_usd: f64,
+    /// Proof-image counts per platform label (paper: AGC 934, PayPal 795,
+    /// BTC 35).
+    pub platform_counts: BTreeMap<String, usize>,
+    /// Monthly `(month_index, agc, paypal)` series (Figure 3).
+    pub monthly_platforms: Vec<(i32, usize, usize)>,
+}
+
+/// Harvests and annotates proof-of-earnings images.
+///
+/// `ewhoring_threads` is the stage-1 extraction; the Bragging Rights board
+/// is pulled from the corpus directly. The safety gate screens every
+/// download before anything else happens to it.
+pub fn harvest_earnings(
+    world: &World,
+    gate: &SafetyGate,
+    ewhoring_threads: &[ThreadId],
+) -> EarningsHarvest {
+    let corpus = &world.corpus;
+    let mut harvest = EarningsHarvest::default();
+
+    // 1. Candidate threads: earnings headings among eWhoring threads …
+    let mut threads: Vec<ThreadId> = ewhoring_threads
+        .iter()
+        .copied()
+        .filter(|&t| heading_is_earnings(&corpus.thread(t).heading))
+        .collect();
+    // … plus the Bragging Rights board.
+    threads.extend(corpus.threads_in_category(world.hackforums, BoardCategory::BraggingRights));
+    threads.sort_unstable();
+    threads.dedup();
+    harvest.earnings_threads = threads.len();
+
+    // 2. Posts with image-sharing links in those threads.
+    let mut candidate_posts: Vec<PostId> = Vec::new();
+    for &t in &threads {
+        candidate_posts.extend_from_slice(corpus.posts_in_thread(t));
+    }
+    // 3. Plus "proof" + trading-term posts anywhere in the eWhoring set.
+    let thread_set: HashSet<ThreadId> = threads.iter().copied().collect();
+    for &t in ewhoring_threads {
+        if thread_set.contains(&t) {
+            continue;
+        }
+        for &p in corpus.posts_in_thread(t) {
+            if post_is_proof_offer(&corpus.post(p).body) {
+                candidate_posts.push(p);
+            }
+        }
+    }
+
+    // 4. Extract unique image-sharing URLs.
+    let whitelist = snowball_whitelist(corpus, &world.catalog, &threads);
+    let whiteset: HashSet<&str> = whitelist.iter().map(String::as_str).collect();
+    let mut seen_urls: HashSet<textkit::Url> = HashSet::new();
+    let mut links: Vec<(textkit::Url, Day)> = Vec::new();
+    for &p in &candidate_posts {
+        let post = corpus.post(p);
+        let mut any = false;
+        for url in extract_urls(&post.body) {
+            let domain = url.domain();
+            let is_image_host = world
+                .catalog
+                .lookup(&domain)
+                .is_some_and(|s| s.kind == SiteKind::ImageSharing);
+            if is_image_host && whiteset.contains(domain.as_str()) && seen_urls.insert(url.clone())
+            {
+                links.push((url, post.date));
+                any = true;
+            }
+        }
+        if any {
+            harvest.posts_with_links += 1;
+        }
+    }
+    harvest.unique_urls = links.len();
+
+    // 5. Crawl, screen, classify, annotate.
+    for (url, posted) in links {
+        let image: StoredImage = match world.web.fetch(&world.catalog, &url) {
+            FetchOutcome::Image(img) => img,
+            FetchOutcome::RemovalBanner(img) => img,
+            _ => continue,
+        };
+        harvest.downloaded += 1;
+        let m = ImageMeasures::of(&image.render());
+        // Safety first — same precautions as the pack pipeline.
+        if let ScreenOutcome::ReportedAndDeleted { .. } = gate.screen(
+            &m.hash,
+            &url.to_https(),
+            posted,
+            HostingRegion::NorthAmerica,
+            SiteType::ImageSharing,
+        ) {
+            harvest.filtered_csam += 1;
+            continue;
+        }
+        if !m.is_sfv() {
+            harvest.filtered_nsfv += 1;
+            continue;
+        }
+        harvest.analysed += 1;
+        // Manual annotation (the §5.1 human step).
+        match world.annotate_proof(&image.spec) {
+            Some(info) => {
+                let usd = world.fx.to_usd(info.amount, info.currency, info.taken);
+                harvest.proofs.push(ProofRecord {
+                    actor: info.actor,
+                    platform: info.platform,
+                    usd,
+                    transactions: info.transactions,
+                    month_index: info.taken.month_index(),
+                });
+            }
+            None => harvest.not_proof += 1,
+        }
+    }
+    harvest
+}
+
+/// Platform display label (Figure 3 legend).
+pub fn platform_label(p: imagesim::PaymentPlatform) -> &'static str {
+    match p {
+        imagesim::PaymentPlatform::PayPal => "PayPal",
+        imagesim::PaymentPlatform::AmazonGiftCard => "AGC",
+        imagesim::PaymentPlatform::Bitcoin => "BTC",
+        imagesim::PaymentPlatform::Cash => "Cash",
+    }
+}
+
+/// Aggregates harvested proofs into the §5.2 numbers.
+pub fn analyse_earnings(harvest: &EarningsHarvest) -> EarningsAnalysis {
+    let mut per_actor: HashMap<ActorId, (f64, usize)> = HashMap::new();
+    let mut platform_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut monthly: BTreeMap<i32, (usize, usize)> = BTreeMap::new();
+    let mut tx_usd = 0.0;
+    let mut tx_count: u64 = 0;
+    let mut detailed = 0;
+
+    for proof in &harvest.proofs {
+        let e = per_actor.entry(proof.actor).or_insert((0.0, 0));
+        e.0 += proof.usd;
+        e.1 += 1;
+        *platform_counts
+            .entry(platform_label(proof.platform).to_string())
+            .or_insert(0) += 1;
+        match proof.platform {
+            imagesim::PaymentPlatform::AmazonGiftCard => {
+                monthly.entry(proof.month_index).or_insert((0, 0)).0 += 1;
+            }
+            imagesim::PaymentPlatform::PayPal => {
+                monthly.entry(proof.month_index).or_insert((0, 0)).1 += 1;
+            }
+            _ => {}
+        }
+        if let Some(tx) = proof.transactions {
+            detailed += 1;
+            tx_usd += proof.usd;
+            tx_count += u64::from(tx);
+        }
+    }
+
+    let mut totals: Vec<(f64, usize)> = per_actor.values().copied().collect();
+    totals.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    let total_usd: f64 = totals.iter().map(|&(u, _)| u).sum();
+    let actors = totals.len();
+
+    EarningsAnalysis {
+        actors,
+        total_usd,
+        mean_per_actor: if actors > 0 { total_usd / actors as f64 } else { 0.0 },
+        max_per_actor: totals.first().map_or(0.0, |&(u, _)| u),
+        per_actor: totals,
+        detailed_proofs: detailed,
+        avg_transaction_usd: if tx_count > 0 { tx_usd / tx_count as f64 } else { 0.0 },
+        platform_counts,
+        monthly_platforms: monthly
+            .into_iter()
+            .map(|(m, (agc, pp))| (m, agc, pp))
+            .collect(),
+    }
+}
+
+/// Table 7: currency-exchange activity of committed eWhoring actors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CurrencyExchangeAnalysis {
+    /// Actors qualifying (>50 eWhoring posts with CE threads; paper: 686).
+    pub actors: usize,
+    /// CE threads analysed (paper: 9 066).
+    pub threads: usize,
+    /// Offered counts per currency label.
+    pub offered: BTreeMap<String, usize>,
+    /// Wanted counts per currency label.
+    pub wanted: BTreeMap<String, usize>,
+}
+
+/// Runs the Table 7 analysis.
+///
+/// "We only include Currency Exchange threads from actors who have write
+/// more than 50 posts in eWhoring-threads … made after the actors started
+/// in eWhoring."
+pub fn analyse_currency_exchange(
+    corpus: &Corpus,
+    hackforums: crimebb::ForumId,
+    ewhoring_threads: &[ThreadId],
+) -> CurrencyExchangeAnalysis {
+    let counts = corpus.posts_per_actor_in(ewhoring_threads);
+    let mut analysis = CurrencyExchangeAnalysis::default();
+    let mut qualifying: Vec<ActorId> = counts
+        .iter()
+        .filter(|&(_, &c)| c > 50)
+        .map(|(&a, _)| a)
+        .filter(|&a| corpus.actor(a).forum == hackforums)
+        .collect();
+    qualifying.sort_unstable();
+
+    for actor in qualifying {
+        let first_ew = corpus
+            .actor_span_in(actor, ewhoring_threads)
+            .map(|(first, _)| first);
+        let ce_threads =
+            corpus.threads_started_by(actor, BoardCategory::CurrencyExchange, first_ew);
+        if ce_threads.is_empty() {
+            continue;
+        }
+        analysis.actors += 1;
+        for t in ce_threads {
+            analysis.threads += 1;
+            let (offered, wanted) = match parse_hw_heading(&corpus.thread(t).heading) {
+                Some(trade) => (trade.offered, trade.wanted),
+                None => (Currency::Unknown, Currency::Unknown),
+            };
+            *analysis.offered.entry(offered.label().to_string()).or_insert(0) += 1;
+            *analysis.wanted.entry(wanted.label().to_string()).or_insert(0) += 1;
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_ewhoring_threads;
+    use worldgen::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig::test_scale(0xF1A))
+    }
+
+    #[test]
+    fn harvest_funnel_has_paper_shape() {
+        let w = world();
+        let set = extract_ewhoring_threads(&w.corpus);
+        let gate = SafetyGate::new(w.hashlist.clone());
+        let h = harvest_earnings(&w, &gate, &set.all_threads());
+        assert!(h.earnings_threads > 0);
+        assert!(h.unique_urls > 0);
+        assert!(h.downloaded > 0 && h.downloaded <= h.unique_urls);
+        assert!(h.analysed <= h.downloaded);
+        assert_eq!(
+            h.analysed,
+            h.proofs.len() + h.not_proof,
+            "analysis partitions into proof / not-proof"
+        );
+        // Most analysed images are actual proofs (paper: 78.9% of
+        // downloads; 90% of analysed).
+        let share = h.proofs.len() as f64 / h.analysed.max(1) as f64;
+        assert!(share > 0.55, "proof share {share}");
+    }
+
+    #[test]
+    fn earnings_analysis_matches_calibration() {
+        // Per-actor means need a few dozen earners to stabilise; use a
+        // slightly larger world than the other tests.
+        let w = World::generate(worldgen::WorldConfig {
+            scale: 0.06,
+            ..worldgen::WorldConfig::test_scale(0xF1A)
+        });
+        let set = extract_ewhoring_threads(&w.corpus);
+        let gate = SafetyGate::new(w.hashlist.clone());
+        let h = harvest_earnings(&w, &gate, &set.all_threads());
+        let a = analyse_earnings(&h);
+        assert!(a.actors > 0);
+        // Paper: mean US$774 per actor; heavy tail.
+        assert!(
+            (200.0..2_600.0).contains(&a.mean_per_actor),
+            "mean {}",
+            a.mean_per_actor
+        );
+        if a.actors >= 20 {
+            assert!(a.max_per_actor > a.mean_per_actor * 2.0);
+        }
+        // Paper: avg transaction ≈ US$41.90.
+        assert!(
+            (20.0..70.0).contains(&a.avg_transaction_usd),
+            "avg tx {}",
+            a.avg_transaction_usd
+        );
+        // ~60% of proofs are detailed.
+        let detail_share = a.detailed_proofs as f64 / h.proofs.len() as f64;
+        assert!((0.4..0.8).contains(&detail_share), "detail {detail_share}");
+    }
+
+    #[test]
+    fn agc_and_paypal_dominate_platforms() {
+        let w = world();
+        let set = extract_ewhoring_threads(&w.corpus);
+        let gate = SafetyGate::new(w.hashlist.clone());
+        let a = analyse_earnings(&harvest_earnings(&w, &gate, &set.all_threads()));
+        let agc = a.platform_counts.get("AGC").copied().unwrap_or(0);
+        let pp = a.platform_counts.get("PayPal").copied().unwrap_or(0);
+        let btc = a.platform_counts.get("BTC").copied().unwrap_or(0);
+        assert!(agc + pp > btc * 5, "AGC {agc} PP {pp} BTC {btc}");
+    }
+
+    #[test]
+    fn currency_exchange_marginals_match_table7_shape() {
+        let w = world();
+        let set = extract_ewhoring_threads(&w.corpus);
+        let ce = analyse_currency_exchange(&w.corpus, w.hackforums, &set.all_threads());
+        assert!(ce.actors > 0, "qualifying actors exist");
+        assert!(ce.threads > 0);
+        let offered_sum: usize = ce.offered.values().sum();
+        let wanted_sum: usize = ce.wanted.values().sum();
+        assert_eq!(offered_sum, ce.threads);
+        assert_eq!(wanted_sum, ce.threads);
+        // BTC is the most wanted currency; AGC offered far exceeds wanted.
+        let btc_wanted = ce.wanted.get("BTC").copied().unwrap_or(0);
+        let max_wanted = ce.wanted.values().copied().max().unwrap_or(0);
+        assert_eq!(btc_wanted, max_wanted, "{:?}", ce.wanted);
+        let agc_off = ce.offered.get("AGC").copied().unwrap_or(0);
+        let agc_want = ce.wanted.get("AGC").copied().unwrap_or(0);
+        assert!(agc_off > agc_want * 2, "AGC {agc_off} vs {agc_want}");
+    }
+
+    #[test]
+    fn per_actor_image_counts_rise_with_earnings() {
+        // Figure 2 (right): actors reporting more earnings post more
+        // proofs.
+        let w = world();
+        let set = extract_ewhoring_threads(&w.corpus);
+        let gate = SafetyGate::new(w.hashlist.clone());
+        let a = analyse_earnings(&harvest_earnings(&w, &gate, &set.all_threads()));
+        if a.per_actor.len() < 10 {
+            return;
+        }
+        let top_half_imgs: f64 = a.per_actor[..a.per_actor.len() / 2]
+            .iter()
+            .map(|&(_, n)| n as f64)
+            .sum::<f64>()
+            / (a.per_actor.len() / 2) as f64;
+        let bottom_half_imgs: f64 = a.per_actor[a.per_actor.len() / 2..]
+            .iter()
+            .map(|&(_, n)| n as f64)
+            .sum::<f64>()
+            / (a.per_actor.len() - a.per_actor.len() / 2) as f64;
+        assert!(
+            top_half_imgs > bottom_half_imgs,
+            "top {top_half_imgs} vs bottom {bottom_half_imgs}"
+        );
+    }
+}

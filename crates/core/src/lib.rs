@@ -1,0 +1,50 @@
+//! The eWhoring measurement pipeline (the paper's primary contribution).
+//!
+//! This crate implements, end to end, the semi-automatic pipeline of
+//! *Measuring eWhoring* (Pastrana, Hutchings, Thomas, Tapiador — IMC 2019),
+//! paper Figure 1:
+//!
+//! 1. [`extract`] — pull eWhoring-related conversations out of the corpus
+//!    (§3: heading keywords + the dedicated Hackforums board) → Table 1;
+//! 2. [`topcls`] — classify Threads Offering Packs with the hybrid
+//!    Linear-SVM + heuristics classifier (§4.1), trained on a 1 000-thread
+//!    annotated sample, evaluated with precision/recall/F1;
+//! 3. [`crawl`] — extract URLs from TOPs, snowball-sample the hosting
+//!    whitelist, and download previews and packs (§4.2) → Tables 3/4;
+//! 4. [`safety_stage`] — hash every download against the known-CSAM list
+//!    *before any analysis*, report and delete matches (§4.3);
+//! 5. [`nsfv`] — classify Safe-For-Viewing vs Not-Safe-For-Viewing with
+//!    Algorithm 1 exactly as printed (§4.4);
+//! 6. [`provenance`] — reverse-image-search previews and per-pack samples,
+//!    check Wayback for seen-before ordering, classify provenance domains
+//!    (§4.5) → Tables 5/6;
+//! 7. [`finance`] — harvest proof-of-earnings posts, annotate, convert to
+//!    USD with date-correct rates, and analyse the Currency Exchange board
+//!    (§5) → Figures 2/3, Table 7;
+//! 8. [`actors`] — cohort statistics, social graph, key-actor selection,
+//!    and interest evolution (§6) → Tables 8/9/10, Figures 4/5.
+//!
+//! [`pipeline::Pipeline`] orchestrates all stages; [`report`] renders every
+//! table and figure in the paper's layout. [`intervention`] additionally
+//! simulates the §8 shared-blacklist countermeasure the paper proposes as
+//! future work.
+//!
+//! The pipeline treats the generated [`worldgen::World`] as its environment
+//! and is *measurement-honest*: ground truth is consulted only where the
+//! paper used a human — the annotation sample that trains the classifier
+//! and the manual annotation of proof-of-earnings images.
+
+pub mod actors;
+pub mod crawl;
+pub mod intervention;
+pub mod extract;
+pub mod features;
+pub mod finance;
+pub mod nsfv;
+pub mod pipeline;
+pub mod provenance;
+pub mod report;
+pub mod safety_stage;
+pub mod topcls;
+
+pub use pipeline::{Pipeline, PipelineReport};

@@ -1,0 +1,532 @@
+//! End-to-end orchestration of the measurement pipeline (paper Figure 1).
+//!
+//! [`Pipeline::run`] executes every stage in the paper's order against a
+//! generated [`World`], collecting one result struct per table/figure. The
+//! image-measurement step (the only pixel-touching work) fans out across
+//! worker threads; everything else is sequential and deterministic.
+
+use crate::actors::{
+    actor_metrics, cohort_table, group_profiles, interaction_graph, interest_evolution,
+    popularity, select_key_actors, CohortRow, GroupProfile, InterestEvolution,
+    KeyActorInputs, KeyActors,
+};
+use crate::crawl::{crawl_tops, CrawlResult};
+use crate::extract::{extract_ewhoring_threads, EwhoringSet};
+use crate::finance::{
+    analyse_currency_exchange, analyse_earnings, harvest_earnings, CurrencyExchangeAnalysis,
+    EarningsAnalysis, EarningsHarvest,
+};
+use crate::nsfv::{validate, ImageMeasures, NsfvValidation};
+use crate::provenance::{analyse_provenance, PackForAnalysis, ProvenanceResult};
+use crate::safety_stage::{screen_downloads, SafetyStageResult};
+use crate::topcls::{classify_tops, TopClassification};
+use crimebb::{ActorId, ThreadId};
+use imagesim::validation::build_validation_set;
+use safety::SafetyGate;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use websim::StoredImage;
+use worldgen::World;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineOptions {
+    /// Seed for annotation sampling / training shuffles.
+    pub seed: u64,
+    /// `k` for key-actor selection (paper: 50).
+    pub k_key_actors: usize,
+    /// Worker threads for image measurement (0 = all cores).
+    pub workers: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            seed: 0x1919,
+            k_key_actors: 50,
+            workers: 0,
+        }
+    }
+}
+
+/// Table 1 row: per-forum eWhoring footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForumRow {
+    /// Forum name.
+    pub forum: String,
+    /// eWhoring threads extracted.
+    pub threads: usize,
+    /// Posts in those threads.
+    pub posts: usize,
+    /// First post date, `MM/YY`.
+    pub first_post: String,
+    /// TOPs detected by the hybrid classifier.
+    pub tops: usize,
+    /// Distinct actors.
+    pub actors: usize,
+}
+
+/// §4.3 extras measured on top of the IWF summary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SafetyFindings {
+    /// The stage result (flagged downloads, IWF summary).
+    pub stage: SafetyStageResult,
+    /// Distinct actors who replied in flagged threads (paper: 476).
+    pub actors_in_flagged_threads: usize,
+}
+
+/// §4.2/§4.4 funnel counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ImageFunnel {
+    /// Single images downloaded from image-sharing sites (paper: 5 788).
+    pub preview_downloads: usize,
+    /// Packs downloaded (paper: 1 255).
+    pub packs_downloaded: usize,
+    /// Images inside downloaded packs (paper: 111 288).
+    pub pack_images: usize,
+    /// Unique files after exact dedup (paper: 53 948).
+    pub unique_files: usize,
+    /// Exact-duplicate images appearing in ≥20 packs (paper: 127).
+    pub heavily_duplicated: usize,
+    /// Preview downloads classified NSFV (paper: 3 496).
+    pub previews_nsfv: usize,
+}
+
+/// Everything the pipeline measures, one field per paper artefact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Table 1.
+    pub forums: Vec<ForumRow>,
+    /// §4.1 classifier results.
+    pub topcls: TopClassification,
+    /// §4.2 crawl output (Tables 3/4 live in the tallies).
+    pub crawl: CrawlResult,
+    /// §4.2/§4.4 funnel.
+    pub funnel: ImageFunnel,
+    /// §4.3 safety results.
+    pub safety: SafetyFindings,
+    /// §4.4 validation-set evaluation.
+    pub nsfv_validation: NsfvValidation,
+    /// §4.5 provenance (Tables 5/6).
+    pub provenance: ProvenanceResult,
+    /// §5.1 harvest funnel.
+    pub harvest: EarningsHarvest,
+    /// §5.2 earnings aggregates (Figures 2/3).
+    pub earnings: EarningsAnalysis,
+    /// Table 7.
+    pub currency: CurrencyExchangeAnalysis,
+    /// Table 8.
+    pub cohorts: Vec<CohortRow>,
+    /// Figure 4 raw points: `(ew_posts, pct_ewhoring, days_before,
+    /// days_after)` per actor.
+    pub fig4_points: Vec<(usize, f64, u32, u32)>,
+    /// §6.3 key actors (Table 9 data).
+    pub key_actors: KeyActors,
+    /// Table 10.
+    pub group_profiles: Vec<GroupProfile>,
+    /// Figure 5.
+    pub interests: InterestEvolution,
+    /// Wall-clock per stage, milliseconds.
+    pub stage_ms: Vec<(String, u128)>,
+}
+
+/// The pipeline runner.
+pub struct Pipeline {
+    options: PipelineOptions,
+}
+
+impl Pipeline {
+    /// Creates a runner with `options`.
+    pub fn new(options: PipelineOptions) -> Pipeline {
+        Pipeline { options }
+    }
+
+    /// Runs every stage against `world`.
+    pub fn run(&self, world: &World) -> PipelineReport {
+        let mut stage_ms: Vec<(String, u128)> = Vec::new();
+        let mut timed = |label: &str, t: Instant| {
+            stage_ms.push((label.to_string(), t.elapsed().as_millis()));
+        };
+
+        // Stage 1: extraction (§3).
+        let t = Instant::now();
+        let set = extract_ewhoring_threads(&world.corpus);
+        let all_threads = set.all_threads();
+        timed("extract", t);
+
+        // Stage 2: TOP classification (§4.1).
+        let t = Instant::now();
+        let mut rng = synthrand::rng_from_seed(self.options.seed);
+        let (_classifier, topcls) = classify_tops(
+            &mut rng,
+            &world.corpus,
+            &world.catalog,
+            &world.truth,
+            &all_threads,
+        );
+        timed("top_classifier", t);
+
+        let forums = forum_rows(world, &set, &topcls.detected);
+
+        // Stage 3: crawl (§4.2).
+        let t = Instant::now();
+        let crawl = crawl_tops(&world.corpus, &world.catalog, &world.web, &topcls.detected);
+        timed("crawl", t);
+
+        // Measure pixels once, in parallel.
+        let t = Instant::now();
+        let preview_measures = measure_batch(
+            &crawl
+                .previews
+                .iter()
+                .map(|d| d.image)
+                .collect::<Vec<StoredImage>>(),
+            self.options.workers,
+        );
+        let pack_image_lists: Vec<Vec<ImageMeasures>> = crawl
+            .packs
+            .iter()
+            .map(|p| measure_batch(&p.images, self.options.workers))
+            .collect();
+        timed("measure_images", t);
+
+        // Stage 4: safety screening (§4.3).
+        let t = Instant::now();
+        let gate = SafetyGate::new(world.hashlist.clone());
+        let mut screen_items: Vec<(ImageMeasures, String, ThreadId)> = Vec::new();
+        for (d, m) in crawl.previews.iter().zip(&preview_measures) {
+            screen_items.push((*m, d.link.url.to_https(), d.link.thread));
+        }
+        for (p, measures) in crawl.packs.iter().zip(&pack_image_lists) {
+            for m in measures {
+                screen_items.push((*m, p.link.url.to_https(), p.link.thread));
+            }
+        }
+        let today = world.config.dataset_end().plus_days(30);
+        let stage = screen_downloads(&gate, &world.index, &world.origins, &screen_items, today);
+        let flagged: HashSet<usize> = stage.flagged.iter().copied().collect();
+        let actors_in_flagged = world
+            .corpus
+            .actors_in_threads(&stage.flagged_threads)
+            .len();
+        let safety = SafetyFindings {
+            stage,
+            actors_in_flagged_threads: actors_in_flagged,
+        };
+        timed("safety", t);
+
+        // Apply deletions: rebuild the measure lists without flagged items.
+        let n_previews = crawl.previews.len();
+        let preview_kept: Vec<(usize, ImageMeasures)> = preview_measures
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !flagged.contains(i))
+            .map(|(i, m)| (i, *m))
+            .collect();
+        let mut offset = n_previews;
+        let mut packs_kept: Vec<Vec<ImageMeasures>> = Vec::with_capacity(pack_image_lists.len());
+        for measures in &pack_image_lists {
+            let kept = measures
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !flagged.contains(&(offset + j)))
+                .map(|(_, m)| *m)
+                .collect();
+            offset += measures.len();
+            packs_kept.push(kept);
+        }
+
+        // Stage 5: NSFV classification (§4.4).
+        let t = Instant::now();
+        let nsfv_validation = validate(&build_validation_set(self.options.seed ^ 0x24));
+        let previews_nsfv: Vec<(ImageMeasures, synthrand::Day)> = preview_kept
+            .iter()
+            .filter(|(_, m)| !m.is_sfv())
+            .map(|(i, m)| (*m, crawl.previews[*i].link.posted))
+            .collect();
+        timed("nsfv", t);
+
+        // Funnel accounting.
+        let pack_images: usize = pack_image_lists.iter().map(Vec::len).sum();
+        let mut digest_counts: HashMap<u64, usize> = HashMap::new();
+        for (_, m) in &preview_kept {
+            *digest_counts.entry(m.digest).or_insert(0) += 1;
+        }
+        for pack in &packs_kept {
+            for m in pack {
+                *digest_counts.entry(m.digest).or_insert(0) += 1;
+            }
+        }
+        let funnel = ImageFunnel {
+            preview_downloads: n_previews,
+            packs_downloaded: crawl.packs.len(),
+            pack_images,
+            unique_files: digest_counts.len(),
+            heavily_duplicated: digest_counts.values().filter(|&&c| c >= 20).count(),
+            previews_nsfv: previews_nsfv.len(),
+        };
+
+        // Stage 6: provenance (§4.5).
+        let t = Instant::now();
+        let packs_for_analysis: Vec<PackForAnalysis> = crawl
+            .packs
+            .iter()
+            .zip(&packs_kept)
+            .map(|(p, images)| PackForAnalysis {
+                thread: p.link.thread,
+                posted: p.link.posted,
+                images: images.clone(),
+            })
+            .collect();
+        let pack_authors: Vec<ActorId> = crawl
+            .packs
+            .iter()
+            .map(|p| world.corpus.thread(p.link.thread).author)
+            .collect();
+        let provenance = analyse_provenance(
+            &world.index,
+            &world.wayback,
+            &world.origins,
+            &packs_for_analysis,
+            &pack_authors,
+            &previews_nsfv,
+        );
+        timed("provenance", t);
+
+        // Stage 7: finance (§5).
+        let t = Instant::now();
+        let harvest = harvest_earnings(world, &gate, &all_threads);
+        let earnings = analyse_earnings(&harvest);
+        let currency = analyse_currency_exchange(&world.corpus, world.hackforums, &all_threads);
+        timed("finance", t);
+
+        // Stage 8: actors (§6).
+        let t = Instant::now();
+        let metrics = actor_metrics(&world.corpus, &all_threads);
+        let cohorts = cohort_table(&metrics);
+        let fig4_points = metrics
+            .iter()
+            .map(|m| (m.ew_posts, m.pct_ewhoring(), m.days_before, m.days_after))
+            .collect();
+        let graph = interaction_graph(&world.corpus, &all_threads);
+        let pop = popularity(&world.corpus, &all_threads);
+        // Measured per-actor quantities for key-actor selection.
+        let mut packs_by_actor: HashMap<ActorId, usize> = HashMap::new();
+        for p in &crawl.packs {
+            *packs_by_actor
+                .entry(world.corpus.thread(p.link.thread).author)
+                .or_insert(0) += 1;
+        }
+        let mut earnings_by_actor: HashMap<ActorId, f64> = HashMap::new();
+        for proof in &harvest.proofs {
+            *earnings_by_actor.entry(proof.actor).or_insert(0.0) += proof.usd;
+        }
+        let ce_by_actor = ce_threads_by_actor(world, &all_threads);
+        let inputs = KeyActorInputs {
+            metrics: &metrics,
+            packs_by_actor: &packs_by_actor,
+            earnings_by_actor: &earnings_by_actor,
+            popularity: &pop,
+            graph: &graph,
+            ce_by_actor: &ce_by_actor,
+        };
+        let key_actors = select_key_actors(&inputs, self.options.k_key_actors);
+        let profiles = group_profiles(&inputs, &key_actors);
+        let interests = interest_evolution(&world.corpus, &metrics, &key_actors.all);
+        timed("actors", t);
+
+        PipelineReport {
+            forums,
+            topcls,
+            crawl,
+            funnel,
+            safety,
+            nsfv_validation,
+            provenance,
+            harvest,
+            earnings,
+            currency,
+            cohorts,
+            fig4_points,
+            key_actors,
+            group_profiles: profiles,
+            interests,
+            stage_ms,
+        }
+    }
+}
+
+/// Table 1 rows from the extraction and classification.
+fn forum_rows(world: &World, set: &EwhoringSet, detected_tops: &[ThreadId]) -> Vec<ForumRow> {
+    let top_set: HashSet<ThreadId> = detected_tops.iter().copied().collect();
+    set.per_forum
+        .iter()
+        .map(|(forum, threads)| {
+            let posts = world.corpus.post_count_in(threads);
+            let first = world
+                .corpus
+                .earliest_post_in(threads)
+                .map_or_else(|| "-".to_string(), |d| d.mm_yy());
+            ForumRow {
+                forum: world.corpus.forum(*forum).name.clone(),
+                threads: threads.len(),
+                posts,
+                first_post: first,
+                tops: threads.iter().filter(|t| top_set.contains(t)).count(),
+                actors: world.corpus.actors_in_threads(threads).len(),
+            }
+        })
+        .collect()
+}
+
+/// Post-eWhoring Currency Exchange thread counts per qualifying actor.
+fn ce_threads_by_actor(
+    world: &World,
+    ewhoring_threads: &[ThreadId],
+) -> HashMap<ActorId, usize> {
+    let counts = world.corpus.posts_per_actor_in(ewhoring_threads);
+    let mut out = HashMap::new();
+    for (&actor, &c) in &counts {
+        if c <= 50 || world.corpus.actor(actor).forum != world.hackforums {
+            continue;
+        }
+        let first = world
+            .corpus
+            .actor_span_in(actor, ewhoring_threads)
+            .map(|(f, _)| f);
+        let n = world
+            .corpus
+            .threads_started_by(actor, crimebb::BoardCategory::CurrencyExchange, first)
+            .len();
+        if n > 0 {
+            out.insert(actor, n);
+        }
+    }
+    out
+}
+
+/// Measures a batch of stored images across worker threads.
+pub fn measure_batch(images: &[StoredImage], workers: usize) -> Vec<ImageMeasures> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        workers
+    };
+    if images.len() < 64 || workers <= 1 {
+        return images
+            .iter()
+            .map(|img| ImageMeasures::of(&img.render()))
+            .collect();
+    }
+    let chunk = images.len().div_ceil(workers);
+    let mut out: Vec<Vec<ImageMeasures>> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = images
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    part.iter()
+                        .map(|img| ImageMeasures::of(&img.render()))
+                        .collect::<Vec<ImageMeasures>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("measurement worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagesim::{ImageClass, ImageSpec};
+    use worldgen::WorldConfig;
+
+    #[test]
+    fn measure_batch_matches_serial() {
+        let images: Vec<StoredImage> = (0..100)
+            .map(|v| StoredImage::pristine(ImageSpec::model_photo(ImageClass::ModelNude, v, v.into())))
+            .collect();
+        let parallel = measure_batch(&images, 4);
+        let serial: Vec<ImageMeasures> = images
+            .iter()
+            .map(|i| ImageMeasures::of(&i.render()))
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn full_pipeline_runs_on_a_test_world() {
+        let world = World::generate(WorldConfig::test_scale(0xE2E));
+        let report = Pipeline::new(PipelineOptions {
+            k_key_actors: 10,
+            ..PipelineOptions::default()
+        })
+        .run(&world);
+
+        // Table 1 shape: every forum extracted, Hackforums dominant.
+        assert_eq!(report.forums.len(), worldgen::FORUM_PROFILES.len());
+        let hf = report
+            .forums
+            .iter()
+            .max_by_key(|r| r.threads)
+            .expect("rows exist");
+        assert_eq!(hf.forum, "Hackforums");
+
+        // Classifier worked and TOPs were detected.
+        assert!(report.topcls.hybrid_metrics.f1 > 0.7);
+        assert!(!report.topcls.detected.is_empty());
+
+        // Crawl produced previews and packs; funnel accounting consistent.
+        assert!(report.funnel.preview_downloads > 0);
+        assert!(report.funnel.packs_downloaded > 0);
+        assert!(report.funnel.unique_files <= report.funnel.pack_images + report.funnel.preview_downloads);
+        assert!(report.funnel.unique_files > 0);
+        assert!(report.funnel.previews_nsfv <= report.funnel.preview_downloads);
+
+        // Safety caught planted material.
+        assert!(report.safety.stage.summary.matched_cases > 0);
+        assert!(report.safety.actors_in_flagged_threads > 0);
+
+        // NSFV validation holds the paper's operating point.
+        assert_eq!(
+            report.nsfv_validation.nude_detected,
+            report.nsfv_validation.nude_total
+        );
+
+        // Provenance produced both Table 5 rows.
+        assert!(report.provenance.packs.total > 0);
+        assert!(report.provenance.previews.total > 0);
+
+        // Finance produced proofs and Table 7 data.
+        assert!(!report.harvest.proofs.is_empty());
+        assert!(report.earnings.total_usd > 0.0);
+        assert!(report.currency.threads > 0);
+
+        // Actor analyses filled in.
+        assert_eq!(report.cohorts.len(), 7);
+        assert!(!report.fig4_points.is_empty());
+        assert_eq!(report.group_profiles.len(), 6);
+        assert!(!report.interests.shares.is_empty());
+        assert!(!report.stage_ms.is_empty());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let world = World::generate(WorldConfig::test_scale(0xDE7));
+        let opts = PipelineOptions {
+            k_key_actors: 8,
+            ..PipelineOptions::default()
+        };
+        let a = Pipeline::new(opts).run(&world);
+        let b = Pipeline::new(opts).run(&world);
+        assert_eq!(a.funnel.unique_files, b.funnel.unique_files);
+        assert_eq!(a.topcls.detected, b.topcls.detected);
+        assert_eq!(a.earnings.total_usd, b.earnings.total_usd);
+        assert_eq!(a.key_actors.all, b.key_actors.all);
+    }
+}

@@ -1,0 +1,633 @@
+//! Plain-text rendering of every table and figure in the paper.
+//!
+//! The `report` binary in `ewhoring-bench` prints these against a
+//! generated world; `EXPERIMENTS.md` records paper-vs-measured values.
+//! Figures are rendered as the numeric series behind them (CDF quantiles,
+//! monthly counts, percentage tables) — the shapes the paper plots.
+
+use crate::pipeline::PipelineReport;
+use std::fmt::Write as _;
+
+/// A minimal fixed-width text-table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with right-aligned numeric-looking cells.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths[i];
+                if i == 0 {
+                    let _ = write!(line, "{:<w$}", cells[i]);
+                } else {
+                    let _ = write!(line, "{:>w$}", cells[i]);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `d` decimals.
+fn f(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+/// Quantiles of a sample (q in `[0,1]`), by sorting. Empty input → zeros.
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return vec![0.0; qs.len()];
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    qs.iter()
+        .map(|&q| {
+            let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+            sorted[idx]
+        })
+        .collect()
+}
+
+/// Table 2: the methodology's keyword lexicons (static — rendered for
+/// completeness so every paper table appears in the report).
+pub fn table2() -> String {
+    use textkit::lexicon::{
+        EARNINGS_KEYWORDS, EWHORING_KEYWORDS, REQUEST_KEYWORDS, TOP_KEYWORDS, TUTORIAL_KEYWORDS,
+    };
+    let mut out = String::from("Table 2: keywords used in the methodology
+");
+    let mut row = |label: &str, words: &[&str]| {
+        let _ = writeln!(out, "  {label}: {}", words.join(", "));
+    };
+    row("Extract eWhoring-related threads", EWHORING_KEYWORDS);
+    row("Classify Threads Offering Packs", TOP_KEYWORDS);
+    row("Detect info-requesting posts", REQUEST_KEYWORDS);
+    row("Detect threads providing tutorials", TUTORIAL_KEYWORDS);
+    row("Extract posts sharing earnings", EARNINGS_KEYWORDS);
+    out
+}
+
+/// Figure 1: the pipeline itself — rendered as the stage sequence with
+/// measured wall-clock times.
+pub fn fig1(report: &PipelineReport) -> String {
+    let mut out = String::from("Figure 1: the processing pipeline (measured stages)
+");
+    for (stage, ms) in &report.stage_ms {
+        let _ = writeln!(out, "  {stage:<16} {ms:>8} ms");
+    }
+    out
+}
+
+/// Table 1: eWhoring conversations per forum.
+pub fn table1(report: &PipelineReport) -> String {
+    let mut t = TextTable::new(&["Forum", "#Threads", "#Posts", "First post", "#TOPs", "#Actors"]);
+    let mut rows = report.forums.clone();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.threads));
+    let (mut threads, mut posts, mut tops, mut actors) = (0, 0, 0, 0);
+    for r in &rows {
+        threads += r.threads;
+        posts += r.posts;
+        tops += r.tops;
+        actors += r.actors;
+        t.row(vec![
+            r.forum.clone(),
+            r.threads.to_string(),
+            r.posts.to_string(),
+            r.first_post.clone(),
+            r.tops.to_string(),
+            r.actors.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        threads.to_string(),
+        posts.to_string(),
+        String::new(),
+        tops.to_string(),
+        actors.to_string(),
+    ]);
+    format!("Table 1: eWhoring-related conversations per forum\n{}", t.render())
+}
+
+/// §4.1: classifier evaluation and hybrid overlap.
+pub fn section41(report: &PipelineReport) -> String {
+    let c = &report.topcls;
+    let mut out = String::from("§4.1: hybrid TOP classifier\n");
+    let _ = writeln!(
+        out,
+        "  annotated sample positives: {} (paper: 175/1000)",
+        c.sample_positives
+    );
+    let _ = writeln!(
+        out,
+        "  hybrid   P={:.2} R={:.2} F1={:.2} (paper: 0.92/0.93/0.92)",
+        c.hybrid_metrics.precision, c.hybrid_metrics.recall, c.hybrid_metrics.f1
+    );
+    let _ = writeln!(
+        out,
+        "  ML only  P={:.2} R={:.2} F1={:.2}",
+        c.ml_metrics.precision, c.ml_metrics.recall, c.ml_metrics.f1
+    );
+    let _ = writeln!(
+        out,
+        "  heuristic P={:.2} R={:.2} F1={:.2}",
+        c.heuristic_metrics.precision, c.heuristic_metrics.recall, c.heuristic_metrics.f1
+    );
+    let _ = writeln!(
+        out,
+        "  detected TOPs: {} = ML {} + heuristic {} − both {} (paper: 4137 = 3456 + 2676 − 1995)",
+        c.detected.len(),
+        c.ml_count,
+        c.heuristic_count,
+        c.both_count
+    );
+    out
+}
+
+/// Tables 3 & 4: links per hosting site.
+pub fn tables3_4(report: &PipelineReport) -> String {
+    let render = |title: &str, tally: &std::collections::BTreeMap<String, usize>| -> String {
+        let mut rows: Vec<(&String, &usize)> = tally.iter().collect();
+        rows.sort_by_key(|&(d, c)| (std::cmp::Reverse(*c), d.clone()));
+        let mut t = TextTable::new(&["Site", "#Links"]);
+        let mut total = 0;
+        for (d, c) in rows {
+            total += c;
+            t.row(vec![d.clone(), c.to_string()]);
+        }
+        t.row(vec!["Total".into(), total.to_string()]);
+        format!("{title}\n{}", t.render())
+    };
+    format!(
+        "{}\n{}",
+        render("Table 3: links per image-sharing site", &report.crawl.image_links_by_site),
+        render("Table 4: links per cloud-storage service", &report.crawl.cloud_links_by_site),
+    )
+}
+
+/// §4.2/§4.4 funnel summary.
+pub fn funnel(report: &PipelineReport) -> String {
+    let fu = &report.funnel;
+    let mut out = String::from("§4.2/§4.4: download funnel\n");
+    let _ = writeln!(
+        out,
+        "  linked TOPs: {}/{} ({:.1}%; paper 774/4137 = 18.7%)",
+        report.crawl.linked_tops,
+        report.crawl.total_tops,
+        100.0 * report.crawl.linked_tops as f64 / report.crawl.total_tops.max(1) as f64
+    );
+    let _ = writeln!(out, "  preview downloads: {} (paper 5788)", fu.preview_downloads);
+    let _ = writeln!(
+        out,
+        "  packs downloaded: {} holding {} images (paper 1255 / 111288)",
+        fu.packs_downloaded, fu.pack_images
+    );
+    let _ = writeln!(out, "  unique files: {} (paper 53948)", fu.unique_files);
+    let _ = writeln!(
+        out,
+        "  images in ≥20 copies: {} (paper 127)",
+        fu.heavily_duplicated
+    );
+    let _ = writeln!(
+        out,
+        "  previews classified NSFV: {} (paper 3496)",
+        fu.previews_nsfv
+    );
+    let v = &report.nsfv_validation;
+    let _ = writeln!(
+        out,
+        "  Algorithm 1 validation: recall {:.0}% fp {:.1}% (paper 100% / ~8%)",
+        100.0 * v.recall(),
+        100.0 * v.fp_rate()
+    );
+    out
+}
+
+/// §4.3: safety findings.
+pub fn section43(report: &PipelineReport) -> String {
+    let s = &report.safety;
+    let mut out = String::from("§4.3: child-abuse material filtering\n");
+    let _ = writeln!(
+        out,
+        "  hash-list matches: {} images in {} threads (paper: 36 images, 36 threads)",
+        s.stage.summary.matched_cases,
+        s.stage.flagged_threads.len()
+    );
+    let _ = writeln!(
+        out,
+        "  actioned URLs: {} (paper: 61)",
+        s.stage.summary.actioned_urls
+    );
+    for (sev, n) in &s.stage.summary.by_severity {
+        let _ = writeln!(out, "    severity {sev:?}: {n}");
+    }
+    for (region, n) in &s.stage.summary.by_region {
+        let _ = writeln!(out, "    region {}: {n}", region.label());
+    }
+    for (ty, n) in &s.stage.summary.by_site_type {
+        let _ = writeln!(out, "    site type {}: {n}", ty.label());
+    }
+    let _ = writeln!(
+        out,
+        "  actors in flagged threads: {} (paper: 476)",
+        s.actors_in_flagged_threads
+    );
+    out
+}
+
+/// Table 5: reverse-search outcomes.
+pub fn table5(report: &PipelineReport) -> String {
+    let mut t = TextTable::new(&["", "Total", "Matches", "Seen Before", "Ratio", "Max"]);
+    for (label, s) in [
+        ("packs", &report.provenance.packs),
+        ("previews", &report.provenance.previews),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            s.total.to_string(),
+            format!("{} ({:.0}%)", s.matched, 100.0 * s.match_rate()),
+            format!("{} ({:.2}%)", s.seen_before, 100.0 * s.seen_before_rate()),
+            f(s.ratio, 1),
+            s.max.to_string(),
+        ]);
+    }
+    let mut out = format!("Table 5: reverse image search\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "  zero-match packs: {}/{} (paper: 203/1255); top actor: {}/{} of their packs",
+        report.provenance.zero_match_packs,
+        report.provenance.analysed_packs,
+        report.provenance.top_zero_match_actor.0,
+        report.provenance.top_zero_match_actor.1
+    );
+    let _ = writeln!(
+        out,
+        "  distinct matched domains: {} (paper: 5917)",
+        report.provenance.distinct_domains
+    );
+    out
+}
+
+/// Table 6: domain categories per classifier (top rows to 85% mass).
+pub fn table6(report: &PipelineReport) -> String {
+    let mut out = String::from("Table 6: domain categories (to 85% of tag mass)\n");
+    for table in &report.provenance.domain_tags {
+        let total: usize = table.tags.iter().map(|&(_, c)| c).sum();
+        let _ = writeln!(out, "  [{}] ({} tags)", table.classifier, total);
+        let mut cum = 0usize;
+        for (tag, count) in &table.tags {
+            cum += count;
+            let share = 100.0 * cum as f64 / total.max(1) as f64;
+            let _ = writeln!(out, "    {tag:<28} {count:>6}  {share:>5.1}%");
+            if share >= 85.0 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// §5.1/§5.2 + Figure 2: earnings.
+pub fn section5(report: &PipelineReport) -> String {
+    let h = &report.harvest;
+    let e = &report.earnings;
+    let mut out = String::from("§5: financial profits\n");
+    let _ = writeln!(
+        out,
+        "  funnel: {} threads → {} posts → {} URLs → {} downloads → {} analysed → {} proofs + {} not-proof (NSFV-filtered {})",
+        h.earnings_threads, h.posts_with_links, h.unique_urls, h.downloaded, h.analysed,
+        h.proofs.len(), h.not_proof, h.filtered_nsfv
+    );
+    let _ = writeln!(
+        out,
+        "  (paper: 1084 → 1276 → 2694 → 2366 → 2067 → 1868 + 199, NSFV 299)"
+    );
+    let _ = writeln!(
+        out,
+        "  actors: {} (paper 661); total US${:.0}k (paper ≈US$511k); mean US${:.0} (paper 774); max US${:.0}",
+        e.actors,
+        e.total_usd / 1000.0,
+        e.mean_per_actor,
+        e.max_per_actor
+    );
+    let _ = writeln!(
+        out,
+        "  detailed proofs: {} ({:.0}%; paper ~60%); avg transaction US${:.2} (paper 41.90)",
+        e.detailed_proofs,
+        100.0 * e.detailed_proofs as f64 / h.proofs.len().max(1) as f64,
+        e.avg_transaction_usd
+    );
+    let _ = writeln!(out, "  platforms: {:?} (paper AGC 934, PayPal 795, BTC 35)", e.platform_counts);
+
+    // Figure 2: CDF quantiles.
+    let usd: Vec<f64> = e.per_actor.iter().map(|&(u, _)| u).collect();
+    let imgs: Vec<f64> = e.per_actor.iter().map(|&(_, n)| n as f64).collect();
+    let qs = [0.25, 0.5, 0.75, 0.9, 0.99];
+    let uq = quantiles(&usd, &qs);
+    let iq = quantiles(&imgs, &qs);
+    let _ = writeln!(out, "  Fig 2 (left)  earnings quantiles 25/50/75/90/99%: {:?}", uq.iter().map(|v| v.round()).collect::<Vec<_>>());
+    let _ = writeln!(out, "  Fig 2 (right) image-count quantiles 25/50/75/90/99%: {iq:?}");
+    out
+}
+
+/// Figure 3: monthly AGC vs PayPal proof counts.
+pub fn fig3(report: &PipelineReport) -> String {
+    let mut out = String::from("Figure 3: proofs per month (AGC vs PayPal)\n");
+    // The *sustained* crossover, the way the eye reads the paper's
+    // monthly plot: the month after the last trailing-12-month window in
+    // which PayPal still led.
+    let series = &report.earnings.monthly_platforms;
+    let mut last_pp_lead: Option<i32> = None;
+    for (i, &(month, agc, pp)) in series.iter().enumerate() {
+        let year = month.div_euclid(12);
+        let m = month.rem_euclid(12) + 1;
+        let _ = writeln!(out, "  {year}-{m:02}: AGC {agc:>3}  PayPal {pp:>3}");
+        let window: Vec<&(i32, usize, usize)> = series[..=i]
+            .iter()
+            .filter(|&&(mo, _, _)| mo > month - 12)
+            .collect();
+        let agc12: usize = window.iter().map(|&&(_, a, _)| a).sum();
+        let pp12: usize = window.iter().map(|&&(_, _, p)| p).sum();
+        if pp12 >= agc12 {
+            last_pp_lead = Some(month);
+        }
+    }
+    if let Some(m) = last_pp_lead {
+        let _ = writeln!(
+            out,
+            "  AGC leads PayPal (trailing 12m) for good after {}-{:02} (paper: 2016)",
+            m.div_euclid(12),
+            m.rem_euclid(12) + 1
+        );
+    }
+    out
+}
+
+/// Table 7: currency exchange.
+pub fn table7(report: &PipelineReport) -> String {
+    let c = &report.currency;
+    let labels = ["PayPal", "BTC", "AGC", "?", "others"];
+    let mut t = TextTable::new(&["Currency", "PayPal", "BTC", "AGC", "?", "others", "Total"]);
+    for (name, map) in [("Offered", &c.offered), ("Wanted", &c.wanted)] {
+        let mut cells = vec![name.to_string()];
+        let mut total = 0;
+        for l in labels {
+            let v = map.get(l).copied().unwrap_or(0);
+            total += v;
+            cells.push(v.to_string());
+        }
+        cells.push(total.to_string());
+        t.row(cells);
+    }
+    format!(
+        "Table 7: Currency Exchange threads ({} threads by {} actors; paper 9066 by 686)\n{}",
+        c.threads,
+        c.actors,
+        t.render()
+    )
+}
+
+/// Table 8: actor cohorts.
+pub fn table8(report: &PipelineReport) -> String {
+    let mut t = TextTable::new(&["#Posts", "#Actors", "Avg. posts", "%ewhor.", "Before", "After"]);
+    for r in &report.cohorts {
+        t.row(vec![
+            format!(">= {}", r.min_posts),
+            r.actors.to_string(),
+            f(r.avg_posts, 1),
+            f(r.pct_ewhoring, 1),
+            f(r.days_before, 1),
+            f(r.days_after, 1),
+        ]);
+    }
+    format!("Table 8: actors by eWhoring post count\n{}", t.render())
+}
+
+/// Figure 4: per-cohort CDF quantiles of the four actor metrics.
+pub fn fig4(report: &PipelineReport) -> String {
+    let mut out = String::from("Figure 4: actor metric quantiles (median / p90) per cohort\n");
+    for &min_posts in &crate::actors::COHORT_THRESHOLDS {
+        let cohort: Vec<&(usize, f64, u32, u32)> = report
+            .fig4_points
+            .iter()
+            .filter(|&&(n, ..)| n >= min_posts)
+            .collect();
+        if cohort.is_empty() {
+            continue;
+        }
+        let posts: Vec<f64> = cohort.iter().map(|&&(n, ..)| n as f64).collect();
+        let pct: Vec<f64> = cohort.iter().map(|&&(_, p, ..)| p * 100.0).collect();
+        let before: Vec<f64> = cohort.iter().map(|&&(_, _, b, _)| f64::from(b)).collect();
+        let after: Vec<f64> = cohort.iter().map(|&&(.., a)| f64::from(a)).collect();
+        let q = |v: &[f64]| quantiles(v, &[0.5, 0.9]);
+        let (qp, qc, qb, qa) = (q(&posts), q(&pct), q(&before), q(&after));
+        let _ = writeln!(
+            out,
+            "  >= {:>4} ({:>6} actors): posts {:>5.0}/{:>6.0}  %ew {:>4.1}/{:>5.1}  before {:>5.0}/{:>6.0}  after {:>5.0}/{:>6.0}",
+            min_posts, cohort.len(), qp[0], qp[1], qc[0], qc[1], qb[0], qb[1], qa[0], qa[1]
+        );
+    }
+    out
+}
+
+/// Table 9: key-actor group intersections.
+pub fn table9(report: &PipelineReport) -> String {
+    let k = &report.key_actors;
+    let mut out = format!(
+        "Table 9: key-actor overlaps ({} key actors; paper 195)\n",
+        k.all.len()
+    );
+    for (g, n) in &k.unique {
+        let _ = writeln!(
+            out,
+            "  unique to {:<2}: {n} (group size {})",
+            g.label(),
+            k.groups[g].len()
+        );
+    }
+    for &(a, b, n) in &k.intersections {
+        let _ = writeln!(out, "  {:<2} ∩ {:<2} = {n}", a.label(), b.label());
+    }
+    out
+}
+
+/// Table 10: group characteristics.
+pub fn table10(report: &PipelineReport) -> String {
+    let mut t = TextTable::new(&[
+        "Group", "#Posts", "%eWh", "Before", "#Amount", "H", "I10", "I100", "#Packs", "#CE",
+    ]);
+    for p in &report.group_profiles {
+        t.row(vec![
+            p.group.clone(),
+            f(p.posts, 1),
+            f(p.pct_ewhoring, 1),
+            f(p.days_before, 1),
+            f(p.amount, 1),
+            f(p.h, 1),
+            f(p.i10, 1),
+            f(p.i100, 1),
+            f(p.packs, 1),
+            f(p.currency_exchange, 1),
+        ]);
+    }
+    format!("Table 10: key-actor group characteristics\n{}", t.render())
+}
+
+/// Figure 5: interest evolution.
+pub fn fig5(report: &PipelineReport) -> String {
+    let mut t = TextTable::new(&["Category", "Before %", "During %", "After %"]);
+    for (cat, b, d, a) in &report.interests.shares {
+        t.row(vec![cat.clone(), f(*b, 1), f(*d, 1), f(*a, 1)]);
+    }
+    format!("Figure 5: key-actor interests before/during/after eWhoring\n{}", t.render())
+}
+
+/// The full report, every artefact in paper order.
+pub fn full_report(report: &PipelineReport) -> String {
+    let mut out = String::new();
+    for section in [
+        fig1(report),
+        table1(report),
+        table2(),
+        section41(report),
+        tables3_4(report),
+        funnel(report),
+        section43(report),
+        table5(report),
+        table6(report),
+        section5(report),
+        fig3(report),
+        table7(report),
+        table8(report),
+        fig4(report),
+        table9(report),
+        table10(report),
+        fig5(report),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "stage timings (ms): {:?}", report.stage_ms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineOptions};
+    use worldgen::{World, WorldConfig};
+
+    fn report() -> PipelineReport {
+        let world = World::generate(WorldConfig::test_scale(0x4E9));
+        Pipeline::new(PipelineOptions {
+            k_key_actors: 8,
+            ..PipelineOptions::default()
+        })
+        .run(&world)
+    }
+
+    #[test]
+    fn text_table_aligns_and_guards_arity() {
+        let mut t = TextTable::new(&["a", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].len() == lines[2].len() && lines[2].len() == lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantiles(&v, &[0.0, 0.5, 1.0]), vec![1.0, 3.0, 5.0]);
+        assert_eq!(quantiles(&[], &[0.5]), vec![0.0]);
+    }
+
+    #[test]
+    fn full_report_renders_every_section() {
+        let r = report();
+        let text = full_report(&r);
+        for needle in [
+            "Figure 1",
+            "Table 1",
+            "Table 2",
+            "unsaturated",
+            "§4.1",
+            "Table 3",
+            "Table 4",
+            "§4.3",
+            "Table 5",
+            "Table 6",
+            "§5",
+            "Figure 3",
+            "Table 7",
+            "Table 8",
+            "Figure 4",
+            "Table 9",
+            "Table 10",
+            "Figure 5",
+            "Hackforums",
+            "imgur.com",
+            "mediafire.com",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).expect("serialise");
+        assert!(json.contains("forums"));
+        assert!(json.len() > 1000);
+    }
+}

@@ -1,0 +1,361 @@
+//! The immutable corpus store and its builder.
+
+use crate::ids::{ActorId, BoardId, ForumId, PostId, ThreadId};
+use crate::model::{Actor, Board, BoardCategory, Forum, Post, Thread};
+use serde::{Deserialize, Serialize};
+use synthrand::Day;
+
+/// An immutable forum corpus with dense entity storage and secondary
+/// indices for the pipeline's access patterns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    pub(crate) forums: Vec<Forum>,
+    pub(crate) boards: Vec<Board>,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) posts: Vec<Post>,
+    pub(crate) actors: Vec<Actor>,
+    /// Post ids per thread, in posting order.
+    pub(crate) posts_by_thread: Vec<Vec<PostId>>,
+    /// Thread ids per board.
+    pub(crate) threads_by_board: Vec<Vec<ThreadId>>,
+    /// Post ids per actor, in posting order.
+    pub(crate) posts_by_actor: Vec<Vec<PostId>>,
+}
+
+impl Corpus {
+    /// All forums.
+    pub fn forums(&self) -> &[Forum] {
+        &self.forums
+    }
+
+    /// All boards.
+    pub fn boards(&self) -> &[Board] {
+        &self.boards
+    }
+
+    /// All threads.
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// All posts.
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// All actors.
+    pub fn actors(&self) -> &[Actor] {
+        &self.actors
+    }
+
+    /// Entity lookups by id. Panics on out-of-range ids: corpus ids are
+    /// only ever minted by the builder, so a bad id is a logic error.
+    pub fn forum(&self, id: ForumId) -> &Forum {
+        &self.forums[id.index()]
+    }
+
+    /// Board by id.
+    pub fn board(&self, id: BoardId) -> &Board {
+        &self.boards[id.index()]
+    }
+
+    /// Thread by id.
+    pub fn thread(&self, id: ThreadId) -> &Thread {
+        &self.threads[id.index()]
+    }
+
+    /// Post by id.
+    pub fn post(&self, id: PostId) -> &Post {
+        &self.posts[id.index()]
+    }
+
+    /// Actor by id.
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.index()]
+    }
+
+    /// Posts of a thread, in posting order (the first is the initial post).
+    pub fn posts_in_thread(&self, id: ThreadId) -> &[PostId] {
+        &self.posts_by_thread[id.index()]
+    }
+
+    /// The initial post of a thread, if the thread has any posts.
+    pub fn first_post(&self, id: ThreadId) -> Option<&Post> {
+        self.posts_in_thread(id).first().map(|&p| self.post(p))
+    }
+
+    /// Number of replies (posts beyond the initial one).
+    pub fn reply_count(&self, id: ThreadId) -> usize {
+        self.posts_in_thread(id).len().saturating_sub(1)
+    }
+
+    /// Threads of a board.
+    pub fn threads_in_board(&self, id: BoardId) -> &[ThreadId] {
+        &self.threads_by_board[id.index()]
+    }
+
+    /// Posts of an actor, in posting order.
+    pub fn posts_by(&self, id: ActorId) -> &[PostId] {
+        &self.posts_by_actor[id.index()]
+    }
+
+    /// The forum a thread belongs to.
+    pub fn forum_of_thread(&self, id: ThreadId) -> ForumId {
+        self.board(self.thread(id).board).forum
+    }
+
+    /// Boards of `forum` in `category`.
+    pub fn boards_in_category(
+        &self,
+        forum: ForumId,
+        category: BoardCategory,
+    ) -> impl Iterator<Item = &Board> + '_ {
+        self.forum(forum)
+            .boards
+            .iter()
+            .map(|&b| self.board(b))
+            .filter(move |b| b.category == category)
+    }
+
+    /// Date of the earliest and latest post, if any posts exist.
+    pub fn date_span(&self) -> Option<(Day, Day)> {
+        let mut it = self.posts.iter().map(|p| p.date);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for d in it {
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        Some((lo, hi))
+    }
+
+    /// Serialises to JSON (mirrors the paper's public data release).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Loads a corpus from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Corpus> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Append-only builder producing a [`Corpus`] with consistent indices.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    corpus: Corpus,
+}
+
+impl CorpusBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> CorpusBuilder {
+        CorpusBuilder::default()
+    }
+
+    /// Adds a forum and returns its id.
+    pub fn add_forum(&mut self, name: impl Into<String>) -> ForumId {
+        let id = ForumId(self.corpus.forums.len() as u32);
+        self.corpus.forums.push(Forum {
+            id,
+            name: name.into(),
+            boards: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a board to `forum` and returns its id.
+    pub fn add_board(
+        &mut self,
+        forum: ForumId,
+        name: impl Into<String>,
+        category: BoardCategory,
+    ) -> BoardId {
+        let id = BoardId(self.corpus.boards.len() as u32);
+        self.corpus.boards.push(Board {
+            id,
+            forum,
+            name: name.into(),
+            category,
+        });
+        self.corpus.forums[forum.index()].boards.push(id);
+        self.corpus.threads_by_board.push(Vec::new());
+        id
+    }
+
+    /// Adds an actor on `forum` and returns their id.
+    pub fn add_actor(
+        &mut self,
+        forum: ForumId,
+        name: impl Into<String>,
+        registered: Day,
+    ) -> ActorId {
+        let id = ActorId(self.corpus.actors.len() as u32);
+        self.corpus.actors.push(Actor {
+            id,
+            forum,
+            name: name.into(),
+            registered,
+        });
+        self.corpus.posts_by_actor.push(Vec::new());
+        id
+    }
+
+    /// Adds a thread (without its initial post; add that with
+    /// [`CorpusBuilder::add_post`]) and returns its id.
+    pub fn add_thread(
+        &mut self,
+        board: BoardId,
+        author: ActorId,
+        heading: impl Into<String>,
+        created: Day,
+    ) -> ThreadId {
+        let id = ThreadId(self.corpus.threads.len() as u32);
+        self.corpus.threads.push(Thread {
+            id,
+            board,
+            author,
+            heading: heading.into(),
+            created,
+        });
+        self.corpus.threads_by_board[board.index()].push(id);
+        self.corpus.posts_by_thread.push(Vec::new());
+        id
+    }
+
+    /// Adds a post to `thread` and returns its id. Posts must be appended
+    /// in chronological order within a thread (the generator guarantees
+    /// this; debug builds assert it).
+    pub fn add_post(
+        &mut self,
+        thread: ThreadId,
+        author: ActorId,
+        date: Day,
+        body: impl Into<String>,
+        quotes: Option<PostId>,
+    ) -> PostId {
+        let id = PostId(self.corpus.posts.len() as u32);
+        if let Some(q) = quotes {
+            debug_assert!(q.index() < self.corpus.posts.len(), "quote of future post");
+        }
+        debug_assert!(
+            self.corpus.posts_by_thread[thread.index()]
+                .last()
+                .is_none_or(|&p| self.corpus.posts[p.index()].date <= date),
+            "posts must be appended in chronological order"
+        );
+        self.corpus.posts.push(Post {
+            id,
+            thread,
+            author,
+            date,
+            body: body.into(),
+            quotes,
+        });
+        self.corpus.posts_by_thread[thread.index()].push(id);
+        self.corpus.posts_by_actor[author.index()].push(id);
+        id
+    }
+
+    /// Number of posts added so far.
+    pub fn post_count(&self) -> usize {
+        self.corpus.posts.len()
+    }
+
+    /// Posts already added to `thread`, in order (generators need this to
+    /// wire quotes when revisiting a thread).
+    pub fn posts_in(&self, thread: ThreadId) -> &[PostId] {
+        &self.corpus.posts_by_thread[thread.index()]
+    }
+
+    /// Finalises the corpus.
+    pub fn build(self) -> Corpus {
+        self.corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let f = b.add_forum("TestForum");
+        let board = b.add_board(f, "eWhoring", BoardCategory::EWhoring);
+        let gaming = b.add_board(f, "Gaming", BoardCategory::Gaming);
+        let a1 = b.add_actor(f, "alice", Day::from_ymd(2012, 1, 1));
+        let a2 = b.add_actor(f, "bob", Day::from_ymd(2013, 2, 2));
+        let t = b.add_thread(board, a1, "selling pack", Day::from_ymd(2014, 3, 3));
+        let p0 = b.add_post(t, a1, Day::from_ymd(2014, 3, 3), "pack at https://x.com/1", None);
+        b.add_post(t, a2, Day::from_ymd(2014, 3, 4), "thanks!", Some(p0));
+        let t2 = b.add_thread(gaming, a2, "minecraft server", Day::from_ymd(2014, 5, 1));
+        b.add_post(t2, a2, Day::from_ymd(2014, 5, 1), "join up", None);
+        b.build()
+    }
+
+    #[test]
+    fn builder_wires_indices() {
+        let c = tiny();
+        assert_eq!(c.forums().len(), 1);
+        assert_eq!(c.boards().len(), 2);
+        assert_eq!(c.threads().len(), 2);
+        assert_eq!(c.posts().len(), 3);
+        let t = c.threads()[0].id;
+        assert_eq!(c.posts_in_thread(t).len(), 2);
+        assert_eq!(c.reply_count(t), 1);
+        assert_eq!(c.first_post(t).unwrap().body, "pack at https://x.com/1");
+    }
+
+    #[test]
+    fn actor_post_index() {
+        let c = tiny();
+        let bob = c.actors()[1].id;
+        assert_eq!(c.posts_by(bob).len(), 2);
+    }
+
+    #[test]
+    fn board_category_filter() {
+        let c = tiny();
+        let f = c.forums()[0].id;
+        let ew: Vec<_> = c.boards_in_category(f, BoardCategory::EWhoring).collect();
+        assert_eq!(ew.len(), 1);
+        assert_eq!(ew[0].name, "eWhoring");
+    }
+
+    #[test]
+    fn quotes_link_posts() {
+        let c = tiny();
+        let reply = &c.posts()[1];
+        assert_eq!(reply.quotes, Some(c.posts()[0].id));
+    }
+
+    #[test]
+    fn date_span_covers_posts() {
+        let c = tiny();
+        let (lo, hi) = c.date_span().unwrap();
+        assert_eq!(lo, Day::from_ymd(2014, 3, 3));
+        assert_eq!(hi, Day::from_ymd(2014, 5, 1));
+    }
+
+    #[test]
+    fn empty_corpus_has_no_span() {
+        assert!(Corpus::default().date_span().is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let c = tiny();
+        let json = c.to_json().unwrap();
+        let back = Corpus::from_json(&json).unwrap();
+        assert_eq!(back.posts().len(), c.posts().len());
+        assert_eq!(
+            back.posts_in_thread(back.threads()[0].id),
+            c.posts_in_thread(c.threads()[0].id)
+        );
+    }
+
+    #[test]
+    fn forum_of_thread_resolves_through_board() {
+        let c = tiny();
+        assert_eq!(c.forum_of_thread(c.threads()[0].id), c.forums()[0].id);
+    }
+}

@@ -1,0 +1,77 @@
+//! Typed integer ids for corpus entities.
+//!
+//! Newtypes prevent cross-wiring (passing a thread id where a post id is
+//! expected) at zero runtime cost; the wrapped `u32` is a dense index into
+//! the corpus's entity vectors.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index this id wraps.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A forum (e.g. the Hackforums analogue).
+    ForumId
+);
+define_id!(
+    /// A board within a forum (e.g. the dedicated eWhoring section).
+    BoardId
+);
+define_id!(
+    /// A conversation thread.
+    ThreadId
+);
+define_id!(
+    /// A single post within a thread.
+    PostId
+);
+define_id!(
+    /// A forum member ("actor" in the paper's terminology).
+    ActorId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = ThreadId(1);
+        let b = ThreadId(2);
+        assert!(a < b);
+        let set: HashSet<ThreadId> = [a, b, ThreadId(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(PostId(7).to_string(), "PostId#7");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(ActorId(5).index(), 5);
+    }
+}

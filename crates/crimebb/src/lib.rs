@@ -1,0 +1,32 @@
+//! Underground-forum corpus substrate (CrimeBB analogue).
+//!
+//! The paper's measurements run over CrimeBB \[27\], a corpus scraped from 15
+//! underground forums and distributed by the Cambridge Cybercrime Centre.
+//! That data is access-gated, so this crate provides the equivalent
+//! *structure*: a typed forum → board → thread → post model with authors,
+//! timestamps, quote links, and the query operations the pipeline needs
+//! (heading search, board filters, per-actor activity, date spans).
+//!
+//! The corpus itself is filled in by the `worldgen` crate; this crate is
+//! deliberately generator-agnostic so real scraped data could be loaded into
+//! the same model.
+//!
+//! Design notes:
+//! * integer newtype ids ([`ids`]) index into dense `Vec`s — the corpus is
+//!   append-only and immutable once built, matching a scraped snapshot;
+//! * secondary indices (posts-by-thread, threads-by-board, posts-by-actor)
+//!   are built once at [`CorpusBuilder::build`] time so queries are O(hits);
+//! * the whole corpus serialises to JSON, mirroring the paper's public
+//!   release of processed data.
+
+pub mod corpus;
+pub mod export;
+pub mod ids;
+pub mod model;
+pub mod query;
+
+pub use corpus::{Corpus, CorpusBuilder};
+pub use export::{read_jsonl, write_jsonl, ImportError};
+pub use ids::{ActorId, BoardId, ForumId, PostId, ThreadId};
+pub use model::{Actor, Board, BoardCategory, Forum, Post, Thread};
+pub use synthrand::Day;

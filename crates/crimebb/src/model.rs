@@ -1,0 +1,167 @@
+//! Corpus entity types.
+
+use crate::ids::{ActorId, BoardId, ForumId, PostId, ThreadId};
+use serde::{Deserialize, Serialize};
+use synthrand::Day;
+
+/// Hackforums-style board categories, used for the interest analysis of
+/// paper §6 (Figure 5 tracks Gaming / Hacking / Market / Money / Coding /
+/// Common interests) and for locating the special boards the pipeline
+/// queries directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BoardCategory {
+    /// The dedicated eWhoring section (Hackforums analogue only).
+    EWhoring,
+    /// The Currency Exchange board used to cash out (§5.1).
+    CurrencyExchange,
+    /// "Bragging Rights": earnings show-off threads (§5.1).
+    BraggingRights,
+    /// Gaming boards — a common entry interest (§6.3).
+    Gaming,
+    /// Hacking boards.
+    Hacking,
+    /// Programming/coding boards.
+    Coding,
+    /// Marketplace boards (buying/selling goods and services).
+    Market,
+    /// Money-making boards other than eWhoring.
+    Money,
+    /// Technology boards.
+    Tech,
+    /// Rules, announcements, entertainment ("Common" in Figure 5).
+    Common,
+    /// "The Lounge" — excluded from the §6.3 interest analysis.
+    Lounge,
+}
+
+impl BoardCategory {
+    /// All categories, in a stable rendering order.
+    pub const ALL: &'static [BoardCategory] = &[
+        BoardCategory::EWhoring,
+        BoardCategory::CurrencyExchange,
+        BoardCategory::BraggingRights,
+        BoardCategory::Gaming,
+        BoardCategory::Hacking,
+        BoardCategory::Coding,
+        BoardCategory::Market,
+        BoardCategory::Money,
+        BoardCategory::Tech,
+        BoardCategory::Common,
+        BoardCategory::Lounge,
+    ];
+
+    /// Human-readable label (Figure 5 axis labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BoardCategory::EWhoring => "eWhoring",
+            BoardCategory::CurrencyExchange => "Currency Exchange",
+            BoardCategory::BraggingRights => "Bragging Rights",
+            BoardCategory::Gaming => "Gaming",
+            BoardCategory::Hacking => "Hacking",
+            BoardCategory::Coding => "Coding",
+            BoardCategory::Market => "Market",
+            BoardCategory::Money => "Money",
+            BoardCategory::Tech => "Tech",
+            BoardCategory::Common => "Common",
+            BoardCategory::Lounge => "Lounge",
+        }
+    }
+}
+
+/// A forum (one of the 10 with eWhoring activity in the dataset).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Forum {
+    /// Dense id.
+    pub id: ForumId,
+    /// Display name (e.g. "Hackforums").
+    pub name: String,
+    /// Boards belonging to this forum.
+    pub boards: Vec<BoardId>,
+}
+
+/// A board within a forum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Board {
+    /// Dense id.
+    pub id: BoardId,
+    /// Owning forum.
+    pub forum: ForumId,
+    /// Display name.
+    pub name: String,
+    /// Interest category.
+    pub category: BoardCategory,
+}
+
+/// A conversation thread: an initial post plus replies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Thread {
+    /// Dense id.
+    pub id: ThreadId,
+    /// Board the thread lives in.
+    pub board: BoardId,
+    /// The thread starter.
+    pub author: ActorId,
+    /// Heading — "summarises the topic of conversation" (§3); all heading
+    /// queries match on this.
+    pub heading: String,
+    /// Creation date (date of the first post).
+    pub created: Day,
+}
+
+/// A single post.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Post {
+    /// Dense id.
+    pub id: PostId,
+    /// Thread this post belongs to.
+    pub thread: ThreadId,
+    /// Author.
+    pub author: ActorId,
+    /// Posting date.
+    pub date: Day,
+    /// Body text (template-generated in the synthetic corpus).
+    pub body: String,
+    /// Post explicitly quoted by this one, if any — drives the §6.1
+    /// interaction graph ("A explicitly quotes a post made by B").
+    pub quotes: Option<PostId>,
+}
+
+/// A forum member.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Actor {
+    /// Dense id (corpus-global; each actor belongs to one forum).
+    pub id: ActorId,
+    /// Forum the account lives on.
+    pub forum: ForumId,
+    /// Nickname (synthetic).
+    pub name: String,
+    /// Registration date.
+    pub registered: Day,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_categories_have_unique_labels() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = BoardCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), BoardCategory::ALL.len());
+    }
+
+    #[test]
+    fn entities_serialise_roundtrip() {
+        let t = Thread {
+            id: ThreadId(3),
+            board: BoardId(1),
+            author: ActorId(9),
+            heading: "[TUT] ewhoring guide".into(),
+            created: Day::from_ymd(2015, 6, 1),
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Thread = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.heading, t.heading);
+        assert_eq!(back.created, t.created);
+    }
+}

@@ -1,0 +1,241 @@
+//! Query operations used by the measurement pipeline (paper §3, §5, §6).
+
+use crate::corpus::Corpus;
+use crate::ids::{ActorId, ForumId, ThreadId};
+use crate::model::BoardCategory;
+use std::collections::HashMap;
+use synthrand::Day;
+
+impl Corpus {
+    /// Threads whose lower-cased heading satisfies `pred`.
+    ///
+    /// This is the §3 extraction primitive: "we searched for two specific
+    /// keywords … in the headings of all the threads" (comparison in
+    /// lowercase).
+    pub fn threads_where_heading(&self, pred: impl Fn(&str) -> bool) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|t| pred(&t.heading))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// All threads in boards of `category` on `forum` (e.g. "all the
+    /// threads from the specific board dedicated to eWhoring in
+    /// Hackforums").
+    pub fn threads_in_category(&self, forum: ForumId, category: BoardCategory) -> Vec<ThreadId> {
+        self.boards_in_category(forum, category)
+            .flat_map(|b| self.threads_in_board(b.id).iter().copied())
+            .collect()
+    }
+
+    /// Distinct actors who posted in any of `threads`.
+    pub fn actors_in_threads(&self, threads: &[ThreadId]) -> Vec<ActorId> {
+        let mut seen = vec![false; self.actors.len()];
+        let mut out = Vec::new();
+        for &t in threads {
+            for &p in self.posts_in_thread(t) {
+                let a = self.post(p).author;
+                if !seen[a.index()] {
+                    seen[a.index()] = true;
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total posts across `threads`.
+    pub fn post_count_in(&self, threads: &[ThreadId]) -> usize {
+        threads.iter().map(|&t| self.posts_in_thread(t).len()).sum()
+    }
+
+    /// Earliest post date across `threads`, if any.
+    pub fn earliest_post_in(&self, threads: &[ThreadId]) -> Option<Day> {
+        threads
+            .iter()
+            .filter_map(|&t| self.first_post(t))
+            .map(|p| p.date)
+            .min()
+    }
+
+    /// Per-actor count of posts within `threads` (the paper's
+    /// "posts made in eWhoring-related conversations").
+    pub fn posts_per_actor_in(&self, threads: &[ThreadId]) -> HashMap<ActorId, usize> {
+        let mut counts = HashMap::new();
+        for &t in threads {
+            for &p in self.posts_in_thread(t) {
+                *counts.entry(self.post(p).author).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// First and last date an actor posted within `threads`, if they did.
+    pub fn actor_span_in(&self, actor: ActorId, threads: &[ThreadId]) -> Option<(Day, Day)> {
+        let set: std::collections::HashSet<ThreadId> = threads.iter().copied().collect();
+        let mut lo: Option<Day> = None;
+        let mut hi: Option<Day> = None;
+        for &p in self.posts_by(actor) {
+            let post = self.post(p);
+            if set.contains(&post.thread) {
+                lo = Some(lo.map_or(post.date, |d: Day| d.min(post.date)));
+                hi = Some(hi.map_or(post.date, |d: Day| d.max(post.date)));
+            }
+        }
+        lo.zip(hi)
+    }
+
+    /// An actor's first and last posting date anywhere on the forum.
+    ///
+    /// Posts are stored in per-thread insertion order, which is not
+    /// globally chronological, so the span is computed over all dates.
+    pub fn actor_activity_span(&self, actor: ActorId) -> Option<(Day, Day)> {
+        let mut dates = self.posts_by(actor).iter().map(|&p| self.post(p).date);
+        let first = dates.next()?;
+        let (lo, hi) = dates.fold((first, first), |(lo, hi), d| (lo.min(d), hi.max(d)));
+        Some((lo, hi))
+    }
+
+    /// Per-category post counts for an actor, optionally restricted to a
+    /// date window (used for before/during/after interest profiles,
+    /// Figure 5).
+    pub fn actor_interests(
+        &self,
+        actor: ActorId,
+        window: Option<(Day, Day)>,
+    ) -> HashMap<BoardCategory, usize> {
+        let mut counts = HashMap::new();
+        for &p in self.posts_by(actor) {
+            let post = self.post(p);
+            if let Some((lo, hi)) = window {
+                if post.date < lo || post.date > hi {
+                    continue;
+                }
+            }
+            let cat = self.board(self.thread(post.thread).board).category;
+            *counts.entry(cat).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Threads started by `actor` within `board_category` on their forum,
+    /// created on or after `from` (used for the Currency Exchange analysis,
+    /// which only counts threads "made after the actors started in
+    /// eWhoring").
+    pub fn threads_started_by(
+        &self,
+        actor: ActorId,
+        category: BoardCategory,
+        from: Option<Day>,
+    ) -> Vec<ThreadId> {
+        let forum = self.actor(actor).forum;
+        self.threads_in_category(forum, category)
+            .into_iter()
+            .filter(|&t| {
+                let th = self.thread(t);
+                th.author == actor && from.is_none_or(|d| th.created >= d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::corpus::CorpusBuilder;
+    use crate::model::BoardCategory;
+    use synthrand::Day;
+
+    fn corpus() -> crate::Corpus {
+        let mut b = CorpusBuilder::new();
+        let f = b.add_forum("HF");
+        let ew = b.add_board(f, "eWhoring", BoardCategory::EWhoring);
+        let ce = b.add_board(f, "Currency Exchange", BoardCategory::CurrencyExchange);
+        let gm = b.add_board(f, "Gaming", BoardCategory::Gaming);
+        let a1 = b.add_actor(f, "a1", Day::from_ymd(2012, 1, 1));
+        let a2 = b.add_actor(f, "a2", Day::from_ymd(2012, 1, 1));
+
+        // a1 posts in gaming first, then starts eWhoring, then CE.
+        let g = b.add_thread(gm, a1, "best fps 2013", Day::from_ymd(2013, 1, 1));
+        b.add_post(g, a1, Day::from_ymd(2013, 1, 1), "cs!", None);
+        let t1 = b.add_thread(ew, a1, "eWhoring pack giveaway", Day::from_ymd(2014, 1, 1));
+        let p = b.add_post(t1, a1, Day::from_ymd(2014, 1, 1), "enjoy", None);
+        b.add_post(t1, a2, Day::from_ymd(2014, 1, 2), "thanks", Some(p));
+        let c1 = b.add_thread(ce, a1, "[H] AGC [W] BTC", Day::from_ymd(2014, 6, 1));
+        b.add_post(c1, a1, Day::from_ymd(2014, 6, 1), "rates inside", None);
+        let c0 = b.add_thread(ce, a1, "[H] PP [W] BTC", Day::from_ymd(2013, 6, 1));
+        b.add_post(c0, a1, Day::from_ymd(2013, 6, 1), "old trade", None);
+        b.build()
+    }
+
+    #[test]
+    fn heading_search_is_callback_driven() {
+        let c = corpus();
+        let hits = c.threads_where_heading(|h| h.to_lowercase().contains("ewhor"));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn category_threads_and_actors() {
+        let c = corpus();
+        let f = c.forums()[0].id;
+        let ew = c.threads_in_category(f, BoardCategory::EWhoring);
+        assert_eq!(ew.len(), 1);
+        let actors = c.actors_in_threads(&ew);
+        assert_eq!(actors.len(), 2);
+        assert_eq!(c.post_count_in(&ew), 2);
+    }
+
+    #[test]
+    fn actor_spans() {
+        let c = corpus();
+        let a1 = c.actors()[0].id;
+        let (first, last) = c.actor_activity_span(a1).unwrap();
+        assert_eq!(first, Day::from_ymd(2013, 1, 1));
+        assert_eq!(last, Day::from_ymd(2014, 6, 1));
+        let f = c.forums()[0].id;
+        let ew = c.threads_in_category(f, BoardCategory::EWhoring);
+        let (lo, hi) = c.actor_span_in(a1, &ew).unwrap();
+        assert_eq!(lo, hi);
+        assert_eq!(lo, Day::from_ymd(2014, 1, 1));
+    }
+
+    #[test]
+    fn interests_with_window() {
+        let c = corpus();
+        let a1 = c.actors()[0].id;
+        let all = c.actor_interests(a1, None);
+        assert_eq!(all[&BoardCategory::Gaming], 1);
+        assert_eq!(all[&BoardCategory::CurrencyExchange], 2);
+        let before = c.actor_interests(
+            a1,
+            Some((Day::from_ymd(2000, 1, 1), Day::from_ymd(2013, 12, 31))),
+        );
+        assert_eq!(before.get(&BoardCategory::EWhoring), None);
+        assert_eq!(before[&BoardCategory::Gaming], 1);
+    }
+
+    #[test]
+    fn threads_started_by_respects_from_date() {
+        let c = corpus();
+        let a1 = c.actors()[0].id;
+        let all = c.threads_started_by(a1, BoardCategory::CurrencyExchange, None);
+        assert_eq!(all.len(), 2);
+        let after = c.threads_started_by(
+            a1,
+            BoardCategory::CurrencyExchange,
+            Some(Day::from_ymd(2014, 1, 1)),
+        );
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn posts_per_actor_counts() {
+        let c = corpus();
+        let f = c.forums()[0].id;
+        let ew = c.threads_in_category(f, BoardCategory::EWhoring);
+        let counts = c.posts_per_actor_in(&ew);
+        assert_eq!(counts.len(), 2);
+        assert!(counts.values().all(|&v| v == 1));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests: any build sequence leaves the corpus indices
+//! consistent.
+
+use crimebb::{BoardCategory, Corpus, CorpusBuilder};
+use proptest::prelude::*;
+use synthrand::Day;
+
+/// A randomly-shaped corpus: `threads[t] = (board, n_posts)`.
+fn build(n_boards: usize, n_actors: usize, threads: &[(usize, usize)]) -> Corpus {
+    let mut b = CorpusBuilder::new();
+    let forum = b.add_forum("F");
+    let boards: Vec<_> = (0..n_boards)
+        .map(|i| {
+            b.add_board(
+                forum,
+                format!("board{i}"),
+                if i % 2 == 0 {
+                    BoardCategory::EWhoring
+                } else {
+                    BoardCategory::Gaming
+                },
+            )
+        })
+        .collect();
+    let actors: Vec<_> = (0..n_actors)
+        .map(|i| b.add_actor(forum, format!("a{i}"), Day::from_ymd(2010, 1, 1)))
+        .collect();
+    let mut day = Day::from_ymd(2012, 1, 1);
+    for &(board, n_posts) in threads {
+        let author = actors[board % actors.len()];
+        let t = b.add_thread(boards[board % boards.len()], author, "t", day);
+        let mut quote = None;
+        for p in 0..n_posts {
+            let who = actors[(board + p) % actors.len()];
+            let id = b.add_post(t, who, day, "body", quote);
+            quote = Some(id);
+            day = day.plus_days(1);
+        }
+        day = day.plus_days(1);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn indices_are_consistent(
+        n_boards in 1usize..5,
+        n_actors in 1usize..8,
+        threads in prop::collection::vec((0usize..5, 1usize..6), 1..20),
+    ) {
+        let c = build(n_boards, n_actors, &threads);
+
+        // Posts-by-thread covers every post exactly once.
+        let mut seen = vec![false; c.posts().len()];
+        for t in c.threads() {
+            for &p in c.posts_in_thread(t.id) {
+                prop_assert!(!seen[p.index()], "post in two threads");
+                seen[p.index()] = true;
+                prop_assert_eq!(c.post(p).thread, t.id);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // Posts-by-actor covers every post exactly once too.
+        let total: usize = c.actors().iter().map(|a| c.posts_by(a.id).len()).sum();
+        prop_assert_eq!(total, c.posts().len());
+        for a in c.actors() {
+            for &p in c.posts_by(a.id) {
+                prop_assert_eq!(c.post(p).author, a.id);
+            }
+        }
+
+        // Threads-by-board covers every thread exactly once.
+        let total_threads: usize = c
+            .boards()
+            .iter()
+            .map(|b| c.threads_in_board(b.id).len())
+            .sum();
+        prop_assert_eq!(total_threads, c.threads().len());
+
+        // Every thread has its initial post and reply_count = posts - 1.
+        for t in c.threads() {
+            prop_assert!(c.first_post(t.id).is_some());
+            prop_assert_eq!(c.reply_count(t.id) + 1, c.posts_in_thread(t.id).len());
+        }
+
+        // Quotes point backwards within the same thread.
+        for p in c.posts() {
+            if let Some(q) = p.quotes {
+                prop_assert!(q < p.id);
+                prop_assert_eq!(c.post(q).thread, p.thread);
+            }
+        }
+
+        // JSON round trip preserves the whole structure.
+        let back = Corpus::from_json(&c.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back.posts().len(), c.posts().len());
+        prop_assert_eq!(back.threads().len(), c.threads().len());
+    }
+
+    #[test]
+    fn date_span_bounds_every_query(
+        threads in prop::collection::vec((0usize..3, 1usize..5), 1..12),
+    ) {
+        let c = build(2, 3, &threads);
+        let (lo, hi) = c.date_span().unwrap();
+        for a in c.actors() {
+            if let Some((first, last)) = c.actor_activity_span(a.id) {
+                prop_assert!(first >= lo && last <= hi);
+                prop_assert!(first <= last);
+            }
+        }
+        let ew: Vec<_> = c
+            .threads_in_category(c.forums()[0].id, BoardCategory::EWhoring);
+        if let Some(earliest) = c.earliest_post_in(&ew) {
+            prop_assert!(earliest >= lo);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Small RGB rasters with the drawing and sampling primitives the
+//! generators and classifiers need.
+
+use serde::{Deserialize, Serialize};
+
+/// Canonical render size. Large enough for 8×8 block hashing and glyph-row
+/// detection, small enough to render hundreds of thousands of images.
+pub const SIZE: usize = 64;
+
+/// An RGB bitmap. Pixels are row-major `[r, g, b]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    px: Vec<[u8; 3]>,
+}
+
+impl Bitmap {
+    /// Creates a bitmap filled with `color`.
+    pub fn filled(width: usize, height: usize, color: [u8; 3]) -> Bitmap {
+        assert!(width > 0 && height > 0, "empty bitmap");
+        Bitmap {
+            width,
+            height,
+            px: vec![color; width * height],
+        }
+    }
+
+    /// Creates the canonical 64×64 bitmap filled with `color`.
+    pub fn canvas(color: [u8; 3]) -> Bitmap {
+        Bitmap::filled(SIZE, SIZE, color)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`. Panics out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        self.px[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`; silently ignores out-of-bounds writes so
+    /// generators can draw shapes that overlap the border.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, color: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.px[y * self.width + x] = color;
+        }
+    }
+
+    /// Fills the axis-aligned rectangle `[x0, x1) × [y0, y1)` (clamped).
+    pub fn fill_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize, color: [u8; 3]) {
+        for y in y0..y1.min(self.height) {
+            for x in x0..x1.min(self.width) {
+                self.px[y * self.width + x] = color;
+            }
+        }
+    }
+
+    /// Fills an ellipse centred at `(cx, cy)` with radii `(rx, ry)`.
+    /// Used for heads/limbs/body masses in model-photo rendering.
+    pub fn fill_ellipse(&mut self, cx: f32, cy: f32, rx: f32, ry: f32, color: [u8; 3]) {
+        if rx <= 0.0 || ry <= 0.0 {
+            return;
+        }
+        let x_lo = (cx - rx).floor().max(0.0) as usize;
+        let x_hi = ((cx + rx).ceil() as usize).min(self.width.saturating_sub(1));
+        let y_lo = (cy - ry).floor().max(0.0) as usize;
+        let y_hi = ((cy + ry).ceil() as usize).min(self.height.saturating_sub(1));
+        for y in y_lo..=y_hi {
+            for x in x_lo..=x_hi {
+                let dx = (x as f32 - cx) / rx;
+                let dy = (y as f32 - cy) / ry;
+                if dx * dx + dy * dy <= 1.0 {
+                    self.px[y * self.width + x] = color;
+                }
+            }
+        }
+    }
+
+    /// Vertical gradient from `top` to `bottom` over the full canvas.
+    pub fn fill_vgradient(&mut self, top: [u8; 3], bottom: [u8; 3]) {
+        for y in 0..self.height {
+            let t = y as f32 / (self.height - 1).max(1) as f32;
+            let c = [
+                lerp_u8(top[0], bottom[0], t),
+                lerp_u8(top[1], bottom[1], t),
+                lerp_u8(top[2], bottom[2], t),
+            ];
+            for x in 0..self.width {
+                self.px[y * self.width + x] = c;
+            }
+        }
+    }
+
+    /// Multiplies every pixel by a per-column factor interpolated from
+    /// `left` to `right` — directional lighting falloff. Factors are
+    /// clamped to `[0, 2]`.
+    pub fn shade_columns(&mut self, left: f32, right: f32) {
+        let w = self.width;
+        for x in 0..w {
+            let t = x as f32 / (w - 1).max(1) as f32;
+            let f = (left + (right - left) * t).clamp(0.0, 2.0);
+            for y in 0..self.height {
+                let [r, g, b] = self.px[y * w + x];
+                let adj = |c: u8| ((c as f32 * f).round().clamp(0.0, 255.0)) as u8;
+                self.px[y * w + x] = [adj(r), adj(g), adj(b)];
+            }
+        }
+    }
+
+    /// Rec. 601 luminance in `[0, 255]`.
+    #[inline]
+    pub fn luminance(&self, x: usize, y: usize) -> f32 {
+        let [r, g, b] = self.get(x, y);
+        0.299 * r as f32 + 0.587 * g as f32 + 0.114 * b as f32
+    }
+
+    /// Mean luminance of the rectangle `[x0, x1) × [y0, y1)` (clamped).
+    /// Returns 0 for empty intersections.
+    pub fn mean_luminance(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f32 {
+        let x1 = x1.min(self.width);
+        let y1 = y1.min(self.height);
+        if x0 >= x1 || y0 >= y1 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                acc += self.luminance(x, y);
+            }
+        }
+        acc / ((x1 - x0) * (y1 - y0)) as f32
+    }
+
+    /// Nearest-neighbour resample to `w × h`.
+    pub fn resize(&self, w: usize, h: usize) -> Bitmap {
+        assert!(w > 0 && h > 0, "empty resize target");
+        let mut out = Bitmap::filled(w, h, [0, 0, 0]);
+        for y in 0..h {
+            let sy = y * self.height / h;
+            for x in 0..w {
+                let sx = x * self.width / w;
+                out.px[y * w + x] = self.get(sx, sy);
+            }
+        }
+        out
+    }
+
+    /// Fraction of pixels satisfying `pred`.
+    pub fn fraction_where(&self, pred: impl Fn([u8; 3]) -> bool) -> f64 {
+        let hits = self.px.iter().filter(|&&p| pred(p)).count();
+        hits as f64 / self.px.len() as f64
+    }
+
+    /// Raw pixel access (for hashing/digesting).
+    pub fn pixels(&self) -> &[[u8; 3]] {
+        &self.px
+    }
+
+    /// Encodes as binary PPM (P6) — the simplest portable image format,
+    /// for eyeballing what the generators produce (`convert x.ppm x.png`).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.px.len() * 3);
+        out.extend_from_slice(format!("P6\n{} {}\n255\n", self.width, self.height).as_bytes());
+        for p in &self.px {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Decodes a binary PPM produced by [`Bitmap::to_ppm`]. Returns `None`
+    /// on anything that is not a well-formed P6 with max value 255.
+    pub fn from_ppm(data: &[u8]) -> Option<Bitmap> {
+        // Scan the four header tokens byte-wise (the body is binary, so a
+        // UTF-8 parse of a fixed prefix would be fragile).
+        let mut tokens: Vec<String> = Vec::with_capacity(4);
+        let mut current = String::new();
+        let mut body_start = None;
+        for (i, &b) in data.iter().enumerate() {
+            if b.is_ascii_whitespace() {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                    if tokens.len() == 4 {
+                        body_start = Some(i + 1);
+                        break;
+                    }
+                }
+            } else if b.is_ascii_graphic() {
+                current.push(b as char);
+            } else {
+                return None; // binary byte inside the header
+            }
+        }
+        let body_start = body_start?;
+        if tokens[0] != "P6" {
+            return None;
+        }
+        let width: usize = tokens[1].parse().ok()?;
+        let height: usize = tokens[2].parse().ok()?;
+        let maxval: usize = tokens[3].parse().ok()?;
+        if maxval != 255 || width == 0 || height == 0 {
+            return None;
+        }
+        let body = &data[body_start..];
+        if body.len() != width * height * 3 {
+            return None;
+        }
+        let mut bmp = Bitmap::filled(width, height, [0; 3]);
+        for (i, chunk) in body.chunks_exact(3).enumerate() {
+            bmp.px[i] = [chunk[0], chunk[1], chunk[2]];
+        }
+        Some(bmp)
+    }
+}
+
+#[inline]
+fn lerp_u8(a: u8, b: u8, t: f32) -> u8 {
+    (a as f32 + (b as f32 - a as f32) * t).round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_canvas_is_uniform() {
+        let b = Bitmap::canvas([10, 20, 30]);
+        assert_eq!(b.width(), SIZE);
+        assert_eq!(b.get(0, 0), [10, 20, 30]);
+        assert_eq!(b.get(SIZE - 1, SIZE - 1), [10, 20, 30]);
+    }
+
+    #[test]
+    fn rect_fill_clamps() {
+        let mut b = Bitmap::filled(4, 4, [0; 3]);
+        b.fill_rect(2, 2, 100, 100, [255; 3]);
+        assert_eq!(b.get(3, 3), [255; 3]);
+        assert_eq!(b.get(1, 1), [0; 3]);
+    }
+
+    #[test]
+    fn ellipse_covers_centre_not_corners() {
+        let mut b = Bitmap::filled(20, 20, [0; 3]);
+        b.fill_ellipse(10.0, 10.0, 5.0, 8.0, [200; 3]);
+        assert_eq!(b.get(10, 10), [200; 3]);
+        assert_eq!(b.get(0, 0), [0; 3]);
+        assert_eq!(b.get(19, 19), [0; 3]);
+    }
+
+    #[test]
+    fn gradient_is_monotone_in_luminance() {
+        let mut b = Bitmap::canvas([0; 3]);
+        b.fill_vgradient([255; 3], [0; 3]);
+        assert!(b.luminance(0, 0) > b.luminance(0, SIZE - 1));
+    }
+
+    #[test]
+    fn mean_luminance_of_uniform_region() {
+        let b = Bitmap::filled(8, 8, [100, 100, 100]);
+        let m = b.mean_luminance(0, 0, 8, 8);
+        assert!((m - 100.0).abs() < 0.5);
+        assert_eq!(b.mean_luminance(5, 5, 5, 9), 0.0); // empty slice
+    }
+
+    #[test]
+    fn resize_preserves_uniform_content() {
+        let b = Bitmap::filled(64, 64, [7, 8, 9]);
+        let s = b.resize(8, 8);
+        assert_eq!(s.width(), 8);
+        assert!(s.pixels().iter().all(|&p| p == [7, 8, 9]));
+    }
+
+    #[test]
+    fn fraction_where_counts() {
+        let mut b = Bitmap::filled(2, 2, [0; 3]);
+        b.set(0, 0, [255; 3]);
+        assert!((b.fraction_where(|p| p[0] > 128) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_out_of_bounds_is_ignored() {
+        let mut b = Bitmap::filled(2, 2, [0; 3]);
+        b.set(5, 5, [1; 3]); // must not panic
+        assert_eq!(b.get(1, 1), [0; 3]);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut b = Bitmap::filled(5, 3, [10, 20, 30]);
+        b.set(4, 2, [200, 100, 50]);
+        let ppm = b.to_ppm();
+        assert!(ppm.starts_with(b"P6\n5 3\n255\n"));
+        let back = Bitmap::from_ppm(&ppm).expect("roundtrip");
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn ppm_rejects_garbage() {
+        assert!(Bitmap::from_ppm(b"P5\n2 2\n255\n....").is_none());
+        assert!(Bitmap::from_ppm(b"P6\n2 2\n255\nxx").is_none()); // short body
+        assert!(Bitmap::from_ppm(b"").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bitmap")]
+    fn zero_size_rejected() {
+        let _ = Bitmap::filled(0, 4, [0; 3]);
+    }
+}

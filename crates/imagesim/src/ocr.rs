@@ -1,0 +1,225 @@
+//! OCR word counting (Tesseract analogue).
+//!
+//! The pipeline's Algorithm 1 consumes Tesseract's output only as "the
+//! number of words recognised in an image" (paper §4.4). This module
+//! implements a real glyph detector over the synthetic rasters: it finds
+//! connected dark components on light background and counts those with
+//! word-like geometry. Screenshots and documents yield tens of words;
+//! photos and landscapes yield nearly none.
+
+use crate::bitmap::Bitmap;
+
+/// Luminance below which a pixel counts as ink.
+const INK_THRESHOLD: f32 = 80.0;
+/// Local background must be at least this bright for a component to count
+/// as text (ink on dark photos is not text).
+const BG_THRESHOLD: f32 = 150.0;
+/// Word-geometry limits (canonical 64×64 canvas).
+const MAX_WORD_WIDTH: usize = 16;
+const MAX_WORD_HEIGHT: usize = 3;
+const MIN_WORD_WIDTH: usize = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    y: usize,
+    x0: usize,
+    x1: usize, // inclusive
+    component: usize,
+}
+
+/// Counts word-like components: connected dark runs on a light local
+/// background, between `MIN_WORD_WIDTH` and `MAX_WORD_WIDTH` wide and at
+/// most `MAX_WORD_HEIGHT` tall.
+pub fn ocr_word_count(bmp: &Bitmap) -> usize {
+    // 1. Extract horizontal ink runs per row.
+    let mut runs: Vec<Run> = Vec::new();
+    for y in 0..bmp.height() {
+        let mut x = 0;
+        while x < bmp.width() {
+            if bmp.luminance(x, y) < INK_THRESHOLD {
+                let x0 = x;
+                while x < bmp.width() && bmp.luminance(x, y) < INK_THRESHOLD {
+                    x += 1;
+                }
+                runs.push(Run {
+                    y,
+                    x0,
+                    x1: x - 1,
+                    component: usize::MAX,
+                });
+            } else {
+                x += 1;
+            }
+        }
+    }
+    if runs.is_empty() {
+        return 0;
+    }
+
+    // 2. Union-find over vertically adjacent, horizontally overlapping runs.
+    let mut parent: Vec<usize> = (0..runs.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut i = i;
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    // Runs are produced in row order; link each run to overlapping runs of
+    // the previous row with a sliding window.
+    let mut prev_row_start = 0;
+    let mut row_start = 0;
+    #[allow(clippy::needless_range_loop)] // i indexes both runs and a sliding window
+    for i in 0..runs.len() {
+        if i > 0 && runs[i].y != runs[i - 1].y {
+            prev_row_start = row_start;
+            row_start = i;
+        }
+        if runs[i].y == 0 {
+            continue;
+        }
+        for j in prev_row_start..row_start {
+            if runs[j].y + 1 != runs[i].y {
+                continue;
+            }
+            let overlap = runs[j].x0 <= runs[i].x1 && runs[i].x0 <= runs[j].x1;
+            if overlap {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    for (i, run) in runs.iter_mut().enumerate() {
+        run.component = find(&mut parent, i);
+    }
+
+    // 3. Aggregate component bounding boxes.
+    use std::collections::HashMap;
+    struct BBox {
+        x0: usize,
+        x1: usize,
+        y0: usize,
+        y1: usize,
+    }
+    let mut boxes: HashMap<usize, BBox> = HashMap::new();
+    for r in &runs {
+        let e = boxes.entry(r.component).or_insert(BBox {
+            x0: r.x0,
+            x1: r.x1,
+            y0: r.y,
+            y1: r.y,
+        });
+        e.x0 = e.x0.min(r.x0);
+        e.x1 = e.x1.max(r.x1);
+        e.y0 = e.y0.min(r.y);
+        e.y1 = e.y1.max(r.y);
+    }
+
+    // 4. Count word-shaped components with light surroundings.
+    boxes
+        .values()
+        .filter(|b| {
+            let w = b.x1 - b.x0 + 1;
+            let h = b.y1 - b.y0 + 1;
+            if !(MIN_WORD_WIDTH..=MAX_WORD_WIDTH).contains(&w) || h > MAX_WORD_HEIGHT {
+                return false;
+            }
+            // Local background: a margin ring around the box must be light.
+            let mx0 = b.x0.saturating_sub(2);
+            let my0 = b.y0.saturating_sub(2);
+            let ring = bmp.mean_luminance(mx0, my0, b.x1 + 3, b.y1 + 3);
+            ring > BG_THRESHOLD * 0.72 // box mean includes the ink itself
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ImageClass, ImageSpec, PaymentPlatform};
+
+    fn words_of(class: ImageClass, model: u32, variant: u64) -> usize {
+        let spec = if class.is_model() {
+            ImageSpec::model_photo(class, model, variant)
+        } else {
+            ImageSpec::of(class, variant)
+        };
+        ocr_word_count(&spec.render())
+    }
+
+    #[test]
+    fn documents_yield_many_words() {
+        for v in 0..10 {
+            let w = words_of(ImageClass::Document, 0, v);
+            assert!(w > 20, "document variant {v}: {w} words");
+        }
+    }
+
+    #[test]
+    fn payment_screenshots_exceed_algorithm1_thresholds() {
+        for v in 0..20 {
+            let w = words_of(
+                ImageClass::PaymentScreenshot(PaymentPlatform::PayPal),
+                0,
+                v,
+            );
+            assert!(w > 20, "payment variant {v}: {w} words");
+        }
+    }
+
+    #[test]
+    fn chat_screenshots_have_words() {
+        for v in 0..10 {
+            let w = words_of(ImageClass::ChatScreenshot, 0, v);
+            assert!(w > 10, "chat variant {v}: {w} words");
+        }
+    }
+
+    #[test]
+    fn model_photos_yield_few_words() {
+        for v in 0..10 {
+            for class in [
+                ImageClass::ModelDressed,
+                ImageClass::ModelNude,
+                ImageClass::ModelSexual,
+            ] {
+                let w = words_of(class, v as u32 + 1, v);
+                assert!(w <= 10, "{class:?} variant {v}: {w} words");
+            }
+        }
+    }
+
+    #[test]
+    fn landscapes_yield_almost_no_words() {
+        for v in 0..10 {
+            let w = words_of(ImageClass::Landscape, 0, v);
+            assert!(w <= 5, "landscape variant {v}: {w} words");
+        }
+    }
+
+    #[test]
+    fn blank_canvas_has_zero_words() {
+        use crate::bitmap::Bitmap;
+        assert_eq!(ocr_word_count(&Bitmap::canvas([255; 3])), 0);
+        assert_eq!(ocr_word_count(&Bitmap::canvas([0; 3])), 0); // dark, no bg
+    }
+
+    #[test]
+    fn single_word_is_counted_once() {
+        use crate::bitmap::Bitmap;
+        let mut b = Bitmap::canvas([255; 3]);
+        b.fill_rect(10, 10, 16, 12, [0; 3]);
+        assert_eq!(ocr_word_count(&b), 1);
+    }
+
+    #[test]
+    fn ink_on_dark_background_is_not_text() {
+        use crate::bitmap::Bitmap;
+        let mut b = Bitmap::canvas([60; 3]);
+        b.fill_rect(10, 10, 16, 12, [0; 3]);
+        assert_eq!(ocr_word_count(&b), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Image modifications applied by eWhoring actors.
+//!
+//! The paper documents that "actors purposely modify these images to bypass
+//! reverse image searches" (§4.5) — watermarks, shadowing, and mirroring
+//! (the latter "can be easily performed using automated tools, which are
+//! shared in underground forums"). Transforms are serialisable values so
+//! the world generator can record which modification a pack image carries
+//! and the reverse-search evaluation can measure which ones defeat hashing.
+
+use crate::bitmap::Bitmap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A single modification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transform {
+    /// No modification (the image is reposted as-is).
+    Identity,
+    /// Horizontal flip — defeats non-mirror-invariant hashing.
+    MirrorHorizontal,
+    /// Semi-transparent watermark strip (site tag or actor tag).
+    Watermark {
+        /// Position/appearance seed.
+        seed: u64,
+    },
+    /// Global brightness shift (positive or negative).
+    Brightness(i16),
+    /// Per-pixel noise, approximating recompression artefacts.
+    Noise {
+        /// Maximum per-channel perturbation.
+        amplitude: i16,
+        /// Noise stream seed.
+        seed: u64,
+    },
+    /// Crop a margin of `percent`% on every side, then scale back up.
+    CropMargin {
+        /// Margin percentage in `1..=20`.
+        percent: u8,
+    },
+    /// Black occlusion bar (face/eyes censoring, "shadowing parts").
+    OcclusionBar {
+        /// Position seed.
+        seed: u64,
+    },
+}
+
+impl Transform {
+    /// Applies the transform, producing a new bitmap of the same size.
+    pub fn apply(&self, bmp: &Bitmap) -> Bitmap {
+        match *self {
+            Transform::Identity => bmp.clone(),
+            Transform::MirrorHorizontal => mirror_h(bmp),
+            Transform::Watermark { seed } => watermark(bmp, seed),
+            Transform::Brightness(delta) => brightness(bmp, delta),
+            Transform::Noise { amplitude, seed } => noise(bmp, amplitude, seed),
+            Transform::CropMargin { percent } => crop_margin(bmp, percent),
+            Transform::OcclusionBar { seed } => occlusion(bmp, seed),
+        }
+    }
+
+    /// True for transforms that empirically defeat the robust hash
+    /// (used by the generator to plant "zero-match" pack images).
+    pub fn defeats_hash(&self) -> bool {
+        matches!(self, Transform::MirrorHorizontal)
+    }
+}
+
+fn mirror_h(bmp: &Bitmap) -> Bitmap {
+    let (w, h) = (bmp.width(), bmp.height());
+    let mut out = Bitmap::filled(w, h, [0; 3]);
+    for y in 0..h {
+        for x in 0..w {
+            out.set(w - 1 - x, y, bmp.get(x, y));
+        }
+    }
+    out
+}
+
+fn watermark(bmp: &Bitmap, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3A7E_12A2_4B5C_99D1);
+    let mut out = bmp.clone();
+    let y0 = rng.gen_range(0..bmp.height().saturating_sub(6));
+    let x0 = rng.gen_range(0..bmp.width() / 2);
+    let x1 = (x0 + bmp.width() / 3).min(bmp.width());
+    // 50% alpha white strip with a dark tag inside.
+    for y in y0..(y0 + 5).min(bmp.height()) {
+        for x in x0..x1 {
+            let [r, g, b] = out.get(x, y);
+            out.set(
+                x,
+                y,
+                [
+                    ((r as u16 + 255) / 2) as u8,
+                    ((g as u16 + 255) / 2) as u8,
+                    ((b as u16 + 255) / 2) as u8,
+                ],
+            );
+        }
+    }
+    out.fill_rect(x0 + 2, y0 + 2, x1.saturating_sub(2), y0 + 4, [40, 40, 40]);
+    out
+}
+
+fn brightness(bmp: &Bitmap, delta: i16) -> Bitmap {
+    let mut out = bmp.clone();
+    for y in 0..bmp.height() {
+        for x in 0..bmp.width() {
+            let [r, g, b] = bmp.get(x, y);
+            let adj = |c: u8| (c as i16 + delta).clamp(0, 255) as u8;
+            out.set(x, y, [adj(r), adj(g), adj(b)]);
+        }
+    }
+    out
+}
+
+fn noise(bmp: &Bitmap, amplitude: i16, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E01_5E00);
+    let mut out = bmp.clone();
+    let amp = amplitude.max(1);
+    for y in 0..bmp.height() {
+        for x in 0..bmp.width() {
+            let [r, g, b] = bmp.get(x, y);
+            let d = rng.gen_range(-amp..=amp);
+            let adj = |c: u8| (c as i16 + d).clamp(0, 255) as u8;
+            out.set(x, y, [adj(r), adj(g), adj(b)]);
+        }
+    }
+    out
+}
+
+fn crop_margin(bmp: &Bitmap, percent: u8) -> Bitmap {
+    let pct = percent.clamp(1, 20) as usize;
+    let mx = bmp.width() * pct / 100;
+    let my = bmp.height() * pct / 100;
+    let w = bmp.width() - 2 * mx;
+    let h = bmp.height() - 2 * my;
+    let mut cropped = Bitmap::filled(w.max(1), h.max(1), [0; 3]);
+    for y in 0..h {
+        for x in 0..w {
+            cropped.set(x, y, bmp.get(x + mx, y + my));
+        }
+    }
+    cropped.resize(bmp.width(), bmp.height())
+}
+
+fn occlusion(bmp: &Bitmap, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0CC1_0510);
+    let mut out = bmp.clone();
+    let y0 = rng.gen_range(4..bmp.height() / 2);
+    out.fill_rect(8, y0, bmp.width() - 8, y0 + 4, [5, 5, 5]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ImageClass, ImageSpec};
+
+    fn sample() -> Bitmap {
+        ImageSpec::model_photo(ImageClass::ModelNude, 11, 4).render()
+    }
+
+    #[test]
+    fn identity_is_exact() {
+        let b = sample();
+        assert_eq!(Transform::Identity.apply(&b), b);
+    }
+
+    #[test]
+    fn mirror_is_involutive() {
+        let b = sample();
+        let twice = Transform::MirrorHorizontal.apply(&Transform::MirrorHorizontal.apply(&b));
+        assert_eq!(twice, b);
+    }
+
+    #[test]
+    fn transforms_preserve_dimensions() {
+        let b = sample();
+        for t in [
+            Transform::MirrorHorizontal,
+            Transform::Watermark { seed: 3 },
+            Transform::Brightness(-30),
+            Transform::Noise { amplitude: 8, seed: 5 },
+            Transform::CropMargin { percent: 10 },
+            Transform::OcclusionBar { seed: 2 },
+        ] {
+            let out = t.apply(&b);
+            assert_eq!(out.width(), b.width(), "{t:?}");
+            assert_eq!(out.height(), b.height(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn transforms_are_deterministic() {
+        let b = sample();
+        let t = Transform::Noise { amplitude: 8, seed: 5 };
+        assert_eq!(t.apply(&b), t.apply(&b));
+    }
+
+    #[test]
+    fn brightness_clamps_at_bounds() {
+        let b = Bitmap::canvas([250; 3]);
+        let bright = Transform::Brightness(20).apply(&b);
+        assert_eq!(bright.get(0, 0), [255; 3]);
+        let dark = Transform::Brightness(-255).apply(&b);
+        assert_eq!(dark.get(0, 0), [0; 3]);
+    }
+
+    #[test]
+    fn watermark_changes_a_limited_region() {
+        let b = sample();
+        let marked = Transform::Watermark { seed: 1 }.apply(&b);
+        let changed = b
+            .pixels()
+            .iter()
+            .zip(marked.pixels())
+            .filter(|(a, m)| a != m)
+            .count();
+        let total = b.pixels().len();
+        assert!(changed > 0);
+        assert!(
+            (changed as f64) < total as f64 * 0.15,
+            "watermark touched {changed}/{total} pixels"
+        );
+    }
+
+    #[test]
+    fn only_mirror_reports_defeating_hash() {
+        assert!(Transform::MirrorHorizontal.defeats_hash());
+        assert!(!Transform::Watermark { seed: 0 }.defeats_hash());
+        assert!(!Transform::Identity.defeats_hash());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests over the image substrate: rendering, scoring, hashing
+//! and transforms interact consistently for every class and seed.
+
+use imagesim::validation::{build_validation_set, ValidationLabel};
+use imagesim::{
+    nsfw_score, ocr_word_count, ImageClass, ImageSpec, PaymentPlatform, RobustHash, Transform,
+};
+use proptest::prelude::*;
+
+fn any_class() -> impl Strategy<Value = ImageClass> {
+    prop_oneof![
+        Just(ImageClass::ModelDressed),
+        Just(ImageClass::ModelNude),
+        Just(ImageClass::ModelSexual),
+        Just(ImageClass::PaymentScreenshot(PaymentPlatform::PayPal)),
+        Just(ImageClass::PaymentScreenshot(PaymentPlatform::AmazonGiftCard)),
+        Just(ImageClass::PaymentScreenshot(PaymentPlatform::Bitcoin)),
+        Just(ImageClass::PaymentScreenshot(PaymentPlatform::Cash)),
+        Just(ImageClass::ChatScreenshot),
+        Just(ImageClass::DirectoryThumbnails),
+        Just(ImageClass::ErrorBanner),
+        Just(ImageClass::Landscape),
+        Just(ImageClass::Document),
+        Just(ImageClass::Meme),
+        Just(ImageClass::PortraitCasual),
+    ]
+}
+
+fn spec_of(class: ImageClass, model: u32, variant: u64) -> ImageSpec {
+    if class.is_model() {
+        ImageSpec::model_photo(class, model.max(1), variant)
+    } else {
+        ImageSpec::of(class, variant)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every class renders deterministically and scores stay in range.
+    #[test]
+    fn render_and_score_total(class in any_class(), model in 1u32..10_000, variant in 0u64..100_000) {
+        let spec = spec_of(class, model, variant);
+        let a = spec.render();
+        let b = spec.render();
+        prop_assert_eq!(&a, &b);
+        let score = nsfw_score(&a);
+        prop_assert!((0.0..=1.0).contains(&score));
+        let _words = ocr_word_count(&a); // must not panic
+    }
+
+    /// Transform chains keep dimensions and determinism.
+    #[test]
+    fn transform_chains_are_stable(
+        class in any_class(),
+        variant in 0u64..10_000,
+        order in prop::collection::vec(0usize..5, 0..4),
+    ) {
+        let spec = spec_of(class, 7, variant);
+        let transforms = [
+            Transform::MirrorHorizontal,
+            Transform::Brightness(15),
+            Transform::Noise { amplitude: 6, seed: 9 },
+            Transform::Watermark { seed: 2 },
+            Transform::CropMargin { percent: 8 },
+        ];
+        let mut a = spec.render();
+        let mut b = spec.render();
+        for &i in &order {
+            a = transforms[i].apply(&a);
+            b = transforms[i].apply(&b);
+        }
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.width(), 64);
+        prop_assert_eq!(a.height(), 64);
+    }
+
+    /// Hash distance is a metric-ish: symmetric, zero on self.
+    #[test]
+    fn hash_distance_symmetry(v1 in 0u64..5_000, v2 in 0u64..5_000) {
+        let a = RobustHash::of(&spec_of(ImageClass::ModelNude, 3, v1).render());
+        let b = RobustHash::of(&spec_of(ImageClass::ModelNude, 4, v2).render());
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        prop_assert_eq!(a.distance(&a), 0);
+        prop_assert!(a.distance(&b) <= 256);
+    }
+
+    /// Validation sets always have the Lopes-style composition, and nude
+    /// members always out-score the NSFV hard threshold.
+    #[test]
+    fn validation_set_composition(seed in 0u64..500) {
+        let set = build_validation_set(seed);
+        prop_assert_eq!(set.len(), 240);
+        let nude = set.iter().filter(|v| v.label == ValidationLabel::Nude).count();
+        prop_assert_eq!(nude, 90);
+        // Spot-check a handful of nude members per case (full render of
+        // 240 images per case would be slow).
+        for v in set.iter().filter(|v| v.label == ValidationLabel::Nude).take(3) {
+            prop_assert!(nsfw_score(&v.spec.render()) > 0.3);
+        }
+    }
+}

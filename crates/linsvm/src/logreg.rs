@@ -1,0 +1,164 @@
+//! Logistic-regression baseline.
+//!
+//! The paper selected Linear-SVM over alternatives evaluated in prior work
+//! (Caines et al. \[8\]). This baseline exists so the model-choice ablation in
+//! `bench/ablations` can reproduce that comparison: same sparse features,
+//! same API, log-loss instead of hinge.
+
+use crate::metrics::BinaryMetrics;
+use crate::sparse::SparseVec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogRegConfig {
+    /// L2 regularisation strength.
+    pub lambda: f64,
+    /// Initial learning rate (decays as `eta0 / (1 + t·lambda)`).
+    pub eta0: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            lambda: 1e-4,
+            eta0: 0.5,
+            epochs: 30,
+            seed: 0x10_6E6,
+        }
+    }
+}
+
+/// A trained logistic-regression model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Trains with SGD on log-loss. Panics on empty or mismatched input.
+    pub fn train(rows: &[SparseVec], labels: &[bool], config: LogRegConfig) -> LogisticRegression {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(!rows.is_empty(), "cannot train on an empty set");
+
+        let dim = rows.iter().map(SparseVec::dim_hint).max().unwrap_or(0);
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut t: u64 = 0;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let eta = config.eta0 / (1.0 + t as f64 * config.lambda);
+                let y = if labels[i] { 1.0 } else { 0.0 };
+                let p = sigmoid(rows[i].dot(&weights) + bias);
+                let err = y - p;
+                let shrink = 1.0 - eta * config.lambda;
+                for w in &mut weights {
+                    *w *= shrink;
+                }
+                rows[i].add_scaled_into(&mut weights, eta * err);
+                bias += eta * err;
+                t += 1;
+            }
+        }
+        LogisticRegression { weights, bias }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn probability(&self, x: &SparseVec) -> f64 {
+        sigmoid(x.dot(&self.weights) + self.bias)
+    }
+
+    /// Predicted label at the 0.5 threshold.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.probability(x) > 0.5
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, rows: &[SparseVec]) -> Vec<bool> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Evaluates against true labels.
+    pub fn evaluate(&self, rows: &[SparseVec], labels: &[bool]) -> BinaryMetrics {
+        crate::metrics::confusion(&self.predict_all(rows), labels).metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn toy_set(n: usize, seed: u64) -> (Vec<SparseVec>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            rows.push(SparseVec::from_pairs(vec![(0, a), (1, b)]));
+            labels.push(a + 0.1 > b);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0 && sigmoid(1000.0) > 0.999);
+        assert!(sigmoid(-1000.0) >= 0.0 && sigmoid(-1000.0) < 1e-3);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (rows, labels) = toy_set(400, 7);
+        let lr = LogisticRegression::train(&rows, &labels, LogRegConfig::default());
+        let m = lr.evaluate(&rows, &labels);
+        assert!(m.accuracy > 0.9, "accuracy {}", m.accuracy);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_directionally() {
+        let (rows, labels) = toy_set(400, 8);
+        let lr = LogisticRegression::train(&rows, &labels, LogRegConfig::default());
+        let clearly_pos = SparseVec::from_pairs(vec![(0, 1.0), (1, 0.0)]);
+        let clearly_neg = SparseVec::from_pairs(vec![(0, 0.0), (1, 1.0)]);
+        assert!(lr.probability(&clearly_pos) > 0.8);
+        assert!(lr.probability(&clearly_neg) < 0.2);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (rows, labels) = toy_set(100, 9);
+        let a = LogisticRegression::train(&rows, &labels, LogRegConfig::default());
+        let b = LogisticRegression::train(&rows, &labels, LogRegConfig::default());
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_input() {
+        let _ = LogisticRegression::train(&[], &[], LogRegConfig::default());
+    }
+}

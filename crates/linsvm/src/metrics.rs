@@ -1,0 +1,151 @@
+//! Binary classification metrics — "standard metrics for information
+//! retrieval, i.e., precision, recall, and F1 score" (paper §4.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for a binary task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Derives precision/recall/F1/accuracy. Empty denominators yield 0.0
+    /// (conventional for degenerate splits).
+    pub fn metrics(&self) -> BinaryMetrics {
+        let p_den = (self.tp + self.fp) as f64;
+        let r_den = (self.tp + self.fn_) as f64;
+        let precision = if p_den > 0.0 {
+            self.tp as f64 / p_den
+        } else {
+            0.0
+        };
+        let recall = if r_den > 0.0 {
+            self.tp as f64 / r_den
+        } else {
+            0.0
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        let total = (self.tp + self.fp + self.fn_ + self.tn) as f64;
+        let accuracy = if total > 0.0 {
+            (self.tp + self.tn) as f64 / total
+        } else {
+            0.0
+        };
+        BinaryMetrics {
+            precision,
+            recall,
+            f1,
+            accuracy,
+        }
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// Precision / recall / F1 / accuracy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// (TP + TN) / total.
+    pub accuracy: f64,
+}
+
+/// Builds a confusion matrix from parallel prediction/label slices.
+///
+/// Panics on length mismatch.
+pub fn confusion(predicted: &[bool], actual: &[bool]) -> Confusion {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let mut c = Confusion::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        match (p, a) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = confusion(&[true, false, true], &[true, false, true]);
+        let m = c.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // 8 TP, 2 FP, 1 FN, 9 TN.
+        let pred: Vec<bool> = [vec![true; 10], vec![false; 10]].concat();
+        let actual: Vec<bool> =
+            [vec![true; 8], vec![false; 2], vec![true; 1], vec![false; 9]].concat();
+        let c = confusion(&pred, &actual);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (8, 2, 1, 9));
+        let m = c.metrics();
+        assert!((m.precision - 0.8).abs() < 1e-12);
+        assert!((m.recall - 8.0 / 9.0).abs() < 1e-12);
+        assert!((m.accuracy - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_all_negative_predictions() {
+        let c = confusion(&[false, false], &[true, false]);
+        let m = c.metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = confusion(&[], &[]);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.metrics().accuracy, 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        // precision 1.0, recall 0.5 -> F1 = 2/3.
+        let c = Confusion {
+            tp: 1,
+            fp: 0,
+            fn_: 1,
+            tn: 0,
+        };
+        assert!((c.metrics().f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_slices() {
+        let _ = confusion(&[true], &[]);
+    }
+}

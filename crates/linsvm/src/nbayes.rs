@@ -1,0 +1,202 @@
+//! Multinomial Naive Bayes baseline.
+//!
+//! The classic bag-of-words text classifier, included alongside the SVM
+//! and logistic regression so the model-choice ablation covers the three
+//! families prior work on underground-forum text (Caines et al.)
+//! evaluated. Operates on the same sparse count/TF-IDF rows; negative
+//! feature values (impossible for raw counts, possible after feature
+//! scaling) are clamped at zero.
+
+use crate::metrics::BinaryMetrics;
+use crate::sparse::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// Smoothing and dimensioning parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NaiveBayesConfig {
+    /// Laplace/Lidstone smoothing constant α.
+    pub alpha: f64,
+}
+
+impl Default for NaiveBayesConfig {
+    fn default() -> Self {
+        NaiveBayesConfig { alpha: 1.0 }
+    }
+}
+
+/// A trained multinomial Naive Bayes model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NaiveBayes {
+    /// log P(class = positive).
+    log_prior_pos: f64,
+    /// log P(class = negative).
+    log_prior_neg: f64,
+    /// Per-feature log likelihood for the positive class.
+    log_like_pos: Vec<f64>,
+    /// Per-feature log likelihood for the negative class.
+    log_like_neg: Vec<f64>,
+}
+
+impl NaiveBayes {
+    /// Trains on sparse rows and boolean labels.
+    ///
+    /// Panics on empty or mismatched input, or when one class is absent —
+    /// a prior of zero makes every prediction degenerate.
+    pub fn train(rows: &[SparseVec], labels: &[bool], config: NaiveBayesConfig) -> NaiveBayes {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(!rows.is_empty(), "cannot train on an empty set");
+        assert!(config.alpha > 0.0, "alpha must be positive");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "both classes must be present");
+
+        let dim = rows.iter().map(SparseVec::dim_hint).max().unwrap_or(0);
+        let mut count_pos = vec![0.0f64; dim];
+        let mut count_neg = vec![0.0f64; dim];
+        for (row, &label) in rows.iter().zip(labels) {
+            let target = if label { &mut count_pos } else { &mut count_neg };
+            for &(i, v) in row.entries() {
+                target[i] += v.max(0.0);
+            }
+        }
+        let total_pos: f64 = count_pos.iter().sum::<f64>() + config.alpha * dim as f64;
+        let total_neg: f64 = count_neg.iter().sum::<f64>() + config.alpha * dim as f64;
+        let log_like_pos = count_pos
+            .iter()
+            .map(|&c| ((c + config.alpha) / total_pos).ln())
+            .collect();
+        let log_like_neg = count_neg
+            .iter()
+            .map(|&c| ((c + config.alpha) / total_neg).ln())
+            .collect();
+
+        NaiveBayes {
+            log_prior_pos: (n_pos as f64 / labels.len() as f64).ln(),
+            log_prior_neg: (n_neg as f64 / labels.len() as f64).ln(),
+            log_like_pos,
+            log_like_neg,
+        }
+    }
+
+    /// Log-odds of the positive class.
+    pub fn log_odds(&self, x: &SparseVec) -> f64 {
+        let mut pos = self.log_prior_pos;
+        let mut neg = self.log_prior_neg;
+        for &(i, v) in x.entries() {
+            let v = v.max(0.0);
+            if i < self.log_like_pos.len() {
+                pos += v * self.log_like_pos[i];
+                neg += v * self.log_like_neg[i];
+            }
+        }
+        pos - neg
+    }
+
+    /// Predicted label.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.log_odds(x) > 0.0
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, rows: &[SparseVec]) -> Vec<bool> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Evaluates against true labels.
+    pub fn evaluate(&self, rows: &[SparseVec], labels: &[bool]) -> BinaryMetrics {
+        crate::metrics::confusion(&self.predict_all(rows), labels).metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two "topics": positive documents draw words from 0..10, negative
+    /// from 10..20, with overlap noise.
+    fn topic_set(n: usize, seed: u64) -> (Vec<SparseVec>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let pos = rng.gen_bool(0.4);
+            let base = if pos { 0 } else { 10 };
+            let mut pairs = Vec::new();
+            for _ in 0..rng.gen_range(3..10) {
+                let word = if rng.gen_bool(0.85) {
+                    base + rng.gen_range(0..10)
+                } else {
+                    rng.gen_range(0..20)
+                };
+                pairs.push((word, 1.0));
+            }
+            rows.push(SparseVec::from_pairs(pairs));
+            labels.push(pos);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_topic_separation() {
+        let (rows, labels) = topic_set(600, 1);
+        let nb = NaiveBayes::train(&rows, &labels, NaiveBayesConfig::default());
+        let m = nb.evaluate(&rows, &labels);
+        assert!(m.f1 > 0.9, "train F1 {}", m.f1);
+        let (test_x, test_y) = topic_set(300, 2);
+        let mt = nb.evaluate(&test_x, &test_y);
+        assert!(mt.f1 > 0.85, "test F1 {}", mt.f1);
+    }
+
+    #[test]
+    fn respects_class_prior_on_empty_documents() {
+        let (rows, labels) = topic_set(400, 3);
+        let nb = NaiveBayes::train(&rows, &labels, NaiveBayesConfig::default());
+        // Positives are the 40% minority; an empty document must follow
+        // the prior and be classified negative.
+        assert!(!nb.predict(&SparseVec::empty()));
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_features() {
+        let (rows, labels) = topic_set(200, 4);
+        let nb = NaiveBayes::train(&rows, &labels, NaiveBayesConfig::default());
+        let unseen = SparseVec::from_pairs(vec![(5_000, 3.0)]);
+        // Out-of-range features are ignored rather than panicking.
+        let _ = nb.predict(&unseen);
+    }
+
+    #[test]
+    fn negative_values_are_clamped() {
+        let rows = vec![
+            SparseVec::from_pairs(vec![(0, 5.0)]),
+            SparseVec::from_pairs(vec![(1, -5.0), (0, 1.0)]),
+        ];
+        let labels = vec![true, false];
+        let nb = NaiveBayes::train(&rows, &labels, NaiveBayesConfig::default());
+        let _ = nb.log_odds(&SparseVec::from_pairs(vec![(1, -2.0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class() {
+        let rows = vec![SparseVec::from_pairs(vec![(0, 1.0)])];
+        let _ = NaiveBayes::train(&rows, &[true], NaiveBayesConfig::default());
+    }
+
+    #[test]
+    fn deterministic_and_comparable_with_svm() {
+        let (rows, labels) = topic_set(500, 5);
+        let a = NaiveBayes::train(&rows, &labels, NaiveBayesConfig::default());
+        let b = NaiveBayes::train(&rows, &labels, NaiveBayesConfig::default());
+        assert_eq!(a.log_like_pos, b.log_like_pos);
+        // Sanity: NB and SVM broadly agree on this easy problem.
+        let svm = crate::LinearSvm::train(&rows, &labels, crate::SvmConfig::default());
+        let agree = rows
+            .iter()
+            .filter(|r| a.predict(r) == svm.predict(r))
+            .count();
+        assert!(agree as f64 / rows.len() as f64 > 0.85);
+    }
+}

@@ -1,0 +1,150 @@
+//! Sorted sparse feature vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector of `(index, value)` pairs, sorted by index with no
+/// duplicates. The invariant is enforced at construction.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseVec {
+    /// Builds from possibly-unsorted pairs; duplicate indices are summed and
+    /// exact zeros dropped.
+    pub fn from_pairs(mut pairs: Vec<(usize, f64)>) -> SparseVec {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match entries.last_mut() {
+                Some(last) if last.0 == i => last.1 += v,
+                _ => entries.push((i, v)),
+            }
+        }
+        entries.retain(|&(_, v)| v != 0.0);
+        SparseVec { entries }
+    }
+
+    /// Builds from pairs already sorted by strictly increasing index.
+    ///
+    /// Panics in debug builds if the precondition is violated.
+    pub fn from_sorted(entries: Vec<(usize, f64)>) -> SparseVec {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        SparseVec { entries }
+    }
+
+    /// The empty vector.
+    pub fn empty() -> SparseVec {
+        SparseVec::default()
+    }
+
+    /// Entries as a sorted slice.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Largest index plus one, or 0 if empty.
+    pub fn dim_hint(&self) -> usize {
+        self.entries.last().map_or(0, |&(i, _)| i + 1)
+    }
+
+    /// Dot product with a dense weight slice. Indices beyond the slice
+    /// contribute zero (lets callers grow feature spaces safely).
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        self.entries
+            .iter()
+            .filter(|&&(i, _)| i < dense.len())
+            .map(|&(i, v)| v * dense[i])
+            .sum()
+    }
+
+    /// `dense[i] += scale * self[i]` for every entry (in-bounds only).
+    pub fn add_scaled_into(&self, dense: &mut [f64], scale: f64) {
+        for &(i, v) in &self.entries {
+            if i < dense.len() {
+                dense[i] += scale * v;
+            }
+        }
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v * v).sum()
+    }
+
+    /// Value at `index` (zero when absent).
+    pub fn get(&self, index: usize) -> f64 {
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Concatenates two sparse blocks: `self` stays at its indices, `other`
+    /// is shifted by `offset`. Used to join statistical features with the
+    /// TF-IDF block (paper §4.1 combines both).
+    pub fn concat(&self, other: &SparseVec, offset: usize) -> SparseVec {
+        let mut entries = self.entries.clone();
+        debug_assert!(self.dim_hint() <= offset, "blocks must not overlap");
+        entries.extend(other.entries.iter().map(|&(i, v)| (i + offset, v)));
+        SparseVec { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_merges_and_drops_zeros() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 2.0), (5, 0.0)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn dot_ignores_out_of_range() {
+        let v = SparseVec::from_pairs(vec![(0, 2.0), (10, 5.0)]);
+        let w = [3.0, 1.0];
+        assert_eq!(v.dot(&w), 6.0);
+    }
+
+    #[test]
+    fn add_scaled_into_accumulates() {
+        let v = SparseVec::from_pairs(vec![(0, 1.0), (2, 2.0)]);
+        let mut w = [0.0; 3];
+        v.add_scaled_into(&mut w, 2.0);
+        v.add_scaled_into(&mut w, -1.0);
+        assert_eq!(w, [1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn get_and_norms() {
+        let v = SparseVec::from_pairs(vec![(1, 3.0), (4, 4.0)]);
+        assert_eq!(v.get(1), 3.0);
+        assert_eq!(v.get(2), 0.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.dim_hint(), 5);
+    }
+
+    #[test]
+    fn concat_shifts_second_block() {
+        let a = SparseVec::from_pairs(vec![(0, 1.0), (2, 1.0)]);
+        let b = SparseVec::from_pairs(vec![(0, 5.0)]);
+        let c = a.concat(&b, 10);
+        assert_eq!(c.entries(), &[(0, 1.0), (2, 1.0), (10, 5.0)]);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let v = SparseVec::empty();
+        assert_eq!(v.dot(&[1.0, 2.0]), 0.0);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.dim_hint(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Seeded dataset splitting.
+//!
+//! The paper uses an 800/200 train/test split of 1 000 annotated threads
+//! (§4.1). [`train_test_split`] reproduces that; [`kfold`] supports the
+//! cross-validated threshold sweeps in the ablation benches.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns `(train_indices, test_indices)` with `n_train` examples in the
+/// training fold, shuffled by `seed`.
+///
+/// Panics if `n_train > n`.
+pub fn train_test_split(n: usize, n_train: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n_train <= n, "n_train {n_train} exceeds n {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let test = idx.split_off(n_train);
+    (idx, test)
+}
+
+/// Returns `k` folds of indices for cross-validation; fold sizes differ by
+/// at most one. Panics if `k == 0` or `k > n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "k {k} exceeds n {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        folds.push(idx[start..start + size].to_vec());
+        start += size;
+    }
+    folds
+}
+
+/// Gathers rows/labels by index (convenience for building folds).
+pub fn gather<T: Clone>(items: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| items[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_exactly() {
+        let (train, test) = train_test_split(1000, 800, 42);
+        assert_eq!(train.len(), 800);
+        assert_eq!(test.len(), 200);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn split_is_seeded() {
+        assert_eq!(train_test_split(100, 80, 1), train_test_split(100, 80, 1));
+        assert_ne!(
+            train_test_split(100, 80, 1).0,
+            train_test_split(100, 80, 2).0
+        );
+    }
+
+    #[test]
+    fn kfold_covers_all_indices_once() {
+        let folds = kfold(103, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 20 || s == 21));
+        let all: HashSet<usize> = folds.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 103);
+    }
+
+    #[test]
+    fn gather_selects_in_order() {
+        let items = vec!["a", "b", "c", "d"];
+        assert_eq!(gather(&items, &[3, 0]), vec!["d", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn split_rejects_oversized_train() {
+        let _ = train_test_split(10, 11, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn kfold_rejects_k_larger_than_n() {
+        let _ = kfold(3, 4, 0);
+    }
+}

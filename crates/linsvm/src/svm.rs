@@ -1,0 +1,223 @@
+//! Primal linear SVM trained with Pegasos (stochastic sub-gradient).
+//!
+//! Minimises `λ/2 ‖w‖² + (1/n) Σ max(0, 1 − y (w·x + b))` with the Pegasos
+//! learning-rate schedule `η_t = 1/(λ t)`. The bias `b` is updated with the
+//! hinge sub-gradient but not regularised (standard practice). Labels are
+//! `bool` at the API surface and ±1 internally.
+
+use crate::metrics::BinaryMetrics;
+use crate::sparse::SparseVec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters for [`LinearSvm`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// L2 regularisation strength λ.
+    pub lambda: f64,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Shuffle seed (training visits examples in a seeded random order).
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 1e-4,
+            epochs: 30,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A trained linear SVM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+    config: SvmConfig,
+}
+
+impl LinearSvm {
+    /// Trains on sparse rows and boolean labels.
+    ///
+    /// Panics if `rows` and `labels` differ in length, or if `rows` is
+    /// empty — silently returning a degenerate model would corrupt every
+    /// downstream measurement.
+    pub fn train(rows: &[SparseVec], labels: &[bool], config: SvmConfig) -> LinearSvm {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(!rows.is_empty(), "cannot train on an empty set");
+        assert!(config.lambda > 0.0, "lambda must be positive");
+
+        let dim = rows.iter().map(SparseVec::dim_hint).max().unwrap_or(0);
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut t: u64 = 1;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let eta = 1.0 / (config.lambda * t as f64);
+                let y = if labels[i] { 1.0 } else { -1.0 };
+                let margin = y * (rows[i].dot(&weights) + bias);
+                // Regularisation shrink applied every step.
+                let shrink = 1.0 - eta * config.lambda;
+                for w in &mut weights {
+                    *w *= shrink;
+                }
+                if margin < 1.0 {
+                    rows[i].add_scaled_into(&mut weights, eta * y);
+                    bias += eta * y * 0.1; // damped bias update for stability
+                }
+                t += 1;
+            }
+        }
+        LinearSvm {
+            weights,
+            bias,
+            config,
+        }
+    }
+
+    /// The raw decision value `w·x + b`.
+    pub fn decision(&self, x: &SparseVec) -> f64 {
+        x.dot(&self.weights) + self.bias
+    }
+
+    /// Predicted label (`decision > 0`).
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, rows: &[SparseVec]) -> Vec<bool> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Evaluates precision/recall/F1/accuracy against true labels.
+    pub fn evaluate(&self, rows: &[SparseVec], labels: &[bool]) -> BinaryMetrics {
+        crate::metrics::confusion(&self.predict_all(rows), labels).metrics()
+    }
+
+    /// Learned weight for feature `i` (0 beyond the trained dimension).
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Trained feature-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The configuration used for training.
+    pub fn config(&self) -> SvmConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Linearly separable toy set: positive iff feature 0 > feature 1.
+    fn toy_set(n: usize, seed: u64) -> (Vec<SparseVec>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            rows.push(SparseVec::from_pairs(vec![(0, a), (1, b)]));
+            labels.push(a > b);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (rows, labels) = toy_set(400, 1);
+        let svm = LinearSvm::train(&rows, &labels, SvmConfig::default());
+        let m = svm.evaluate(&rows, &labels);
+        assert!(m.accuracy > 0.95, "train accuracy {}", m.accuracy);
+        // The separating direction must weight feature 0 positive, 1 negative.
+        assert!(svm.weight(0) > 0.0 && svm.weight(1) < 0.0);
+    }
+
+    #[test]
+    fn generalises_to_held_out() {
+        let (train_x, train_y) = toy_set(500, 2);
+        let (test_x, test_y) = toy_set(200, 3);
+        let svm = LinearSvm::train(&train_x, &train_y, SvmConfig::default());
+        let m = svm.evaluate(&test_x, &test_y);
+        assert!(m.f1 > 0.9, "test F1 {}", m.f1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (rows, labels) = toy_set(100, 4);
+        let a = LinearSvm::train(&rows, &labels, SvmConfig::default());
+        let b = LinearSvm::train(&rows, &labels, SvmConfig::default());
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    fn different_seed_changes_model_but_not_quality() {
+        let (rows, labels) = toy_set(400, 5);
+        let c1 = SvmConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        let c2 = SvmConfig {
+            seed: 2,
+            ..Default::default()
+        };
+        let a = LinearSvm::train(&rows, &labels, c1);
+        let b = LinearSvm::train(&rows, &labels, c2);
+        assert_ne!(a.weights, b.weights);
+        assert!(a.evaluate(&rows, &labels).accuracy > 0.9);
+        assert!(b.evaluate(&rows, &labels).accuracy > 0.9);
+    }
+
+    #[test]
+    fn handles_unseen_feature_indices_at_predict_time() {
+        let (rows, labels) = toy_set(100, 6);
+        let svm = LinearSvm::train(&rows, &labels, SvmConfig::default());
+        let wide = SparseVec::from_pairs(vec![(0, 0.9), (1, 0.1), (999, 5.0)]);
+        assert!(svm.predict(&wide)); // extra index ignored, not a panic
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_training_set() {
+        let _ = LinearSvm::train(&[], &[], SvmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_mismatched_lengths() {
+        let rows = vec![SparseVec::empty()];
+        let _ = LinearSvm::train(&rows, &[true, false], SvmConfig::default());
+    }
+
+    #[test]
+    fn all_one_class_predicts_that_class() {
+        let rows: Vec<SparseVec> = (0..20)
+            .map(|i| SparseVec::from_pairs(vec![(0, 1.0 + i as f64 * 0.01)]))
+            .collect();
+        let labels = vec![true; 20];
+        let svm = LinearSvm::train(&rows, &labels, SvmConfig::default());
+        assert!(svm.predict(&rows[0]));
+    }
+}

@@ -1,0 +1,24 @@
+//! Reverse image search, web-archive lookups, and domain classification.
+//!
+//! Paper §4.5 combines three third-party services:
+//!
+//! * **TinEye** — reverse image search over 29 billion crawled images,
+//!   reporting for each match "the domain and URL where the image is (or
+//!   was) hosted, the backlink from where it was crawled and the crawling
+//!   date". [`ReverseIndex`] is the analogue: an index of robust hashes of
+//!   every image on the synthetic web, with Hamming-threshold matching.
+//! * **The Wayback Machine** — used "to explore the Internet Archive for
+//!   each of the matching URLs" to establish whether an image was online
+//!   before it was posted to the forum. [`Wayback`] stores snapshot dates.
+//! * **OpenDNS / McAfee / VirusTotal domain classifiers** — used to tag the
+//!   5 917 provenance domains. [`domaincls`] implements three classifiers
+//!   with distinct vocabularies, multi-tagging, disagreement, and
+//!   `no_result` rates calibrated to Table 6.
+
+pub mod domaincls;
+pub mod index;
+pub mod wayback;
+
+pub use domaincls::{ClassifierKind, DomainClassifier};
+pub use index::{IndexedImage, Match, ReverseIndex};
+pub use wayback::Wayback;

@@ -1,0 +1,104 @@
+//! Internet Archive snapshot store (Wayback Machine analogue).
+//!
+//! Paper §4.5: "to analyse whether the images were online before they were
+//! posted in the forums, we have used the Wayback Machine to explore the
+//! Internet Archive for each of the matching URLs." A URL maps to the dates
+//! it was snapshotted; the pipeline asks for the earliest snapshot and
+//! compares it with the forum post date. As in reality, coverage is
+//! partial: a missing snapshot does not prove the page was offline.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use synthrand::Day;
+
+/// Snapshot archive: URL → sorted snapshot dates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Wayback {
+    snapshots: HashMap<String, Vec<Day>>,
+}
+
+impl Wayback {
+    /// An empty archive.
+    pub fn new() -> Wayback {
+        Wayback::default()
+    }
+
+    /// Records a snapshot of `url` on `date`.
+    pub fn record(&mut self, url: &str, date: Day) {
+        let v = self.snapshots.entry(url.to_string()).or_default();
+        match v.binary_search(&date) {
+            Ok(_) => {}
+            Err(pos) => v.insert(pos, date),
+        }
+    }
+
+    /// Earliest snapshot of `url`, if archived at all.
+    pub fn first_snapshot(&self, url: &str) -> Option<Day> {
+        self.snapshots.get(url).and_then(|v| v.first().copied())
+    }
+
+    /// True when `url` has a snapshot strictly before `date`.
+    pub fn seen_before(&self, url: &str, date: Day) -> bool {
+        self.first_snapshot(url).is_some_and(|d| d < date)
+    }
+
+    /// All snapshots of `url` (sorted), empty if unarchived.
+    pub fn snapshots(&self, url: &str) -> &[Day] {
+        self.snapshots.get(url).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of archived URLs.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when nothing is archived.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32) -> Day {
+        Day::from_ymd(y, m, 15)
+    }
+
+    #[test]
+    fn first_snapshot_is_earliest() {
+        let mut wb = Wayback::new();
+        wb.record("https://tube1.example/x", d(2015, 6));
+        wb.record("https://tube1.example/x", d(2012, 2));
+        wb.record("https://tube1.example/x", d(2013, 9));
+        assert_eq!(wb.first_snapshot("https://tube1.example/x"), Some(d(2012, 2)));
+        assert_eq!(wb.snapshots("https://tube1.example/x").len(), 3);
+    }
+
+    #[test]
+    fn seen_before_is_strict() {
+        let mut wb = Wayback::new();
+        wb.record("u", d(2014, 1));
+        assert!(wb.seen_before("u", d(2015, 1)));
+        assert!(!wb.seen_before("u", d(2014, 1)));
+        assert!(!wb.seen_before("u", d(2013, 1)));
+    }
+
+    #[test]
+    fn unarchived_urls_are_unknown() {
+        let wb = Wayback::new();
+        assert_eq!(wb.first_snapshot("nope"), None);
+        assert!(!wb.seen_before("nope", d(2020, 1)));
+        assert!(wb.snapshots("nope").is_empty());
+    }
+
+    #[test]
+    fn duplicate_snapshots_dedupe() {
+        let mut wb = Wayback::new();
+        wb.record("u", d(2014, 1));
+        wb.record("u", d(2014, 1));
+        assert_eq!(wb.snapshots("u").len(), 1);
+        assert_eq!(wb.len(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests over the reverse-search substrate.
+
+use imagesim::{ImageClass, ImageSpec, RobustHash};
+use proptest::prelude::*;
+use revsearch::{ClassifierKind, DomainClassifier, IndexedImage, ReverseIndex, Wayback};
+use synthrand::Day;
+use websim::{DomainCategory, OriginDomain};
+
+fn hash_of(model: u32, variant: u64) -> RobustHash {
+    RobustHash::of(&ImageSpec::model_photo(ImageClass::ModelNude, model.max(1), variant).render())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Query results are sorted by ascending distance and respect the
+    /// threshold, for arbitrary index contents.
+    #[test]
+    fn query_results_sorted_and_thresholded(
+        entries in prop::collection::vec((1u32..60, 0u64..60), 1..24),
+        probe_model in 1u32..60,
+        probe_variant in 0u64..60,
+        threshold in 0u32..64,
+    ) {
+        let mut index = ReverseIndex::new();
+        for (i, &(m, v)) in entries.iter().enumerate() {
+            index.add(IndexedImage {
+                hash: hash_of(m, v),
+                domain: i as u32,
+                url: format!("https://d{i}.example/x"),
+                crawled: Day::from_ymd(2012, 1, 1),
+            });
+        }
+        let probe = hash_of(probe_model, probe_variant);
+        let hits = index.query_with_threshold(&probe, threshold);
+        let mut last = f64::INFINITY;
+        for h in &hits {
+            prop_assert!(h.similarity <= last);
+            last = h.similarity;
+            let d = (1.0 - h.similarity) * 256.0;
+            prop_assert!(d.round() as u32 <= threshold);
+        }
+        // An exact copy in the index is always found, whatever else is.
+        if entries.contains(&(probe_model, probe_variant)) {
+            prop_assert!(!hits.is_empty());
+            prop_assert!((hits[0].similarity - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Wayback's earliest snapshot is the minimum of everything recorded.
+    #[test]
+    fn wayback_first_is_minimum(days in prop::collection::vec(0u32..8000, 1..20)) {
+        let mut wb = Wayback::new();
+        for &d in &days {
+            wb.record("u", Day(d));
+        }
+        let min = Day(*days.iter().min().unwrap());
+        prop_assert_eq!(wb.first_snapshot("u"), Some(min));
+        prop_assert!(wb.seen_before("u", Day(min.0 + 1)));
+        prop_assert!(!wb.seen_before("u", min));
+    }
+
+    /// Domain classification is deterministic and always returns at least
+    /// one tag, for every category and classifier.
+    #[test]
+    fn classification_total_and_stable(
+        cat_idx in 0usize..13,
+        name_seed in 0u64..10_000,
+    ) {
+        let (category, _) = DomainCategory::WEIGHTED[cat_idx % DomainCategory::WEIGHTED.len()];
+        let domain = OriginDomain {
+            name: format!("{}{name_seed}.example", category.slug()),
+            category,
+            first_crawled: Day::from_ymd(2010, 1, 1),
+        };
+        for kind in ClassifierKind::ALL {
+            let c = DomainClassifier::new(kind);
+            let a = c.classify(&domain);
+            let b = c.classify(&domain);
+            prop_assert_eq!(&a, &b);
+            prop_assert!(!a.is_empty());
+        }
+    }
+}

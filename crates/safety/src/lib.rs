@@ -1,0 +1,37 @@
+//! Child-abuse-material screening workflow (PhotoDNA / IWF analogue).
+//!
+//! Paper §4.3: every downloaded image is hashed and matched "against a
+//! database of known child abuse material" (PhotoDNA); matches are
+//! "immediately reported to the IWF and deleted from our servers", and the
+//! IWF then *actions* URLs it can verify, grading severity (A/B/C) and
+//! recording hosting location and site type. The study found 36 matching
+//! images and 61 actioned URLs.
+//!
+//! This crate reproduces the *workflow logic* over synthetic data:
+//!
+//! * [`HashList`] — robust-hash entries with verifiability metadata;
+//! * [`SafetyGate`] — the screen-report-delete gate: a flagged image is
+//!   recorded in the [`ReportLog`] and never returned to the caller, so
+//!   downstream pipeline stages structurally cannot analyse it (the same
+//!   property the paper's design enforces for researchers);
+//! * [`IwfSummary`] — the §4.3 aggregate: actioned URLs by severity,
+//!   hosting region, and site type.
+//!
+//! Matching uses a tighter Hamming threshold than reverse search: a false
+//! positive here has real-world consequences, so the gate trades recall on
+//! heavily edited copies (mirrors evade, as they do PhotoDNA in practice)
+//! for near-zero false-positive probability.
+
+pub mod gate;
+pub mod hashlist;
+pub mod report;
+
+pub use gate::{ReportLog, ReportedItem, SafetyGate, ScreenOutcome};
+pub use hashlist::{HashList, HashListEntry, Severity};
+pub use report::{HostingRegion, IwfSummary, SiteType};
+
+/// Hamming threshold for hashlist matching — far tighter than reverse
+/// search's 18 (see crate docs): a light recompression still matches, but
+/// the false-positive ball is kept small because a match has real-world
+/// consequences.
+pub const SAFETY_MATCH_THRESHOLD: u32 = 8;

@@ -1,0 +1,169 @@
+//! IWF-style aggregation of the report log (paper §4.3 results).
+
+use crate::gate::ReportLog;
+use crate::hashlist::Severity;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Hosting location buckets used in the paper's §4.3 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HostingRegion {
+    /// United Kingdom (the IWF takes these down directly).
+    Uk,
+    /// USA and Canada.
+    NorthAmerica,
+    /// European countries other than the UK.
+    OtherEurope,
+    /// Everywhere else.
+    Other,
+}
+
+impl HostingRegion {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HostingRegion::Uk => "UK",
+            HostingRegion::NorthAmerica => "North America",
+            HostingRegion::OtherEurope => "Other Europe",
+            HostingRegion::Other => "Other",
+        }
+    }
+}
+
+/// Site-type buckets from §4.3 ("26 image sharing sites, 9 forums, 3 blogs,
+/// 2 social networks, 1 video channel, and 20 regular websites").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SiteType {
+    /// Image-sharing sites.
+    ImageSharing,
+    /// Web forums.
+    Forum,
+    /// Blogs.
+    Blog,
+    /// Social networks.
+    SocialNetwork,
+    /// Video channels.
+    VideoChannel,
+    /// Everything else ("regular websites").
+    Regular,
+}
+
+impl SiteType {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteType::ImageSharing => "image sharing",
+            SiteType::Forum => "forum",
+            SiteType::Blog => "blog",
+            SiteType::SocialNetwork => "social network",
+            SiteType::VideoChannel => "video channel",
+            SiteType::Regular => "regular website",
+        }
+    }
+}
+
+/// The §4.3 aggregate over a report log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IwfSummary {
+    /// Distinct matched hash-list cases (paper: 36 images matched).
+    pub matched_cases: usize,
+    /// Total reports filed (every URL of every match).
+    pub total_reports: usize,
+    /// URLs the hotline actioned (verifiable cases only; paper: 61).
+    pub actioned_urls: usize,
+    /// Actioned URLs by severity (paper: 20 A / 36 B / 5 C).
+    pub by_severity: BTreeMap<Severity, usize>,
+    /// Actioned URLs by hosting region (paper: 1 UK / 30 NA / 30 Europe).
+    pub by_region: BTreeMap<HostingRegion, usize>,
+    /// Actioned URLs by site type.
+    pub by_site_type: BTreeMap<SiteType, usize>,
+}
+
+impl IwfSummary {
+    /// Builds the summary from a report log.
+    pub fn from_log(log: &ReportLog) -> IwfSummary {
+        let items = log.items();
+        let mut summary = IwfSummary {
+            matched_cases: items
+                .iter()
+                .map(|i| i.case)
+                .collect::<HashSet<_>>()
+                .len(),
+            total_reports: items.len(),
+            ..IwfSummary::default()
+        };
+        // Actioning is per distinct URL, as the IWF records locations.
+        let mut seen_urls = HashSet::new();
+        for item in items.iter().filter(|i| i.actioned) {
+            if !seen_urls.insert(item.url.clone()) {
+                continue;
+            }
+            summary.actioned_urls += 1;
+            if let Some(sev) = item.severity {
+                *summary.by_severity.entry(sev).or_insert(0) += 1;
+            }
+            *summary.by_region.entry(item.region).or_insert(0) += 1;
+            *summary.by_site_type.entry(item.site_type).or_insert(0) += 1;
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::ReportedItem;
+    use synthrand::Day;
+
+    fn item(case: u32, url: &str, actioned: bool, sev: Option<Severity>) -> ReportedItem {
+        ReportedItem {
+            case,
+            url: url.into(),
+            reported_on: Day::from_ymd(2019, 2, 1),
+            actioned,
+            severity: sev,
+            region: HostingRegion::NorthAmerica,
+            site_type: SiteType::ImageSharing,
+        }
+    }
+
+    #[test]
+    fn summary_counts_cases_and_urls() {
+        let log = ReportLog::new();
+        log.record(item(1, "u1", true, Some(Severity::A)));
+        log.record(item(1, "u2", true, Some(Severity::B)));
+        log.record(item(2, "u3", false, None));
+        let s = IwfSummary::from_log(&log);
+        assert_eq!(s.matched_cases, 2);
+        assert_eq!(s.total_reports, 3);
+        assert_eq!(s.actioned_urls, 2);
+        assert_eq!(s.by_severity[&Severity::A], 1);
+        assert_eq!(s.by_severity[&Severity::B], 1);
+    }
+
+    #[test]
+    fn duplicate_urls_actioned_once() {
+        let log = ReportLog::new();
+        log.record(item(1, "same", true, Some(Severity::C)));
+        log.record(item(1, "same", true, Some(Severity::C)));
+        let s = IwfSummary::from_log(&log);
+        assert_eq!(s.actioned_urls, 1);
+        assert_eq!(s.by_severity[&Severity::C], 1);
+    }
+
+    #[test]
+    fn unactioned_reports_do_not_enter_breakdowns() {
+        let log = ReportLog::new();
+        log.record(item(3, "u", false, None));
+        let s = IwfSummary::from_log(&log);
+        assert_eq!(s.actioned_urls, 0);
+        assert!(s.by_region.is_empty());
+        assert_eq!(s.matched_cases, 1);
+    }
+
+    #[test]
+    fn empty_log_summarises_to_zero() {
+        let s = IwfSummary::from_log(&ReportLog::new());
+        assert_eq!(s, IwfSummary::default());
+    }
+}

@@ -1,0 +1,176 @@
+//! A directed weighted graph over dense `u32` node ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Directed weighted graph. Nodes are `0..n`; parallel edges accumulate
+/// weight. Built incrementally (one `add_edge` per observed interaction),
+/// then queried.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DiGraph {
+    n: usize,
+    /// Out-adjacency: for each node, `(target, weight)` sorted by target.
+    out: Vec<Vec<(u32, f64)>>,
+    /// In-adjacency mirror.
+    incoming: Vec<Vec<(u32, f64)>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> DiGraph {
+        DiGraph {
+            n,
+            out: vec![Vec::new(); n],
+            incoming: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Grows the node set to at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+            self.out.resize(n, Vec::new());
+            self.incoming.resize(n, Vec::new());
+        }
+    }
+
+    /// Adds `weight` to the edge `from → to` (creating it if absent).
+    /// Panics if either endpoint is out of range; self-loops are allowed
+    /// (an actor replying in their own thread) but contribute nothing to
+    /// centrality.
+    pub fn add_edge(&mut self, from: u32, to: u32, weight: f64) {
+        assert!((from as usize) < self.n && (to as usize) < self.n, "node out of range");
+        assert!(weight >= 0.0 && weight.is_finite(), "bad weight {weight}");
+        upsert(&mut self.out[from as usize], to, weight);
+        upsert(&mut self.incoming[to as usize], from, weight);
+    }
+
+    /// Out-edges of `node` as `(target, weight)`.
+    pub fn out_edges(&self, node: u32) -> &[(u32, f64)] {
+        &self.out[node as usize]
+    }
+
+    /// In-edges of `node` as `(source, weight)`.
+    pub fn in_edges(&self, node: u32) -> &[(u32, f64)] {
+        &self.incoming[node as usize]
+    }
+
+    /// Total weight of edges into `node` (reply volume received).
+    pub fn in_strength(&self, node: u32) -> f64 {
+        self.incoming[node as usize].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total weight of edges out of `node` (replies given).
+    pub fn out_strength(&self, node: u32) -> f64 {
+        self.out[node as usize].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// In-degree (distinct repliers).
+    pub fn in_degree(&self, node: u32) -> usize {
+        self.incoming[node as usize].len()
+    }
+
+    /// Out-degree (distinct actors replied to).
+    pub fn out_degree(&self, node: u32) -> usize {
+        self.out[node as usize].len()
+    }
+
+    /// Builds a graph from a list of weighted interactions, sizing the node
+    /// set automatically.
+    pub fn from_interactions(edges: impl IntoIterator<Item = (u32, u32, f64)>) -> DiGraph {
+        let mut acc: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut max_node = 0u32;
+        for (a, b, w) in edges {
+            *acc.entry((a, b)).or_insert(0.0) += w;
+            max_node = max_node.max(a).max(b);
+        }
+        let mut g = DiGraph::with_nodes(if acc.is_empty() { 0 } else { max_node as usize + 1 });
+        let mut sorted: Vec<((u32, u32), f64)> = acc.into_iter().collect();
+        sorted.sort_unstable_by_key(|&((a, b), _)| (a, b));
+        for ((a, b), w) in sorted {
+            g.add_edge(a, b, w);
+        }
+        g
+    }
+}
+
+fn upsert(adj: &mut Vec<(u32, f64)>, key: u32, weight: f64) {
+    match adj.binary_search_by_key(&key, |&(k, _)| k) {
+        Ok(pos) => adj[pos].1 += weight,
+        Err(pos) => adj.insert(pos, (key, weight)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_accumulate_weight() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(0, 2, 1.0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_edges(0), &[(1, 3.0), (2, 1.0)]);
+        assert_eq!(g.in_strength(1), 3.0);
+        assert_eq!(g.out_strength(0), 4.0);
+    }
+
+    #[test]
+    fn in_out_mirror_each_other() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(1, 3, 2.5);
+        assert_eq!(g.in_edges(3), &[(1, 2.5)]);
+        assert_eq!(g.in_degree(3), 1);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.in_degree(1), 0);
+    }
+
+    #[test]
+    fn from_interactions_sizes_and_merges() {
+        let g = DiGraph::from_interactions(vec![(0, 5, 1.0), (0, 5, 1.0), (2, 0, 1.0)]);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.out_edges(0), &[(5, 2.0)]);
+    }
+
+    #[test]
+    fn empty_interactions_make_empty_graph() {
+        let g = DiGraph::from_interactions(Vec::new());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn ensure_nodes_grows_only() {
+        let mut g = DiGraph::with_nodes(2);
+        g.ensure_nodes(5);
+        assert_eq!(g.node_count(), 5);
+        g.ensure_nodes(1);
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn rejects_out_of_range_edge() {
+        let mut g = DiGraph::with_nodes(1);
+        g.add_edge(0, 1, 1.0);
+    }
+
+    #[test]
+    fn self_loops_allowed() {
+        let mut g = DiGraph::with_nodes(1);
+        g.add_edge(0, 0, 1.0);
+        assert_eq!(g.in_strength(0), 1.0);
+    }
+}

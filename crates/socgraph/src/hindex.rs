@@ -1,0 +1,56 @@
+//! H-index and i-N popularity indices (paper §6.1).
+//!
+//! "These include a H-index (a metric widely use to measure popularity of
+//! scholars, which indicates that an actor has H threads with at least H
+//! replies), and the i-10, i-50 and i-100 indices (i.e., the number of
+//! threads with at least 10, 50, or 100 replies)."
+
+/// The H-index of a list of per-thread reply counts.
+pub fn h_index(reply_counts: &[usize]) -> usize {
+    let mut counts: Vec<usize> = reply_counts.to_vec();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts
+        .iter()
+        .enumerate()
+        .take_while(|&(i, &c)| c > i)
+        .count()
+}
+
+/// The i-N index: number of threads with at least `n` replies.
+pub fn i_index(reply_counts: &[usize], n: usize) -> usize {
+    reply_counts.iter().filter(|&&c| c >= n).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_h_index_examples() {
+        assert_eq!(h_index(&[10, 8, 5, 4, 3]), 4);
+        assert_eq!(h_index(&[25, 8, 5, 3, 3]), 3);
+        assert_eq!(h_index(&[1, 1, 1, 1]), 1);
+        assert_eq!(h_index(&[0, 0, 0]), 0);
+        assert_eq!(h_index(&[]), 0);
+    }
+
+    #[test]
+    fn h_index_is_order_invariant() {
+        assert_eq!(h_index(&[3, 10, 4, 8, 5]), h_index(&[10, 8, 5, 4, 3]));
+    }
+
+    #[test]
+    fn h_index_bounded_by_thread_count() {
+        assert_eq!(h_index(&[1000, 1000]), 2);
+    }
+
+    #[test]
+    fn i_index_thresholds() {
+        let counts = [120, 55, 55, 12, 9, 0];
+        assert_eq!(i_index(&counts, 10), 4);
+        assert_eq!(i_index(&counts, 50), 3);
+        assert_eq!(i_index(&counts, 100), 1);
+        assert_eq!(i_index(&counts, 1), 5);
+        assert_eq!(i_index(&[], 10), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Continuous and discrete samplers built from uniforms.
+//!
+//! [`LogNormal`] models earnings amounts (§5: most actors under US$1k, a
+//! long tail past US$20k), [`Pareto`] models pack popularity, [`Exponential`]
+//! models inter-arrival gaps between posts, and [`Poisson`] models small
+//! per-entity counts (links per post, images per preview).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Log-normal distribution parameterised by the underlying normal's
+/// mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal sampler. Panics if `sigma` is negative or the
+    /// parameters are not finite.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal from a target *median* and sigma: the median of
+    /// LogNormal(mu, sigma) is exp(mu), which is the intuitive calibration
+    /// knob ("typical trade is $20").
+    pub fn from_median(median: f64, sigma: f64) -> LogNormal {
+        assert!(median > 0.0);
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Samples one value (> 0).
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto (power-law tail) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto sampler. Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Pareto {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        Pareto { x_min, alpha }
+    }
+
+    /// Samples by inversion: `x_min / U^(1/alpha)`.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler. Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Exponential {
+        assert!(lambda > 0.0);
+        Exponential { lambda }
+    }
+
+    /// Creates a sampler with the given mean.
+    pub fn from_mean(mean: f64) -> Exponential {
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Samples by inversion.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.lambda
+    }
+}
+
+/// Poisson distribution; exact (Knuth) for small means, normal approximation
+/// above `lambda = 30` where the exact loop gets slow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson sampler. Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Poisson {
+        assert!(lambda > 0.0);
+        Poisson { lambda }
+    }
+
+    /// Samples one count.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            x.round().max(0.0) as u64
+        }
+    }
+}
+
+/// One draw from N(0, 1) via Box–Muller (single value; the pair's second
+/// member is discarded to keep per-sample draw counts fixed).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(10);
+        let xs: Vec<f64> = (0..40_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_calibration() {
+        let d = LogNormal::from_median(20.0, 1.0);
+        let mut rng = rng_from_seed(11);
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 20.0).abs() / 20.0 < 0.1, "median {med}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_heavy_tailed() {
+        let d = LogNormal::new(3.0, 1.5);
+        let mut rng = rng_from_seed(12);
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "heavy right tail: mean {mean} > median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(5.0, 2.0);
+        let mut rng = rng_from_seed(13);
+        for _ in 0..5000 {
+            assert!(d.sample(&mut rng) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::from_mean(7.0);
+        let mut rng = rng_from_seed(14);
+        let m = mean_of(40_000, || d.sample(&mut rng));
+        assert!((m - 7.0).abs() < 0.25, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let d = Poisson::new(3.0);
+        let mut rng = rng_from_seed(15);
+        let m = mean_of(40_000, || d.sample(&mut rng) as f64);
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let d = Poisson::new(100.0);
+        let mut rng = rng_from_seed(16);
+        let m = mean_of(20_000, || d.sample(&mut rng) as f64);
+        assert!((m - 100.0).abs() < 1.0, "mean {m}");
+    }
+}

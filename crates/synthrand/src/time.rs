@@ -1,0 +1,225 @@
+//! Civil dates for the simulation.
+//!
+//! The paper's measurements are date-driven: per-forum first-post dates
+//! (Table 1), "seen before" ordering between web crawl dates and forum post
+//! dates (Table 5), monthly payment-platform series (Figure 3), and
+//! days-active-before/after-eWhoring (Table 8). A compact totally-ordered
+//! date type shared by every crate keeps those comparisons trivial.
+//!
+//! [`Day`] stores the number of days since 2000-01-01 (day 0). The dataset
+//! spans 2008-11 to 2019-03, so `u32` is ample. Conversions use the standard
+//! civil-from-days / days-from-civil algorithms (Howard Hinnant's
+//! formulation), exact over the full supported range.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Days relative to 2000-01-01 in the proleptic Gregorian calendar.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Day(pub u32);
+
+/// Days between 0000-03-01 and 2000-01-01 in the era-based algorithm below.
+const EPOCH_2000_FROM_CIVIL: i64 = 730_425;
+
+impl Day {
+    /// Builds a `Day` from a civil date. Panics on dates before 2000-01-01
+    /// or on non-existent calendar dates (e.g. month 13), since generated
+    /// data never contains them and silent clamping would hide bugs.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Day {
+        assert!((1..=12).contains(&month), "bad month {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "bad day {year}-{month}-{day}"
+        );
+        let days = days_from_civil(year, month, day) - EPOCH_2000_FROM_CIVIL;
+        assert!(days >= 0, "date {year}-{month:02}-{day:02} precedes 2000-01-01");
+        Day(days as u32)
+    }
+
+    /// The civil `(year, month, day)` of this day.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(i64::from(self.0) + EPOCH_2000_FROM_CIVIL)
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Calendar month (1–12).
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// A month index (`year * 12 + month - 1`) used for monthly bucketing
+    /// (Figure 3's per-month platform counts).
+    pub fn month_index(self) -> i32 {
+        let (y, m, _) = self.ymd();
+        y * 12 + m as i32 - 1
+    }
+
+    /// `MM/YY` rendering used by paper Table 1 ("first post" column).
+    pub fn mm_yy(self) -> String {
+        let (y, m, _) = self.ymd();
+        format!("{m:02}/{:02}", y % 100)
+    }
+
+    /// Adds `n` days.
+    pub fn plus_days(self, n: u32) -> Day {
+        Day(self.0 + n)
+    }
+
+    /// Whole days from `earlier` to `self`; zero if `earlier` is later.
+    pub fn days_since(self, earlier: Day) -> u32 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Uniformly samples a day in `[lo, hi]` (inclusive).
+    pub fn sample_between(rng: &mut StdRng, lo: Day, hi: Day) -> Day {
+        assert!(lo <= hi, "sample_between: {lo} > {hi}");
+        Day(rng.gen_range(lo.0..=hi.0))
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month validated by caller"),
+    }
+}
+
+/// Days since 0000-03-01 for a civil date (Hinnant's `days_from_civil`).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe
+}
+
+/// Civil date for days since 0000-03-01 (Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Day::from_ymd(2000, 1, 1), Day(0));
+        assert_eq!(Day(0).ymd(), (2000, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        for &(y, m, d) in &[
+            (2008, 11, 1),
+            (2019, 3, 31),
+            (2016, 2, 29), // leap day
+            (2000, 12, 31),
+            (2017, 4, 15),
+        ] {
+            let day = Day::from_ymd(y, m, d);
+            assert_eq!(day.ymd(), (y, m, d), "roundtrip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Day::from_ymd(2008, 11, 1) < Day::from_ymd(2019, 3, 1));
+        assert!(Day::from_ymd(2016, 1, 31) < Day::from_ymd(2016, 2, 1));
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_over_dataset_span() {
+        // Every single day in the corpus span converts both ways exactly.
+        let start = Day::from_ymd(2008, 1, 1);
+        let end = Day::from_ymd(2020, 1, 1);
+        for n in start.0..=end.0 {
+            let (y, m, d) = Day(n).ymd();
+            assert_eq!(Day::from_ymd(y, m, d), Day(n));
+        }
+    }
+
+    #[test]
+    fn month_index_is_monotone_across_years() {
+        let dec = Day::from_ymd(2015, 12, 31);
+        let jan = Day::from_ymd(2016, 1, 1);
+        assert_eq!(dec.month_index() + 1, jan.month_index());
+    }
+
+    #[test]
+    fn mm_yy_matches_paper_format() {
+        assert_eq!(Day::from_ymd(2008, 11, 3).mm_yy(), "11/08");
+        assert_eq!(Day::from_ymd(2017, 4, 20).mm_yy(), "04/17");
+    }
+
+    #[test]
+    fn days_since_saturates() {
+        let a = Day::from_ymd(2010, 1, 1);
+        let b = Day::from_ymd(2010, 1, 11);
+        assert_eq!(b.days_since(a), 10);
+        assert_eq!(a.days_since(b), 0);
+    }
+
+    #[test]
+    fn sample_between_is_inclusive() {
+        let mut rng = rng_from_seed(3);
+        let lo = Day::from_ymd(2012, 6, 1);
+        let hi = Day::from_ymd(2012, 6, 3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let d = Day::sample_between(&mut rng, lo, hi);
+            assert!(d >= lo && d <= hi);
+            seen[(d.0 - lo.0) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all three days should be drawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad day")]
+    fn rejects_nonexistent_date() {
+        let _ = Day::from_ymd(2019, 2, 29);
+    }
+
+    #[test]
+    fn display_is_iso() {
+        assert_eq!(Day::from_ymd(2019, 3, 7).to_string(), "2019-03-07");
+    }
+}

@@ -1,0 +1,158 @@
+//! Walker alias method for O(1) weighted categorical sampling.
+//!
+//! The generators draw millions of categorical values (which forum, which
+//! hosting site, which payment platform, which image class), so constant-time
+//! sampling matters. Weights are calibrated from the paper's tables, e.g.
+//! the imgur-dominated preview-host mix of Table 3.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A categorical sampler over `0..n` built with the alias method.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl WeightedIndex {
+    /// Builds the alias table from non-negative weights.
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> WeightedIndex {
+        assert!(!weights.is_empty(), "WeightedIndex requires weights");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights sum to zero");
+
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+        WeightedIndex { prob, alias }
+    }
+
+    /// Builds from integer counts (e.g. link counts straight from a paper
+    /// table).
+    pub fn from_counts(counts: &[u64]) -> WeightedIndex {
+        let w: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        WeightedIndex::new(&w)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no categories (never — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a category index in O(1).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn frequencies_match_weights() {
+        let w = [3297.0, 1006.0, 679.0, 383.0]; // imgur/Gyazo/ImageShack/prnt
+        let idx = WeightedIndex::new(&w);
+        let mut rng = rng_from_seed(20);
+        let n = 100_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[idx.sample(&mut rng)] += 1;
+        }
+        let total: f64 = w.iter().sum();
+        for (i, &wi) in w.iter().enumerate() {
+            let expected = wi / total;
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "cat {i}: {observed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let idx = WeightedIndex::new(&[1.0, 0.0, 2.0]);
+        let mut rng = rng_from_seed(21);
+        for _ in 0..20_000 {
+            assert_ne!(idx.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let idx = WeightedIndex::new(&[0.5]);
+        let mut rng = rng_from_seed(22);
+        for _ in 0..100 {
+            assert_eq!(idx.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn from_counts_matches_new() {
+        let a = WeightedIndex::from_counts(&[10, 20, 30]);
+        let b = WeightedIndex::new(&[10.0, 20.0, 30.0]);
+        let mut r1 = rng_from_seed(23);
+        let mut r2 = rng_from_seed(23);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut r1), b.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn rejects_all_zero() {
+        let _ = WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn rejects_negative() {
+        let _ = WeightedIndex::new(&[1.0, -0.1]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Currency Exchange heading parser (paper §5.1).
+//!
+//! "Most of the threads in this board use a de-facto standard format where
+//! the currency offered follows the tag `[H]` and the currency wanted
+//! follows the tag `[W]`." This module parses such headings, e.g.
+//! `[H] $50 Amazon GC [W] BTC`, into offered/wanted currency pairs, and
+//! classifies free-text currency mentions into the paper's categories
+//! (PayPal, BTC, Amazon Gift Cards, unknown `?`, other).
+
+use serde::{Deserialize, Serialize};
+
+/// Payment instruments tracked by the paper's Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Currency {
+    /// PayPal balance.
+    PayPal,
+    /// Bitcoin.
+    Btc,
+    /// Amazon Gift Cards.
+    AmazonGiftCard,
+    /// A recognised but non-top-3 instrument (Skrill, Venmo, ETH, …).
+    Other,
+    /// Unparseable / unclassified (`?` in Table 7).
+    Unknown,
+}
+
+impl Currency {
+    /// Classifies a free-text currency segment.
+    pub fn classify(segment: &str) -> Currency {
+        let s = segment.to_ascii_lowercase();
+        if s.trim().is_empty() {
+            return Currency::Unknown;
+        }
+        let has = |needle: &str| s.contains(needle);
+        if has("paypal") || has(" pp") || s.starts_with("pp") || has("[pp") {
+            Currency::PayPal
+        } else if has("btc") || has("bitcoin") {
+            Currency::Btc
+        } else if has("amazon") || has("agc") || (has("gift") && has("card")) || has(" gc") || s.ends_with("gc") {
+            Currency::AmazonGiftCard
+        } else if has("skrill")
+            || has("venmo")
+            || has("eth")
+            || has("ltc")
+            || has("cashapp")
+            || has("steam")
+            || has("psc")
+            || has("wu ")
+            || has("western union")
+        {
+            Currency::Other
+        } else {
+            Currency::Unknown
+        }
+    }
+
+    /// Short label used in Table 7 rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Currency::PayPal => "PayPal",
+            Currency::Btc => "BTC",
+            Currency::AmazonGiftCard => "AGC",
+            Currency::Other => "others",
+            Currency::Unknown => "?",
+        }
+    }
+}
+
+/// A parsed `[H] … [W] …` trade heading.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwTrade {
+    /// Currency offered (follows `[H]`, "have").
+    pub offered: Currency,
+    /// Currency wanted (follows `[W]`, "want").
+    pub wanted: Currency,
+}
+
+/// Finds a case-insensitive tag (`[h]`, `[w]`) and returns the byte offset
+/// just past it.
+fn find_tag(lower: &str, tag: &str) -> Option<usize> {
+    lower.find(tag).map(|p| p + tag.len())
+}
+
+/// Parses a Currency Exchange heading in the `[H] X [W] Y` format.
+///
+/// Returns `None` when either tag is missing (the thread is then excluded
+/// from Table 7's automatic classification, mirroring the paper). The
+/// offered segment runs from `[H]` to `[W]` (or end), the wanted segment
+/// from `[W]` to `[H]` (or end), so tag order does not matter.
+pub fn parse_hw_heading(heading: &str) -> Option<HwTrade> {
+    let lower = heading.to_ascii_lowercase();
+    let h_end = find_tag(&lower, "[h]")?;
+    let w_end = find_tag(&lower, "[w]")?;
+    let h_start = h_end - 3;
+    let w_start = w_end - 3;
+    let offered_seg = if h_start < w_start {
+        &heading[h_end..w_start]
+    } else {
+        &heading[h_end..]
+    };
+    let wanted_seg = if w_start < h_start {
+        &heading[w_end..h_start]
+    } else {
+        &heading[w_end..]
+    };
+    Some(HwTrade {
+        offered: Currency::classify(offered_seg),
+        wanted: Currency::classify(wanted_seg),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_standard_format() {
+        let t = parse_hw_heading("[H] $50 Amazon GC [W] BTC").unwrap();
+        assert_eq!(t.offered, Currency::AmazonGiftCard);
+        assert_eq!(t.wanted, Currency::Btc);
+    }
+
+    #[test]
+    fn parses_reversed_tag_order() {
+        let t = parse_hw_heading("[W] PayPal [H] Bitcoin 0.01").unwrap();
+        assert_eq!(t.offered, Currency::Btc);
+        assert_eq!(t.wanted, Currency::PayPal);
+    }
+
+    #[test]
+    fn case_insensitive_tags() {
+        let t = parse_hw_heading("[h] paypal [w] agc").unwrap();
+        assert_eq!(t.offered, Currency::PayPal);
+        assert_eq!(t.wanted, Currency::AmazonGiftCard);
+    }
+
+    #[test]
+    fn missing_tags_yield_none() {
+        assert!(parse_hw_heading("selling paypal for btc").is_none());
+        assert!(parse_hw_heading("[H] paypal only").is_none());
+        assert!(parse_hw_heading("[W] btc wanted").is_none());
+    }
+
+    #[test]
+    fn unknown_currency_classified_as_question_mark() {
+        let t = parse_hw_heading("[H] mystery tokens [W] BTC").unwrap();
+        assert_eq!(t.offered, Currency::Unknown);
+        assert_eq!(t.offered.label(), "?");
+    }
+
+    #[test]
+    fn other_currencies_grouped() {
+        assert_eq!(Currency::classify("skrill balance"), Currency::Other);
+        assert_eq!(Currency::classify("venmo $20"), Currency::Other);
+        assert_eq!(Currency::classify("0.5 ETH"), Currency::Other);
+    }
+
+    #[test]
+    fn classify_variants() {
+        assert_eq!(Currency::classify("PP balance"), Currency::PayPal);
+        assert_eq!(Currency::classify("$25 amazon gift card"), Currency::AmazonGiftCard);
+        assert_eq!(Currency::classify("30 gc"), Currency::AmazonGiftCard);
+        assert_eq!(Currency::classify("bitcoin"), Currency::Btc);
+        assert_eq!(Currency::classify(""), Currency::Unknown);
+    }
+
+    #[test]
+    fn labels_match_table7() {
+        assert_eq!(Currency::PayPal.label(), "PayPal");
+        assert_eq!(Currency::Btc.label(), "BTC");
+        assert_eq!(Currency::AmazonGiftCard.label(), "AGC");
+        assert_eq!(Currency::Other.label(), "others");
+        assert_eq!(Currency::Unknown.label(), "?");
+    }
+}

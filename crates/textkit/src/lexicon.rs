@@ -1,0 +1,209 @@
+//! The paper's keyword dictionaries (Table 2) and matching helpers.
+//!
+//! Table 2 defines five lexicons used throughout the methodology:
+//!
+//! | Purpose | Keywords |
+//! |---|---|
+//! | Extract eWhoring-related threads | `ewhor`, `e-whor` (substring, lowercase headings) |
+//! | Classify Threads Offering Packs | `pack`, `packs`, …, `sexy` |
+//! | Detect info-requesting posts | `[question]`, `[help]`, `need advice`, … |
+//! | Detect tutorial threads | `tutorial`, `[tut]`, `howto`, … |
+//! | Extract posts sharing earnings | `earn`, `profit`, `money`, `gain` |
+//!
+//! Matching is case-insensitive. Multi-word entries are matched as
+//! substrings of the lower-cased text (they include punctuation like
+//! `[tut]`, which tokenisation would destroy); single-word entries are
+//! matched as whole tokens to avoid e.g. `set` matching inside `settings`.
+
+use crate::tokenize::{count_substring_ci, tokenize};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// `ewhor` / `e-whor`: the heading keywords for extracting eWhoring threads.
+pub const EWHORING_KEYWORDS: &[&str] = &["ewhor", "e-whor"];
+
+/// TOP-classification keywords (paper Table 2, row 2).
+pub const TOP_KEYWORDS: &[&str] = &[
+    "pack", "packs", "package", "packages", "pics", "pictures", "videos", "vids", "video",
+    "collection", "collections", "set", "sets", "repository", "repositories", "selling", "wts",
+    "offering", "free", "unsaturated", "new", "giving", "compilation", "private", "girl",
+    "girls", "sexy",
+];
+
+/// Info-requesting keywords (paper Table 2, row 3). Multi-word and
+/// bracketed entries are substring-matched.
+pub const REQUEST_KEYWORDS: &[&str] = &[
+    "[question]", "[help]", "need advice", "need", "needed", "wtb", "want to buy", "req",
+    "request", "question", "looking for", "give me advice", "quick question", "question for",
+    "i wonder whether", "i wonder if", "im asking for", "general query", "general question",
+    "i have a question", "i have a doubt", "help requested", "how to", "help please",
+    "help with", "need help", "need a", "need some help", "help needed", "i want help",
+    "help me", "seeking",
+];
+
+/// Tutorial keywords (paper Table 2, row 4).
+pub const TUTORIAL_KEYWORDS: &[&str] = &[
+    "tutorial", "[tut]", "howto", "how-to", "definite guide", "guide",
+];
+
+/// Earnings keywords (paper Table 2, row 5).
+pub const EARNINGS_KEYWORDS: &[&str] = &["earn", "profit", "money", "gain"];
+
+/// Additional §5.1 thread-heading cues for proof-of-earnings threads
+/// ("you make" / "earn" in headings, e.g. "Post your earnings").
+pub const EARNINGS_HEADING_PHRASES: &[&str] = &["you make", "earn"];
+
+/// Trading-related terms used with `proof` in the §5.1 query.
+pub const TRADING_KEYWORDS: &[&str] = &["selling", "wts", "offering", "buy", "price", "vouch"];
+
+/// A compiled lexicon: single words matched as tokens, phrases as
+/// substrings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lexicon {
+    words: HashSet<String>,
+    phrases: Vec<String>,
+}
+
+impl Lexicon {
+    /// Compiles a keyword list, splitting entries into token-words and
+    /// substring-phrases.
+    pub fn new(keywords: &[&str]) -> Lexicon {
+        let mut words = HashSet::new();
+        let mut phrases = Vec::new();
+        for &k in keywords {
+            let lower = k.to_ascii_lowercase();
+            let is_single_word = lower.chars().all(|c| c.is_ascii_alphabetic());
+            if is_single_word {
+                words.insert(lower);
+            } else {
+                phrases.push(lower);
+            }
+        }
+        Lexicon { words, phrases }
+    }
+
+    /// The Table 2 TOP lexicon.
+    pub fn top() -> Lexicon {
+        Lexicon::new(TOP_KEYWORDS)
+    }
+
+    /// The Table 2 info-requesting lexicon.
+    pub fn request() -> Lexicon {
+        Lexicon::new(REQUEST_KEYWORDS)
+    }
+
+    /// The Table 2 tutorial lexicon.
+    pub fn tutorial() -> Lexicon {
+        Lexicon::new(TUTORIAL_KEYWORDS)
+    }
+
+    /// The Table 2 earnings lexicon.
+    pub fn earnings() -> Lexicon {
+        Lexicon::new(EARNINGS_KEYWORDS)
+    }
+
+    /// Counts lexicon hits in `text`: token matches for word entries plus
+    /// substring matches for phrase entries.
+    pub fn count_matches(&self, text: &str) -> usize {
+        let token_hits = tokenize(text)
+            .iter()
+            .filter(|t| self.words.contains(t.as_str()))
+            .count();
+        let phrase_hits: usize = self
+            .phrases
+            .iter()
+            .map(|p| count_substring_ci(text, p))
+            .sum();
+        token_hits + phrase_hits
+    }
+
+    /// True when `text` contains at least one lexicon entry.
+    pub fn matches(&self, text: &str) -> bool {
+        self.count_matches(text) > 0
+    }
+}
+
+/// True when a thread heading is eWhoring-related per the paper's §3 query:
+/// lower-cased heading contains `ewhor` or `e-whor` as a substring.
+pub fn heading_is_ewhoring(heading: &str) -> bool {
+    EWHORING_KEYWORDS
+        .iter()
+        .any(|k| count_substring_ci(heading, k) > 0)
+}
+
+/// True when a heading matches the §5.1 proof-of-earnings heading query
+/// (`you make` or `earn` in the heading).
+pub fn heading_is_earnings(heading: &str) -> bool {
+    EARNINGS_HEADING_PHRASES
+        .iter()
+        .any(|k| count_substring_ci(heading, k) > 0)
+}
+
+/// True when post text matches the §5.1 `proof` + trading-term query.
+pub fn post_is_proof_offer(text: &str) -> bool {
+    if count_substring_ci(text, "proof") == 0 {
+        return false;
+    }
+    let lex = Lexicon::new(TRADING_KEYWORDS);
+    lex.matches(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewhoring_heading_query_matches_variants() {
+        assert!(heading_is_ewhoring("My first eWhoring method"));
+        assert!(heading_is_ewhoring("E-WHORING guide 2017"));
+        assert!(heading_is_ewhoring("best ewhore pack")); // 'ewhor' prefix
+        assert!(!heading_is_ewhoring("selling fifa coins"));
+    }
+
+    #[test]
+    fn top_lexicon_counts_tokens_not_substrings() {
+        let lex = Lexicon::top();
+        // 'set' must not fire inside 'settings'.
+        assert_eq!(lex.count_matches("change your settings"), 0);
+        assert_eq!(lex.count_matches("new set of pics"), 3); // new, set, pics
+    }
+
+    #[test]
+    fn request_lexicon_matches_bracket_tags_and_phrases() {
+        let lex = Lexicon::request();
+        assert!(lex.matches("[QUESTION] how do i start"));
+        assert!(lex.matches("im looking for a mentor"));
+        assert!(lex.matches("WTB fresh pack"));
+        assert!(!lex.matches("selling my collection"));
+    }
+
+    #[test]
+    fn tutorial_lexicon() {
+        let lex = Lexicon::tutorial();
+        assert!(lex.matches("[TUT] ewhoring for beginners"));
+        assert!(lex.matches("the definite guide"));
+        assert!(!lex.matches("pack preview inside"));
+    }
+
+    #[test]
+    fn earnings_queries() {
+        assert!(heading_is_earnings("How much do you make?"));
+        assert!(heading_is_earnings("post your earnings")); // 'earn' substring
+        assert!(!heading_is_earnings("pack giveaway"));
+        assert!(post_is_proof_offer("selling method, proof inside"));
+        assert!(!post_is_proof_offer("proof of concept")); // no trading term
+        assert!(!post_is_proof_offer("selling method, no evidence"));
+    }
+
+    #[test]
+    fn counts_accumulate_over_repeats() {
+        let lex = Lexicon::earnings();
+        assert_eq!(lex.count_matches("money money money"), 3);
+    }
+
+    #[test]
+    fn empty_text_matches_nothing() {
+        assert_eq!(Lexicon::top().count_matches(""), 0);
+        assert!(!heading_is_ewhoring(""));
+    }
+}

@@ -1,0 +1,34 @@
+//! Text processing for underground-forum measurement.
+//!
+//! Implements exactly the text machinery the paper's pipeline needs:
+//!
+//! * [`tokenize()`](tokenize()) — the §4.1 preprocessing: strip punctuation, lower-case,
+//!   ignore numbers, drop stop words;
+//! * [`dtm`] — document-term matrix plus TF-IDF weighting ("we parse thread
+//!   headings and posts into a document-term matrix to get word-counts …
+//!   transformed using TF-IDF");
+//! * [`lexicon`] — the keyword dictionaries of paper Table 2 (eWhoring
+//!   thread extraction, TOP classification, info-requesting detection,
+//!   tutorial detection, earnings extraction) plus trading terms;
+//! * [`url`] — a URL scanner standing in for the paper's regular
+//!   expressions ("Using regular expressions we extract URLs from the
+//!   content of each extracted TOP");
+//! * [`hw`] — the §5.1 parser for Currency Exchange headings in the
+//!   de-facto `[H] offered [W] wanted` format.
+//!
+//! Everything here is deterministic, allocation-conscious, and free of
+//! regex/NLP dependencies: the tokenizer and scanners are hand-rolled state
+//! machines, which also makes their behaviour on forum jargon explicit and
+//! testable.
+
+pub mod dtm;
+pub mod hw;
+pub mod lexicon;
+pub mod tokenize;
+pub mod url;
+
+pub use dtm::{DocTermMatrix, TfIdf, Vocabulary};
+pub use hw::{parse_hw_heading, Currency, HwTrade};
+pub use lexicon::{heading_is_earnings, heading_is_ewhoring, post_is_proof_offer, Lexicon};
+pub use tokenize::{tokenize, tokenize_with_stopwords, STOPWORDS};
+pub use url::{extract_urls, registered_domain, Url};

@@ -1,0 +1,195 @@
+//! URL extraction from post bodies (paper §4.2).
+//!
+//! The paper extracts URLs from TOP contents with regular expressions and
+//! matches their domains against a whitelist of image-sharing and
+//! cloud-storage sites. This module provides the equivalent scanner: it
+//! finds `http://` / `https://` spans, splits host from path, and exposes a
+//! registered-domain helper so `i.imgur.com` groups under `imgur.com`.
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed URL (scheme-less host + path), as extracted from forum text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    /// Host, lower-cased (e.g. `i.imgur.com`).
+    pub host: String,
+    /// Path and query, possibly empty, without the leading host.
+    pub path: String,
+}
+
+impl Url {
+    /// Builds a URL from parts (used by generators).
+    pub fn new(host: impl Into<String>, path: impl Into<String>) -> Url {
+        Url {
+            host: host.into().to_ascii_lowercase(),
+            path: path.into(),
+        }
+    }
+
+    /// The registered domain of the host (last two labels).
+    pub fn domain(&self) -> String {
+        registered_domain(&self.host)
+    }
+
+    /// Renders back to an `https://` string.
+    pub fn to_https(&self) -> String {
+        format!("https://{}{}", self.host, self.path)
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.host, self.path)
+    }
+}
+
+/// Characters allowed inside a URL span. Trailing punctuation that forum
+/// prose commonly appends (`.`, `,`, `)`, `!`, `?`, quotes) is trimmed.
+fn is_url_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || "-._~:/?#[]@!$&'()*+,;=%".contains(c)
+}
+
+/// Extracts every `http(s)://` URL from `text`, in order of appearance.
+///
+/// Hosts are lower-cased; invalid spans (no host) are skipped. Duplicate
+/// URLs are preserved — the §4.2 link counts are per-link, not per-unique.
+pub fn extract_urls(text: &str) -> Vec<Url> {
+    let mut out = Vec::new();
+    let lower = text.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !lower.is_char_boundary(i) {
+            i += 1;
+            continue;
+        }
+        let rest = &lower[i..];
+        let scheme_len = if rest.starts_with("https://") {
+            8
+        } else if rest.starts_with("http://") {
+            7
+        } else {
+            i += 1;
+            continue;
+        };
+        let start = i + scheme_len;
+        let mut end = start;
+        let orig = text; // keep original case for path
+        while end < orig.len() {
+            // Safe: URL characters are single-byte ASCII, so byte indexing
+            // cannot split a UTF-8 sequence inside a URL span.
+            let c = orig.as_bytes()[end] as char;
+            if is_url_char(c) {
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        let mut span = &orig[start..end];
+        // Trim trailing prose punctuation.
+        while let Some(last) = span.chars().last() {
+            if ".,!?;:'\")]".contains(last) {
+                span = &span[..span.len() - last.len_utf8()];
+            } else {
+                break;
+            }
+        }
+        if let Some(url) = split_host_path(span) {
+            out.push(url);
+        }
+        i = if end > i { end } else { i + 1 };
+    }
+    out
+}
+
+fn split_host_path(span: &str) -> Option<Url> {
+    if span.is_empty() {
+        return None;
+    }
+    let (host, path) = match span.find('/') {
+        Some(pos) => (&span[..pos], &span[pos..]),
+        None => (span, ""),
+    };
+    if host.is_empty() || !host.contains('.') {
+        return None;
+    }
+    Some(Url::new(host, path))
+}
+
+/// The registered domain: the last two dot-separated labels of a host
+/// (`i.imgur.com` → `imgur.com`). Hosts with fewer labels are returned
+/// unchanged. Sufficient for the synthetic web, which uses no ccTLD
+/// second-level registries.
+pub fn registered_domain(host: &str) -> String {
+    let labels: Vec<&str> = host.split('.').filter(|l| !l.is_empty()).collect();
+    if labels.len() <= 2 {
+        labels.join(".")
+    } else {
+        labels[labels.len() - 2..].join(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_simple_urls() {
+        let urls = extract_urls("preview here https://imgur.com/aB3dE and more");
+        assert_eq!(urls.len(), 1);
+        assert_eq!(urls[0].host, "imgur.com");
+        assert_eq!(urls[0].path, "/aB3dE");
+    }
+
+    #[test]
+    fn preserves_path_case_and_lowers_host() {
+        let urls = extract_urls("HTTP://MEGA.NZ/File/XyZ123");
+        assert_eq!(urls[0].host, "mega.nz");
+        assert_eq!(urls[0].path, "/File/XyZ123");
+    }
+
+    #[test]
+    fn trims_trailing_prose_punctuation() {
+        let urls = extract_urls("get it at https://mediafire.com/f/abc123.");
+        assert_eq!(urls[0].path, "/f/abc123");
+        let urls = extract_urls("(see https://gyazo.com/x9y8z7)");
+        assert_eq!(urls[0].path, "/x9y8z7");
+    }
+
+    #[test]
+    fn multiple_urls_in_order_with_duplicates() {
+        let text = "https://a.com/1 then https://b.com/2 then https://a.com/1";
+        let urls = extract_urls(text);
+        assert_eq!(urls.len(), 3);
+        assert_eq!(urls[0], urls[2]);
+    }
+
+    #[test]
+    fn ignores_schemeless_and_hostless_spans() {
+        assert!(extract_urls("visit imgur.com/abc").is_empty());
+        assert!(extract_urls("https:// and http://").is_empty());
+        assert!(extract_urls("http://nodots/path").is_empty());
+    }
+
+    #[test]
+    fn registered_domain_groups_subdomains() {
+        assert_eq!(registered_domain("i.imgur.com"), "imgur.com");
+        assert_eq!(registered_domain("imgur.com"), "imgur.com");
+        assert_eq!(registered_domain("a.b.c.example.net"), "example.net");
+        assert_eq!(registered_domain("localhost"), "localhost");
+    }
+
+    #[test]
+    fn display_and_https_roundtrip() {
+        let u = Url::new("Imgur.com", "/x");
+        assert_eq!(u.to_string(), "imgur.com/x");
+        assert_eq!(u.to_https(), "https://imgur.com/x");
+    }
+
+    #[test]
+    fn handles_url_at_end_of_text_and_unicode_context() {
+        let urls = extract_urls("pack → https://mega.nz/f/q1w2e3");
+        assert_eq!(urls.len(), 1);
+        assert_eq!(urls[0].host, "mega.nz");
+    }
+}

@@ -1,0 +1,256 @@
+//! Origin-domain registry: the sites pack material is stolen from.
+//!
+//! The paper's reverse-image search resolved to 5 917 distinct domains whose
+//! classifier tags were dominated by pornography/adult content, followed by
+//! blogs, entertainment, shopping, forums, social networks, photo sharing,
+//! and dating (Table 6). This module defines the *master* category taxonomy
+//! (the ground truth a domain actually belongs to) and a registry generator
+//! whose category mix is calibrated to that distribution. The three
+//! commercial classifiers in `revsearch` then map master categories to
+//! their own vocabularies, with per-classifier noise and `no_result` gaps,
+//! reproducing Table 6's disagreement structure.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use synthrand::{Day, WeightedIndex};
+
+/// Ground-truth category of an origin domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DomainCategory {
+    /// Pornographic content sites.
+    Porn,
+    /// Softer adult content (nudity, provocative attire, lingerie).
+    Adult,
+    /// Social networks.
+    SocialNetwork,
+    /// Blogs and personal sites.
+    Blog,
+    /// Photo/media sharing services.
+    PhotoSharing,
+    /// Web forums and bulletin boards.
+    Forum,
+    /// Online shops.
+    Shopping,
+    /// News and media outlets.
+    News,
+    /// Dating sites.
+    Dating,
+    /// Entertainment and games.
+    Entertainment,
+    /// Generic business sites.
+    Business,
+    /// Parked or abandoned domains.
+    Parked,
+    /// Malicious/PUP-flagged sites.
+    Malicious,
+}
+
+impl DomainCategory {
+    /// All categories with their relative mass among reverse-search
+    /// domains, calibrated to Table 6's aggregate shape (porn/adult
+    /// majority, long tail elsewhere).
+    pub const WEIGHTED: &'static [(DomainCategory, u64)] = &[
+        (DomainCategory::Porn, 2100),
+        (DomainCategory::Adult, 900),
+        (DomainCategory::Blog, 700),
+        (DomainCategory::Entertainment, 430),
+        (DomainCategory::Forum, 300),
+        (DomainCategory::Shopping, 290),
+        (DomainCategory::News, 260),
+        (DomainCategory::Business, 220),
+        (DomainCategory::SocialNetwork, 170),
+        (DomainCategory::PhotoSharing, 150),
+        (DomainCategory::Dating, 130),
+        (DomainCategory::Parked, 120),
+        (DomainCategory::Malicious, 110),
+    ];
+
+    /// A short slug used in generated domain names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DomainCategory::Porn => "tube",
+            DomainCategory::Adult => "glam",
+            DomainCategory::SocialNetwork => "social",
+            DomainCategory::Blog => "blog",
+            DomainCategory::PhotoSharing => "photo",
+            DomainCategory::Forum => "board",
+            DomainCategory::Shopping => "shop",
+            DomainCategory::News => "news",
+            DomainCategory::Dating => "date",
+            DomainCategory::Entertainment => "fun",
+            DomainCategory::Business => "corp",
+            DomainCategory::Parked => "parked",
+            DomainCategory::Malicious => "free-dl",
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DomainCategory::Porn => "Pornography",
+            DomainCategory::Adult => "Adult/Nudity",
+            DomainCategory::SocialNetwork => "Social Networking",
+            DomainCategory::Blog => "Blogs",
+            DomainCategory::PhotoSharing => "Photo Sharing",
+            DomainCategory::Forum => "Forums/Message boards",
+            DomainCategory::Shopping => "Online Shopping",
+            DomainCategory::News => "News/Media",
+            DomainCategory::Dating => "Dating/Personals",
+            DomainCategory::Entertainment => "Entertainment",
+            DomainCategory::Business => "Business",
+            DomainCategory::Parked => "Parked Domain",
+            DomainCategory::Malicious => "Malicious Sites",
+        }
+    }
+}
+
+/// One origin domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OriginDomain {
+    /// Registered domain name (synthetic).
+    pub name: String,
+    /// Ground-truth category.
+    pub category: DomainCategory,
+    /// Date the reverse-search crawler first indexed this domain — drives
+    /// the §4.5 "seen before" analysis.
+    pub first_crawled: Day,
+}
+
+/// The registry of origin domains.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OriginRegistry {
+    domains: Vec<OriginDomain>,
+}
+
+impl OriginRegistry {
+    /// Generates `n` origin domains with the Table 6 category mix; crawl
+    /// dates are uniform in `[crawl_lo, crawl_hi]`.
+    pub fn generate(rng: &mut StdRng, n: usize, crawl_lo: Day, crawl_hi: Day) -> OriginRegistry {
+        let weights: Vec<u64> = DomainCategory::WEIGHTED.iter().map(|&(_, w)| w).collect();
+        let sampler = WeightedIndex::from_counts(&weights);
+        let mut domains = Vec::with_capacity(n);
+        for i in 0..n {
+            let (category, _) = DomainCategory::WEIGHTED[sampler.sample(rng)];
+            let name = format!("{}{}.example", category.slug(), i);
+            domains.push(OriginDomain {
+                name,
+                category,
+                first_crawled: Day::sample_between(rng, crawl_lo, crawl_hi),
+            });
+        }
+        OriginRegistry { domains }
+    }
+
+    /// All domains.
+    pub fn domains(&self) -> &[OriginDomain] {
+        &self.domains
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Domain by index.
+    pub fn get(&self, i: usize) -> &OriginDomain {
+        &self.domains[i]
+    }
+
+    /// Samples a domain index, biased by a mild popularity skew (porn
+    /// aggregators host disproportionately many of the stolen images).
+    pub fn sample_source(&self, rng: &mut StdRng) -> usize {
+        assert!(!self.domains.is_empty(), "empty registry");
+        // Mild Zipf-ish skew over indices without building a table:
+        // quadratic transform of a uniform pushes mass to low indices.
+        let u: f64 = rng.gen();
+        let t = u * u;
+        ((t * self.domains.len() as f64) as usize).min(self.domains.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthrand::rng_from_seed;
+
+    fn registry(n: usize) -> OriginRegistry {
+        let mut rng = rng_from_seed(4);
+        OriginRegistry::generate(
+            &mut rng,
+            n,
+            Day::from_ymd(2006, 1, 1),
+            Day::from_ymd(2019, 3, 1),
+        )
+    }
+
+    #[test]
+    fn porn_is_the_dominant_category() {
+        let reg = registry(5000);
+        let porn = reg
+            .domains()
+            .iter()
+            .filter(|d| d.category == DomainCategory::Porn)
+            .count();
+        let share = porn as f64 / reg.len() as f64;
+        // Table 6 mass for porn-like tags ≈ 2100/5880 ≈ 36%.
+        assert!((0.30..0.42).contains(&share), "porn share {share}");
+    }
+
+    #[test]
+    fn every_category_appears_at_scale() {
+        use std::collections::HashSet;
+        let reg = registry(5000);
+        let cats: HashSet<_> = reg.domains().iter().map(|d| d.category).collect();
+        assert_eq!(cats.len(), DomainCategory::WEIGHTED.len());
+    }
+
+    #[test]
+    fn names_are_unique_and_slugged() {
+        use std::collections::HashSet;
+        let reg = registry(1000);
+        let names: HashSet<_> = reg.domains().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), 1000);
+        assert!(reg.domains().iter().all(|d| d.name.ends_with(".example")));
+    }
+
+    #[test]
+    fn crawl_dates_inside_window() {
+        let reg = registry(500);
+        let lo = Day::from_ymd(2006, 1, 1);
+        let hi = Day::from_ymd(2019, 3, 1);
+        assert!(reg
+            .domains()
+            .iter()
+            .all(|d| d.first_crawled >= lo && d.first_crawled <= hi));
+    }
+
+    #[test]
+    fn sampling_is_skewed_to_low_indices() {
+        let reg = registry(1000);
+        let mut rng = rng_from_seed(9);
+        let n = 20_000;
+        let low = (0..n)
+            .filter(|_| reg.sample_source(&mut rng) < 250)
+            .count();
+        // Quadratic skew: P(index < 25%) = sqrt(0.25) = 50%.
+        let share = low as f64 / n as f64;
+        assert!((share - 0.5).abs() < 0.03, "low-quartile share {share}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = registry(100);
+        let b = registry(100);
+        assert!(a
+            .domains()
+            .iter()
+            .zip(b.domains())
+            .all(|(x, y)| x.name == y.name && x.category == y.category));
+    }
+}

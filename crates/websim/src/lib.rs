@@ -1,0 +1,28 @@
+//! Simulated web substrate.
+//!
+//! The paper's crawler pulls previews from image-sharing sites and packs
+//! from cloud-storage services (§4.2, Tables 3 & 4), observing that "many
+//! files and images had been deleted", that some sites are defunct (oron,
+//! minus), that others wall content behind registration (Dropbox, Google
+//! Drive — not crawled for ToS reasons), and that ToS-violating content is
+//! replaced by removal banners. This crate models that world:
+//!
+//! * [`SiteCatalog`] — the hosting sites with paper-calibrated popularity
+//!   weights and per-site behaviour (link rot, ToS takedowns, registration
+//!   walls, defunct status);
+//! * [`WebStore`] — URL → hosted object, with upload dates and link
+//!   lifecycle; [`WebStore::fetch`] reproduces crawler-visible semantics;
+//! * [`domains`] — the registry of *origin* domains (porn sites, social
+//!   networks, blogs, …) that pack material is stolen from, used by the
+//!   reverse-search index and the §4.5 provenance analysis.
+//!
+//! The store is populated by `worldgen`; this crate defines structure and
+//! semantics only.
+
+pub mod domains;
+pub mod sites;
+pub mod store;
+
+pub use domains::{DomainCategory, OriginDomain, OriginRegistry};
+pub use sites::{Site, SiteCatalog, SiteKind};
+pub use store::{FetchOutcome, HostedObject, LinkState, StoredImage, WebStore};

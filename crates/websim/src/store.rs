@@ -1,0 +1,331 @@
+//! The hosted-object store and crawler-visible fetch semantics.
+
+use crate::sites::{Site, SiteCatalog, SiteKind};
+use imagesim::{ImageClass, ImageSpec, Transform};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use synthrand::Day;
+use textkit::Url;
+
+/// An image as actually hosted: the original spec plus the modification the
+/// uploader applied (watermarks, mirrors, …). Rendering applies the
+/// transform, exactly like downloading the edited file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoredImage {
+    /// The underlying image.
+    pub spec: ImageSpec,
+    /// Modification baked into the hosted copy.
+    pub transform: Transform,
+}
+
+impl StoredImage {
+    /// An unmodified hosted copy.
+    pub fn pristine(spec: ImageSpec) -> StoredImage {
+        StoredImage {
+            spec,
+            transform: Transform::Identity,
+        }
+    }
+
+    /// Renders the hosted bytes (spec render + transform).
+    pub fn render(&self) -> imagesim::Bitmap {
+        self.transform.apply(&self.spec.render())
+    }
+}
+
+/// What a URL points at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HostedObject {
+    /// A single image (preview or proof-of-earnings).
+    Image(StoredImage),
+    /// A pack archive: images plus the depicted model's id.
+    Pack {
+        /// Archive contents in order.
+        images: Vec<StoredImage>,
+    },
+}
+
+/// Lifecycle state of a hosted link at crawl time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkState {
+    /// Fetchable.
+    Live,
+    /// Rotted (expired free-account lifetime, deleted by uploader, …).
+    Dead,
+    /// Removed for Terms-of-Service violations.
+    TosRemoved,
+}
+
+/// One hosted entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostedEntry {
+    /// The object behind the URL.
+    pub object: HostedObject,
+    /// Upload date (needed for §4.5 seen-before analysis).
+    pub uploaded: Day,
+    /// Lifecycle state.
+    pub state: LinkState,
+}
+
+/// What a crawler sees when fetching a URL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchOutcome {
+    /// A live single image.
+    Image(StoredImage),
+    /// A live pack archive.
+    Pack(Vec<StoredImage>),
+    /// The host serves a removal banner *image* (image-sharing sites do
+    /// this; it is downloaded and later classified SFV by the pipeline).
+    RemovalBanner(StoredImage),
+    /// HTTP-level failure: rotted link, defunct site, or unknown URL.
+    NotFound,
+    /// Content exists but sits behind a registration wall; the ethical
+    /// crawler does not proceed (§4.2).
+    RegistrationRequired,
+}
+
+/// URL → hosted entry, with site-aware fetch semantics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WebStore {
+    entries: HashMap<Url, HostedEntry>,
+}
+
+impl WebStore {
+    /// An empty store.
+    pub fn new() -> WebStore {
+        WebStore::default()
+    }
+
+    /// Hosts `object` at `url`. Returns the previous entry if overwritten.
+    pub fn host(
+        &mut self,
+        url: Url,
+        object: HostedObject,
+        uploaded: Day,
+        state: LinkState,
+    ) -> Option<HostedEntry> {
+        self.entries.insert(
+            url,
+            HostedEntry {
+                object,
+                uploaded,
+                state,
+            },
+        )
+    }
+
+    /// Number of hosted entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is hosted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Direct entry access (for ground-truth evaluation).
+    pub fn entry(&self, url: &Url) -> Option<&HostedEntry> {
+        self.entries.get(url)
+    }
+
+    /// Fetches `url` as the crawler would, honouring site behaviour.
+    pub fn fetch(&self, catalog: &SiteCatalog, url: &Url) -> FetchOutcome {
+        let site: Option<&Site> = catalog.lookup(&url.domain());
+        if let Some(site) = site {
+            if site.defunct {
+                return FetchOutcome::NotFound;
+            }
+            if site.registration_wall {
+                return FetchOutcome::RegistrationRequired;
+            }
+        }
+        let Some(entry) = self.entries.get(url) else {
+            return FetchOutcome::NotFound;
+        };
+        match entry.state {
+            LinkState::Dead => FetchOutcome::NotFound,
+            LinkState::TosRemoved => match (&entry.object, site.map(|s| s.kind)) {
+                // Image hosts serve a removal banner; cloud hosts 404.
+                (HostedObject::Image(_), Some(SiteKind::ImageSharing) | None) => {
+                    FetchOutcome::RemovalBanner(StoredImage::pristine(ImageSpec::of(
+                        ImageClass::ErrorBanner,
+                        url_banner_seed(url),
+                    )))
+                }
+                _ => FetchOutcome::NotFound,
+            },
+            LinkState::Live => match &entry.object {
+                HostedObject::Image(img) => FetchOutcome::Image(*img),
+                HostedObject::Pack { images } => FetchOutcome::Pack(images.clone()),
+            },
+        }
+    }
+
+    /// Iterates all hosted URLs (ground truth / index building).
+    pub fn urls(&self) -> impl Iterator<Item = &Url> {
+        self.entries.keys()
+    }
+
+    /// Absorbs another store (used to combine stores populated by
+    /// independent generators). Panics if any URL exists in both — the
+    /// generators partition the URL space by path prefix.
+    pub fn merge(&mut self, other: WebStore) {
+        for (url, entry) in other.entries {
+            let clash = self.entries.insert(url, entry);
+            assert!(clash.is_none(), "URL hosted by two generators");
+        }
+    }
+}
+
+/// Deterministic banner variation per URL.
+fn url_banner_seed(url: &Url) -> u64 {
+    let mut h: u64 = 0x811C_9DC5;
+    for b in url.host.bytes().chain(url.path.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagesim::ImageClass;
+
+    fn day() -> Day {
+        Day::from_ymd(2015, 5, 5)
+    }
+
+    fn image(variant: u64) -> StoredImage {
+        StoredImage::pristine(ImageSpec::model_photo(ImageClass::ModelNude, 3, variant))
+    }
+
+    #[test]
+    fn live_image_fetches() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("imgur.com", "/abc");
+        store.host(url.clone(), HostedObject::Image(image(1)), day(), LinkState::Live);
+        assert!(matches!(store.fetch(&catalog, &url), FetchOutcome::Image(_)));
+    }
+
+    #[test]
+    fn live_pack_fetches_contents() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("mediafire.com", "/f/p1");
+        store.host(
+            url.clone(),
+            HostedObject::Pack {
+                images: vec![image(1), image(2)],
+            },
+            day(),
+            LinkState::Live,
+        );
+        match store.fetch(&catalog, &url) {
+            FetchOutcome::Pack(images) => assert_eq!(images.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_links_404() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("imgur.com", "/gone");
+        store.host(url.clone(), HostedObject::Image(image(1)), day(), LinkState::Dead);
+        assert_eq!(store.fetch(&catalog, &url), FetchOutcome::NotFound);
+    }
+
+    #[test]
+    fn unknown_url_404s() {
+        let store = WebStore::new();
+        assert_eq!(
+            store.fetch(&SiteCatalog::new(), &Url::new("imgur.com", "/nope")),
+            FetchOutcome::NotFound
+        );
+    }
+
+    #[test]
+    fn tos_removed_image_serves_banner() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("imgur.com", "/removed");
+        store.host(
+            url.clone(),
+            HostedObject::Image(image(1)),
+            day(),
+            LinkState::TosRemoved,
+        );
+        match store.fetch(&catalog, &url) {
+            FetchOutcome::RemovalBanner(img) => {
+                assert_eq!(img.spec.class, ImageClass::ErrorBanner)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tos_removed_pack_404s() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("mediafire.com", "/f/removed");
+        store.host(
+            url.clone(),
+            HostedObject::Pack { images: vec![image(1)] },
+            day(),
+            LinkState::TosRemoved,
+        );
+        assert_eq!(store.fetch(&catalog, &url), FetchOutcome::NotFound);
+    }
+
+    #[test]
+    fn defunct_site_404s_even_when_hosted() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("oron.com", "/f/old");
+        store.host(url.clone(), HostedObject::Image(image(1)), day(), LinkState::Live);
+        assert_eq!(store.fetch(&catalog, &url), FetchOutcome::NotFound);
+    }
+
+    #[test]
+    fn registration_wall_blocks_crawl() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("dropbox.com", "/s/pack");
+        store.host(
+            url.clone(),
+            HostedObject::Pack { images: vec![image(1)] },
+            day(),
+            LinkState::Live,
+        );
+        assert_eq!(
+            store.fetch(&catalog, &url),
+            FetchOutcome::RegistrationRequired
+        );
+    }
+
+    #[test]
+    fn subdomains_resolve_to_site_behaviour() {
+        let catalog = SiteCatalog::new();
+        let mut store = WebStore::new();
+        let url = Url::new("i.imgur.com", "/direct");
+        store.host(url.clone(), HostedObject::Image(image(2)), day(), LinkState::Live);
+        assert!(matches!(store.fetch(&catalog, &url), FetchOutcome::Image(_)));
+    }
+
+    #[test]
+    fn stored_image_render_applies_transform() {
+        let s = image(5);
+        let mirrored = StoredImage {
+            spec: s.spec,
+            transform: Transform::MirrorHorizontal,
+        };
+        assert_ne!(s.render(), mirrored.render());
+        assert_eq!(
+            mirrored.render(),
+            Transform::MirrorHorizontal.apply(&s.spec.render())
+        );
+    }
+}

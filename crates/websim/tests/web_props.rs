@@ -1,0 +1,98 @@
+//! Property tests over the simulated web: fetch semantics are total and
+//! consistent with site behaviour for arbitrary hosted content.
+
+use imagesim::{ImageClass, ImageSpec};
+use proptest::prelude::*;
+use synthrand::Day;
+use websim::{
+    FetchOutcome, HostedObject, LinkState, SiteCatalog, SiteKind, StoredImage, WebStore,
+};
+
+fn any_state() -> impl Strategy<Value = LinkState> {
+    prop_oneof![
+        Just(LinkState::Live),
+        Just(LinkState::Dead),
+        Just(LinkState::TosRemoved),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever is hosted wherever, fetch never panics and the outcome is
+    /// consistent with the site's behaviour flags and link state.
+    #[test]
+    fn fetch_semantics_are_consistent(
+        site_idx in 0usize..30,
+        is_pack in any::<bool>(),
+        state in any_state(),
+        path_seed in 0u64..1_000_000,
+    ) {
+        let catalog = SiteCatalog::new();
+        let all: Vec<&str> = catalog.all_domains();
+        let domain = all[site_idx % all.len()];
+        let site = catalog.lookup(domain).unwrap();
+
+        let mut store = WebStore::new();
+        let url = textkit::Url::new(domain, format!("/p/{path_seed:x}"));
+        let image = StoredImage::pristine(ImageSpec::of(ImageClass::Document, path_seed));
+        let object = if is_pack {
+            HostedObject::Pack { images: vec![image] }
+        } else {
+            HostedObject::Image(image)
+        };
+        store.host(url.clone(), object, Day::from_ymd(2015, 1, 1), state);
+
+        let outcome = store.fetch(&catalog, &url);
+        if site.defunct {
+            prop_assert_eq!(outcome, FetchOutcome::NotFound);
+        } else if site.registration_wall {
+            prop_assert_eq!(outcome, FetchOutcome::RegistrationRequired);
+        } else {
+            match state {
+                LinkState::Dead => prop_assert_eq!(outcome, FetchOutcome::NotFound),
+                LinkState::TosRemoved => {
+                    // Image-sharing sites serve a removal banner for
+                    // single images; cloud hosts 404 everything.
+                    if !is_pack && site.kind == SiteKind::ImageSharing {
+                        prop_assert!(matches!(outcome, FetchOutcome::RemovalBanner(_)));
+                    } else {
+                        prop_assert_eq!(outcome, FetchOutcome::NotFound);
+                    }
+                }
+                LinkState::Live => {
+                    if is_pack {
+                        prop_assert!(matches!(outcome, FetchOutcome::Pack(_)));
+                    } else {
+                        prop_assert!(matches!(outcome, FetchOutcome::Image(_)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merging partitioned stores preserves every entry.
+    #[test]
+    fn merge_preserves_entries(n_a in 0usize..20, n_b in 0usize..20) {
+        let mut a = WebStore::new();
+        let mut b = WebStore::new();
+        for i in 0..n_a {
+            a.host(
+                textkit::Url::new("imgur.com", format!("/a/{i}")),
+                HostedObject::Image(StoredImage::pristine(ImageSpec::of(ImageClass::Meme, i as u64))),
+                Day::from_ymd(2014, 1, 1),
+                LinkState::Live,
+            );
+        }
+        for i in 0..n_b {
+            b.host(
+                textkit::Url::new("imgur.com", format!("/b/{i}")),
+                HostedObject::Image(StoredImage::pristine(ImageSpec::of(ImageClass::Meme, i as u64))),
+                Day::from_ymd(2014, 1, 1),
+                LinkState::Live,
+            );
+        }
+        a.merge(b);
+        prop_assert_eq!(a.len(), n_a + n_b);
+    }
+}

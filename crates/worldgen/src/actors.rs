@@ -1,0 +1,292 @@
+//! Per-actor activity model, calibrated to paper Table 8.
+//!
+//! Table 8 pins the survival function of eWhoring posts per actor
+//! (72 982 actors ≥1 post, 13 014 ≥10, 2 146 ≥50, 815 ≥100, 263 ≥200,
+//! 46 ≥500, 13 ≥1 000), the share of an actor's activity that is
+//! eWhoring-related (≈23% overall, rising with engagement), and the days
+//! actors remain active before/after their eWhoring window. [`CohortTail`]
+//! samples post counts by inverting that empirical survival curve
+//! log-log-interpolated between the published anchors; [`ActorPlan`]
+//! bundles the full per-actor profile.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use synthrand::{Day, Exponential, LogNormal};
+
+/// Survival anchors from Table 8: `(x, P(N ≥ x))` with N = eWhoring posts.
+const SURVIVAL_ANCHORS: &[(f64, f64)] = &[
+    (1.0, 1.0),
+    (10.0, 13_014.0 / 72_982.0),
+    (50.0, 2_146.0 / 72_982.0),
+    (100.0, 815.0 / 72_982.0),
+    (200.0, 263.0 / 72_982.0),
+    (500.0, 46.0 / 72_982.0),
+    (1_000.0, 13.0 / 72_982.0),
+    (2_900.0, 1.0 / 72_982.0),
+];
+
+/// Sampler for eWhoring-post counts per actor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CohortTail;
+
+impl CohortTail {
+    /// Samples a post count ≥ 1 by inverse-transform on the log-log
+    /// interpolated survival curve.
+    pub fn sample(rng: &mut StdRng) -> u32 {
+        let u: f64 = rng.gen_range(SURVIVAL_ANCHORS.last().unwrap().1..1.0);
+        Self::quantile(u)
+    }
+
+    /// The count x with `P(N ≥ x) = u` (log-log interpolation).
+    pub fn quantile(u: f64) -> u32 {
+        debug_assert!(u > 0.0 && u <= 1.0);
+        for w in SURVIVAL_ANCHORS.windows(2) {
+            let (x0, s0) = w[0];
+            let (x1, s1) = w[1];
+            if u <= s0 && u >= s1 {
+                let t = (u.ln() - s0.ln()) / (s1.ln() - s0.ln());
+                let x = (x0.ln() + t * (x1.ln() - x0.ln())).exp();
+                return x.round().max(1.0) as u32;
+            }
+        }
+        SURVIVAL_ANCHORS.last().unwrap().0 as u32
+    }
+
+    /// The survival probability at `x` (for calibration tests).
+    pub fn survival(x: f64) -> f64 {
+        if x <= 1.0 {
+            return 1.0;
+        }
+        for w in SURVIVAL_ANCHORS.windows(2) {
+            let (x0, s0) = w[0];
+            let (x1, s1) = w[1];
+            if x >= x0 && x <= x1 {
+                let t = (x.ln() - x0.ln()) / (x1.ln() - x0.ln());
+                return (s0.ln() + t * (s1.ln() - s0.ln())).exp();
+            }
+        }
+        0.0
+    }
+}
+
+/// A generated actor's activity profile.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ActorPlan {
+    /// eWhoring posts this actor will make.
+    pub n_ewhoring: u32,
+    /// Non-eWhoring posts (other boards).
+    pub n_other: u32,
+    /// First day of eWhoring activity.
+    pub first_ew: Day,
+    /// Last day of eWhoring activity.
+    pub last_ew: Day,
+    /// First post anywhere on the forum.
+    pub first_post: Day,
+    /// Last post anywhere on the forum.
+    pub last_post: Day,
+    /// Registration date (shortly before the first post).
+    pub registered: Day,
+}
+
+impl ActorPlan {
+    /// Draws a full plan.
+    ///
+    /// `forum_first` is the forum's first eWhoring activity; `forum_open`
+    /// the earliest date any board existed; `end` the dataset end.
+    pub fn sample(rng: &mut StdRng, forum_open: Day, forum_first: Day, end: Day) -> ActorPlan {
+        let n_ewhoring = CohortTail::sample(rng);
+
+        // Share of activity that is eWhoring (paper ≈23%, rising with
+        // engagement). Log-normal around an engagement-dependent median.
+        let median = 0.16 * (1.0 + 0.12 * f64::from(n_ewhoring).ln_1p());
+        let pct = LogNormal::from_median(median, 0.55)
+            .sample(rng)
+            .clamp(0.03, 0.95);
+        let n_other = ((f64::from(n_ewhoring) * (1.0 - pct) / pct).round() as u32).min(4_000);
+
+        // eWhoring window: start uniform over the forum's eWhoring era,
+        // duration growing with engagement.
+        let span_budget = end.days_since(forum_first).max(40);
+        // Activity grows over the forum's lifetime (the paper's Figure 3
+        // shows proof volume concentrated after 2014), so entry dates are
+        // biased towards later years.
+        let u: f64 = rng.gen();
+        let start_offset =
+            (f64::from(span_budget.saturating_sub(30).max(1)) * u.powf(0.5)) as u32;
+        let first_ew = forum_first.plus_days(start_offset);
+        let span = if n_ewhoring <= 1 {
+            0
+        } else {
+            let mean = 20.0 + 2.0 * f64::from(n_ewhoring).min(600.0);
+            (Exponential::from_mean(mean).sample(rng) as u32).min(end.days_since(first_ew))
+        };
+        let last_ew = first_ew.plus_days(span);
+
+        // Days active before/after the eWhoring window (Table 8 means:
+        // ~165 before, shrinking after for heavy posters).
+        let before = Exponential::from_mean(170.0).sample(rng) as u32;
+        let after_mean = 500.0 / (1.0 + f64::from(n_ewhoring).ln_1p() / 2.5);
+        let after = Exponential::from_mean(after_mean).sample(rng) as u32;
+
+        let first_post = Day(first_ew.0.saturating_sub(before).max(forum_open.0));
+        let last_post = Day((last_ew.0 + after).min(end.0)).max(last_ew);
+        let registered = Day(first_post.0.saturating_sub(rng.gen_range(0..30)));
+
+        ActorPlan {
+            n_ewhoring,
+            n_other,
+            first_ew,
+            last_ew,
+            first_post,
+            last_post,
+            registered,
+        }
+    }
+
+    /// Days active before the first eWhoring post.
+    pub fn days_before(&self) -> u32 {
+        self.first_ew.days_since(self.first_post)
+    }
+
+    /// Days active after the last eWhoring post.
+    pub fn days_after(&self) -> u32 {
+        self.last_post.days_since(self.last_ew)
+    }
+
+    /// Fraction of this actor's posts that are eWhoring-related.
+    pub fn pct_ewhoring(&self) -> f64 {
+        f64::from(self.n_ewhoring) / f64::from(self.n_ewhoring + self.n_other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthrand::rng_from_seed;
+
+    #[test]
+    fn survival_matches_anchors_exactly() {
+        assert!((CohortTail::survival(10.0) - 13_014.0 / 72_982.0).abs() < 1e-12);
+        assert!((CohortTail::survival(100.0) - 815.0 / 72_982.0).abs() < 1e-12);
+        assert_eq!(CohortTail::survival(0.5), 1.0);
+    }
+
+    #[test]
+    fn sampled_cohorts_match_table8_shares() {
+        let mut rng = rng_from_seed(8);
+        let n = 80_000;
+        let counts: Vec<u32> = (0..n).map(|_| CohortTail::sample(&mut rng)).collect();
+        let ge = |x: u32| counts.iter().filter(|&&c| c >= x).count() as f64 / n as f64;
+        // ~82% of actors make fewer than 10 posts (paper: "Most of these
+        // (~80%) made less than 10 posts").
+        assert!((ge(10) - 0.178).abs() < 0.012, "P(≥10) = {}", ge(10));
+        assert!((ge(50) - 0.0294).abs() < 0.005, "P(≥50) = {}", ge(50));
+        assert!((ge(500) - 0.00063).abs() < 0.0006, "P(≥500) = {}", ge(500));
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn mean_posts_near_paper_average() {
+        // Paper: 626 784 posts / 72 982 actors ≈ 8.6 per actor.
+        let mut rng = rng_from_seed(9);
+        let n = 60_000;
+        let mean: f64 = (0..n).map(|_| CohortTail::sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((6.0..11.5).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut last = u32::MAX;
+        for i in 1..100 {
+            let u = i as f64 / 100.0;
+            let q = CohortTail::quantile(u);
+            assert!(q <= last, "quantile must fall as u rises");
+            last = q;
+        }
+        assert_eq!(CohortTail::quantile(1.0), 1);
+    }
+
+    fn plan(seed: u64) -> ActorPlan {
+        let mut rng = rng_from_seed(seed);
+        ActorPlan::sample(
+            &mut rng,
+            Day::from_ymd(2005, 1, 1),
+            Day::from_ymd(2008, 11, 1),
+            Day::from_ymd(2019, 3, 31),
+        )
+    }
+
+    #[test]
+    fn plan_dates_are_ordered() {
+        for seed in 0..200 {
+            let p = plan(seed);
+            assert!(p.registered <= p.first_post, "seed {seed}");
+            assert!(p.first_post <= p.first_ew, "seed {seed}");
+            assert!(p.first_ew <= p.last_ew, "seed {seed}");
+            assert!(p.last_ew <= p.last_post, "seed {seed}");
+            assert!(p.last_post <= Day::from_ymd(2019, 3, 31), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pct_ewhoring_is_plausible() {
+        let mut rng = rng_from_seed(10);
+        let plans: Vec<ActorPlan> = (0..5_000)
+            .map(|_| {
+                ActorPlan::sample(
+                    &mut rng,
+                    Day::from_ymd(2005, 1, 1),
+                    Day::from_ymd(2008, 11, 1),
+                    Day::from_ymd(2019, 3, 31),
+                )
+            })
+            .collect();
+        let mean_pct: f64 =
+            plans.iter().map(ActorPlan::pct_ewhoring).sum::<f64>() / plans.len() as f64;
+        // Paper Table 8: overall ~23% of activity is eWhoring.
+        assert!((0.17..0.32).contains(&mean_pct), "mean pct {mean_pct}");
+    }
+
+    #[test]
+    fn days_before_mean_is_months_not_years() {
+        let mut rng = rng_from_seed(11);
+        let mean: f64 = (0..5_000)
+            .map(|_| {
+                ActorPlan::sample(
+                    &mut rng,
+                    Day::from_ymd(2005, 1, 1),
+                    Day::from_ymd(2008, 11, 1),
+                    Day::from_ymd(2019, 3, 31),
+                )
+                .days_before() as f64
+            })
+            .sum::<f64>()
+            / 5_000.0;
+        // Paper: actors spend ~165 days in the forum before eWhoring.
+        assert!((110.0..230.0).contains(&mean), "mean before {mean}");
+    }
+
+    #[test]
+    fn heavy_posters_get_longer_ew_spans() {
+        let mut rng = rng_from_seed(12);
+        let mut small = Vec::new();
+        let mut big = Vec::new();
+        for _ in 0..20_000 {
+            let p = ActorPlan::sample(
+                &mut rng,
+                Day::from_ymd(2005, 1, 1),
+                Day::from_ymd(2008, 11, 1),
+                Day::from_ymd(2019, 3, 31),
+            );
+            let span = p.last_ew.days_since(p.first_ew) as f64;
+            if p.n_ewhoring >= 50 {
+                big.push(span);
+            } else if p.n_ewhoring <= 3 {
+                small.push(span);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(avg(&big) > avg(&small) * 2.0, "{} vs {}", avg(&big), avg(&small));
+    }
+}

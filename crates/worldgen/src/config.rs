@@ -1,0 +1,258 @@
+//! World configuration and per-forum calibration targets (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+use synthrand::Day;
+
+/// Calibration profile of one forum, from paper Table 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ForumProfile {
+    /// Forum display name.
+    pub name: &'static str,
+    /// eWhoring-related threads at scale 1.0.
+    pub threads: u32,
+    /// eWhoring-related posts at scale 1.0.
+    pub posts: u32,
+    /// Threads Offering Packs at scale 1.0.
+    pub tops: u32,
+    /// Actors participating in eWhoring threads at scale 1.0.
+    pub actors: u32,
+    /// First eWhoring post (year, month).
+    pub first_post: (i32, u32),
+    /// Whether the forum has a dedicated eWhoring board (Hackforums). On
+    /// other forums, eWhoring threads are only discoverable through the
+    /// `ewhor`/`e-whor` heading keywords, so their headings always carry
+    /// one.
+    pub has_ewhoring_board: bool,
+    /// Whether moderators remove pack/preview threads (BlackHatWorld bans
+    /// eWhoring; Table 1 shows 0 TOPs there).
+    pub tops_removed_by_mods: bool,
+}
+
+/// Table 1, row for row. "Others (4)" is split into four small forums.
+pub const FORUM_PROFILES: &[ForumProfile] = &[
+    ForumProfile {
+        name: "Hackforums",
+        threads: 42_292,
+        posts: 596_827,
+        tops: 4_027,
+        actors: 64_035,
+        first_post: (2008, 11),
+        has_ewhoring_board: true,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "OGUsers",
+        threads: 1_744,
+        posts: 23_974,
+        tops: 76,
+        actors: 5_586,
+        first_post: (2017, 4),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "BlackHatWorld",
+        threads: 258,
+        posts: 2_694,
+        tops: 0,
+        actors: 1_420,
+        first_post: (2008, 4),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: true,
+    },
+    ForumProfile {
+        name: "V3rmillion",
+        threads: 95,
+        posts: 1_348,
+        tops: 6,
+        actors: 697,
+        first_post: (2016, 2),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "MPGH",
+        threads: 62,
+        posts: 922,
+        tops: 12,
+        actors: 341,
+        first_post: (2012, 7),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "RaidForums",
+        threads: 48,
+        posts: 405,
+        tops: 10,
+        actors: 318,
+        first_post: (2015, 3),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "GreySec",
+        threads: 8,
+        posts: 220,
+        tops: 2,
+        actors: 200,
+        first_post: (2015, 5),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "Nulled",
+        threads: 6,
+        posts: 180,
+        tops: 2,
+        actors: 170,
+        first_post: (2015, 8),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "Antichat",
+        threads: 4,
+        posts: 120,
+        tops: 1,
+        actors: 120,
+        first_post: (2016, 1),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+    ForumProfile {
+        name: "Sinister",
+        threads: 3,
+        posts: 94,
+        tops: 1,
+        actors: 95,
+        first_post: (2016, 6),
+        has_ewhoring_board: false,
+        tops_removed_by_mods: false,
+    },
+];
+
+/// World generation parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Root seed; every artefact derives from it.
+    pub seed: u64,
+    /// Linear scale on all corpus-level counts. 1.0 = paper scale.
+    pub scale: f64,
+    /// Number of origin domains the reverse-search index covers at scale
+    /// 1.0 (paper: 5 917 domains resolved).
+    pub origin_domains: u32,
+    /// Known-CSAM images planted in shared packs at scale 1.0 (paper: 36
+    /// PhotoDNA matches).
+    pub csam_images: u32,
+    /// Generate Hackforums side-board activity (interests, Currency
+    /// Exchange, proof-of-earnings). Disable for image-pipeline-only
+    /// benchmarks.
+    pub with_side_boards: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0xE400_2019,
+            scale: 1.0,
+            origin_domains: 5_917,
+            csam_images: 36,
+            with_side_boards: true,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small-scale config for tests (≈2% of paper scale).
+    pub fn test_scale(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            scale: 0.02,
+            origin_domains: 600,
+            csam_images: 8,
+            with_side_boards: true,
+        }
+    }
+
+    /// A mid-scale config for benchmarks (~10%).
+    pub fn bench_scale(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            scale: 0.10,
+            origin_domains: 1_500,
+            csam_images: 16,
+            with_side_boards: true,
+        }
+    }
+
+    /// Scales a paper-calibrated count, keeping at least `min`.
+    pub fn scaled(&self, paper_count: u32, min: u32) -> u32 {
+        (((paper_count as f64) * self.scale).round() as u32).max(min)
+    }
+
+    /// Dataset start (first post overall: 2008-04 on BlackHatWorld per
+    /// Table 1; the first *eWhoring* post is 2008-11 on Hackforums).
+    pub fn dataset_start(&self) -> Day {
+        Day::from_ymd(2008, 4, 1)
+    }
+
+    /// Dataset end (March 2019).
+    pub fn dataset_end(&self) -> Day {
+        Day::from_ymd(2019, 3, 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_sum_to_table1_totals() {
+        let threads: u32 = FORUM_PROFILES.iter().map(|p| p.threads).sum();
+        let posts: u32 = FORUM_PROFILES.iter().map(|p| p.posts).sum();
+        let tops: u32 = FORUM_PROFILES.iter().map(|p| p.tops).sum();
+        let actors: u32 = FORUM_PROFILES.iter().map(|p| p.actors).sum();
+        assert_eq!(threads, 44_520);
+        assert_eq!(posts, 626_784);
+        assert_eq!(tops, 4_137);
+        assert_eq!(actors, 72_982);
+    }
+
+    #[test]
+    fn only_hackforums_has_board_and_only_bhw_removes() {
+        assert_eq!(
+            FORUM_PROFILES
+                .iter()
+                .filter(|p| p.has_ewhoring_board)
+                .count(),
+            1
+        );
+        let bhw: Vec<_> = FORUM_PROFILES
+            .iter()
+            .filter(|p| p.tops_removed_by_mods)
+            .collect();
+        assert_eq!(bhw.len(), 1);
+        assert_eq!(bhw[0].name, "BlackHatWorld");
+        assert_eq!(bhw[0].tops, 0);
+    }
+
+    #[test]
+    fn scaling_rounds_and_clamps() {
+        let cfg = WorldConfig {
+            scale: 0.01,
+            ..WorldConfig::default()
+        };
+        assert_eq!(cfg.scaled(42_292, 1), 423);
+        assert_eq!(cfg.scaled(3, 1), 1);
+        let full = WorldConfig::default();
+        assert_eq!(full.scaled(42_292, 1), 42_292);
+    }
+
+    #[test]
+    fn dataset_span_matches_paper() {
+        let cfg = WorldConfig::default();
+        assert_eq!(cfg.dataset_start().mm_yy(), "04/08");
+        assert_eq!(cfg.dataset_end().mm_yy(), "03/19");
+    }
+}

@@ -1,0 +1,400 @@
+//! Proof-of-earnings fabrication and Currency Exchange activity (paper §5).
+//!
+//! Calibration targets:
+//!
+//! * 661 actors post proofs totalling ≈US$511k (mean ≈US$774, maxima past
+//!   US$20k); higher earners post more proof images (up to 46);
+//! * platform mix over all proofs: AGC 934, PayPal 795, BTC 35, other ≈100,
+//!   with PayPal dominant before ≈2016 and AGC after (Figure 3 crossover);
+//! * ≈60% of proofs itemise transactions, averaging ≈US$41.90 each;
+//! * the Currency Exchange board holds 9 066 threads by 686 actors with
+//!   the Table 7 offered/wanted marginals (BTC the most wanted, AGC far
+//!   more offered than wanted).
+
+use crate::fx::{CurrencyCode, FxTable};
+use crate::truth::{GroundTruth, ProofInfo};
+use crimebb::ActorId;
+use imagesim::{ImageClass, ImageSpec, PaymentPlatform};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use synthrand::{Day, LogNormal, WeightedIndex};
+use websim::{HostedObject, LinkState, SiteCatalog, SiteKind, StoredImage, WebStore};
+
+/// Per-actor earnings state.
+#[derive(Debug, Clone)]
+struct EarnerState {
+    /// USD not yet shown in a posted proof.
+    remaining_usd: f64,
+    /// Proof images still to be posted.
+    remaining_images: u32,
+}
+
+/// Fabricates proof-of-earnings posts and hosts their screenshots.
+pub struct ProofFactory<'w> {
+    catalog: &'w SiteCatalog,
+    web: &'w mut WebStore,
+    fx: &'w FxTable,
+    earners: HashMap<ActorId, EarnerState>,
+    url_counter: u64,
+}
+
+impl<'w> ProofFactory<'w> {
+    /// Creates the factory.
+    pub fn new(catalog: &'w SiteCatalog, web: &'w mut WebStore, fx: &'w FxTable) -> ProofFactory<'w> {
+        ProofFactory {
+            catalog,
+            web,
+            fx,
+            earners: HashMap::new(),
+            url_counter: 0,
+        }
+    }
+
+    /// Number of distinct earners seen so far.
+    pub fn earner_count(&self) -> usize {
+        self.earners.len()
+    }
+
+    fn earner(&mut self, rng: &mut StdRng, actor: ActorId) -> &mut EarnerState {
+        self.earners.entry(actor).or_insert_with(|| {
+            // Median US$250, σ=1.5 → mean ≈ US$770, heavy tail past $20k.
+            let total = LogNormal::from_median(300.0, 1.5).sample(rng).min(45_000.0);
+            // Higher earners post more proofs (Fig. 2 right).
+            let images = (1.0 + total / 400.0 + rng.gen_range(0.0..2.0)).round() as u32;
+            EarnerState {
+                remaining_usd: total,
+                remaining_images: images.min(46),
+            }
+        })
+    }
+
+    /// Platform mix drifting over time: PayPal-dominant early, AGC
+    /// overtaking from 2016 (Figure 3).
+    fn platform(rng: &mut StdRng, date: Day) -> PaymentPlatform {
+        let year = date.year();
+        let (pp, agc, btc, cash) = if year < 2013 {
+            (0.80, 0.08, 0.02, 0.10)
+        } else if year < 2016 {
+            (0.43, 0.50, 0.02, 0.05)
+        } else {
+            (0.10, 0.82, 0.02, 0.06)
+        };
+        let w = WeightedIndex::new(&[pp, agc, btc, cash]);
+        match w.sample(rng) {
+            0 => PaymentPlatform::PayPal,
+            1 => PaymentPlatform::AmazonGiftCard,
+            2 => PaymentPlatform::Bitcoin,
+            _ => PaymentPlatform::Cash,
+        }
+    }
+
+    /// Fabricates up to `max_images` proof posts' worth of content for
+    /// `actor` on `date`. Returns URL lines to embed in the post body, or
+    /// an empty list when the actor has shown everything they will show.
+    pub fn make_proof_lines(
+        &mut self,
+        rng: &mut StdRng,
+        truth: &mut GroundTruth,
+        actor: ActorId,
+        date: Day,
+        max_images: u32,
+    ) -> Vec<String> {
+        let fx = self.fx;
+        let state = self.earner(rng, actor);
+        if state.remaining_images == 0 {
+            return Vec::new();
+        }
+        let n = state.remaining_images.min(max_images).min(1 + rng.gen_range(0..4));
+        let mut lines = Vec::new();
+        for _ in 0..n {
+            let state = self.earners.get_mut(&actor).expect("inserted above");
+            // Slice of the remaining total for this screenshot.
+            let frac = if state.remaining_images <= 1 {
+                1.0
+            } else {
+                rng.gen_range(0.25..0.75)
+            };
+            let amount_usd = (state.remaining_usd * frac).max(1.0);
+            state.remaining_usd -= amount_usd;
+            state.remaining_images -= 1;
+
+            let platform = Self::platform(rng, date);
+            let currency = match platform {
+                PaymentPlatform::Bitcoin => CurrencyCode::Btc,
+                _ => match rng.gen_range(0..10) {
+                    0 => CurrencyCode::Gbp,
+                    1 => CurrencyCode::Eur,
+                    _ => CurrencyCode::Usd,
+                },
+            };
+            // Express the USD value in the display currency of that date.
+            let unit_usd = fx.to_usd(1.0, currency, date);
+            let amount = amount_usd / unit_usd;
+            // ~60% of screenshots itemise transactions (avg ≈ $41.90).
+            let transactions = rng.gen_bool(0.6).then(|| {
+                let per_tx = rng.gen_range(25.0..60.0);
+                ((amount_usd / per_tx).round() as u32).max(1)
+            });
+
+            self.url_counter += 1;
+            let spec = ImageSpec::of(
+                ImageClass::PaymentScreenshot(platform),
+                (actor.0 as u64) << 24 | self.url_counter,
+            );
+            truth.proof_info.insert(
+                spec,
+                ProofInfo {
+                    platform,
+                    currency,
+                    amount,
+                    transactions,
+                    taken: date,
+                    actor,
+                },
+            );
+            *truth.earnings_by_actor.entry(actor).or_insert(0.0) += amount_usd;
+
+            let site = self.catalog.sample(SiteKind::ImageSharing, rng);
+            let url = textkit::Url::new(site.domain, format!("/e/{:06x}", self.url_counter));
+            let state = if rng.gen_bool(site.link_rot * 0.3) {
+                LinkState::Dead
+            } else {
+                LinkState::Live
+            };
+            self.web.host(
+                url.clone(),
+                HostedObject::Image(StoredImage::pristine(spec)),
+                date,
+                state,
+            );
+            lines.push(format!("Proof: {}", url.to_https()));
+        }
+        lines
+    }
+
+    /// Hosts a non-proof image in an earnings context (chat screenshot,
+    /// stray preview, meme) — the material behind the paper's 199
+    /// not-proof downloads and the NSFV-filtered remainder.
+    pub fn make_offtopic_line(&mut self, rng: &mut StdRng, date: Day) -> String {
+        self.url_counter += 1;
+        // Mix calibrated to the paper's funnel: the NSFV filter removed
+        // 299 images (stray previews) while 199 analysed images were
+        // non-proof screenshots/chats — so model imagery slightly
+        // outweighs benign off-topic content.
+        let spec = match rng.gen_range(0..20) {
+            0..=5 => ImageSpec::of(ImageClass::ChatScreenshot, self.url_counter),
+            6 | 7 => ImageSpec::of(ImageClass::Meme, self.url_counter),
+            8 => ImageSpec::of(ImageClass::DirectoryThumbnails, self.url_counter),
+            _ => ImageSpec::model_photo(
+                ImageClass::ModelNude,
+                4_000_000 + (self.url_counter % 10_000) as u32,
+                self.url_counter,
+            ),
+        };
+        let site = self.catalog.sample(SiteKind::ImageSharing, rng);
+        let url = textkit::Url::new(site.domain, format!("/e/{:06x}", self.url_counter));
+        self.web.host(
+            url.clone(),
+            HostedObject::Image(StoredImage::pristine(spec)),
+            date,
+            LinkState::Live,
+        );
+        format!("Screenshot: {}", url.to_https())
+    }
+}
+
+/// The Table 7 joint distribution of Currency Exchange trades,
+/// `(offered, wanted, count)` in [PP, BTC, AGC, ?, OTH] order. Marginals
+/// reproduce the published row/column totals exactly.
+pub const CE_JOINT: &[(usize, usize, u64)] = &[
+    (0, 0, 80), (0, 1, 2700), (0, 2, 180), (0, 3, 640), (0, 4, 107), // PP offered: 3707
+    (1, 0, 2200), (1, 1, 50), (1, 2, 60), (1, 3, 400), (1, 4, 53),   // BTC: 2763
+    (2, 0, 250), (2, 1, 1200), (2, 2, 0), (2, 3, 28), (2, 4, 20),    // AGC: 1498
+    (3, 0, 220), (3, 1, 500), (3, 2, 39), (3, 3, 60), (3, 4, 20),    // ?: 839
+    (4, 0, 51), (4, 1, 176), (4, 2, 31), (4, 3, 0), (4, 4, 1),       // others: 259
+];
+
+/// Currency segment text by index [PP, BTC, AGC, ?, OTH].
+fn segment_text(rng: &mut StdRng, idx: usize) -> String {
+    let amount = rng.gen_range(1..40) * 5;
+    match idx {
+        0 => format!("${amount} PayPal"),
+        1 => format!("{:.3} BTC", f64::from(amount) / 900.0),
+        2 => format!("${amount} Amazon GC"),
+        3 => ["some funds", "balance", "misc tokens", "credits"][rng.gen_range(0..4)].to_string(),
+        _ => format!("${amount} skrill"),
+    }
+}
+
+/// Samples a Currency Exchange heading from the Table 7 joint.
+pub fn ce_heading(rng: &mut StdRng, sampler: &WeightedIndex) -> String {
+    let (offered, wanted, _) = CE_JOINT[sampler.sample(rng)];
+    let h = segment_text(rng, offered);
+    let w = segment_text(rng, wanted);
+    if rng.gen_bool(0.5) {
+        format!("[H] {h} [W] {w}")
+    } else {
+        format!("[W] {w} [H] {h}")
+    }
+}
+
+/// Builds the weighted sampler over [`CE_JOINT`].
+pub fn ce_sampler() -> WeightedIndex {
+    WeightedIndex::from_counts(&CE_JOINT.iter().map(|&(_, _, c)| c).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthrand::rng_from_seed;
+    use textkit::hw::{parse_hw_heading, Currency};
+
+    #[test]
+    fn ce_joint_reproduces_table7_marginals() {
+        let mut offered = [0u64; 5];
+        let mut wanted = [0u64; 5];
+        for &(o, w, c) in CE_JOINT {
+            offered[o] += c;
+            wanted[w] += c;
+        }
+        assert_eq!(offered, [3707, 2763, 1498, 839, 259]);
+        assert_eq!(wanted, [2801, 4626, 310, 1128, 201]);
+        assert_eq!(offered.iter().sum::<u64>(), 9066);
+    }
+
+    #[test]
+    fn ce_headings_parse_back_to_sampled_currencies() {
+        let mut rng = rng_from_seed(20);
+        let sampler = ce_sampler();
+        let mut btc_wanted = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let h = ce_heading(&mut rng, &sampler);
+            let trade = parse_hw_heading(&h).expect("tags always present");
+            if trade.wanted == Currency::Btc {
+                btc_wanted += 1;
+            }
+        }
+        let share = f64::from(btc_wanted) / f64::from(n);
+        // BTC is wanted in 4626/9066 ≈ 51% of trades.
+        assert!((share - 0.51).abs() < 0.05, "BTC-wanted share {share}");
+    }
+
+    fn fixture() -> (SiteCatalog, WebStore, FxTable) {
+        (SiteCatalog::new(), WebStore::new(), FxTable::new())
+    }
+
+    #[test]
+    fn earner_totals_match_calibration() {
+        let (catalog, mut web, fx) = fixture();
+        let mut factory = ProofFactory::new(&catalog, &mut web, &fx);
+        let mut truth = GroundTruth::default();
+        let mut rng = rng_from_seed(21);
+        // Drain 400 earners completely.
+        for a in 0..400u32 {
+            let actor = ActorId(a);
+            for round in 0..60 {
+                let lines = factory.make_proof_lines(
+                    &mut rng,
+                    &mut truth,
+                    actor,
+                    Day::from_ymd(2016, 1, 1).plus_days(round * 7),
+                    3,
+                );
+                if lines.is_empty() {
+                    break;
+                }
+            }
+        }
+        let totals: Vec<f64> = truth.earnings_by_actor.values().copied().collect();
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        // Paper: mean US$774 per proof-posting actor.
+        assert!((450.0..1_200.0).contains(&mean), "mean {mean}");
+        let max = totals.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 5_000.0, "max {max} lacks a heavy tail");
+    }
+
+    #[test]
+    fn platform_mix_crosses_over_in_2016() {
+        let mut rng = rng_from_seed(22);
+        let mut count = |year: i32| {
+            let mut pp = 0;
+            let mut agc = 0;
+            for _ in 0..2000 {
+                match ProofFactory::platform(&mut rng, Day::from_ymd(year, 6, 1)) {
+                    PaymentPlatform::PayPal => pp += 1,
+                    PaymentPlatform::AmazonGiftCard => agc += 1,
+                    _ => {}
+                }
+            }
+            (pp, agc)
+        };
+        let (pp12, agc12) = count(2012);
+        let (pp18, agc18) = count(2018);
+        assert!(pp12 > agc12 * 3, "2012: PP {pp12} vs AGC {agc12}");
+        assert!(agc18 > pp18, "2018: PP {pp18} vs AGC {agc18}");
+    }
+
+    #[test]
+    fn proofs_register_truth_and_web_objects() {
+        let (catalog, mut web, fx) = fixture();
+        let mut truth = GroundTruth::default();
+        {
+            let mut factory = ProofFactory::new(&catalog, &mut web, &fx);
+            let mut rng = rng_from_seed(23);
+            let lines = factory.make_proof_lines(
+                &mut rng,
+                &mut truth,
+                ActorId(7),
+                Day::from_ymd(2017, 5, 1),
+                3,
+            );
+            assert!(!lines.is_empty());
+            assert_eq!(factory.earner_count(), 1);
+        }
+        assert!(!truth.proof_info.is_empty());
+        assert!(!web.is_empty());
+        for info in truth.proof_info.values() {
+            assert!(info.amount > 0.0);
+            assert_eq!(info.actor, ActorId(7));
+        }
+    }
+
+    #[test]
+    fn transaction_counts_imply_paper_average() {
+        let (catalog, mut web, fx) = fixture();
+        let mut truth = GroundTruth::default();
+        let mut factory = ProofFactory::new(&catalog, &mut web, &fx);
+        let mut rng = rng_from_seed(24);
+        for a in 0..300u32 {
+            factory.make_proof_lines(
+                &mut rng,
+                &mut truth,
+                ActorId(a),
+                Day::from_ymd(2016, 7, 1),
+                3,
+            );
+        }
+        let (mut usd_sum, mut tx_sum) = (0.0, 0u32);
+        for info in truth.proof_info.values() {
+            if let Some(tx) = info.transactions {
+                usd_sum += fx.to_usd(info.amount, info.currency, info.taken);
+                tx_sum += tx;
+            }
+        }
+        let avg = usd_sum / f64::from(tx_sum.max(1));
+        // Paper: average US$41.90 per transaction.
+        assert!((25.0..60.0).contains(&avg), "avg per tx {avg}");
+    }
+
+    #[test]
+    fn offtopic_lines_host_non_proof_content() {
+        let (catalog, mut web, fx) = fixture();
+        let mut factory = ProofFactory::new(&catalog, &mut web, &fx);
+        let mut rng = rng_from_seed(25);
+        let line = factory.make_offtopic_line(&mut rng, Day::from_ymd(2016, 1, 1));
+        assert!(line.contains("https://"));
+        assert_eq!(web.len(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Historical exchange rates (synthetic but time-varying).
+//!
+//! §5.1 converts proof-of-earnings amounts to USD "using a historical
+//! exchange rate list to get the corresponding rate when the transaction
+//! was performed". This table provides monthly USD rates for the currencies
+//! appearing in proofs. Fiat rates wander mildly around realistic levels;
+//! BTC follows a stylised 2011–2019 trajectory (growth, the 2017 bubble,
+//! the 2018 crash) so that date-sensitive conversion is actually exercised.
+
+use serde::{Deserialize, Serialize};
+use synthrand::Day;
+
+/// Currencies appearing in proof-of-earnings images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CurrencyCode {
+    /// US dollar (identity rate).
+    Usd,
+    /// Pound sterling.
+    Gbp,
+    /// Euro.
+    Eur,
+    /// Bitcoin.
+    Btc,
+}
+
+impl CurrencyCode {
+    /// Display code.
+    pub fn code(self) -> &'static str {
+        match self {
+            CurrencyCode::Usd => "USD",
+            CurrencyCode::Gbp => "GBP",
+            CurrencyCode::Eur => "EUR",
+            CurrencyCode::Btc => "BTC",
+        }
+    }
+}
+
+/// Monthly USD-per-unit rate table, 2008-01 through 2019-12.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FxTable {
+    /// month_index (year*12+month-1) of the first entry.
+    first_month: i32,
+    /// Rows: [GBP, EUR, BTC] USD rates per month.
+    rows: Vec<[f64; 3]>,
+}
+
+impl Default for FxTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FxTable {
+    /// Builds the 2008–2019 table.
+    pub fn new() -> FxTable {
+        let first_month = 2008 * 12; // January 2008
+        let months = 12 * 12; // through December 2019
+        let mut rows = Vec::with_capacity(months);
+        for m in 0..months {
+            let t = m as f64;
+            // GBP: ~1.95 in 2008 sliding to ~1.30 by 2019 with a wobble.
+            let gbp = 1.95 - 0.0045 * t + 0.06 * (t / 7.0).sin();
+            // EUR: ~1.47 to ~1.12.
+            let eur = 1.47 - 0.0024 * t + 0.05 * (t / 9.0).cos();
+            // BTC (USD per BTC): worthless pre-2010, exponential growth,
+            // 2017 bubble (month index ~119 = Dec 2017), 2018 crash.
+            let btc = btc_rate(m as i32);
+            rows.push([gbp, eur, btc]);
+        }
+        FxTable { first_month, rows }
+    }
+
+    /// USD value of `amount` units of `currency` on `date`.
+    ///
+    /// Dates outside the table clamp to its edges (the paper's dataset ends
+    /// 2019-03, so clamping never distorts in-range data).
+    pub fn to_usd(&self, amount: f64, currency: CurrencyCode, date: Day) -> f64 {
+        match currency {
+            CurrencyCode::Usd => amount,
+            _ => {
+                let idx = (date.month_index() - self.first_month)
+                    .clamp(0, self.rows.len() as i32 - 1) as usize;
+                let row = self.rows[idx];
+                let rate = match currency {
+                    CurrencyCode::Gbp => row[0],
+                    CurrencyCode::Eur => row[1],
+                    CurrencyCode::Btc => row[2],
+                    CurrencyCode::Usd => unreachable!(),
+                };
+                amount * rate
+            }
+        }
+    }
+}
+
+/// Stylised BTC/USD by month index since 2008-01.
+fn btc_rate(m: i32) -> f64 {
+    // Key points: ~$0.1 (2010), ~$13 (Jan 2013), ~$800 (Jan 2014),
+    // ~$430 (Jan 2016), ~$14k (Jan 2018 peak), ~$3.8k (Jan 2019).
+    let anchors: [(i32, f64); 8] = [
+        (24, 0.01),   // 2010-01
+        (48, 1.0),    // 2012-01
+        (60, 13.0),   // 2013-01
+        (72, 800.0),  // 2014-01
+        (96, 430.0),  // 2016-01
+        (119, 19_000.0), // 2017-12
+        (132, 3_800.0),  // 2019-01
+        (143, 7_200.0),  // 2019-12
+    ];
+    if m <= anchors[0].0 {
+        return anchors[0].1;
+    }
+    for w in anchors.windows(2) {
+        let (m0, v0) = w[0];
+        let (m1, v1) = w[1];
+        if m <= m1 {
+            // Log-linear interpolation.
+            let t = f64::from(m - m0) / f64::from(m1 - m0);
+            return (v0.ln() + t * (v1.ln() - v0.ln())).exp();
+        }
+    }
+    anchors[anchors.len() - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32) -> Day {
+        Day::from_ymd(y, m, 15)
+    }
+
+    #[test]
+    fn usd_is_identity() {
+        let fx = FxTable::new();
+        assert_eq!(fx.to_usd(123.45, CurrencyCode::Usd, d(2015, 6)), 123.45);
+    }
+
+    #[test]
+    fn gbp_is_worth_more_than_eur_throughout() {
+        let fx = FxTable::new();
+        for y in 2009..=2018 {
+            let gbp = fx.to_usd(1.0, CurrencyCode::Gbp, d(y, 6));
+            let eur = fx.to_usd(1.0, CurrencyCode::Eur, d(y, 6));
+            assert!(gbp > eur, "{y}: GBP {gbp} vs EUR {eur}");
+            assert!((1.0..2.2).contains(&gbp));
+            assert!((0.9..1.7).contains(&eur));
+        }
+    }
+
+    #[test]
+    fn fiat_rates_decline_over_the_decade() {
+        let fx = FxTable::new();
+        assert!(
+            fx.to_usd(1.0, CurrencyCode::Gbp, d(2008, 6))
+                > fx.to_usd(1.0, CurrencyCode::Gbp, d(2018, 6))
+        );
+    }
+
+    #[test]
+    fn btc_trajectory_has_bubble_and_crash() {
+        let fx = FxTable::new();
+        let b2012 = fx.to_usd(1.0, CurrencyCode::Btc, d(2012, 1));
+        let b2014 = fx.to_usd(1.0, CurrencyCode::Btc, d(2014, 1));
+        let peak = fx.to_usd(1.0, CurrencyCode::Btc, d(2017, 12));
+        let crash = fx.to_usd(1.0, CurrencyCode::Btc, d(2019, 1));
+        assert!(b2012 < 5.0);
+        assert!(b2014 > 300.0);
+        assert!(peak > 10_000.0);
+        assert!(crash < peak / 3.0);
+    }
+
+    #[test]
+    fn out_of_range_dates_clamp() {
+        let fx = FxTable::new();
+        let early = fx.to_usd(1.0, CurrencyCode::Gbp, Day::from_ymd(2000, 1, 1));
+        let first = fx.to_usd(1.0, CurrencyCode::Gbp, d(2008, 1));
+        assert_eq!(early, first);
+    }
+
+    #[test]
+    fn conversion_is_date_sensitive() {
+        let fx = FxTable::new();
+        let a = fx.to_usd(100.0, CurrencyCode::Btc, d(2013, 1));
+        let b = fx.to_usd(100.0, CurrencyCode::Btc, d(2018, 1));
+        assert!(b > a * 100.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Template text for headings and post bodies.
+//!
+//! Headings carry the class-conditional vocabulary the TOP classifier
+//! learns from (paper Table 2), deliberately including hard negatives
+//! ("LOOKING FOR unsaturated pack" is a request, not an offer). On forums
+//! without a dedicated eWhoring board, every heading embeds an
+//! `ewhor`/`e-whor` token, because the paper's extraction would not find
+//! the thread otherwise.
+
+use crate::truth::ThreadRole;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// The `ewhor`-bearing tokens that make a heading discoverable by the §3
+/// keyword query.
+const EWHOR_TOKENS: &[&str] = &["eWhoring", "ewhoring", "E-Whoring", "ewhore", "e-whoring"];
+
+/// Generates a heading for a thread of `role`.
+///
+/// `force_keyword` embeds an eWhoring token (required on forums without a
+/// dedicated board); on Hackforums' own board roughly half the headings
+/// carry one anyway.
+pub fn heading(rng: &mut StdRng, role: ThreadRole, force_keyword: bool) -> String {
+    let kw = pick(rng, EWHOR_TOKENS);
+    let with_kw = force_keyword || rng.gen_bool(0.5);
+    let h = match role {
+        ThreadRole::Top => top_heading(rng, with_kw, kw),
+        ThreadRole::Request => request_heading(rng, with_kw, kw),
+        ThreadRole::Tutorial => tutorial_heading(rng, with_kw, kw),
+        ThreadRole::Earnings => earnings_heading(rng, with_kw, kw),
+        ThreadRole::Discussion => discussion_heading(rng, with_kw, kw),
+        ThreadRole::Trade => trade_heading(rng, with_kw, kw),
+    };
+    // Some templates have no natural slot for the keyword; when the thread
+    // must be discoverable, tag it on (forum users do exactly this).
+    if force_keyword && !textkit::lexicon::heading_is_ewhoring(&h) {
+        format!("{h} [{kw}]")
+    } else {
+        h
+    }
+}
+
+fn top_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
+    let size = rng.gen_range(2..30) * 10;
+    let adj = pick(rng, &["unsaturated", "new", "private", "HQ", "fresh", "exclusive"]);
+    let noun = pick(rng, &["pack", "collection", "set", "compilation", "repository"]);
+    let extra = pick(rng, &["pics", "pictures", "videos", "vids", "pics + vids"]);
+    let girl = pick(rng, &["girl", "sexy girl", "model", "blonde", "brunette"]);
+    let verb = pick(rng, &["Selling", "WTS", "Offering", "Giving away", "FREE", "Sharing"]);
+    let tail = if with_kw { format!(" for {kw}") } else { String::new() };
+    // ~12% of real TOPs carry vague headings with none of the Table 2
+    // vocabulary ("you know what this is") — the classifier's recall
+    // misses come from these.
+    if rng.gen_bool(0.12) {
+        return match rng.gen_range(0..4) {
+            0 => format!("dropping something special{tail}"),
+            1 => format!("you know what this is{tail}"),
+            2 => format!("enjoy this one lads{tail}"),
+            _ => format!("my latest work, grab it{tail}"),
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => format!("[{verb}] {adj} {girl} {noun} - {size} {extra}{tail}"),
+        1 => format!("{verb} {adj} {noun} ({size} {extra}){tail}"),
+        2 => format!("{adj} {noun} of a {girl}, {size}+ {extra}{tail}"),
+        _ => format!("{verb}: {girl} {noun} | {extra} | {adj}{tail}"),
+    }
+}
+
+fn request_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
+    let noun = pick(rng, &["pack", "packs", "pics", "collection", "mentor", "advice"]);
+    let subj = if with_kw { kw } else { "this method" };
+    match rng.gen_range(0..5) {
+        0 => format!("[QUESTION] how do I start with {subj}?"),
+        1 => format!("Looking for unsaturated {noun}, anyone?"),
+        2 => format!("WTB fresh {noun} for {subj}"),
+        3 => format!("Need help with my first {noun} ({subj})"),
+        _ => format!("[HELP] quick question about {subj}"),
+    }
+}
+
+fn tutorial_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
+    let subj = if with_kw { kw } else { "the method" };
+    match rng.gen_range(0..4) {
+        0 => format!("[TUT] {subj} for beginners"),
+        1 => format!("The definite guide to {subj}"),
+        2 => format!("{subj} guide 2.0 - from zero to $100/day"),
+        _ => format!("HOWTO: {subj} step by step"),
+    }
+}
+
+fn earnings_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
+    let subj = if with_kw { kw } else { "this" };
+    match rng.gen_range(0..5) {
+        0 => "Post your earnings".to_string(),
+        1 => format!("How much do you make with {subj}?"),
+        2 => format!("${} in a week - proof inside", rng.gen_range(5..90) * 10),
+        3 => format!("My {subj} profit milestones (with proof)"),
+        _ => format!("Money made from {subj} - screenshots"),
+    }
+}
+
+fn discussion_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
+    let subj = if with_kw { kw } else { "this scene" };
+    // ~8% of discussions talk *about* packs in TOP vocabulary without
+    // offering anything — the classifier's precision errors come from
+    // these hard negatives.
+    if rng.gen_bool(0.025) {
+        return match rng.gen_range(0..4) {
+            0 => format!("why private collections keep selling - {subj} talk"),
+            1 => "the new pack video meta, discussion".to_string(),
+            2 => format!("pics or videos, what converts best in {subj}?"),
+            _ => "are unsaturated packs a myth?".to_string(),
+        };
+    }
+    match rng.gen_range(0..5) {
+        0 => format!("Is {subj} dead in {}?", rng.gen_range(2012..2020)),
+        1 => format!("Best sites for {subj} right now"),
+        2 => format!("{subj} and PayPal limits - discussion"),
+        3 => format!("Why {subj} is banned here"),
+        _ => format!("Thoughts on {subj}? moral side"),
+    }
+}
+
+fn trade_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
+    let name = pick(rng, &["Ashley", "Sophie", "Emma", "Chloe", "Mia", "Lena"]);
+    let app = pick(rng, &["Snapchat", "Kik", "Instagram"]);
+    let tail = if with_kw { format!(" ({kw} ready)") } else { String::new() };
+    format!("Selling {app} account @{name}{}{tail}", rng.gen_range(10..99))
+}
+
+/// Body of an initial post; `url_lines` are inserted verbatim (link lines
+/// for previews/packs/proofs).
+pub fn initial_body(rng: &mut StdRng, role: ThreadRole, url_lines: &[String]) -> String {
+    let mut body = String::with_capacity(160 + url_lines.iter().map(String::len).sum::<usize>());
+    match role {
+        ThreadRole::Top => {
+            body.push_str(pick(
+                rng,
+                &[
+                    "Sharing my pack with you all, enjoy.",
+                    "Fresh pack, barely used. Previews below.",
+                    "Leave a like if you download. Unsaturated material.",
+                    "My private collection, previews attached.",
+                ],
+            ));
+        }
+        ThreadRole::Request => body.push_str(pick(
+            rng,
+            &[
+                "Can anyone point me to a good starter pack? Need advice.",
+                "I wonder whether anyone has fresh material. Looking for help.",
+                "General question about verification templates, help please.",
+            ],
+        )),
+        ThreadRole::Tutorial => body.push_str(pick(
+            rng,
+            &[
+                "Complete guide below. Step 1: make your backstory believable.",
+                "This tutorial covers accounts, payment and traffic.",
+            ],
+        )),
+        ThreadRole::Earnings => body.push_str(pick(
+            rng,
+            &[
+                "Here is my proof of earnings for the month, selling my method too.",
+                "Made good money this week, proof attached.",
+                "Posting my profit screenshots, ask me anything.",
+            ],
+        )),
+        ThreadRole::Discussion => body.push_str(pick(
+            rng,
+            &[
+                "What do you all think about the current state of things?",
+                "Saw a lot of bans lately, discuss.",
+            ],
+        )),
+        ThreadRole::Trade => body.push_str(pick(
+            rng,
+            &["Account comes with the original email. Price in PM.",
+              "Aged account, feminine handle, perfect for the method."],
+        )),
+    }
+    for line in url_lines {
+        body.push('\n');
+        body.push_str(line);
+    }
+    body
+}
+
+/// A short reply body. `grateful` replies (typical under TOPs) express
+/// thanks; others are generic chatter.
+pub fn reply_body(rng: &mut StdRng, grateful: bool) -> &'static str {
+    if grateful {
+        pick(
+            rng,
+            &[
+                "Downloading, thanks for the share!",
+                "just downloaded the pack, amazing pack",
+                "thanks bro, leaving a like",
+                "vouch, quality material",
+                "link works, thanks",
+            ],
+        )
+    } else {
+        pick(
+            rng,
+            &[
+                "bump",
+                "any updates on this?",
+                "interesting, following",
+                "pm sent",
+                "this still working in 2017?",
+                "good point tbh",
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthrand::rng_from_seed;
+    use textkit::lexicon::heading_is_ewhoring;
+
+    #[test]
+    fn forced_keyword_makes_headings_discoverable() {
+        let mut rng = rng_from_seed(1);
+        for role in [
+            ThreadRole::Top,
+            ThreadRole::Request,
+            ThreadRole::Tutorial,
+            ThreadRole::Earnings,
+            ThreadRole::Discussion,
+            ThreadRole::Trade,
+        ] {
+            for _ in 0..50 {
+                let h = heading(&mut rng, role, true);
+                assert!(heading_is_ewhoring(&h), "{role:?}: {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_headings_carry_top_vocabulary() {
+        let mut rng = rng_from_seed(2);
+        let lex = textkit::Lexicon::top();
+        let hits = (0..100)
+            .filter(|_| lex.matches(&heading(&mut rng, ThreadRole::Top, false)))
+            .count();
+        // ~12% of TOP headings are deliberately vague (classifier recall
+        // errors come from these).
+        assert!((80..=97).contains(&hits), "{hits}/100 TOP headings matched");
+    }
+
+    #[test]
+    fn request_headings_carry_request_vocabulary() {
+        let mut rng = rng_from_seed(3);
+        let lex = textkit::Lexicon::request();
+        let hits = (0..100)
+            .filter(|_| lex.matches(&heading(&mut rng, ThreadRole::Request, false)))
+            .count();
+        assert!(hits >= 90, "only {hits}/100 request headings matched");
+    }
+
+    #[test]
+    fn some_requests_look_like_tops() {
+        // The hard-negative case: request headings containing TOP keywords.
+        let mut rng = rng_from_seed(4);
+        let lex = textkit::Lexicon::top();
+        let confusing = (0..200)
+            .filter(|_| lex.matches(&heading(&mut rng, ThreadRole::Request, false)))
+            .count();
+        assert!(confusing > 20, "want hard negatives, got {confusing}/200");
+    }
+
+    #[test]
+    fn bodies_embed_url_lines() {
+        let mut rng = rng_from_seed(5);
+        let urls = vec![
+            "preview: https://imgur.com/abc".to_string(),
+            "pack: https://mediafire.com/f/xyz".to_string(),
+        ];
+        let body = initial_body(&mut rng, ThreadRole::Top, &urls);
+        let extracted = textkit::extract_urls(&body);
+        assert_eq!(extracted.len(), 2);
+    }
+
+    #[test]
+    fn reply_bodies_differ_by_gratitude() {
+        let mut rng = rng_from_seed(6);
+        let g = reply_body(&mut rng, true);
+        assert!(g.contains("thank") || g.contains("vouch") || g.contains("download"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic synthetic-world builder.
+//!
+//! This crate stands in for the two access-gated data sources of the paper:
+//! the CrimeBB forum corpus and the live web of 2008–2019. From a single
+//! seed it generates, with calibration targets taken from the paper's own
+//! tables:
+//!
+//! * a ten-forum corpus of eWhoring conversations (Table 1 scale), plus the
+//!   Hackforums side-boards needed for §5–§6 (Currency Exchange, Bragging
+//!   Rights, gaming/hacking/market interest boards);
+//! * the hosted web: preview images on image-sharing sites, pack archives
+//!   on cloud storage (Tables 3/4 host mix, §4.2 link mortality);
+//! * origin domains, the reverse-search index, and Wayback snapshots
+//!   (§4.5 targets: match rates, seen-before rates, match-count tails);
+//! * the known-CSAM hash list with a small number of planted list images
+//!   (§4.3: 36 matches, 61 actionable URLs);
+//! * proof-of-earnings imagery and Currency Exchange activity (§5);
+//! * per-actor activity profiles driving the §6 cohort and interest
+//!   analyses (Table 8, Figures 4/5).
+//!
+//! **Ground truth vs pipeline.** The generator records what it planted in
+//! [`GroundTruth`]. The measurement pipeline (crate `ewhoring-core`) may
+//! consult ground truth only where the paper used a human: the 1 000-thread
+//! annotation sample (§4.1) and the manual annotation of proof-of-earnings
+//! images (§5.1). Everything else must be *measured*.
+//!
+//! The world is scale-parametric: `scale = 1.0` reproduces paper-sized
+//! counts (~45k eWhoring threads, ~630k posts, ~73k actors); tests and CI
+//! use small scales.
+
+pub mod actors;
+pub mod config;
+pub mod finance;
+pub mod fx;
+pub mod headings;
+pub mod packs;
+pub mod threads;
+pub mod truth;
+pub mod world;
+
+pub use config::{ForumProfile, WorldConfig, FORUM_PROFILES};
+pub use fx::FxTable;
+pub use truth::{GroundTruth, PackKind, PackRecord, ProofInfo, ThreadRole};
+pub use world::World;

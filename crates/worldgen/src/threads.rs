@@ -1,0 +1,499 @@
+//! eWhoring thread generation.
+//!
+//! Every forum's eWhoring conversations are generated from per-actor
+//! activity plans: each actor contributes dated posting events inside
+//! their eWhoring window; events are globally time-ordered and dealt into
+//! concurrently-open threads (a bounded pool of "open slots"), so thread
+//! contents are chronological and thread lifetimes overlap realistically.
+//! Thread roles (TOP / request / tutorial / earnings / discussion / trade)
+//! are drawn from per-forum quotas calibrated to Table 1.
+
+use crate::actors::ActorPlan;
+use crate::config::{ForumProfile, WorldConfig};
+use crate::finance::ProofFactory;
+use crate::headings;
+use crate::packs::PackFactory;
+use crate::truth::{GroundTruth, PackRecord, ThreadRole};
+use crimebb::{ActorId, BoardId, CorpusBuilder, PostId, ThreadId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use synthrand::{Day, LogNormal};
+
+/// Inputs that stay fixed across one forum's generation.
+pub struct ForumThreadGen<'a> {
+    /// The forum's calibration profile.
+    pub profile: &'a ForumProfile,
+    /// World config (scale, seeds).
+    pub config: &'a WorldConfig,
+    /// Board that hosts the forum's eWhoring threads.
+    pub board: BoardId,
+    /// Actors of this forum with their activity plans.
+    pub actors: &'a [(ActorId, ActorPlan)],
+    /// Actors who post proof-of-earnings content.
+    pub proof_posters: &'a HashSet<ActorId>,
+    /// Actors whose packs are systematically zero-match.
+    pub zero_match_producers: &'a HashSet<ActorId>,
+    /// The pack-sharer pool, most-active first, with each sharer's
+    /// eWhoring window. TOP authorship concentrates here (paper: 2 523
+    /// actors offered packs; 63 shared ≥6; one shared ~100), but a sharer
+    /// is only credited with a TOP dated inside their own window so the
+    /// Table 8 before/after spans stay intact. Empty disables reassignment.
+    pub sharer_pool: &'a [(ActorId, Day, Day)],
+}
+
+/// Mean eWhoring posts per actor across the whole dataset (Table 1 totals).
+const GLOBAL_POSTS_PER_ACTOR: f64 = 626_784.0 / 72_982.0;
+
+/// One open thread slot.
+struct Slot {
+    thread: ThreadId,
+    role: ThreadRole,
+    remaining: u32,
+    post_ids: Vec<PostId>,
+}
+
+/// Generates all eWhoring threads and posts for one forum. Returns the
+/// created thread ids.
+pub fn generate_forum_threads(
+    rng: &mut StdRng,
+    builder: &mut CorpusBuilder,
+    truth: &mut GroundTruth,
+    packs: &mut PackFactory<'_>,
+    proofs: &mut ProofFactory<'_>,
+    input: &ForumThreadGen<'_>,
+) -> Vec<ThreadId> {
+    let events = build_events(rng, input);
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = input
+        .config
+        .scaled(input.profile.threads, 1)
+        .min(events.len() as u32) as usize;
+    let roles = role_sequence(rng, input, n_threads);
+    let sizes = thread_sizes(rng, &roles, events.len());
+    let sharer_zipf = (input.sharer_pool.len() > 1)
+        .then(|| synthrand::Zipf::new(input.sharer_pool.len(), 0.75));
+
+    let mut created = Vec::with_capacity(n_threads);
+    let pool = 48.min(n_threads.max(1));
+    let mut slots: Vec<Option<Slot>> = (0..pool).map(|_| None).collect();
+    let mut next_thread = 0usize;
+
+    for (idx, &(day, actor)) in events.iter().enumerate() {
+        let remaining_events = events.len() - idx;
+        let threads_left = n_threads - next_thread;
+        let must_open = threads_left >= remaining_events && threads_left > 0;
+        let empty_slot = slots.iter().position(Option::is_none);
+
+        let open_new = must_open || (next_thread < n_threads && empty_slot.is_some());
+        if open_new {
+            let slot_idx = empty_slot.unwrap_or_else(|| rng.gen_range(0..slots.len()));
+            let role = roles[next_thread];
+            // Pack offering concentrates in a sharer pool: one mega-sharer
+            // plus a Zipf tail (paper §4.5/§6.3).
+            let author = if role == ThreadRole::Top && !input.sharer_pool.is_empty() {
+                let mut chosen = actor;
+                for attempt in 0..6 {
+                    let (candidate, lo, hi) = if attempt == 0 && rng.gen_bool(0.10) {
+                        input.sharer_pool[0]
+                    } else if let Some(z) = &sharer_zipf {
+                        input.sharer_pool[z.sample_index(rng)]
+                    } else {
+                        break;
+                    };
+                    if day >= lo && day <= hi {
+                        chosen = candidate;
+                        break;
+                    }
+                }
+                chosen
+            } else {
+                actor
+            };
+            let thread = open_thread(
+                rng, builder, truth, packs, proofs, input, role, author, day,
+            );
+            created.push(thread);
+            slots[slot_idx] = Some(Slot {
+                thread,
+                role,
+                remaining: sizes[next_thread].saturating_sub(1),
+                post_ids: vec![builder_last_post(builder)],
+            });
+            next_thread += 1;
+            continue;
+        }
+
+        // Reply into a random open slot.
+        let occupied: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_some().then_some(i))
+            .collect();
+        if occupied.is_empty() {
+            // All threads opened and all size budgets consumed but events
+            // remain (rounding drift): reopen the most recent thread.
+            let thread = *created.last().expect("at least one thread opened");
+            let role = truth.role(thread).expect("role recorded at open");
+            slots[0] = Some(Slot {
+                thread,
+                role,
+                remaining: 4,
+                post_ids: builder.posts_in(thread).to_vec(),
+            });
+        }
+        let occupied: Vec<usize> = if occupied.is_empty() {
+            vec![0]
+        } else {
+            occupied
+        };
+        let slot_idx = occupied[rng.gen_range(0..occupied.len())];
+        let slot = slots[slot_idx].as_mut().expect("occupied");
+        let quote = (rng.gen_bool(0.3))
+            .then(|| slot.post_ids[rng.gen_range(0..slot.post_ids.len())]);
+        let mut body = headings::reply_body(rng, slot.role == ThreadRole::Top).to_string();
+        // Proof-of-earnings content arrives mostly as replies in earnings
+        // threads ("users regularly post in response to these threads").
+        if slot.role == ThreadRole::Earnings {
+            if input.proof_posters.contains(&actor) && rng.gen_bool(0.7) {
+                for line in proofs.make_proof_lines(rng, truth, actor, day, 6) {
+                    body.push('\n');
+                    body.push_str(&line);
+                }
+            } else if rng.gen_bool(0.04) {
+                body.push('\n');
+                body.push_str(&proofs.make_offtopic_line(rng, day));
+            }
+        }
+        let has_proof = body.contains("Proof:");
+        let post = builder.add_post(slot.thread, actor, day, body, quote);
+        if has_proof {
+            truth.proof_posts.push(post);
+        }
+        slot.post_ids.push(post);
+        slot.remaining = slot.remaining.saturating_sub(1);
+        if slot.remaining == 0 {
+            slots[slot_idx] = None;
+        }
+    }
+    created
+}
+
+fn builder_last_post(builder: &CorpusBuilder) -> PostId {
+    PostId(builder.post_count() as u32 - 1)
+}
+
+/// Builds the forum's time-ordered (date, actor) posting events.
+fn build_events(rng: &mut StdRng, input: &ForumThreadGen<'_>) -> Vec<(Day, ActorId)> {
+    let factor =
+        (f64::from(input.profile.posts) / f64::from(input.profile.actors)) / GLOBAL_POSTS_PER_ACTOR;
+    let mut events = Vec::new();
+    for &(actor, plan) in input.actors {
+        let n = ((f64::from(plan.n_ewhoring) * factor).round() as u32).max(1);
+        events.push((plan.first_ew, actor));
+        if n >= 2 {
+            events.push((plan.last_ew.max(plan.first_ew), actor));
+            for _ in 2..n {
+                events.push((
+                    Day::sample_between(rng, plan.first_ew, plan.last_ew.max(plan.first_ew)),
+                    actor,
+                ));
+            }
+        }
+    }
+    events.sort_unstable_by_key(|&(d, a)| (d, a));
+    events
+}
+
+/// Draws the role of every thread, respecting the forum's TOP quota.
+fn role_sequence(rng: &mut StdRng, input: &ForumThreadGen<'_>, n_threads: usize) -> Vec<ThreadRole> {
+    let min_tops = u32::from(input.profile.tops > 0);
+    let n_tops = input
+        .config
+        .scaled(input.profile.tops, min_tops)
+        .min(n_threads as u32) as usize;
+    let trade_share = if input.profile.name == "OGUsers" { 0.50 } else { 0.02 };
+    let mut roles = Vec::with_capacity(n_threads);
+    roles.resize(n_tops, ThreadRole::Top);
+    for _ in n_tops..n_threads {
+        let u: f64 = rng.gen();
+        let role = if u < trade_share {
+            ThreadRole::Trade
+        } else if u < trade_share + 0.26 {
+            ThreadRole::Request
+        } else if u < trade_share + 0.34 {
+            ThreadRole::Tutorial
+        } else if u < trade_share + 0.43 {
+            ThreadRole::Earnings
+        } else {
+            ThreadRole::Discussion
+        };
+        roles.push(role);
+    }
+    roles.shuffle(rng);
+    roles
+}
+
+/// Draws per-thread size targets summing ≈ the event budget. TOPs are
+/// "typically popular threads with several replies", hence the boost.
+fn thread_sizes(rng: &mut StdRng, roles: &[ThreadRole], n_events: usize) -> Vec<u32> {
+    let dist = LogNormal::from_median(4.0, 1.1);
+    let raw: Vec<f64> = roles
+        .iter()
+        .map(|r| {
+            let base = dist.sample(rng);
+            if *r == ThreadRole::Top {
+                base * 2.6
+            } else {
+                base
+            }
+        })
+        .collect();
+    let total: f64 = raw.iter().sum();
+    let budget = n_events.saturating_sub(roles.len()) as f64;
+    raw.iter()
+        .map(|&x| 1 + ((x / total) * budget).round() as u32)
+        .collect()
+}
+
+/// Opens one thread: heading, role bookkeeping, initial post (with pack or
+/// proof content where the role calls for it).
+#[allow(clippy::too_many_arguments)]
+fn open_thread(
+    rng: &mut StdRng,
+    builder: &mut CorpusBuilder,
+    truth: &mut GroundTruth,
+    packs: &mut PackFactory<'_>,
+    proofs: &mut ProofFactory<'_>,
+    input: &ForumThreadGen<'_>,
+    role: ThreadRole,
+    author: ActorId,
+    day: Day,
+) -> ThreadId {
+    let force_kw = !input.profile.has_ewhoring_board;
+    let heading = headings::heading(rng, role, force_kw);
+    let thread = builder.add_thread(input.board, author, heading, day);
+    truth.thread_roles.insert(thread, role);
+
+    let mut url_lines = Vec::new();
+    match role {
+        ThreadRole::Top if !input.profile.tops_removed_by_mods => {
+            let zero_match = input.zero_match_producers.contains(&author);
+            let content = packs.make_top_content(rng, day, zero_match, true);
+            for (url, model, kind, n_images) in content.packs {
+                truth.packs.push(PackRecord {
+                    thread,
+                    actor: author,
+                    url,
+                    model,
+                    kind,
+                    n_images,
+                    posted: day,
+                });
+            }
+            if content.has_csam {
+                truth.csam_threads.push(thread);
+            }
+            url_lines = content.url_lines;
+            // Some pack sellers advertise with proof ("proof" + trading
+            // terms — the §5.1 secondary query).
+            if input.proof_posters.contains(&author) && rng.gen_bool(0.10) {
+                url_lines.push("Selling mentoring too, proof of my earnings:".into());
+                url_lines.extend(proofs.make_proof_lines(rng, truth, author, day, 1));
+            }
+        }
+        ThreadRole::Earnings
+            if input.proof_posters.contains(&author) && rng.gen_bool(0.7) => {
+                url_lines = proofs.make_proof_lines(rng, truth, author, day, 3);
+            }
+        _ => {}
+    }
+    let body = headings::initial_body(rng, role, &url_lines);
+    let has_proof = body.contains("Proof:");
+    let post = builder.add_post(thread, author, day, body, None);
+    if has_proof {
+        truth.proof_posts.push(post);
+    }
+    thread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fx::FxTable;
+    use crimebb::BoardCategory;
+    use synthrand::rng_from_seed;
+    use websim::{OriginRegistry, SiteCatalog, WebStore};
+
+    fn tiny_world_threads(
+        seed: u64,
+    ) -> (crimebb::Corpus, GroundTruth, Vec<ThreadId>, WorldConfig) {
+        let config = WorldConfig::test_scale(seed);
+        let mut rng = rng_from_seed(seed);
+        let catalog = SiteCatalog::new();
+        let origins = OriginRegistry::generate(
+            &mut rng,
+            100,
+            Day::from_ymd(2006, 1, 1),
+            Day::from_ymd(2019, 3, 1),
+        );
+        let fx = FxTable::new();
+        let mut web = WebStore::new();
+        let mut web2 = WebStore::new();
+        let mut index = revsearch::ReverseIndex::new();
+        let mut wayback = revsearch::Wayback::new();
+        let mut hashlist = safety::HashList::new();
+        let mut truth = GroundTruth::default();
+        let mut builder = CorpusBuilder::new();
+
+        let profile = &crate::config::FORUM_PROFILES[0]; // Hackforums
+        let forum = builder.add_forum(profile.name);
+        let board = builder.add_board(forum, "eWhoring", BoardCategory::EWhoring);
+        let forum_first = Day::from_ymd(2008, 11, 1);
+        let n_actors = config.scaled(profile.actors, 10);
+        let mut actors = Vec::new();
+        for i in 0..n_actors {
+            let plan = ActorPlan::sample(
+                &mut rng,
+                Day::from_ymd(2005, 1, 1),
+                forum_first,
+                config.dataset_end(),
+            );
+            let a = builder.add_actor(forum, format!("hf_user{i}"), plan.registered);
+            actors.push((a, plan));
+        }
+        let proof_posters: HashSet<ActorId> = actors
+            .iter()
+            .filter(|(_, p)| p.n_ewhoring >= 40)
+            .map(|(a, _)| *a)
+            .collect();
+        let zero_match: HashSet<ActorId> =
+            actors.iter().take(2).map(|(a, _)| *a).collect();
+
+        let mut packs = PackFactory::new(
+            &config, 200, &catalog, &origins, &mut web, &mut index, &mut wayback, &mut hashlist,
+        );
+        let mut proofs = ProofFactory::new(&catalog, &mut web2, &fx);
+        let sharer_pool: Vec<(ActorId, Day, Day)> = actors
+            .iter()
+            .take(30)
+            .map(|(a, p)| (*a, p.first_ew, p.last_ew))
+            .collect();
+        let input = ForumThreadGen {
+            profile,
+            config: &config,
+            board,
+            actors: &actors,
+            proof_posters: &proof_posters,
+            zero_match_producers: &zero_match,
+            sharer_pool: &sharer_pool,
+        };
+        let threads =
+            generate_forum_threads(&mut rng, &mut builder, &mut truth, &mut packs, &mut proofs, &input);
+        (builder.build(), truth, threads, config)
+    }
+
+    #[test]
+    fn thread_and_post_counts_scale_to_profile() {
+        let (corpus, _, threads, config) = tiny_world_threads(31);
+        let expected_threads = config.scaled(42_292, 1) as usize;
+        assert_eq!(threads.len(), expected_threads);
+        let posts = corpus.posts().len();
+        let expected_posts = config.scaled(596_827, 1) as usize;
+        let ratio = posts as f64 / expected_posts as f64;
+        assert!((0.75..1.35).contains(&ratio), "posts {posts} vs {expected_posts}");
+    }
+
+    #[test]
+    fn top_quota_is_met_exactly() {
+        let (_, truth, _, config) = tiny_world_threads(32);
+        assert_eq!(truth.top_count(), config.scaled(4_027, 1) as usize);
+    }
+
+    #[test]
+    fn posts_within_threads_are_chronological() {
+        let (corpus, _, threads, _) = tiny_world_threads(33);
+        for &t in &threads {
+            let posts = corpus.posts_in_thread(t);
+            for w in posts.windows(2) {
+                assert!(corpus.post(w[0]).date <= corpus.post(w[1]).date);
+            }
+        }
+    }
+
+    #[test]
+    fn tops_have_more_replies_on_average() {
+        let (corpus, truth, threads, _) = tiny_world_threads(34);
+        let (mut top_sum, mut top_n, mut other_sum, mut other_n) = (0usize, 0usize, 0usize, 0usize);
+        for &t in &threads {
+            let replies = corpus.reply_count(t);
+            if truth.is_top(t) {
+                top_sum += replies;
+                top_n += 1;
+            } else {
+                other_sum += replies;
+                other_n += 1;
+            }
+        }
+        let top_avg = top_sum as f64 / top_n.max(1) as f64;
+        let other_avg = other_sum as f64 / other_n.max(1) as f64;
+        assert!(top_avg > other_avg, "TOP avg {top_avg} vs other {other_avg}");
+    }
+
+    #[test]
+    fn some_tops_carry_links_and_packs_exist() {
+        let (corpus, truth, threads, _) = tiny_world_threads(35);
+        assert!(!truth.packs.is_empty());
+        let linked_tops = threads
+            .iter()
+            .filter(|&&t| {
+                truth.is_top(t)
+                    && corpus
+                        .first_post(t)
+                        .is_some_and(|p| p.body.contains("https://"))
+            })
+            .count();
+        let tops = truth.top_count();
+        let share = linked_tops as f64 / tops as f64;
+        // Paper: 18.7% of TOPs had extractable links.
+        assert!((0.08..0.35).contains(&share), "linked share {share}");
+    }
+
+    #[test]
+    fn proof_posts_are_recorded() {
+        let (corpus, truth, _, _) = tiny_world_threads(36);
+        assert!(!truth.proof_posts.is_empty());
+        for &p in truth.proof_posts.iter().take(20) {
+            assert!(corpus.post(p).body.contains("Proof:"));
+        }
+    }
+
+    #[test]
+    fn quotes_reference_same_thread() {
+        let (corpus, _, threads, _) = tiny_world_threads(37);
+        let mut quotes_seen = 0;
+        for &t in &threads {
+            for &p in corpus.posts_in_thread(t) {
+                if let Some(q) = corpus.post(p).quotes {
+                    quotes_seen += 1;
+                    assert_eq!(corpus.post(q).thread, t, "quote crosses threads");
+                }
+            }
+        }
+        assert!(quotes_seen > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (c1, _, _, _) = tiny_world_threads(38);
+        let (c2, _, _, _) = tiny_world_threads(38);
+        assert_eq!(c1.posts().len(), c2.posts().len());
+        assert_eq!(
+            c1.threads()[5].heading,
+            c2.threads()[5].heading
+        );
+    }
+}

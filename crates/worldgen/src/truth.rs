@@ -1,0 +1,134 @@
+//! Ground truth recorded during generation.
+
+use crimebb::{ActorId, PostId, ThreadId};
+use imagesim::{ImageSpec, PaymentPlatform};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use synthrand::Day;
+use textkit::Url;
+
+/// What a generated eWhoring thread actually is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadRole {
+    /// A Thread Offering Packs — the TOP classifier's positive class.
+    Top,
+    /// A thread asking for packs/advice (hard negative: shares vocabulary).
+    Request,
+    /// A tutorial/guide thread.
+    Tutorial,
+    /// An earnings/bragging thread (may carry proof-of-earnings links).
+    Earnings,
+    /// General discussion.
+    Discussion,
+    /// An account-trade thread (OGUsers-style).
+    Trade,
+}
+
+/// How a pack relates to the wider web (drives §4.5 match behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackKind {
+    /// Stolen material, lightly edited; indexed by reverse search.
+    Standard,
+    /// Heavily re-shared material: more sites per image, exact duplicates
+    /// across packs.
+    Saturated,
+    /// Every image mirrored by an automated tool — evades reverse search.
+    MirroredAll,
+    /// Self-produced material that never appeared on the web.
+    SelfMade,
+}
+
+/// Ground truth about one generated pack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackRecord {
+    /// Thread offering the pack.
+    pub thread: ThreadId,
+    /// Actor who shared it.
+    pub actor: ActorId,
+    /// Cloud-storage URL hosting the archive.
+    pub url: Url,
+    /// Depicted model id.
+    pub model: u32,
+    /// Pack behaviour class.
+    pub kind: PackKind,
+    /// Number of images in the archive.
+    pub n_images: u32,
+    /// Date the pack was posted to the forum.
+    pub posted: Day,
+}
+
+/// Ground-truth annotation of a proof-of-earnings image — what a human
+/// reads off the screenshot (§5.1's manual annotation step).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProofInfo {
+    /// Payment platform shown.
+    pub platform: PaymentPlatform,
+    /// ISO-ish currency code of the displayed amounts.
+    pub currency: crate::fx::CurrencyCode,
+    /// Total amount shown, in `currency` units.
+    pub amount: f64,
+    /// Number of itemised incoming transactions, when the screenshot shows
+    /// them (paper: ~60% of proofs do).
+    pub transactions: Option<u32>,
+    /// Date the screenshot was taken (for FX conversion).
+    pub taken: Day,
+    /// The actor whose earnings these are.
+    pub actor: ActorId,
+}
+
+/// Everything the generator planted, for evaluation and for the two
+/// human-analogue steps (annotation sample, proof annotation).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Role of every eWhoring-related thread.
+    pub thread_roles: HashMap<ThreadId, ThreadRole>,
+    /// Pack records by cloud URL.
+    pub packs: Vec<PackRecord>,
+    /// Proof-of-earnings annotations keyed by image spec.
+    pub proof_info: HashMap<ImageSpec, ProofInfo>,
+    /// Specs of planted hash-list (CSAM-analogue) images.
+    pub csam_specs: Vec<ImageSpec>,
+    /// Threads whose packs contain planted hash-list images.
+    pub csam_threads: Vec<ThreadId>,
+    /// Posts that carry proof-of-earnings links (for §5 evaluation).
+    pub proof_posts: Vec<PostId>,
+    /// For each actor: their total planted earnings in USD (evaluation of
+    /// the §5 estimate).
+    pub earnings_by_actor: HashMap<ActorId, f64>,
+}
+
+impl GroundTruth {
+    /// Role of a thread (threads outside the eWhoring set have none).
+    pub fn role(&self, thread: ThreadId) -> Option<ThreadRole> {
+        self.thread_roles.get(&thread).copied()
+    }
+
+    /// True when the thread offers packs.
+    pub fn is_top(&self, thread: ThreadId) -> bool {
+        self.role(thread) == Some(ThreadRole::Top)
+    }
+
+    /// Number of planted TOPs.
+    pub fn top_count(&self) -> usize {
+        self.thread_roles
+            .values()
+            .filter(|&&r| r == ThreadRole::Top)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_lookup_and_top_count() {
+        let mut gt = GroundTruth::default();
+        gt.thread_roles.insert(ThreadId(1), ThreadRole::Top);
+        gt.thread_roles.insert(ThreadId(2), ThreadRole::Request);
+        assert!(gt.is_top(ThreadId(1)));
+        assert!(!gt.is_top(ThreadId(2)));
+        assert!(!gt.is_top(ThreadId(99)));
+        assert_eq!(gt.top_count(), 1);
+    }
+}

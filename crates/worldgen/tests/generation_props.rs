@@ -1,0 +1,75 @@
+//! Property and invariant tests over world generation at varying scales
+//! and seeds — the generator must stay calibrated and internally
+//! consistent everywhere in its configuration space, not just at the
+//! scales the unit tests happen to use.
+
+use proptest::prelude::*;
+use worldgen::{World, WorldConfig, FORUM_PROFILES};
+
+fn config(seed: u64, scale_milli: u32) -> WorldConfig {
+    WorldConfig {
+        seed,
+        scale: f64::from(scale_milli) / 1000.0,
+        origin_domains: 150,
+        csam_images: 3,
+        with_side_boards: true,
+    }
+}
+
+proptest! {
+    // World generation is comparatively expensive; keep the case count
+    // low and the scales tiny.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn worlds_are_consistent_across_seeds_and_scales(
+        seed in 0u64..1_000_000,
+        scale_milli in 5u32..30,
+    ) {
+        let w = World::generate(config(seed, scale_milli));
+
+        // Structure: all forums, HF has its dedicated board + side boards.
+        prop_assert_eq!(w.corpus.forums().len(), FORUM_PROFILES.len());
+        let hf_boards = w.corpus.forum(w.hackforums).boards.len();
+        prop_assert!(hf_boards >= 11, "HF has {hf_boards} boards");
+
+        // Every post's author and thread resolve; every thread's board
+        // resolves (index integrity at generation scale).
+        for t in w.corpus.threads().iter().take(500) {
+            let _ = w.corpus.board(t.board);
+            let _ = w.corpus.actor(t.author);
+        }
+
+        // Dates: nothing beyond the dataset end.
+        let (_, hi) = w.corpus.date_span().unwrap();
+        prop_assert!(hi <= w.config.dataset_end());
+
+        // Ground truth wiring: every pack URL hosted, every planted spec
+        // listed.
+        for rec in w.truth.packs.iter().take(50) {
+            prop_assert!(w.web.entry(&rec.url).is_some());
+        }
+        prop_assert_eq!(w.hashlist.len(), w.truth.csam_specs.len());
+
+        // Scaling: thread counts track the profile quotas within rounding.
+        let expected: u32 = FORUM_PROFILES
+            .iter()
+            .map(|p| w.config.scaled(p.threads, 1))
+            .sum();
+        let ew_threads = ewhoring_core::extract::extract_ewhoring_threads(&w.corpus).len();
+        // Extraction also picks up Bragging Rights headings; allow slack.
+        let ratio = ew_threads as f64 / f64::from(expected);
+        prop_assert!((0.9..1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn proof_truth_scales_with_config(
+        seed in 0u64..1_000_000,
+    ) {
+        let small = World::generate(config(seed, 8));
+        let large = World::generate(config(seed, 24));
+        // More world → more proofs and more packs, same seed.
+        prop_assert!(large.truth.proof_info.len() >= small.truth.proof_info.len());
+        prop_assert!(large.truth.packs.len() >= small.truth.packs.len());
+    }
+}

@@ -1,0 +1,78 @@
+//! The §6 analyses: actor cohorts (Table 8), the reply/quote social graph,
+//! key-actor selection along five indicators (Tables 9/10), and interest
+//! evolution (Figure 5).
+//!
+//! ```text
+//! cargo run --release --example actor_analysis
+//! ```
+
+use ewhoring_core::actors::{
+    actor_metrics, cohort_table, interaction_graph, interest_evolution, popularity,
+    select_key_actors, KeyActorInputs,
+};
+use ewhoring_core::extract::extract_ewhoring_threads;
+use socgraph::eigenvector_centrality;
+use std::collections::HashMap;
+
+fn main() {
+    let world = ewhoring_suite::demo_world(909);
+    let threads = extract_ewhoring_threads(&world.corpus).all_threads();
+
+    let metrics = actor_metrics(&world.corpus, &threads);
+    println!("{} actors posted in eWhoring threads", metrics.len());
+    for row in cohort_table(&metrics) {
+        println!(
+            "  >= {:>4} posts: {:>6} actors, avg {:>6.1} posts, {:>4.1}% eWhoring, {:>5.0}d before, {:>5.0}d after",
+            row.min_posts, row.actors, row.avg_posts, row.pct_ewhoring, row.days_before, row.days_after
+        );
+    }
+
+    let graph = interaction_graph(&world.corpus, &threads);
+    println!(
+        "\nsocial graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let centrality = eigenvector_centrality(&graph, 200);
+    let top = centrality
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!(
+        "most influential actor: {} (centrality {:.3})",
+        world.corpus.actors()[top.0].name,
+        top.1
+    );
+
+    // Key actors need the measured per-actor quantities.
+    let pop = popularity(&world.corpus, &threads);
+    let mut packs_by_actor = HashMap::new();
+    for rec in &world.truth.packs {
+        *packs_by_actor.entry(rec.actor).or_insert(0) += 1;
+    }
+    let earnings = world.truth.earnings_by_actor.clone();
+    let ce_by_actor = HashMap::new(); // see the pipeline for the full version
+    let inputs = KeyActorInputs {
+        metrics: &metrics,
+        packs_by_actor: &packs_by_actor,
+        earnings_by_actor: &earnings,
+        popularity: &pop,
+        graph: &graph,
+        ce_by_actor: &ce_by_actor,
+    };
+    let key = select_key_actors(&inputs, 12);
+    println!("\n{} key actors selected across 5 indicators:", key.all.len());
+    for (group, members) in &key.groups {
+        println!("  {:<2}: {} members", group.label(), members.len());
+    }
+    for &(a, b, n) in key.intersections.iter().filter(|&&(.., n)| n > 0) {
+        println!("  overlap {} ∩ {} = {n}", a.label(), b.label());
+    }
+
+    let evo = interest_evolution(&world.corpus, &metrics, &key.all);
+    println!("\nFigure 5 — interests before → during → after eWhoring:");
+    for (cat, b, d, a) in &evo.shares {
+        println!("  {cat:<18} {b:>5.1}% → {d:>5.1}% → {a:>5.1}%");
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: generate a synthetic underground-forum world and run the
+//! complete measurement pipeline of *Measuring eWhoring* (IMC 2019).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ewhoring_core::report;
+
+fn main() {
+    // A seeded world: ten forums, a simulated web of image hosts and cloud
+    // storage, a reverse-image-search index, and planted ground truth.
+    let world = ewhoring_suite::demo_world(4242);
+    println!(
+        "world: {} forums, {} threads, {} posts, {} actors, {} hosted objects",
+        world.corpus.forums().len(),
+        world.corpus.threads().len(),
+        world.corpus.posts().len(),
+        world.corpus.actors().len(),
+        world.web.len(),
+    );
+
+    // Run all eight pipeline stages (extraction → TOP classifier → crawl →
+    // safety → NSFV → provenance → finance → actors).
+    let r = ewhoring_suite::demo_pipeline(&world);
+
+    println!("\n--- headline numbers ---");
+    println!(
+        "eWhoring threads extracted: {}",
+        r.forums.iter().map(|f| f.threads).sum::<usize>()
+    );
+    println!(
+        "TOP classifier: P={:.2} R={:.2} F1={:.2}",
+        r.topcls.hybrid_metrics.precision,
+        r.topcls.hybrid_metrics.recall,
+        r.topcls.hybrid_metrics.f1
+    );
+    println!(
+        "downloads: {} previews, {} packs ({} images)",
+        r.funnel.preview_downloads, r.funnel.packs_downloaded, r.funnel.pack_images
+    );
+    println!(
+        "hash-list matches: {} (reported and deleted before analysis)",
+        r.safety.stage.summary.matched_cases
+    );
+    println!(
+        "reverse search: packs {:.0}% matched, previews {:.0}% matched",
+        100.0 * r.provenance.packs.match_rate(),
+        100.0 * r.provenance.previews.match_rate()
+    );
+    println!(
+        "reported earnings: US${:.0} across {} actors",
+        r.earnings.total_usd, r.earnings.actors
+    );
+
+    println!("\n--- Table 1 ---\n{}", report::table1(&r));
+    println!("{}", report::table8(&r));
+}

@@ -1,0 +1,86 @@
+//! The §4.3 safety workflow in isolation: robust-hash screening of every
+//! download against a known-material list, immediate report-and-delete,
+//! and IWF-style aggregation of actioned URLs.
+//!
+//! The key design property demonstrated here: a flagged image's pixels are
+//! dropped at the gate — downstream code receives only a case id, so the
+//! researcher-exposure invariant holds *by construction*.
+//!
+//! ```text
+//! cargo run --release --example safety_pipeline
+//! ```
+
+use ewhoring_core::crawl::crawl_tops;
+use ewhoring_core::nsfv::ImageMeasures;
+use ewhoring_core::safety_stage::screen_downloads;
+use safety::SafetyGate;
+use worldgen::ThreadRole;
+
+fn main() {
+    let world = ewhoring_suite::demo_world(31337);
+    println!(
+        "hash list: {} known entries; {} images planted in shared packs",
+        world.hashlist.len(),
+        world.truth.csam_specs.len()
+    );
+
+    // Crawl the ground-truth TOPs (the classifier is demonstrated in the
+    // quickstart; here we exercise the safety path).
+    let mut tops: Vec<_> = world
+        .truth
+        .thread_roles
+        .iter()
+        .filter(|&(_, &r)| r == ThreadRole::Top)
+        .map(|(&t, _)| t)
+        .collect();
+    tops.sort_unstable();
+    let crawl = crawl_tops(&world.corpus, &world.catalog, &world.web, &tops);
+
+    // Measure and screen every pack image.
+    let mut items = Vec::new();
+    for p in &crawl.packs {
+        for img in &p.images {
+            items.push((
+                ImageMeasures::of(&img.render()),
+                p.link.url.to_https(),
+                p.link.thread,
+            ));
+        }
+    }
+    println!("screening {} downloaded images …", items.len());
+
+    let gate = SafetyGate::new(world.hashlist.clone());
+    let result = screen_downloads(
+        &gate,
+        &world.index,
+        &world.origins,
+        &items,
+        world.config.dataset_end(),
+    );
+
+    println!(
+        "flagged {} downloads across {} threads; every one reported before deletion",
+        result.flagged.len(),
+        result.flagged_threads.len()
+    );
+    let s = &result.summary;
+    println!(
+        "IWF summary: {} cases, {} reports, {} actioned URLs",
+        s.matched_cases, s.total_reports, s.actioned_urls
+    );
+    for (sev, n) in &s.by_severity {
+        println!("  severity {sev:?}: {n} URLs");
+    }
+    for (region, n) in &s.by_region {
+        println!("  hosted in {}: {n} URLs", region.label());
+    }
+    for (ty, n) in &s.by_site_type {
+        println!("  site type {}: {n} URLs", ty.label());
+    }
+
+    let repliers = world.corpus.actors_in_threads(&result.flagged_threads);
+    println!(
+        "{} actors participated in flagged threads (exposure lower bound)",
+        repliers.len()
+    );
+}

@@ -1,0 +1,56 @@
+//! Umbrella crate: runnable examples and cross-crate integration tests for
+//! the *Measuring eWhoring* reproduction.
+//!
+//! The library surface is a thin convenience layer over the workspace
+//! crates; see the examples in `examples/` for end-to-end usage:
+//!
+//! * `quickstart` — generate a world, run the full pipeline, print the
+//!   headline numbers;
+//! * `image_provenance` — the §4 image pipeline in isolation;
+//! * `financial_profits` — the §5 earnings and currency-exchange analyses;
+//! * `actor_analysis` — the §6 cohorts, key actors, and interests;
+//! * `safety_pipeline` — the §4.3 screen-report-delete workflow.
+
+pub use ewhoring_core as core;
+pub use worldgen;
+
+use ewhoring_core::pipeline::{Pipeline, PipelineOptions, PipelineReport};
+use worldgen::{World, WorldConfig};
+
+/// Generates a demo-sized world (~5% of paper scale) in a couple hundred
+/// milliseconds — the fixture every example runs against.
+pub fn demo_world(seed: u64) -> World {
+    World::generate(demo_config(seed))
+}
+
+/// The configuration behind [`demo_world`].
+pub fn demo_config(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        scale: 0.05,
+        origin_domains: 1_300,
+        csam_images: 6,
+        with_side_boards: true,
+    }
+}
+
+/// Runs the full pipeline with example-friendly options.
+pub fn demo_pipeline(world: &World) -> PipelineReport {
+    Pipeline::new(PipelineOptions {
+        k_key_actors: 12,
+        ..PipelineOptions::default()
+    })
+    .run(world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_world_is_example_sized() {
+        let w = demo_world(42);
+        assert!(w.corpus.posts().len() > 50_000);
+        assert!(w.corpus.posts().len() < 400_000);
+    }
+}

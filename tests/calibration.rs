@@ -1,0 +1,189 @@
+//! Shape calibration against the paper's published numbers.
+//!
+//! Absolute counts scale with the world size; what must *hold* at any
+//! scale are the paper's shapes: who dominates, which direction trends
+//! point, and roughly what the key rates are. Tolerances are generous —
+//! these are measurements over a random world, not fixture look-ups.
+
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (worldgen::World, ewhoring_core::PipelineReport) {
+    static FIX: OnceLock<(worldgen::World, ewhoring_core::PipelineReport)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = ewhoring_suite::demo_world(0xCA1B);
+        let report = ewhoring_suite::demo_pipeline(&world);
+        (world, report)
+    })
+}
+
+#[test]
+fn hackforums_dominates_table1() {
+    let (_, r) = fixture();
+    let mut rows = r.forums.clone();
+    rows.sort_by_key(|f| std::cmp::Reverse(f.threads));
+    assert_eq!(rows[0].forum, "Hackforums");
+    // Paper: HF holds ~95% of threads and ~88% of actors.
+    let total: usize = rows.iter().map(|f| f.threads).sum();
+    let share = rows[0].threads as f64 / total as f64;
+    assert!(share > 0.85, "HF thread share {share}");
+    assert_eq!(rows[0].first_post, "11/08");
+}
+
+#[test]
+fn classifier_operating_point_matches_paper() {
+    let (_, r) = fixture();
+    let m = r.topcls.hybrid_metrics;
+    // Paper: P 0.92 / R 0.93 / F1 0.92.
+    assert!((0.72..=1.0).contains(&m.precision), "P {}", m.precision);
+    assert!((0.85..=1.0).contains(&m.recall), "R {}", m.recall);
+    assert!(m.f1 > 0.8, "F1 {}", m.f1);
+    // Union exceeds either side and both sides contribute.
+    assert!(r.topcls.detected.len() > r.topcls.ml_count.max(r.topcls.heuristic_count));
+}
+
+#[test]
+fn host_mix_matches_tables_3_and_4() {
+    let (_, r) = fixture();
+    let top_image = r.crawl.image_links_by_site.iter().max_by_key(|&(_, &c)| c);
+    let top_cloud = r.crawl.cloud_links_by_site.iter().max_by_key(|&(_, &c)| c);
+    assert_eq!(top_image.unwrap().0, "imgur.com");
+    assert_eq!(top_cloud.unwrap().0, "mediafire.com");
+    // imgur carries roughly half of preview links (paper: 3297/6720).
+    let total: usize = r.crawl.image_links_by_site.values().sum();
+    let imgur = r.crawl.image_links_by_site["imgur.com"] as f64 / total as f64;
+    assert!((0.35..0.65).contains(&imgur), "imgur share {imgur}");
+}
+
+#[test]
+fn reverse_search_shape_matches_table5() {
+    let (_, r) = fixture();
+    let packs = &r.provenance.packs;
+    let previews = &r.provenance.previews;
+    // Paper: packs 74% matched vs previews 49% — previews are harder.
+    assert!(packs.match_rate() > previews.match_rate(), "pack {} vs preview {}",
+        packs.match_rate(), previews.match_rate());
+    assert!((0.55..0.92).contains(&packs.match_rate()));
+    assert!((0.30..0.70).contains(&previews.match_rate()));
+    // But matched previews appear on more sites (17.3 vs 12.7).
+    assert!(previews.ratio > packs.ratio, "ratios {} vs {}", previews.ratio, packs.ratio);
+    // Seen-before below match rate, in the paper's band.
+    assert!(packs.seen_before_rate() < packs.match_rate());
+    assert!(packs.seen_before_rate() > 0.35);
+}
+
+#[test]
+fn zero_match_packs_exist_and_concentrate() {
+    let (_, r) = fixture();
+    let share = r.provenance.zero_match_packs as f64 / r.provenance.analysed_packs.max(1) as f64;
+    // Paper: 203/1255 ≈ 16%.
+    assert!((0.03..0.40).contains(&share), "zero-match share {share}");
+    let (zero, total) = r.provenance.top_zero_match_actor;
+    // Paper: one actor with 47 zero-match of 100 shared packs.
+    assert!(zero >= 1 && zero <= total);
+}
+
+#[test]
+fn porn_tags_dominate_every_domain_classifier() {
+    let (_, r) = fixture();
+    assert_eq!(r.provenance.domain_tags.len(), 3);
+    for table in &r.provenance.domain_tags {
+        let total: usize = table.tags.iter().map(|&(_, c)| c).sum();
+        let adult: usize = table
+            .tags
+            .iter()
+            .filter(|(t, _)| {
+                let t = t.to_lowercase();
+                t.contains("porn")
+                    || t.contains("adult")
+                    || t.contains("sex")
+                    || t.contains("nudity")
+                    || t.contains("lingerie")
+                    || t.contains("provocative")
+            })
+            .map(|&(_, c)| c)
+            .sum();
+        let share = adult as f64 / total.max(1) as f64;
+        assert!(
+            share > 0.25,
+            "{}: adult tag share {share}",
+            table.classifier
+        );
+    }
+}
+
+#[test]
+fn earnings_match_section5_shape() {
+    let (_, r) = fixture();
+    let e = &r.earnings;
+    assert!(e.actors >= 10);
+    // Heavy tail: max far above the mean; median below the mean.
+    assert!(e.max_per_actor > 2.0 * e.mean_per_actor);
+    let median = {
+        let mut usd: Vec<f64> = e.per_actor.iter().map(|&(u, _)| u).collect();
+        usd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        usd[usd.len() / 2]
+    };
+    assert!(median < e.mean_per_actor, "median {median} < mean {}", e.mean_per_actor);
+    // Paper: avg transaction ≈ $41.90.
+    assert!((20.0..70.0).contains(&e.avg_transaction_usd));
+    // AGC + PayPal dominate (paper: 934 + 795 of 1868).
+    let agc = e.platform_counts.get("AGC").copied().unwrap_or(0);
+    let pp = e.platform_counts.get("PayPal").copied().unwrap_or(0);
+    let total: usize = e.platform_counts.values().sum();
+    assert!((agc + pp) as f64 / total as f64 > 0.75);
+}
+
+#[test]
+fn currency_exchange_matches_table7_shape() {
+    let (_, r) = fixture();
+    let c = &r.currency;
+    let btc_wanted = c.wanted.get("BTC").copied().unwrap_or(0);
+    let max_wanted = c.wanted.values().copied().max().unwrap_or(0);
+    assert_eq!(btc_wanted, max_wanted, "BTC most wanted: {:?}", c.wanted);
+    let agc_off = c.offered.get("AGC").copied().unwrap_or(0);
+    let agc_want = c.wanted.get("AGC").copied().unwrap_or(0);
+    assert!(agc_off > 2 * agc_want.max(1), "AGC offered ≫ wanted");
+}
+
+#[test]
+fn cohorts_match_table8_shape() {
+    let (_, r) = fixture();
+    let t = &r.cohorts;
+    // ~80% below 10 posts.
+    let small = 1.0 - t[1].actors as f64 / t[0].actors as f64;
+    assert!((0.7..0.95).contains(&small), "small share {small}");
+    // Percentage eWhoring rises with engagement (paper 23.3 → 40.6 at ≥500).
+    assert!(t[2].pct_ewhoring > t[0].pct_ewhoring);
+    // Days-before ~ months (paper 165.3).
+    assert!((60.0..340.0).contains(&t[0].days_before));
+}
+
+#[test]
+fn interests_shift_from_gaming_to_market() {
+    let (_, r) = fixture();
+    let get = |cat: &str| {
+        r.interests
+            .shares
+            .iter()
+            .find(|(c, ..)| c == cat)
+            .map(|&(_, b, d, a)| (b, d, a))
+    };
+    let (gb, gd, _) = get("Gaming").expect("gaming share");
+    let (hb, hd, _) = get("Hacking").expect("hacking share");
+    let (mb, md, ma) = get("Market").expect("market share");
+    assert!(gb > gd, "gaming declines: {gb} → {gd}");
+    assert!(hb > hd, "hacking declines: {hb} → {hd}");
+    assert!(md > mb && ma > mb, "market rises: {mb} → {md} → {ma}");
+}
+
+#[test]
+fn safety_matches_section43_shape() {
+    let (world, r) = fixture();
+    let s = &r.safety;
+    // Matches found, all genuine, with more actioned URLs than images
+    // (reverse search located extra copies), and repliers counted.
+    assert!(s.stage.summary.matched_cases >= 1);
+    assert!(s.stage.summary.matched_cases <= world.truth.csam_specs.len());
+    assert!(s.actors_in_flagged_threads >= s.stage.flagged_threads.len());
+    assert!(s.stage.summary.total_reports >= s.stage.summary.actioned_urls);
+}

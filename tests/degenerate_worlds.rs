@@ -1,0 +1,99 @@
+//! Failure injection: the pipeline must stay total on degenerate worlds —
+//! minimum-size corpora, missing side boards, empty hash lists, and
+//! everything-dead webs.
+
+use ewhoring_core::pipeline::{Pipeline, PipelineOptions};
+use worldgen::{World, WorldConfig};
+
+fn run(config: WorldConfig) -> ewhoring_core::PipelineReport {
+    let world = World::generate(config);
+    Pipeline::new(PipelineOptions {
+        k_key_actors: 5,
+        ..PipelineOptions::default()
+    })
+    .run(&world)
+}
+
+#[test]
+fn minimum_scale_world_runs() {
+    // Every per-forum count clamps to its minimum.
+    let report = run(WorldConfig {
+        seed: 1,
+        scale: 0.001,
+        origin_domains: 40,
+        csam_images: 1,
+        with_side_boards: true,
+    });
+    assert_eq!(report.forums.len(), worldgen::FORUM_PROFILES.len());
+    assert_eq!(report.cohorts.len(), 7);
+    // Tiny worlds may legitimately produce zero proofs or zero packs; the
+    // structures must still be present and consistent.
+    assert_eq!(
+        report.harvest.analysed,
+        report.harvest.proofs.len() + report.harvest.not_proof
+    );
+}
+
+#[test]
+fn no_side_boards_world_runs() {
+    let report = run(WorldConfig {
+        with_side_boards: false,
+        ..WorldConfig::test_scale(2)
+    });
+    // Without Currency Exchange / Bragging Rights the finance analyses
+    // degrade gracefully to empty rather than panicking.
+    assert_eq!(report.currency.threads, 0);
+    assert!(report.topcls.detected.len() > 0);
+    assert!(report.funnel.packs_downloaded > 0);
+}
+
+#[test]
+fn empty_hashlist_world_runs() {
+    let report = run(WorldConfig {
+        csam_images: 0,
+        ..WorldConfig::test_scale(3)
+    });
+    assert_eq!(report.safety.stage.summary.total_reports, 0);
+    assert!(report.safety.stage.flagged.is_empty());
+}
+
+#[test]
+fn pipeline_handles_empty_top_detection() {
+    // A world whose eWhoring threads exist but where the classifier finds
+    // nothing is simulated by running the crawl on an empty detection set;
+    // the pipeline-level equivalent is a zero-TOP forum (BlackHatWorld),
+    // which every other test covers. Here: crawl with no TOPs.
+    let world = World::generate(WorldConfig::test_scale(4));
+    let crawl = ewhoring_core::crawl::crawl_tops(&world.corpus, &world.catalog, &world.web, &[]);
+    assert_eq!(crawl.total_tops, 0);
+    assert!(crawl.previews.is_empty() && crawl.packs.is_empty());
+    // Downstream stages accept the empty inputs.
+    let prov = ewhoring_core::provenance::analyse_provenance(
+        &world.index,
+        &world.wayback,
+        &world.origins,
+        &[],
+        &[],
+        &[],
+    );
+    assert_eq!(prov.packs.total, 0);
+    assert_eq!(prov.distinct_domains, 0);
+    assert_eq!(prov.domain_tags.len(), 3);
+}
+
+#[test]
+fn single_forum_metrics_hold() {
+    // The smallest forums (min-clamped to a handful of threads) still get
+    // Table 1 rows with consistent counts.
+    let report = run(WorldConfig {
+        seed: 5,
+        scale: 0.002,
+        origin_domains: 50,
+        csam_images: 1,
+        with_side_boards: true,
+    });
+    for row in &report.forums {
+        assert!(row.posts >= row.threads, "{}", row.forum);
+        assert!(row.tops <= row.threads, "{}", row.forum);
+    }
+}

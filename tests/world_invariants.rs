@@ -1,0 +1,163 @@
+//! Ground-truth / world consistency invariants: everything the generator
+//! claims to have planted must actually exist in the world, wired the way
+//! the pipeline expects to find it.
+
+use std::collections::HashSet;
+use worldgen::{PackKind, ThreadRole, World};
+
+fn world() -> World {
+    ewhoring_suite::demo_world(0x1417A)
+}
+
+#[test]
+fn every_pack_record_is_hosted_and_attributed() {
+    let w = world();
+    for rec in &w.truth.packs {
+        let entry = w.web.entry(&rec.url).expect("pack URL is hosted");
+        match &entry.object {
+            websim::HostedObject::Pack { images } => {
+                assert_eq!(images.len() as u32, rec.n_images, "{:?}", rec.url);
+                assert!(!images.is_empty());
+            }
+            other => panic!("pack URL hosts {other:?}"),
+        }
+        assert_eq!(entry.uploaded, rec.posted);
+        // The thread exists, is a TOP, and its author matches the record.
+        assert_eq!(w.truth.role(rec.thread), Some(ThreadRole::Top));
+        assert_eq!(w.corpus.thread(rec.thread).author, rec.actor);
+    }
+}
+
+#[test]
+fn pack_urls_appear_in_their_threads_posts() {
+    let w = world();
+    for rec in w.truth.packs.iter().take(60) {
+        let mut found = false;
+        for &p in w.corpus.posts_in_thread(rec.thread) {
+            if w.corpus.post(p).body.contains(&rec.url.to_https()) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "pack URL not posted in thread {:?}", rec.thread);
+    }
+}
+
+#[test]
+fn csam_truth_is_internally_consistent() {
+    let w = world();
+    assert_eq!(w.truth.csam_specs.len() as u32, w.config.csam_images);
+    assert_eq!(w.hashlist.len(), w.truth.csam_specs.len());
+    // Every planted thread is a TOP with a hosted pack containing a
+    // planted spec.
+    let planted: HashSet<_> = w.truth.csam_specs.iter().collect();
+    for &t in &w.truth.csam_threads {
+        assert_eq!(w.truth.role(t), Some(ThreadRole::Top));
+        let has_planted_pack = w.truth.packs.iter().any(|rec| {
+            rec.thread == t
+                && w.web.entry(&rec.url).is_some_and(|e| {
+                    matches!(&e.object, websim::HostedObject::Pack { images }
+                        if images.iter().any(|img| planted.contains(&img.spec)))
+                })
+        });
+        assert!(has_planted_pack, "thread {t} lacks planted material");
+    }
+}
+
+#[test]
+fn proof_truth_matches_hosted_screenshots() {
+    let w = world();
+    assert!(!w.truth.proof_info.is_empty());
+    for (spec, info) in w.truth.proof_info.iter().take(200) {
+        assert!(spec.class.is_textual(), "proofs are screenshots");
+        assert!(info.amount > 0.0);
+        if let Some(tx) = info.transactions {
+            assert!(tx >= 1);
+        }
+        // The USD value at the screenshot date is finite and positive.
+        let usd = w.fx.to_usd(info.amount, info.currency, info.taken);
+        assert!(usd.is_finite() && usd > 0.0);
+    }
+    // Per-actor planted earnings equal the sum of their proof records.
+    let mut sums: std::collections::HashMap<crimebb::ActorId, f64> =
+        std::collections::HashMap::new();
+    for info in w.truth.proof_info.values() {
+        let usd = w.fx.to_usd(info.amount, info.currency, info.taken);
+        *sums.entry(info.actor).or_insert(0.0) += usd;
+    }
+    for (actor, total) in &w.truth.earnings_by_actor {
+        let s = sums.get(actor).copied().unwrap_or(0.0);
+        assert!(
+            (s - total).abs() < 1.0,
+            "{actor}: proofs sum {s} vs planted {total}"
+        );
+    }
+}
+
+#[test]
+fn proof_posts_contain_proof_urls() {
+    let w = world();
+    assert!(!w.truth.proof_posts.is_empty());
+    for &p in w.truth.proof_posts.iter().take(100) {
+        assert!(w.corpus.post(p).body.contains("Proof:"));
+    }
+}
+
+#[test]
+fn zero_match_pack_kinds_cannot_be_reverse_found() {
+    let w = world();
+    let mut checked = 0;
+    for rec in &w.truth.packs {
+        if !matches!(rec.kind, PackKind::SelfMade) {
+            continue;
+        }
+        if let Some(websim::HostedObject::Pack { images }) =
+            w.web.entry(&rec.url).map(|e| &e.object)
+        {
+            for img in images.iter().take(3) {
+                if img.spec.model >= 9_000_000 {
+                    continue; // planted hash-list material is indexed
+                }
+                let m = imagesim::RobustHash::of(&img.render());
+                assert!(
+                    w.index.query(&m).is_empty(),
+                    "self-made image found on the web: {:?}",
+                    img.spec
+                );
+                checked += 1;
+            }
+        }
+        if checked > 30 {
+            break;
+        }
+    }
+    assert!(checked > 0, "no self-made packs to check");
+}
+
+#[test]
+fn index_dates_never_exceed_dataset_end() {
+    let w = world();
+    let end = w.config.dataset_end();
+    for i in 0..w.index.len() {
+        assert!(w.index.entry(i as u32).crawled <= end);
+    }
+}
+
+#[test]
+fn thread_roles_cover_exactly_the_ewhoring_threads() {
+    let w = world();
+    let extracted: HashSet<_> =
+        ewhoring_core::extract::extract_ewhoring_threads(&w.corpus)
+            .all_threads()
+            .into_iter()
+            .collect();
+    // Every extracted thread has a role; roles also cover Bragging Rights
+    // threads (harvested via board membership, not the keyword query).
+    let mut missing = 0;
+    for &t in &extracted {
+        if w.truth.role(t).is_none() {
+            missing += 1;
+        }
+    }
+    assert_eq!(missing, 0, "{missing} extracted threads lack roles");
+}
