@@ -1,0 +1,21 @@
+# Development workflow shortcuts. `make verify` is the full pre-merge
+# gate: formatting, lints-as-errors, release build, and the test suite
+# (the tier-1 check from ROADMAP.md).
+
+CARGO ?= cargo
+
+.PHONY: verify fmt-check clippy build test
+
+verify: fmt-check clippy build test
+
+fmt-check:
+	$(CARGO) fmt --all -- --check
+
+clippy:
+	$(CARGO) clippy --workspace -- -D warnings
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q

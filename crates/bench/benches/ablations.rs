@@ -16,7 +16,9 @@ use ewhoring_core::extract::extract_ewhoring_threads;
 use ewhoring_core::nsfv::{algorithm1_with_thresholds, ImageMeasures};
 use ewhoring_core::topcls::{classify_tops, heuristic_is_top};
 use imagesim::validation::{build_validation_set, ValidationLabel};
-use linsvm::{LinearSvm, LogRegConfig, LogisticRegression, NaiveBayes, NaiveBayesConfig, SparseVec, SvmConfig};
+use linsvm::{
+    LinearSvm, LogRegConfig, LogisticRegression, NaiveBayes, NaiveBayesConfig, SparseVec, SvmConfig,
+};
 use std::hint::black_box;
 use std::sync::Once;
 
@@ -30,8 +32,13 @@ fn bench_ablations(c: &mut Criterion) {
 
     // --- hybrid vs halves ---
     let mut rng = synthrand::rng_from_seed(3);
-    let (classifier, result) =
-        classify_tops(&mut rng, &world.corpus, &world.catalog, &world.truth, &threads);
+    let (classifier, result) = classify_tops(
+        &mut rng,
+        &world.corpus,
+        &world.catalog,
+        &world.truth,
+        &threads,
+    );
     PRINT_ONCE.call_once(|| {
         eprintln!(
             "[ablation] hybrid F1 {:.3} | ML F1 {:.3} | heuristic F1 {:.3} | union {} = ml {} + heur {} - both {}",
@@ -132,8 +139,7 @@ fn bench_ablations(c: &mut Criterion) {
         let mut nude = (0usize, 0usize);
         let mut fp = (0usize, 0usize);
         for (m, label) in &measured {
-            let nsfv =
-                !algorithm1_with_thresholds(m.nsfw, m.ocr, fast_path, cutoff, 0.05, 10, 20);
+            let nsfv = !algorithm1_with_thresholds(m.nsfw, m.ocr, fast_path, cutoff, 0.05, 10, 20);
             if *label == ValidationLabel::Nude {
                 nude.1 += 1;
                 if nsfv {
@@ -146,10 +152,7 @@ fn bench_ablations(c: &mut Criterion) {
                 }
             }
         }
-        (
-            nude.0 as f64 / nude.1 as f64,
-            fp.0 as f64 / fp.1 as f64,
-        )
+        (nude.0 as f64 / nude.1 as f64, fp.0 as f64 / fp.1 as f64)
     };
     for (fast_path, cutoff) in [
         (0.002, 0.3),
@@ -194,14 +197,22 @@ fn bench_ablations(c: &mut Criterion) {
     });
     group.bench_function("train_logreg", |b| {
         b.iter(|| {
-            black_box(LogisticRegression::train(&rows, &labels, LogRegConfig::default()))
-                .predict(&rows[0])
+            black_box(LogisticRegression::train(
+                &rows,
+                &labels,
+                LogRegConfig::default(),
+            ))
+            .predict(&rows[0])
         })
     });
     group.bench_function("train_naive_bayes", |b| {
         b.iter(|| {
-            black_box(NaiveBayes::train(&rows, &labels, NaiveBayesConfig::default()))
-                .predict(&rows[0])
+            black_box(NaiveBayes::train(
+                &rows,
+                &labels,
+                NaiveBayesConfig::default(),
+            ))
+            .predict(&rows[0])
         })
     });
 

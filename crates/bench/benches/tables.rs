@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ewhoring_bench::{bench_options, small_report, small_world};
 use ewhoring_core::actors::{
-    actor_metrics, cohort_table, group_profiles, interaction_graph, popularity,
-    select_key_actors, KeyActorInputs,
+    actor_metrics, cohort_table, group_profiles, interaction_graph, popularity, select_key_actors,
+    KeyActorInputs,
 };
 use ewhoring_core::crawl::crawl_tops;
 use ewhoring_core::extract::extract_ewhoring_threads;
@@ -33,15 +33,26 @@ fn bench_tables(c: &mut Criterion) {
     group.bench_function("table1_topcls_train_eval", |b| {
         b.iter(|| {
             let mut rng = synthrand::rng_from_seed(7);
-            let (_, r) =
-                classify_tops(&mut rng, &world.corpus, &world.catalog, &world.truth, &threads);
+            let (_, r) = classify_tops(
+                &mut rng,
+                &world.corpus,
+                &world.catalog,
+                &world.truth,
+                &threads,
+            );
             black_box(r.detected.len())
         })
     });
 
     // Tables 3/4: snowball + link extraction + crawl.
     let mut rng = synthrand::rng_from_seed(7);
-    let (_, tops) = classify_tops(&mut rng, &world.corpus, &world.catalog, &world.truth, &threads);
+    let (_, tops) = classify_tops(
+        &mut rng,
+        &world.corpus,
+        &world.catalog,
+        &world.truth,
+        &threads,
+    );
     group.bench_function("tables3_4_crawl", |b| {
         b.iter(|| {
             let r = crawl_tops(&world.corpus, &world.catalog, &world.web, &tops.detected);

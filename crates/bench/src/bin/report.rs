@@ -68,10 +68,22 @@ fn main() {
     })
     .run(&world);
     eprintln!("pipeline finished in {:.1?}", t.elapsed());
+    for t in &report.timings {
+        let per_sec = if t.wall_us > 0 {
+            t.items as f64 / (t.wall_us as f64 / 1_000_000.0)
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  {:<16} {:>9.1} ms  {:>8} items  {:>12.0} items/s",
+            t.stage,
+            t.wall_us as f64 / 1_000.0,
+            t.items,
+            per_sec
+        );
+    }
 
-    println!(
-        "=== Measuring eWhoring — reproduction report (scale {scale}, seed {seed:#x}) ===\n"
-    );
+    println!("=== Measuring eWhoring — reproduction report (scale {scale}, seed {seed:#x}) ===\n");
     println!("{}", full_report(&report));
 
     if with_intervention {
@@ -92,8 +104,10 @@ fn intervention_section(report: &ewhoring_core::pipeline::PipelineReport) -> Str
     use ewhoring_core::nsfv::ImageMeasures;
     use std::fmt::Write as _;
 
-    let mut out = String::from("Extension (§8): intervention simulations
-");
+    let mut out = String::from(
+        "Extension (§8): intervention simulations
+",
+    );
 
     // Shared hash-blacklist over the crawled packs.
     let owned: Vec<(&ewhoring_core::crawl::PackDownload, Vec<ImageMeasures>)> = report

@@ -77,9 +77,7 @@ pub fn actor_metrics(corpus: &Corpus, ewhoring_threads: &[ThreadId]) -> Vec<Acto
         let (first_ew, last_ew) = corpus
             .actor_span_in(actor, ewhoring_threads)
             .expect("actor posted in the set");
-        let (first_post, last_post) = corpus
-            .actor_activity_span(actor)
-            .expect("actor has posts");
+        let (first_post, last_post) = corpus.actor_activity_span(actor).expect("actor has posts");
         out.push(ActorMetrics {
             actor,
             ew_posts,
@@ -315,11 +313,7 @@ pub fn select_key_actors(inputs: &KeyActorInputs<'_>, k: usize) -> KeyActors {
     );
 
     // Currency exchange: top-k by post-eWhoring CE thread count.
-    let mut ce: Vec<(ActorId, usize)> = inputs
-        .ce_by_actor
-        .iter()
-        .map(|(&a, &n)| (a, n))
-        .collect();
+    let mut ce: Vec<(ActorId, usize)> = inputs.ce_by_actor.iter().map(|(&a, &n)| (a, n)).collect();
     ce.sort_unstable_by_key(|&(a, n)| (std::cmp::Reverse(n), a));
     groups.insert(
         KeyGroup::CurrencyExchange,
@@ -451,8 +445,7 @@ pub fn interest_evolution(
     metrics: &[ActorMetrics],
     key_actors: &[ActorId],
 ) -> InterestEvolution {
-    let metric_of: HashMap<ActorId, &ActorMetrics> =
-        metrics.iter().map(|m| (m.actor, m)).collect();
+    let metric_of: HashMap<ActorId, &ActorMetrics> = metrics.iter().map(|m| (m.actor, m)).collect();
     let mut per_period: [BTreeMap<BoardCategory, usize>; 3] = Default::default();
     for a in key_actors {
         let Some(m) = metric_of.get(a) else { continue };
@@ -478,10 +471,7 @@ pub fn interest_evolution(
         per_period[1].values().sum::<usize>() as f64,
         per_period[2].values().sum::<usize>() as f64,
     ];
-    let mut cats: Vec<BoardCategory> = per_period
-        .iter()
-        .flat_map(|m| m.keys().copied())
-        .collect();
+    let mut cats: Vec<BoardCategory> = per_period.iter().flat_map(|m| m.keys().copied()).collect();
     cats.sort_unstable();
     cats.dedup();
     let shares = cats

@@ -159,11 +159,7 @@ pub fn extract_links(
 }
 
 /// Fetches every link, producing downloads and mortality statistics.
-pub fn crawl_links(
-    catalog: &SiteCatalog,
-    web: &WebStore,
-    links: Vec<FoundLink>,
-) -> CrawlResult {
+pub fn crawl_links(catalog: &SiteCatalog, web: &WebStore, links: Vec<FoundLink>) -> CrawlResult {
     let mut result = CrawlResult::default();
     for link in links {
         // Tally under the catalogue's canonical name so subdomain-hosted
@@ -241,9 +237,7 @@ mod tests {
         assert!(whitelist.len() >= seed.len());
         // At least one non-seed host appears in generated links over a
         // whole world (imagetwist etc. carry ~8% of preview traffic).
-        let grew = whitelist
-            .iter()
-            .any(|d| !seed.contains(&d.as_str()));
+        let grew = whitelist.iter().any(|d| !seed.contains(&d.as_str()));
         assert!(grew, "snowball never grew beyond the seed list");
     }
 
@@ -287,7 +281,10 @@ mod tests {
         let total_cloud: usize = r.cloud_links_by_site.values().sum();
         let pack_success = r.packs.len() as f64 / total_cloud as f64;
         // Paper: 1 255 packs from 1 686 cloud links ≈ 74%.
-        assert!((0.45..0.95).contains(&pack_success), "pack success {pack_success}");
+        assert!(
+            (0.45..0.95).contains(&pack_success),
+            "pack success {pack_success}"
+        );
     }
 
     #[test]

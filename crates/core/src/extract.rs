@@ -47,11 +47,8 @@ impl EwhoringSet {
 
 /// Runs the §3 extraction over the corpus.
 pub fn extract_ewhoring_threads(corpus: &Corpus) -> EwhoringSet {
-    let mut per_forum: Vec<(ForumId, Vec<ThreadId>)> = corpus
-        .forums()
-        .iter()
-        .map(|f| (f.id, Vec::new()))
-        .collect();
+    let mut per_forum: Vec<(ForumId, Vec<ThreadId>)> =
+        corpus.forums().iter().map(|f| (f.id, Vec::new())).collect();
 
     // Dedicated-board threads (Hackforums' eWhoring section).
     let mut seen: HashSet<ThreadId> = HashSet::new();

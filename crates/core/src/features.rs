@@ -127,10 +127,7 @@ pub struct FeatureExtractor {
 impl FeatureExtractor {
     /// Fits vocabulary and IDF on the training threads.
     pub fn fit(corpus: &Corpus, train: &[ThreadId]) -> FeatureExtractor {
-        let docs: Vec<Vec<String>> = train
-            .iter()
-            .map(|&t| thread_tokens(corpus, t))
-            .collect();
+        let docs: Vec<Vec<String>> = train.iter().map(|&t| thread_tokens(corpus, t)).collect();
         let vocab = Vocabulary::build(docs.iter().map(|d| d.iter()), 2);
         let dtm = textkit::dtm::DocTermMatrix::from_docs(&vocab, &docs);
         let tfidf = TfIdf::fit(&dtm);

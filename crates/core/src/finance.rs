@@ -249,11 +249,19 @@ pub fn analyse_earnings(harvest: &EarningsHarvest) -> EarningsAnalysis {
     EarningsAnalysis {
         actors,
         total_usd,
-        mean_per_actor: if actors > 0 { total_usd / actors as f64 } else { 0.0 },
+        mean_per_actor: if actors > 0 {
+            total_usd / actors as f64
+        } else {
+            0.0
+        },
         max_per_actor: totals.first().map_or(0.0, |&(u, _)| u),
         per_actor: totals,
         detailed_proofs: detailed,
-        avg_transaction_usd: if tx_count > 0 { tx_usd / tx_count as f64 } else { 0.0 },
+        avg_transaction_usd: if tx_count > 0 {
+            tx_usd / tx_count as f64
+        } else {
+            0.0
+        },
         platform_counts,
         monthly_platforms: monthly
             .into_iter()
@@ -311,8 +319,14 @@ pub fn analyse_currency_exchange(
                 Some(trade) => (trade.offered, trade.wanted),
                 None => (Currency::Unknown, Currency::Unknown),
             };
-            *analysis.offered.entry(offered.label().to_string()).or_insert(0) += 1;
-            *analysis.wanted.entry(wanted.label().to_string()).or_insert(0) += 1;
+            *analysis
+                .offered
+                .entry(offered.label().to_string())
+                .or_insert(0) += 1;
+            *analysis
+                .wanted
+                .entry(wanted.label().to_string())
+                .or_insert(0) += 1;
         }
     }
     analysis

@@ -129,7 +129,10 @@ pub fn simulate_blacklist(
             continue;
         }
         outcome.later_packs += 1;
-        let blocked = measures.iter().filter(|m| blacklist.blocks(&m.hash)).count();
+        let blocked = measures
+            .iter()
+            .filter(|m| blacklist.blocks(&m.hash))
+            .count();
         outcome.later_images += measures.len();
         outcome.blocked_images += blocked;
         if blocked * 2 >= measures.len() {
@@ -356,8 +359,7 @@ mod tests {
         let s = screen_payment_accounts(&harvest.proofs, 10);
         // High earners transact a lot, so revenue coverage beats actor
         // coverage — the asymmetry that makes the intervention attractive.
-        let actor_share =
-            s.flagged_actors as f64 / (s.flagged_actors + s.unflagged_actors) as f64;
+        let actor_share = s.flagged_actors as f64 / (s.flagged_actors + s.unflagged_actors) as f64;
         assert!(
             s.usd_coverage() >= actor_share,
             "usd {} vs actors {actor_share}",
@@ -377,7 +379,11 @@ mod tests {
         assert_eq!(list.len(), 1);
         // A lightly edited re-upload is still blocked; a mirrored one
         // escapes (the evasion the paper documents).
-        let noisy = Transform::Noise { amplitude: 6, seed: 1 }.apply(&spec.render());
+        let noisy = Transform::Noise {
+            amplitude: 6,
+            seed: 1,
+        }
+        .apply(&spec.render());
         assert!(list.blocks(&RobustHash::of(&noisy)));
         let mirrored = Transform::MirrorHorizontal.apply(&spec.render());
         assert!(!list.blocks(&RobustHash::of(&mirrored)));

@@ -36,10 +36,10 @@
 
 pub mod actors;
 pub mod crawl;
-pub mod intervention;
 pub mod extract;
 pub mod features;
 pub mod finance;
+pub mod intervention;
 pub mod nsfv;
 pub mod pipeline;
 pub mod provenance;
@@ -47,4 +47,4 @@ pub mod report;
 pub mod safety_stage;
 pub mod topcls;
 
-pub use pipeline::{Pipeline, PipelineReport};
+pub use pipeline::{Pipeline, PipelineReport, StageTiming};

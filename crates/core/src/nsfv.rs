@@ -16,8 +16,8 @@
 //! a bitmap is rendered once and dropped immediately — the in-memory
 //! equivalent of the paper's stream-process-delete handling.
 
-use imagesim::{content_digest, nsfw_score, ocr_word_count, Bitmap, RobustHash};
 use imagesim::validation::{ValidationImage, ValidationLabel};
+use imagesim::{content_digest, nsfw_score, ocr_word_count, Bitmap, RobustHash};
 use serde::{Deserialize, Serialize};
 
 /// Everything measured from one image's pixels.
@@ -204,9 +204,7 @@ mod tests {
     fn model_images_are_nsfv() {
         for v in 0..20 {
             for class in [ImageClass::ModelNude, ImageClass::ModelSexual] {
-                let m = ImageMeasures::of(
-                    &ImageSpec::model_photo(class, v as u32 + 1, v).render(),
-                );
+                let m = ImageMeasures::of(&ImageSpec::model_photo(class, v as u32 + 1, v).render());
                 assert!(!m.is_sfv(), "{class:?} v{v}: nsfw {}", m.nsfw);
             }
         }

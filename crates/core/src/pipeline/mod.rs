@@ -1,0 +1,335 @@
+//! The measurement pipeline as a stage graph (paper Figure 1).
+//!
+//! Each paper stage is one [`Stage`] implementation under [`stages`],
+//! reading and writing a typed [`StageCtx`] artifact store. [`Pipeline`]
+//! is a thin driver: it executes the stage list in order, records
+//! per-stage wall-clock and item throughput into [`StageTiming`]s, and
+//! can stop after any prefix of the graph ([`Pipeline::run_prefix`]).
+//!
+//! Stage order (module ↔ paper section):
+//!
+//! | stage            | module                | paper |
+//! |------------------|-----------------------|-------|
+//! | `extract`        | [`stages::extract`]   | §3    |
+//! | `top_classifier` | [`stages::topcls`]    | §4.1  |
+//! | `crawl`          | [`stages::crawl`]     | §4.2  |
+//! | `measure_images` | [`stages::measure`]   | §4.2  |
+//! | `safety`         | [`stages::safety`]    | §4.3  |
+//! | `nsfv`           | [`stages::nsfv`]      | §4.4  |
+//! | `provenance`     | [`stages::provenance`]| §4.5  |
+//! | `finance`        | [`stages::finance`]   | §5    |
+//! | `actors`         | [`stages::actors`]    | §6    |
+//!
+//! Everything is deterministic in `PipelineOptions::seed`; only the
+//! image-measurement stage touches worker threads, and its output is
+//! order-preserving regardless of worker count.
+
+pub mod ctx;
+pub mod stages;
+
+pub use ctx::{
+    apply_deletions, ImageRef, ImageSource, KeptImages, MeasuredImages, StageCtx, StageError,
+};
+pub use stages::measure::measure_batch;
+
+use crate::actors::{CohortRow, GroupProfile, InterestEvolution, KeyActors};
+use crate::crawl::CrawlResult;
+use crate::finance::{CurrencyExchangeAnalysis, EarningsAnalysis, EarningsHarvest};
+use crate::nsfv::NsfvValidation;
+use crate::provenance::ProvenanceResult;
+use crate::safety_stage::SafetyStageResult;
+use crate::topcls::TopClassification;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use worldgen::World;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineOptions {
+    /// Seed for annotation sampling / training shuffles.
+    pub seed: u64,
+    /// `k` for key-actor selection (paper: 50).
+    pub k_key_actors: usize,
+    /// Worker threads for image measurement (0 = all cores).
+    pub workers: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            seed: 0x1919,
+            k_key_actors: 50,
+            workers: 0,
+        }
+    }
+}
+
+/// Table 1 row: per-forum eWhoring footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForumRow {
+    /// Forum name.
+    pub forum: String,
+    /// eWhoring threads extracted.
+    pub threads: usize,
+    /// Posts in those threads.
+    pub posts: usize,
+    /// First post date, `MM/YY`.
+    pub first_post: String,
+    /// TOPs detected by the hybrid classifier.
+    pub tops: usize,
+    /// Distinct actors.
+    pub actors: usize,
+}
+
+/// §4.3 extras measured on top of the IWF summary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SafetyFindings {
+    /// The stage result (flagged downloads, IWF summary).
+    pub stage: SafetyStageResult,
+    /// Distinct actors who replied in flagged threads (paper: 476).
+    pub actors_in_flagged_threads: usize,
+}
+
+/// §4.2/§4.4 funnel counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ImageFunnel {
+    /// Single images downloaded from image-sharing sites (paper: 5 788).
+    pub preview_downloads: usize,
+    /// Packs downloaded (paper: 1 255).
+    pub packs_downloaded: usize,
+    /// Images inside downloaded packs (paper: 111 288).
+    pub pack_images: usize,
+    /// Unique files after exact dedup (paper: 53 948).
+    pub unique_files: usize,
+    /// Exact-duplicate images appearing in ≥20 packs (paper: 127).
+    pub heavily_duplicated: usize,
+    /// Preview downloads classified NSFV (paper: 3 496).
+    pub previews_nsfv: usize,
+}
+
+/// Wall-clock and throughput for one executed stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name, as returned by [`Stage::name`].
+    pub stage: String,
+    /// Wall-clock, microseconds.
+    pub wall_us: u128,
+    /// Items the stage processed (threads, images, packs — per stage).
+    pub items: usize,
+}
+
+/// Per-stage timings for a (possibly prefix) pipeline run.
+pub type StageTimings = Vec<StageTiming>;
+
+/// Everything the pipeline measures, one field per paper artefact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Table 1.
+    pub forums: Vec<ForumRow>,
+    /// §4.1 classifier results.
+    pub topcls: TopClassification,
+    /// §4.2 crawl output (Tables 3/4 live in the tallies).
+    pub crawl: CrawlResult,
+    /// §4.2/§4.4 funnel.
+    pub funnel: ImageFunnel,
+    /// §4.3 safety results.
+    pub safety: SafetyFindings,
+    /// §4.4 validation-set evaluation.
+    pub nsfv_validation: NsfvValidation,
+    /// §4.5 provenance (Tables 5/6).
+    pub provenance: ProvenanceResult,
+    /// §5.1 harvest funnel.
+    pub harvest: EarningsHarvest,
+    /// §5.2 earnings aggregates (Figures 2/3).
+    pub earnings: EarningsAnalysis,
+    /// Table 7.
+    pub currency: CurrencyExchangeAnalysis,
+    /// Table 8.
+    pub cohorts: Vec<CohortRow>,
+    /// Figure 4 raw points: `(ew_posts, pct_ewhoring, days_before,
+    /// days_after)` per actor.
+    pub fig4_points: Vec<(usize, f64, u32, u32)>,
+    /// §6.3 key actors (Table 9 data).
+    pub key_actors: KeyActors,
+    /// Table 10.
+    pub group_profiles: Vec<GroupProfile>,
+    /// Figure 5.
+    pub interests: InterestEvolution,
+    /// Wall-clock + throughput per executed stage.
+    pub timings: StageTimings,
+}
+
+/// One node of the stage graph.
+///
+/// A stage reads earlier artifacts out of the [`StageCtx`], does its
+/// work, and writes its outputs back in. Stages hold no state of their
+/// own — everything flows through the context, which is what makes
+/// prefix runs and artifact inspection possible.
+pub trait Stage {
+    /// Stable stage name (appears in [`StageTiming::stage`]).
+    fn name(&self) -> &'static str;
+    /// Runs the stage against `ctx`.
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError>;
+}
+
+/// The pipeline runner: a thin driver over the stage graph.
+pub struct Pipeline {
+    options: PipelineOptions,
+}
+
+impl Pipeline {
+    /// Creates a runner with `options`.
+    pub fn new(options: PipelineOptions) -> Pipeline {
+        Pipeline { options }
+    }
+
+    /// The full stage graph in paper order.
+    pub fn stages() -> Vec<Box<dyn Stage>> {
+        stages::full_graph()
+    }
+
+    /// Runs every stage against `world` and assembles the report.
+    pub fn run(&self, world: &World) -> PipelineReport {
+        self.run_prefix(world, usize::MAX)
+            .and_then(StageCtx::into_report)
+            .expect("the full stage graph produces every artifact")
+    }
+
+    /// Runs the first `n` stages of the graph (all of them if `n`
+    /// exceeds the graph length) and returns the artifact store, so
+    /// callers can inspect intermediate products without paying for the
+    /// rest of the pipeline.
+    pub fn run_prefix<'w>(&self, world: &'w World, n: usize) -> Result<StageCtx<'w>, StageError> {
+        let mut ctx = StageCtx::new(world, self.options);
+        for stage in Self::stages().into_iter().take(n) {
+            Self::step(stage.as_ref(), &mut ctx)?;
+        }
+        Ok(ctx)
+    }
+
+    /// Executes one stage, recording its timing into the context.
+    fn step(stage: &dyn Stage, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let t = Instant::now();
+        stage.run(ctx)?;
+        let wall_us = t.elapsed().as_micros();
+        let items = ctx.take_items();
+        ctx.timings.push(StageTiming {
+            stage: stage.name().to_string(),
+            wall_us,
+            items,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worldgen::WorldConfig;
+
+    #[test]
+    fn full_pipeline_runs_on_a_test_world() {
+        let world = World::generate(WorldConfig::test_scale(0xE2E));
+        let report = Pipeline::new(PipelineOptions {
+            k_key_actors: 10,
+            ..PipelineOptions::default()
+        })
+        .run(&world);
+
+        // Table 1 shape: every forum extracted, Hackforums dominant.
+        assert_eq!(report.forums.len(), worldgen::FORUM_PROFILES.len());
+        let hf = report
+            .forums
+            .iter()
+            .max_by_key(|r| r.threads)
+            .expect("rows exist");
+        assert_eq!(hf.forum, "Hackforums");
+
+        // Classifier worked and TOPs were detected.
+        assert!(report.topcls.hybrid_metrics.f1 > 0.7);
+        assert!(!report.topcls.detected.is_empty());
+
+        // Crawl produced previews and packs; funnel accounting consistent.
+        assert!(report.funnel.preview_downloads > 0);
+        assert!(report.funnel.packs_downloaded > 0);
+        assert!(
+            report.funnel.unique_files
+                <= report.funnel.pack_images + report.funnel.preview_downloads
+        );
+        assert!(report.funnel.unique_files > 0);
+        assert!(report.funnel.previews_nsfv <= report.funnel.preview_downloads);
+
+        // Safety caught planted material.
+        assert!(report.safety.stage.summary.matched_cases > 0);
+        assert!(report.safety.actors_in_flagged_threads > 0);
+
+        // NSFV validation holds the paper's operating point.
+        assert_eq!(
+            report.nsfv_validation.nude_detected,
+            report.nsfv_validation.nude_total
+        );
+
+        // Provenance produced both Table 5 rows.
+        assert!(report.provenance.packs.total > 0);
+        assert!(report.provenance.previews.total > 0);
+
+        // Finance produced proofs and Table 7 data.
+        assert!(!report.harvest.proofs.is_empty());
+        assert!(report.earnings.total_usd > 0.0);
+        assert!(report.currency.threads > 0);
+
+        // Actor analyses filled in.
+        assert_eq!(report.cohorts.len(), 7);
+        assert!(!report.fig4_points.is_empty());
+        assert_eq!(report.group_profiles.len(), 6);
+        assert!(!report.interests.shares.is_empty());
+
+        // Driver recorded one timing per stage, with throughput.
+        assert_eq!(report.timings.len(), Pipeline::stages().len());
+        assert!(report.timings.iter().all(|t| t.items > 0));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let world = World::generate(WorldConfig::test_scale(0xDE7));
+        let opts = PipelineOptions {
+            k_key_actors: 8,
+            ..PipelineOptions::default()
+        };
+        let a = Pipeline::new(opts).run(&world);
+        let b = Pipeline::new(opts).run(&world);
+        assert_eq!(a.funnel.unique_files, b.funnel.unique_files);
+        assert_eq!(a.topcls.detected, b.topcls.detected);
+        assert_eq!(a.earnings.total_usd, b.earnings.total_usd);
+        assert_eq!(a.key_actors.all, b.key_actors.all);
+    }
+
+    #[test]
+    fn prefix_run_stops_at_the_requested_stage() {
+        let world = World::generate(WorldConfig::test_scale(0xE2E));
+        let pipe = Pipeline::new(PipelineOptions::default());
+
+        // Three stages: extract, top_classifier, crawl.
+        let ctx = pipe.run_prefix(&world, 3).expect("prefix runs");
+        assert!(ctx.crawl().is_ok(), "crawl artifact produced");
+        assert_eq!(
+            ctx.measures().unwrap_err(),
+            StageError::MissingArtifact("measures")
+        );
+        let names: Vec<&str> = ctx.timings().iter().map(|t| t.stage.as_str()).collect();
+        assert_eq!(names, ["extract", "top_classifier", "crawl"]);
+
+        // A prefix cannot be assembled into a full report.
+        assert!(matches!(
+            ctx.into_report(),
+            Err(StageError::MissingArtifact(_))
+        ));
+
+        // The empty prefix produces nothing at all.
+        let ctx = pipe.run_prefix(&world, 0).expect("empty prefix runs");
+        assert_eq!(
+            ctx.extraction().unwrap_err(),
+            StageError::MissingArtifact("extraction")
+        );
+    }
+}

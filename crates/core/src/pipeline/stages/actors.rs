@@ -1,0 +1,190 @@
+//! Stage `actors`: cohorts, interaction graph, and key actors (paper §6).
+
+use crate::actors::{
+    actor_metrics, cohort_table, group_profiles, interaction_graph, interest_evolution, popularity,
+    select_key_actors, KeyActorInputs,
+};
+use crate::pipeline::ctx::require;
+use crate::pipeline::{Stage, StageCtx, StageError};
+use crimebb::{ActorId, BoardCategory, Corpus, ForumId, ThreadId};
+use std::collections::HashMap;
+
+/// Produces `cohorts`, `fig4_points`, `key_actors`, `group_profiles`,
+/// and `interests`.
+pub struct ActorsStage;
+
+impl Stage for ActorsStage {
+    fn name(&self) -> &'static str {
+        "actors"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let world = ctx.world;
+        let all_threads = require(&ctx.all_threads, "all_threads")?;
+        let crawl = require(&ctx.crawl, "crawl")?;
+        let harvest = require(&ctx.harvest, "harvest")?;
+
+        let metrics = actor_metrics(&world.corpus, all_threads);
+        let cohorts = cohort_table(&metrics);
+        let fig4_points = metrics
+            .iter()
+            .map(|m| (m.ew_posts, m.pct_ewhoring(), m.days_before, m.days_after))
+            .collect();
+        let graph = interaction_graph(&world.corpus, all_threads);
+        let pop = popularity(&world.corpus, all_threads);
+
+        // Measured per-actor quantities for key-actor selection.
+        let mut packs_by_actor: HashMap<ActorId, usize> = HashMap::new();
+        for p in &crawl.packs {
+            *packs_by_actor
+                .entry(world.corpus.thread(p.link.thread).author)
+                .or_insert(0) += 1;
+        }
+        let mut earnings_by_actor: HashMap<ActorId, f64> = HashMap::new();
+        for proof in &harvest.proofs {
+            *earnings_by_actor.entry(proof.actor).or_insert(0.0) += proof.usd;
+        }
+        let ce_by_actor = ce_threads_by_actor(&world.corpus, world.hackforums, all_threads);
+
+        let inputs = KeyActorInputs {
+            metrics: &metrics,
+            packs_by_actor: &packs_by_actor,
+            earnings_by_actor: &earnings_by_actor,
+            popularity: &pop,
+            graph: &graph,
+            ce_by_actor: &ce_by_actor,
+        };
+        let key_actors = select_key_actors(&inputs, ctx.options.k_key_actors);
+        let profiles = group_profiles(&inputs, &key_actors);
+        let interests = interest_evolution(&world.corpus, &metrics, &key_actors.all);
+
+        ctx.note_items(metrics.len());
+        ctx.cohorts = Some(cohorts);
+        ctx.fig4_points = Some(fig4_points);
+        ctx.key_actors = Some(key_actors);
+        ctx.group_profiles = Some(profiles);
+        ctx.interests = Some(interests);
+        Ok(())
+    }
+}
+
+/// Post-eWhoring Currency Exchange thread counts per qualifying actor:
+/// HackForums members with more than 50 posts in eWhoring threads, counting
+/// only Currency Exchange threads they started after their first eWhoring
+/// post (paper §5.1).
+pub(crate) fn ce_threads_by_actor(
+    corpus: &Corpus,
+    hackforums: ForumId,
+    ewhoring_threads: &[ThreadId],
+) -> HashMap<ActorId, usize> {
+    let counts = corpus.posts_per_actor_in(ewhoring_threads);
+    let mut out = HashMap::new();
+    for (&actor, &c) in &counts {
+        if c <= 50 || corpus.actor(actor).forum != hackforums {
+            continue;
+        }
+        let first = corpus
+            .actor_span_in(actor, ewhoring_threads)
+            .map(|(f, _)| f);
+        let n = corpus
+            .threads_started_by(actor, BoardCategory::CurrencyExchange, first)
+            .len();
+        if n > 0 {
+            out.insert(actor, n);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crimebb::CorpusBuilder;
+    use synthrand::Day;
+
+    /// Hand-built corpus exercising every gate of `ce_threads_by_actor`:
+    /// the >50-posts threshold, the HackForums-membership requirement,
+    /// and the started-after-first-eWhoring-post cutoff.
+    #[test]
+    fn ce_threads_by_actor_applies_every_gate() {
+        let mut b = CorpusBuilder::new();
+        let hf = b.add_forum("Hackforums");
+        let other = b.add_forum("Elsewhere");
+        let ew = b.add_board(hf, "eWhoring", BoardCategory::EWhoring);
+        let ce = b.add_board(hf, "Currency Exchange", BoardCategory::CurrencyExchange);
+        let ew_other = b.add_board(other, "ew", BoardCategory::EWhoring);
+        let ce_other = b.add_board(other, "ce", BoardCategory::CurrencyExchange);
+
+        let reg = Day::from_ymd(2014, 1, 1);
+        let heavy = b.add_actor(hf, "heavy", reg);
+        let light = b.add_actor(hf, "light", reg);
+        let outsider = b.add_actor(other, "outsider", reg);
+        let early = b.add_actor(hf, "early", reg);
+
+        // One eWhoring thread on HF holding everyone's posts, plus one on
+        // the other forum for the outsider.
+        let t_ew = b.add_thread(ew, heavy, "pics", Day::from_ymd(2016, 1, 1));
+        for i in 0..60 {
+            // `heavy` and `early` clear the >50 threshold…
+            b.add_post(
+                t_ew,
+                heavy,
+                Day::from_ymd(2016, 1, 1).plus_days(i),
+                "p",
+                None,
+            );
+            b.add_post(
+                t_ew,
+                early,
+                Day::from_ymd(2016, 1, 1).plus_days(i),
+                "p",
+                None,
+            );
+        }
+        for i in 60..70 {
+            // …`light` does not (posts must stay chronological in-thread).
+            b.add_post(
+                t_ew,
+                light,
+                Day::from_ymd(2016, 1, 1).plus_days(i),
+                "p",
+                None,
+            );
+        }
+        let t_ew2 = b.add_thread(ew_other, outsider, "pics", Day::from_ymd(2016, 1, 1));
+        for i in 0..60 {
+            b.add_post(
+                t_ew2,
+                outsider,
+                Day::from_ymd(2016, 1, 1).plus_days(i),
+                "p",
+                None,
+            );
+        }
+
+        // Currency Exchange threads: `heavy` starts two after entering
+        // eWhoring; `light` starts one (filtered: too few posts);
+        // `outsider` starts one on the wrong forum; `early` only started
+        // CE *before* their first eWhoring post.
+        b.add_thread(ce, heavy, "btc", Day::from_ymd(2016, 6, 1));
+        b.add_thread(ce, heavy, "pp", Day::from_ymd(2016, 7, 1));
+        b.add_thread(ce, light, "btc", Day::from_ymd(2016, 6, 1));
+        b.add_thread(ce_other, outsider, "btc", Day::from_ymd(2016, 6, 1));
+        b.add_thread(ce, early, "btc", Day::from_ymd(2015, 6, 1));
+        let corpus = b.build();
+
+        let out = ce_threads_by_actor(&corpus, hf, &[t_ew, t_ew2]);
+
+        assert_eq!(out.get(&heavy), Some(&2), "qualifies on every gate");
+        assert!(!out.contains_key(&light), "≤50 eWhoring posts");
+        assert!(
+            !out.contains_key(&outsider),
+            "not a HackForums member, despite >50 posts and a CE thread"
+        );
+        assert!(
+            !out.contains_key(&early),
+            "CE thread predates their first eWhoring post"
+        );
+        assert_eq!(out.len(), 1);
+    }
+}

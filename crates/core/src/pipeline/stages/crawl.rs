@@ -1,0 +1,23 @@
+//! Stage `crawl`: follow TOP links to previews and packs (paper §4.2).
+
+use crate::crawl::crawl_tops;
+use crate::pipeline::ctx::require;
+use crate::pipeline::{Stage, StageCtx, StageError};
+
+/// Produces `crawl`.
+pub struct CrawlStage;
+
+impl Stage for CrawlStage {
+    fn name(&self) -> &'static str {
+        "crawl"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let world = ctx.world;
+        let detected = &require(&ctx.topcls, "topcls")?.detected;
+        let crawl = crawl_tops(&world.corpus, &world.catalog, &world.web, detected);
+        ctx.note_items(detected.len());
+        ctx.crawl = Some(crawl);
+        Ok(())
+    }
+}

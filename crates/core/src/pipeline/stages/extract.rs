@@ -1,0 +1,22 @@
+//! Stage `extract`: pull eWhoring threads out of the corpus (paper §3).
+
+use crate::extract::extract_ewhoring_threads;
+use crate::pipeline::{Stage, StageCtx, StageError};
+
+/// Produces `extraction` and `all_threads`.
+pub struct ExtractStage;
+
+impl Stage for ExtractStage {
+    fn name(&self) -> &'static str {
+        "extract"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let set = extract_ewhoring_threads(&ctx.world.corpus);
+        let all_threads = set.all_threads();
+        ctx.note_items(set.len());
+        ctx.all_threads = Some(all_threads);
+        ctx.extraction = Some(set);
+        Ok(())
+    }
+}

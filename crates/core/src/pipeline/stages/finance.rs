@@ -1,0 +1,33 @@
+//! Stage `finance`: earnings harvest and cash-out analysis (paper §5).
+//!
+//! Reuses the safety stage's gate so proof-of-earnings screenshots are
+//! screened through the same hash log the image screening used.
+
+use crate::finance::{analyse_currency_exchange, analyse_earnings, harvest_earnings};
+use crate::pipeline::ctx::require;
+use crate::pipeline::{Stage, StageCtx, StageError};
+
+/// Produces `harvest`, `earnings`, and `currency`.
+pub struct FinanceStage;
+
+impl Stage for FinanceStage {
+    fn name(&self) -> &'static str {
+        "finance"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let world = ctx.world;
+        let all_threads = require(&ctx.all_threads, "all_threads")?;
+        let gate = require(&ctx.gate, "gate")?;
+
+        let harvest = harvest_earnings(world, gate, all_threads);
+        let earnings = analyse_earnings(&harvest);
+        let currency = analyse_currency_exchange(&world.corpus, world.hackforums, all_threads);
+
+        ctx.note_items(all_threads.len());
+        ctx.harvest = Some(harvest);
+        ctx.earnings = Some(earnings);
+        ctx.currency = Some(currency);
+        Ok(())
+    }
+}

@@ -1,0 +1,185 @@
+//! Stage `measure_images`: the only pixel-touching work (paper §4.2).
+//!
+//! Previews and *all* pack images are flattened into **one**
+//! [`measure_batch`] call, so worker threads see the whole workload at
+//! once instead of one small batch per pack (most packs are far below
+//! the serial-fallback threshold, which used to keep them all serial).
+//! The flat results are re-split per source by
+//! [`MeasuredImages::from_flat`], keyed by [`ImageRef`] from then on.
+//!
+//! [`ImageRef`]: crate::pipeline::ImageRef
+
+use crate::crawl::CrawlResult;
+use crate::nsfv::ImageMeasures;
+use crate::pipeline::ctx::require;
+use crate::pipeline::{MeasuredImages, Stage, StageCtx, StageError};
+use websim::StoredImage;
+
+/// Produces `measures`.
+pub struct MeasureStage;
+
+/// Flattens previews + every pack into one image list, measures it with
+/// a single `batch` call, and re-splits the results per source. The
+/// `batch` parameter is the test seam proving exactly one batch is
+/// issued and that the re-split is lossless.
+pub(crate) fn flatten_and_measure<F>(crawl: &CrawlResult, batch: F) -> MeasuredImages
+where
+    F: FnOnce(&[StoredImage]) -> Vec<ImageMeasures>,
+{
+    let n_previews = crawl.previews.len();
+    let pack_lens: Vec<usize> = crawl.packs.iter().map(|p| p.images.len()).collect();
+    let mut flat: Vec<StoredImage> =
+        Vec::with_capacity(n_previews + pack_lens.iter().sum::<usize>());
+    flat.extend(crawl.previews.iter().map(|d| d.image));
+    for p in &crawl.packs {
+        flat.extend(p.images.iter().copied());
+    }
+    MeasuredImages::from_flat(batch(&flat), n_previews, &pack_lens)
+}
+
+impl Stage for MeasureStage {
+    fn name(&self) -> &'static str {
+        "measure_images"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let crawl = require(&ctx.crawl, "crawl")?;
+        let workers = ctx.options.workers;
+        let measures = flatten_and_measure(crawl, |images| measure_batch(images, workers));
+        ctx.note_items(measures.total());
+        ctx.measures = Some(measures);
+        Ok(())
+    }
+}
+
+/// Measures a batch of stored images across worker threads. Output order
+/// matches input order regardless of worker count.
+pub fn measure_batch(images: &[StoredImage], workers: usize) -> Vec<ImageMeasures> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        workers
+    };
+    if images.len() < 64 || workers <= 1 {
+        return images
+            .iter()
+            .map(|img| ImageMeasures::of(&img.render()))
+            .collect();
+    }
+    let chunk = images.len().div_ceil(workers);
+    let mut out: Vec<Vec<ImageMeasures>> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = images
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    part.iter()
+                        .map(|img| ImageMeasures::of(&img.render()))
+                        .collect::<Vec<ImageMeasures>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("measurement worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawl::{Download, FoundLink, PackDownload};
+    use crimebb::{PostId, ThreadId};
+    use imagesim::{ImageClass, ImageSpec};
+    use synthrand::Day;
+    use textkit::url::Url;
+    use websim::SiteKind;
+
+    #[test]
+    fn measure_batch_matches_serial() {
+        let images: Vec<StoredImage> = (0..100)
+            .map(|v| {
+                StoredImage::pristine(ImageSpec::model_photo(ImageClass::ModelNude, v, v.into()))
+            })
+            .collect();
+        let parallel = measure_batch(&images, 4);
+        let serial: Vec<ImageMeasures> = images
+            .iter()
+            .map(|i| ImageMeasures::of(&i.render()))
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    fn image(v: u32) -> StoredImage {
+        StoredImage::pristine(ImageSpec::model_photo(ImageClass::ModelNude, v, v.into()))
+    }
+
+    fn link(thread: u32) -> FoundLink {
+        FoundLink {
+            url: Url::new("img.example.com", format!("/i/{thread}")),
+            kind: SiteKind::ImageSharing,
+            thread: ThreadId(thread),
+            post: PostId(thread),
+            posted: Day::from_ymd(2017, 1, 1),
+        }
+    }
+
+    fn tiny_crawl() -> CrawlResult {
+        CrawlResult {
+            previews: (0..3)
+                .map(|v| Download {
+                    image: image(v),
+                    link: link(v),
+                    is_banner: false,
+                })
+                .collect(),
+            packs: vec![
+                PackDownload {
+                    images: (10..12).map(image).collect(),
+                    link: link(10),
+                },
+                PackDownload {
+                    images: vec![],
+                    link: link(11),
+                },
+                PackDownload {
+                    images: (20..24).map(image).collect(),
+                    link: link(12),
+                },
+            ],
+            ..CrawlResult::default()
+        }
+    }
+
+    /// The satellite guarantee: one flattened batch covering previews and
+    /// every pack image, re-split per pack without loss.
+    #[test]
+    fn one_flat_batch_is_issued_and_resplit_per_pack() {
+        let crawl = tiny_crawl();
+        let mut calls = 0usize;
+        let measures = flatten_and_measure(&crawl, |images| {
+            calls += 1;
+            assert_eq!(images.len(), 9, "3 previews + the 2/0/4 pack images");
+            measure_batch(images, 1)
+        });
+        assert_eq!(calls, 1, "exactly one measure batch");
+
+        assert_eq!(measures.previews.len(), 3);
+        assert_eq!(
+            measures.packs.iter().map(Vec::len).collect::<Vec<_>>(),
+            [2, 0, 4],
+            "re-split preserves per-pack lengths, including empty packs"
+        );
+        // Lossless: each slot holds exactly the measure of its own image.
+        for (d, m) in crawl.previews.iter().zip(&measures.previews) {
+            assert_eq!(*m, ImageMeasures::of(&d.image.render()));
+        }
+        for (p, pack) in crawl.packs.iter().zip(&measures.packs) {
+            for (img, m) in p.images.iter().zip(pack) {
+                assert_eq!(*m, ImageMeasures::of(&img.render()));
+            }
+        }
+    }
+}

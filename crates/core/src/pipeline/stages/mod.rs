@@ -1,0 +1,39 @@
+//! One module per paper stage (Figure 1). Each exposes a unit struct
+//! implementing [`Stage`]; [`full_graph`] lists them in paper order.
+
+pub mod actors;
+pub mod crawl;
+pub mod extract;
+pub mod finance;
+pub mod measure;
+pub mod nsfv;
+pub mod provenance;
+pub mod safety;
+pub mod topcls;
+
+pub use actors::ActorsStage;
+pub use crawl::CrawlStage;
+pub use extract::ExtractStage;
+pub use finance::FinanceStage;
+pub use measure::MeasureStage;
+pub use nsfv::NsfvStage;
+pub use provenance::ProvenanceStage;
+pub use safety::SafetyScreenStage;
+pub use topcls::TopClassifierStage;
+
+use super::Stage;
+
+/// The full stage graph in paper order.
+pub(super) fn full_graph() -> Vec<Box<dyn Stage>> {
+    vec![
+        Box::new(ExtractStage),
+        Box::new(TopClassifierStage),
+        Box::new(CrawlStage),
+        Box::new(MeasureStage),
+        Box::new(SafetyScreenStage),
+        Box::new(NsfvStage),
+        Box::new(ProvenanceStage),
+        Box::new(FinanceStage),
+        Box::new(ActorsStage),
+    ]
+}

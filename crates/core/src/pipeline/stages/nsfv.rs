@@ -1,0 +1,58 @@
+//! Stage `nsfv`: not-safe-for-viewing classification (paper §4.4), plus
+//! the §4.2/§4.4 funnel accounting over surviving images.
+
+use crate::nsfv::{validate, ImageMeasures};
+use crate::pipeline::ctx::require;
+use crate::pipeline::{ImageFunnel, Stage, StageCtx, StageError};
+use imagesim::validation::build_validation_set;
+use std::collections::HashMap;
+use synthrand::Day;
+
+/// Produces `nsfv_validation`, `previews_nsfv`, and `funnel`.
+pub struct NsfvStage;
+
+impl Stage for NsfvStage {
+    fn name(&self) -> &'static str {
+        "nsfv"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let crawl = require(&ctx.crawl, "crawl")?;
+        let measures = require(&ctx.measures, "measures")?;
+        let kept = require(&ctx.kept, "kept")?;
+
+        let nsfv_validation = validate(&build_validation_set(ctx.options.seed ^ 0x24));
+        let previews_nsfv: Vec<(ImageMeasures, Day)> = kept
+            .previews
+            .iter()
+            .filter(|(_, m)| !m.is_sfv())
+            .map(|(r, m)| (*m, crawl.previews[r.index as usize].link.posted))
+            .collect();
+
+        // Funnel accounting: downloads counted pre-deletion, uniqueness
+        // over survivors only.
+        let mut digest_counts: HashMap<u64, usize> = HashMap::new();
+        for (_, m) in &kept.previews {
+            *digest_counts.entry(m.digest).or_insert(0) += 1;
+        }
+        for pack in &kept.packs {
+            for m in pack {
+                *digest_counts.entry(m.digest).or_insert(0) += 1;
+            }
+        }
+        let funnel = ImageFunnel {
+            preview_downloads: measures.previews.len(),
+            packs_downloaded: crawl.packs.len(),
+            pack_images: measures.packs.iter().map(Vec::len).sum(),
+            unique_files: digest_counts.len(),
+            heavily_duplicated: digest_counts.values().filter(|&&c| c >= 20).count(),
+            previews_nsfv: previews_nsfv.len(),
+        };
+
+        ctx.note_items(kept.previews.len());
+        ctx.nsfv_validation = Some(nsfv_validation);
+        ctx.previews_nsfv = Some(previews_nsfv);
+        ctx.funnel = Some(funnel);
+        Ok(())
+    }
+}

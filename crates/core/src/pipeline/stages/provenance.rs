@@ -1,0 +1,49 @@
+//! Stage `provenance`: reverse-search + wayback attribution (paper §4.5).
+
+use crate::pipeline::ctx::require;
+use crate::pipeline::{Stage, StageCtx, StageError};
+use crate::provenance::{analyse_provenance, PackForAnalysis};
+use crimebb::ActorId;
+
+/// Produces `provenance`.
+pub struct ProvenanceStage;
+
+impl Stage for ProvenanceStage {
+    fn name(&self) -> &'static str {
+        "provenance"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let world = ctx.world;
+        let crawl = require(&ctx.crawl, "crawl")?;
+        let kept = require(&ctx.kept, "kept")?;
+        let previews_nsfv = require(&ctx.previews_nsfv, "previews_nsfv")?;
+
+        let packs_for_analysis: Vec<PackForAnalysis> = crawl
+            .packs
+            .iter()
+            .zip(&kept.packs)
+            .map(|(p, images)| PackForAnalysis {
+                thread: p.link.thread,
+                posted: p.link.posted,
+                images: images.clone(),
+            })
+            .collect();
+        let pack_authors: Vec<ActorId> = crawl
+            .packs
+            .iter()
+            .map(|p| world.corpus.thread(p.link.thread).author)
+            .collect();
+        let provenance = analyse_provenance(
+            &world.index,
+            &world.wayback,
+            &world.origins,
+            &packs_for_analysis,
+            &pack_authors,
+            previews_nsfv,
+        );
+        ctx.note_items(packs_for_analysis.len() + previews_nsfv.len());
+        ctx.provenance = Some(provenance);
+        Ok(())
+    }
+}

@@ -1,0 +1,62 @@
+//! Stage `safety`: hash-based screening and deletion (paper §4.3).
+//!
+//! Screens every measured image (previews first, then packs — the
+//! canonical [`MeasuredImages::refs`] order), maps the screener's flat
+//! indices to [`ImageRef`]s, and applies deletions per source so
+//! downstream stages only ever see surviving images.
+//!
+//! [`MeasuredImages::refs`]: crate::pipeline::MeasuredImages::refs
+
+use crate::nsfv::ImageMeasures;
+use crate::pipeline::ctx::require;
+use crate::pipeline::{apply_deletions, ImageRef, SafetyFindings, Stage, StageCtx, StageError};
+use crate::safety_stage::screen_downloads;
+use crimebb::ThreadId;
+use safety::SafetyGate;
+use std::collections::HashSet;
+
+/// Produces `gate`, `flagged`, `safety`, and `kept`.
+pub struct SafetyScreenStage;
+
+impl Stage for SafetyScreenStage {
+    fn name(&self) -> &'static str {
+        "safety"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+        let world = ctx.world;
+        let crawl = require(&ctx.crawl, "crawl")?;
+        let measures = require(&ctx.measures, "measures")?;
+
+        let gate = SafetyGate::new(world.hashlist.clone());
+        let mut screen_items: Vec<(ImageMeasures, String, ThreadId)> =
+            Vec::with_capacity(measures.total());
+        for (d, m) in crawl.previews.iter().zip(&measures.previews) {
+            screen_items.push((*m, d.link.url.to_https(), d.link.thread));
+        }
+        for (p, pack) in crawl.packs.iter().zip(&measures.packs) {
+            for m in pack {
+                screen_items.push((*m, p.link.url.to_https(), p.link.thread));
+            }
+        }
+        let today = world.config.dataset_end().plus_days(30);
+        let stage = screen_downloads(&gate, &world.index, &world.origins, &screen_items, today);
+
+        // The screener reports flat indices into `screen_items`; convert
+        // them to stable refs before anything else touches them.
+        let refs = measures.refs();
+        let flagged: HashSet<ImageRef> = stage.flagged.iter().map(|&i| refs[i]).collect();
+        let actors_in_flagged = world.corpus.actors_in_threads(&stage.flagged_threads).len();
+        let kept = apply_deletions(measures, &flagged);
+
+        ctx.note_items(screen_items.len());
+        ctx.kept = Some(kept);
+        ctx.safety = Some(SafetyFindings {
+            stage,
+            actors_in_flagged_threads: actors_in_flagged,
+        });
+        ctx.flagged = Some(flagged);
+        ctx.gate = Some(gate);
+        Ok(())
+    }
+}

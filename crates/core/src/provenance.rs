@@ -295,7 +295,11 @@ mod tests {
         assert_eq!(r.analysed_packs, packs.len());
         assert!(r.packs.total >= packs.len());
         // Standard/saturated packs dominate, so most queries match.
-        assert!(r.packs.match_rate() > 0.4, "match rate {}", r.packs.match_rate());
+        assert!(
+            r.packs.match_rate() > 0.4,
+            "match rate {}",
+            r.packs.match_rate()
+        );
         // Matched images were overwhelmingly online before the post.
         assert!(
             r.packs.seen_before <= r.packs.matched,

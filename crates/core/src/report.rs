@@ -95,8 +95,10 @@ pub fn table2() -> String {
     use textkit::lexicon::{
         EARNINGS_KEYWORDS, EWHORING_KEYWORDS, REQUEST_KEYWORDS, TOP_KEYWORDS, TUTORIAL_KEYWORDS,
     };
-    let mut out = String::from("Table 2: keywords used in the methodology
-");
+    let mut out = String::from(
+        "Table 2: keywords used in the methodology
+",
+    );
     let mut row = |label: &str, words: &[&str]| {
         let _ = writeln!(out, "  {label}: {}", words.join(", "));
     };
@@ -111,17 +113,30 @@ pub fn table2() -> String {
 /// Figure 1: the pipeline itself — rendered as the stage sequence with
 /// measured wall-clock times.
 pub fn fig1(report: &PipelineReport) -> String {
-    let mut out = String::from("Figure 1: the processing pipeline (measured stages)
-");
-    for (stage, ms) in &report.stage_ms {
-        let _ = writeln!(out, "  {stage:<16} {ms:>8} ms");
+    let mut out = String::from(
+        "Figure 1: the processing pipeline (measured stages)
+",
+    );
+    for t in &report.timings {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} µs  {:>8} items",
+            t.stage, t.wall_us, t.items
+        );
     }
     out
 }
 
 /// Table 1: eWhoring conversations per forum.
 pub fn table1(report: &PipelineReport) -> String {
-    let mut t = TextTable::new(&["Forum", "#Threads", "#Posts", "First post", "#TOPs", "#Actors"]);
+    let mut t = TextTable::new(&[
+        "Forum",
+        "#Threads",
+        "#Posts",
+        "First post",
+        "#TOPs",
+        "#Actors",
+    ]);
     let mut rows = report.forums.clone();
     rows.sort_by_key(|r| std::cmp::Reverse(r.threads));
     let (mut threads, mut posts, mut tops, mut actors) = (0, 0, 0, 0);
@@ -147,7 +162,10 @@ pub fn table1(report: &PipelineReport) -> String {
         tops.to_string(),
         actors.to_string(),
     ]);
-    format!("Table 1: eWhoring-related conversations per forum\n{}", t.render())
+    format!(
+        "Table 1: eWhoring-related conversations per forum\n{}",
+        t.render()
+    )
 }
 
 /// §4.1: classifier evaluation and hybrid overlap.
@@ -201,8 +219,14 @@ pub fn tables3_4(report: &PipelineReport) -> String {
     };
     format!(
         "{}\n{}",
-        render("Table 3: links per image-sharing site", &report.crawl.image_links_by_site),
-        render("Table 4: links per cloud-storage service", &report.crawl.cloud_links_by_site),
+        render(
+            "Table 3: links per image-sharing site",
+            &report.crawl.image_links_by_site
+        ),
+        render(
+            "Table 4: links per cloud-storage service",
+            &report.crawl.cloud_links_by_site
+        ),
     )
 }
 
@@ -217,7 +241,11 @@ pub fn funnel(report: &PipelineReport) -> String {
         report.crawl.total_tops,
         100.0 * report.crawl.linked_tops as f64 / report.crawl.total_tops.max(1) as f64
     );
-    let _ = writeln!(out, "  preview downloads: {} (paper 5788)", fu.preview_downloads);
+    let _ = writeln!(
+        out,
+        "  preview downloads: {} (paper 5788)",
+        fu.preview_downloads
+    );
     let _ = writeln!(
         out,
         "  packs downloaded: {} holding {} images (paper 1255 / 111288)",
@@ -358,7 +386,11 @@ pub fn section5(report: &PipelineReport) -> String {
         100.0 * e.detailed_proofs as f64 / h.proofs.len().max(1) as f64,
         e.avg_transaction_usd
     );
-    let _ = writeln!(out, "  platforms: {:?} (paper AGC 934, PayPal 795, BTC 35)", e.platform_counts);
+    let _ = writeln!(
+        out,
+        "  platforms: {:?} (paper AGC 934, PayPal 795, BTC 35)",
+        e.platform_counts
+    );
 
     // Figure 2: CDF quantiles.
     let usd: Vec<f64> = e.per_actor.iter().map(|&(u, _)| u).collect();
@@ -366,8 +398,15 @@ pub fn section5(report: &PipelineReport) -> String {
     let qs = [0.25, 0.5, 0.75, 0.9, 0.99];
     let uq = quantiles(&usd, &qs);
     let iq = quantiles(&imgs, &qs);
-    let _ = writeln!(out, "  Fig 2 (left)  earnings quantiles 25/50/75/90/99%: {:?}", uq.iter().map(|v| v.round()).collect::<Vec<_>>());
-    let _ = writeln!(out, "  Fig 2 (right) image-count quantiles 25/50/75/90/99%: {iq:?}");
+    let _ = writeln!(
+        out,
+        "  Fig 2 (left)  earnings quantiles 25/50/75/90/99%: {:?}",
+        uq.iter().map(|v| v.round()).collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        out,
+        "  Fig 2 (right) image-count quantiles 25/50/75/90/99%: {iq:?}"
+    );
     out
 }
 
@@ -430,7 +469,14 @@ pub fn table7(report: &PipelineReport) -> String {
 
 /// Table 8: actor cohorts.
 pub fn table8(report: &PipelineReport) -> String {
-    let mut t = TextTable::new(&["#Posts", "#Actors", "Avg. posts", "%ewhor.", "Before", "After"]);
+    let mut t = TextTable::new(&[
+        "#Posts",
+        "#Actors",
+        "Avg. posts",
+        "%ewhor.",
+        "Before",
+        "After",
+    ]);
     for r in &report.cohorts {
         t.row(vec![
             format!(">= {}", r.min_posts),
@@ -520,7 +566,10 @@ pub fn fig5(report: &PipelineReport) -> String {
     for (cat, b, d, a) in &report.interests.shares {
         t.row(vec![cat.clone(), f(*b, 1), f(*d, 1), f(*a, 1)]);
     }
-    format!("Figure 5: key-actor interests before/during/after eWhoring\n{}", t.render())
+    format!(
+        "Figure 5: key-actor interests before/during/after eWhoring\n{}",
+        t.render()
+    )
 }
 
 /// The full report, every artefact in paper order.
@@ -548,7 +597,14 @@ pub fn full_report(report: &PipelineReport) -> String {
         out.push_str(&section);
         out.push('\n');
     }
-    let _ = writeln!(out, "stage timings (ms): {:?}", report.stage_ms);
+    let _ = writeln!(out, "stage timings:");
+    for t in &report.timings {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} µs  {:>8} items",
+            t.stage, t.wall_us, t.items
+        );
+    }
     out
 }
 

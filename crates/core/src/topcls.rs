@@ -247,7 +247,10 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let (_, r) = classify_tops(&mut rng, &w.corpus, &w.catalog, &w.truth, &threads);
         assert!(r.detected.len() >= r.ml_count.max(r.heuristic_count));
-        assert_eq!(r.detected.len(), r.ml_count + r.heuristic_count - r.both_count);
+        assert_eq!(
+            r.detected.len(),
+            r.ml_count + r.heuristic_count - r.both_count
+        );
         assert!(r.both_count > 0, "the two sides overlap");
         assert!(
             r.both_count < r.detected.len(),

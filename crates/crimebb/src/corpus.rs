@@ -285,7 +285,13 @@ mod tests {
         let a1 = b.add_actor(f, "alice", Day::from_ymd(2012, 1, 1));
         let a2 = b.add_actor(f, "bob", Day::from_ymd(2013, 2, 2));
         let t = b.add_thread(board, a1, "selling pack", Day::from_ymd(2014, 3, 3));
-        let p0 = b.add_post(t, a1, Day::from_ymd(2014, 3, 3), "pack at https://x.com/1", None);
+        let p0 = b.add_post(
+            t,
+            a1,
+            Day::from_ymd(2014, 3, 3),
+            "pack at https://x.com/1",
+            None,
+        );
         b.add_post(t, a2, Day::from_ymd(2014, 3, 4), "thanks!", Some(p0));
         let t2 = b.add_thread(gaming, a2, "minecraft server", Day::from_ymd(2014, 5, 1));
         b.add_post(t2, a2, Day::from_ymd(2014, 5, 1), "join up", None);

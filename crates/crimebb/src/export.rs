@@ -31,7 +31,7 @@ enum Record {
 /// written.
 pub fn write_jsonl<W: Write>(corpus: &Corpus, out: &mut W) -> std::io::Result<usize> {
     let mut lines = 0;
-    let mut emit = |record: &Record, out: &mut W| -> std::io::Result<()> {
+    let emit = |record: &Record, out: &mut W| -> std::io::Result<()> {
         let json = serde_json::to_string(record).map_err(std::io::Error::other)?;
         out.write_all(json.as_bytes())?;
         out.write_all(b"\n")?;
@@ -163,7 +163,13 @@ mod tests {
         let a = b.add_actor(f, "alice", Day::from_ymd(2012, 1, 1));
         let c = b.add_actor(f, "bob", Day::from_ymd(2013, 1, 1));
         let t = b.add_thread(board, a, "pack inside", Day::from_ymd(2014, 2, 2));
-        let p = b.add_post(t, a, Day::from_ymd(2014, 2, 2), "link: https://x.com/1", None);
+        let p = b.add_post(
+            t,
+            a,
+            Day::from_ymd(2014, 2, 2),
+            "link: https://x.com/1",
+            None,
+        );
         b.add_post(t, c, Day::from_ymd(2014, 2, 3), "thanks", Some(p));
         b.build()
     }
@@ -178,10 +184,7 @@ mod tests {
         assert_eq!(back.posts().len(), corpus.posts().len());
         assert_eq!(back.threads()[0].heading, "pack inside");
         assert_eq!(back.posts()[1].quotes, corpus.posts()[1].quotes);
-        assert_eq!(
-            back.actor(back.posts()[1].author).name,
-            "bob"
-        );
+        assert_eq!(back.actor(back.posts()[1].author).name, "bob");
     }
 
     #[test]
@@ -189,10 +192,7 @@ mod tests {
         let corpus = sample();
         let mut buf = Vec::new();
         write_jsonl(&corpus, &mut buf).unwrap();
-        let with_blanks = format!(
-            "\n{}\n\n",
-            String::from_utf8(buf).unwrap().trim_end()
-        );
+        let with_blanks = format!("\n{}\n\n", String::from_utf8(buf).unwrap().trim_end());
         let back = read_jsonl(std::io::Cursor::new(with_blanks.as_bytes())).unwrap();
         assert_eq!(back.posts().len(), corpus.posts().len());
     }
@@ -251,7 +251,13 @@ mod tests {
             let thread = b.add_thread(board, actors[t % 25], format!("t{t}"), day);
             let mut quote = None;
             for p in 0..(t % 7 + 1) {
-                let id = b.add_post(thread, actors[(t + p) % 25], day, format!("post {p}"), quote);
+                let id = b.add_post(
+                    thread,
+                    actors[(t + p) % 25],
+                    day,
+                    format!("post {p}"),
+                    quote,
+                );
                 quote = Some(id);
                 day = day.plus_days(1);
             }

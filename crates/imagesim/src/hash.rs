@@ -47,12 +47,7 @@ impl RobustHash {
     /// Computes the hash of a bitmap.
     pub fn of(bmp: &Bitmap) -> RobustHash {
         RobustHash {
-            bits: [
-                block_hash(bmp),
-                dhash(bmp),
-                vdhash(bmp),
-                chroma_hash(bmp),
-            ],
+            bits: [block_hash(bmp), dhash(bmp), vdhash(bmp), chroma_hash(bmp)],
         }
     }
 
@@ -78,8 +73,7 @@ fn block_hash(bmp: &Bitmap) -> u64 {
     let bh = bmp.height().div_ceil(8);
     for by in 0..8 {
         for bx in 0..8 {
-            means[by * 8 + bx] =
-                bmp.mean_luminance(bx * bw, by * bh, (bx + 1) * bw, (by + 1) * bh);
+            means[by * 8 + bx] = bmp.mean_luminance(bx * bw, by * bh, (bx + 1) * bw, (by + 1) * bh);
         }
     }
     let mut sorted = means;
@@ -162,7 +156,10 @@ fn chroma_hash(bmp: &Bitmap) -> u64 {
     for by in 0..8 {
         for bx in 0..8 {
             let (x0, y0) = (bx * bw, by * bh);
-            let (x1, y1) = (((bx + 1) * bw).min(bmp.width()), ((by + 1) * bh).min(bmp.height()));
+            let (x1, y1) = (
+                ((bx + 1) * bw).min(bmp.width()),
+                ((by + 1) * bh).min(bmp.height()),
+            );
             if x0 >= x1 || y0 >= y1 {
                 continue;
             }
@@ -251,7 +248,11 @@ mod tests {
     fn survives_compression_noise() {
         for v in 0..10 {
             let orig = sample(v);
-            let noisy = Transform::Noise { amplitude: 8, seed: v }.apply(&orig);
+            let noisy = Transform::Noise {
+                amplitude: 8,
+                seed: v,
+            }
+            .apply(&orig);
             let d = RobustHash::of(&orig).distance(&RobustHash::of(&noisy));
             assert!(d <= DEFAULT_MATCH_THRESHOLD, "variant {v}: {d} bits");
         }
@@ -291,8 +292,7 @@ mod tests {
         for v in 0..10 {
             let orig = sample(v);
             let mirrored = Transform::MirrorHorizontal.apply(&orig);
-            if RobustHash::of(&orig).distance(&RobustHash::of(&mirrored))
-                > DEFAULT_MATCH_THRESHOLD
+            if RobustHash::of(&orig).distance(&RobustHash::of(&mirrored)) > DEFAULT_MATCH_THRESHOLD
             {
                 defeated += 1;
             }

@@ -120,7 +120,10 @@ mod tests {
         }
         // Beach scenes occur in ~18% of landscapes; most of those leak
         // past the SFV fast path (the §4.4 false-positive mode).
-        assert!((5..=25).contains(&above), "{above}/60 landscapes above 0.01");
+        assert!(
+            (5..=25).contains(&above),
+            "{above}/60 landscapes above 0.01"
+        );
     }
 
     #[test]

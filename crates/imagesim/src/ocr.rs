@@ -161,11 +161,7 @@ mod tests {
     #[test]
     fn payment_screenshots_exceed_algorithm1_thresholds() {
         for v in 0..20 {
-            let w = words_of(
-                ImageClass::PaymentScreenshot(PaymentPlatform::PayPal),
-                0,
-                v,
-            );
+            let w = words_of(ImageClass::PaymentScreenshot(PaymentPlatform::PayPal), 0, v);
             assert!(w > 20, "payment variant {v}: {w} words");
         }
     }

@@ -193,7 +193,12 @@ fn render_model(rng: &mut StdRng, model: u32, coverage: Coverage) -> Bitmap {
     // lighting falloff).
     // All hues stay above the OCR ink threshold so background texture can
     // never masquerade as glyphs.
-    let bg_choices: [[u8; 3]; 4] = [[200, 205, 215], [185, 185, 200], [165, 175, 190], [150, 155, 175]];
+    let bg_choices: [[u8; 3]; 4] = [
+        [200, 205, 215],
+        [185, 185, 200],
+        [165, 175, 190],
+        [150, 155, 175],
+    ];
     let top = bg_choices[rng.gen_range(0..bg_choices.len())];
     let bottom = [
         top[0].saturating_sub(30),
@@ -235,7 +240,11 @@ fn render_model(rng: &mut StdRng, model: u32, coverage: Coverage) -> Bitmap {
     let cx = 32.0 + rng.gen_range(-12.0..12.0);
     bmp.fill_ellipse(cx, 10.0, head_r, head_r, skin);
     // Hair cap (per-model colour).
-    let hair = [(model % 150) as u8, ((model / 3) % 90) as u8, ((model / 7) % 120) as u8];
+    let hair = [
+        (model % 150) as u8,
+        ((model / 3) % 90) as u8,
+        ((model / 7) % 120) as u8,
+    ];
     bmp.fill_ellipse(cx, 6.0, head_r, head_r * 0.5, hair);
 
     // Body: ellipse area sized so total skin ≈ target.
@@ -249,7 +258,13 @@ fn render_model(rng: &mut StdRng, model: u32, coverage: Coverage) -> Bitmap {
     if matches!(coverage, Coverage::Sexual) {
         // Second body mass partially overlapping.
         let skin2 = skin_tone(model.wrapping_add(7919));
-        bmp.fill_ellipse(cx + rng.gen_range(-14.0..14.0), 48.0, rx * 0.6, ry * 0.7, skin2);
+        bmp.fill_ellipse(
+            cx + rng.gen_range(-14.0..14.0),
+            48.0,
+            rx * 0.6,
+            ry * 0.7,
+            skin2,
+        );
     }
 
     if matches!(coverage, Coverage::Dressed) {
@@ -328,7 +343,11 @@ fn render_chat(rng: &mut StdRng) -> Bitmap {
     while y + 10 < SIZE {
         let left = rng.gen_bool(0.5);
         let (bx0, bx1) = if left { (8, 44) } else { (20, 56) };
-        let bubble = if left { [255, 255, 255] } else { [198, 235, 198] };
+        let bubble = if left {
+            [255, 255, 255]
+        } else {
+            [198, 235, 198]
+        };
         bmp.fill_rect(bx0, y, bx1, y + 9, bubble);
         draw_text_rows(&mut bmp, rng, bx0 + 2, bx1 - 2, y + 2, 2, 4, [30, 30, 30]);
         // Avatar circle (sometimes skin-toned).
@@ -427,7 +446,11 @@ fn render_portrait(rng: &mut StdRng) -> Bitmap {
     // Hair.
     bmp.fill_ellipse(cx, 8.5, head_r + 0.5, head_r * 0.6, [120, 95, 70]);
     // Clothed torso and legs (non-skin colours).
-    let shirt: [u8; 3] = [rng.gen_range(30..140), rng.gen_range(30..140), rng.gen_range(60..200)];
+    let shirt: [u8; 3] = [
+        rng.gen_range(30..140),
+        rng.gen_range(30..140),
+        rng.gen_range(60..200),
+    ];
     bmp.fill_ellipse(cx, 34.0, 11.0, 14.0, shirt);
     let trousers = [40, 45, 60];
     bmp.fill_rect((cx - 8.0) as usize, 46, (cx + 8.0) as usize, 62, trousers);

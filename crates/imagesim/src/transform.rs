@@ -181,7 +181,10 @@ mod tests {
             Transform::MirrorHorizontal,
             Transform::Watermark { seed: 3 },
             Transform::Brightness(-30),
-            Transform::Noise { amplitude: 8, seed: 5 },
+            Transform::Noise {
+                amplitude: 8,
+                seed: 5,
+            },
             Transform::CropMargin { percent: 10 },
             Transform::OcclusionBar { seed: 2 },
         ] {
@@ -194,7 +197,10 @@ mod tests {
     #[test]
     fn transforms_are_deterministic() {
         let b = sample();
-        let t = Transform::Noise { amplitude: 8, seed: 5 };
+        let t = Transform::Noise {
+            amplitude: 8,
+            seed: 5,
+        };
         assert_eq!(t.apply(&b), t.apply(&b));
     }
 

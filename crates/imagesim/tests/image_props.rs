@@ -13,7 +13,9 @@ fn any_class() -> impl Strategy<Value = ImageClass> {
         Just(ImageClass::ModelNude),
         Just(ImageClass::ModelSexual),
         Just(ImageClass::PaymentScreenshot(PaymentPlatform::PayPal)),
-        Just(ImageClass::PaymentScreenshot(PaymentPlatform::AmazonGiftCard)),
+        Just(ImageClass::PaymentScreenshot(
+            PaymentPlatform::AmazonGiftCard
+        )),
         Just(ImageClass::PaymentScreenshot(PaymentPlatform::Bitcoin)),
         Just(ImageClass::PaymentScreenshot(PaymentPlatform::Cash)),
         Just(ImageClass::ChatScreenshot),

@@ -30,8 +30,8 @@ pub mod split;
 pub mod svm;
 
 pub use logreg::{LogRegConfig, LogisticRegression};
-pub use nbayes::{NaiveBayes, NaiveBayesConfig};
 pub use metrics::{confusion, BinaryMetrics, Confusion};
+pub use nbayes::{NaiveBayes, NaiveBayesConfig};
 pub use sparse::SparseVec;
 pub use split::{kfold, train_test_split};
 pub use svm::{LinearSvm, SvmConfig};

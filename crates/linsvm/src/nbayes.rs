@@ -54,7 +54,11 @@ impl NaiveBayes {
         let mut count_pos = vec![0.0f64; dim];
         let mut count_neg = vec![0.0f64; dim];
         for (row, &label) in rows.iter().zip(labels) {
-            let target = if label { &mut count_pos } else { &mut count_neg };
+            let target = if label {
+                &mut count_pos
+            } else {
+                &mut count_neg
+            };
             for &(i, v) in row.entries() {
                 target[i] += v.max(0.0);
             }

@@ -94,7 +94,9 @@ impl ClassifierKind {
             (VirusTotal, News) => &["news", "news and media"],
             (VirusTotal, Dating) => &["onlinedating"],
             (VirusTotal, Entertainment) => &["entertainment", "games", "sports"],
-            (VirusTotal, Business) => &["business", "business and economy", "computers and software"],
+            (VirusTotal, Business) => {
+                &["business", "business and economy", "computers and software"]
+            }
             (VirusTotal, Parked) => &["parked"],
             (VirusTotal, Malicious) => &["information technology", "marketing"],
             (OpenDns, Porn) => &["Pornography", "Nudity"],

@@ -179,7 +179,13 @@ mod tests {
         let base = spec.render();
         let mut idx = ReverseIndex::new();
         idx.add(IndexedImage {
-            hash: RobustHash::of(&Transform::Noise { amplitude: 10, seed: 1 }.apply(&base)),
+            hash: RobustHash::of(
+                &Transform::Noise {
+                    amplitude: 10,
+                    seed: 1,
+                }
+                .apply(&base),
+            ),
             domain: 0,
             url: "https://a.example/1".into(),
             crawled: day(2010, 1),
@@ -217,7 +223,11 @@ mod tests {
             url: "https://x.example/1".into(),
             crawled: day(2012, 1),
         });
-        let noisy = Transform::Noise { amplitude: 10, seed: 2 }.apply(&base);
+        let noisy = Transform::Noise {
+            amplitude: 10,
+            seed: 2,
+        }
+        .apply(&base);
         assert!(idx
             .query_with_threshold(&RobustHash::of(&noisy), 0)
             .is_empty());

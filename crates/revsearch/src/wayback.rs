@@ -72,7 +72,10 @@ mod tests {
         wb.record("https://tube1.example/x", d(2015, 6));
         wb.record("https://tube1.example/x", d(2012, 2));
         wb.record("https://tube1.example/x", d(2013, 9));
-        assert_eq!(wb.first_snapshot("https://tube1.example/x"), Some(d(2012, 2)));
+        assert_eq!(
+            wb.first_snapshot("https://tube1.example/x"),
+            Some(d(2012, 2))
+        );
         assert_eq!(wb.snapshots("https://tube1.example/x").len(), 3);
     }
 

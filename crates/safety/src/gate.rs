@@ -214,7 +214,13 @@ mod tests {
         let gate = gate_with(&[(4, true)]);
         let hash = RobustHash::of(&spec(4).render());
         for url in ["https://a.example/1", "https://b.example/2"] {
-            gate.screen(&hash, url, day(), HostingRegion::OtherEurope, SiteType::Blog);
+            gate.screen(
+                &hash,
+                url,
+                day(),
+                HostingRegion::OtherEurope,
+                SiteType::Blog,
+            );
         }
         // The paper reports per-URL: 36 images led to 61 actioned URLs.
         assert_eq!(gate.log().len(), 2);

@@ -109,7 +109,11 @@ mod tests {
     fn recompressed_copy_still_matches() {
         let mut list = HashList::new();
         list.add(entry(2, false));
-        let edited = Transform::Noise { amplitude: 3, seed: 4 }.apply(&spec(2).render());
+        let edited = Transform::Noise {
+            amplitude: 3,
+            seed: 4,
+        }
+        .apply(&spec(2).render());
         assert!(list.match_hash(&RobustHash::of(&edited)).is_some());
     }
 
@@ -136,7 +140,13 @@ mod tests {
         let base = spec(4).render();
         let mut list = HashList::new();
         list.add(HashListEntry {
-            hash: RobustHash::of(&Transform::Noise { amplitude: 10, seed: 1 }.apply(&base)),
+            hash: RobustHash::of(
+                &Transform::Noise {
+                    amplitude: 10,
+                    seed: 1,
+                }
+                .apply(&base),
+            ),
             case: 10,
             verifiable: false,
             severity: None,

@@ -84,11 +84,7 @@ impl IwfSummary {
     pub fn from_log(log: &ReportLog) -> IwfSummary {
         let items = log.items();
         let mut summary = IwfSummary {
-            matched_cases: items
-                .iter()
-                .map(|i| i.case)
-                .collect::<HashSet<_>>()
-                .len(),
+            matched_cases: items.iter().map(|i| i.case).collect::<HashSet<_>>().len(),
             total_reports: items.len(),
             ..IwfSummary::default()
         };

@@ -49,7 +49,10 @@ impl DiGraph {
     /// (an actor replying in their own thread) but contribute nothing to
     /// centrality.
     pub fn add_edge(&mut self, from: u32, to: u32, weight: f64) {
-        assert!((from as usize) < self.n && (to as usize) < self.n, "node out of range");
+        assert!(
+            (from as usize) < self.n && (to as usize) < self.n,
+            "node out of range"
+        );
         assert!(weight >= 0.0 && weight.is_finite(), "bad weight {weight}");
         upsert(&mut self.out[from as usize], to, weight);
         upsert(&mut self.incoming[to as usize], from, weight);
@@ -94,7 +97,11 @@ impl DiGraph {
             *acc.entry((a, b)).or_insert(0.0) += w;
             max_node = max_node.max(a).max(b);
         }
-        let mut g = DiGraph::with_nodes(if acc.is_empty() { 0 } else { max_node as usize + 1 });
+        let mut g = DiGraph::with_nodes(if acc.is_empty() {
+            0
+        } else {
+            max_node as usize + 1
+        });
         let mut sorted: Vec<((u32, u32), f64)> = acc.into_iter().collect();
         sorted.sort_unstable_by_key(|&((a, b), _)| (a, b));
         for ((a, b), w) in sorted {

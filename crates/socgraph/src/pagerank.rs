@@ -57,11 +57,7 @@ pub fn pagerank(g: &DiGraph, damping: f64, max_iter: usize) -> Vec<f64> {
                 }
             }
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < 1e-10 {
             break;

@@ -166,7 +166,10 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sorted[sorted.len() / 2];
-        assert!(mean > median, "heavy right tail: mean {mean} > median {median}");
+        assert!(
+            mean > median,
+            "heavy right tail: mean {mean} > median {median}"
+        );
     }
 
     #[test]

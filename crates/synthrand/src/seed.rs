@@ -82,8 +82,8 @@ mod tests {
     fn labels_produce_distinct_seeds() {
         let f = SeedFactory::new(1);
         let labels = [
-            "forums", "actors", "threads", "posts", "images", "web", "crawl", "fx", "a", "b",
-            "ab", "ba", "", "forums2",
+            "forums", "actors", "threads", "posts", "images", "web", "crawl", "fx", "a", "b", "ab",
+            "ba", "", "forums2",
         ];
         let seeds: HashSet<u64> = labels.iter().map(|l| f.seed_for(l)).collect();
         assert_eq!(seeds.len(), labels.len());

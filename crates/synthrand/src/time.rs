@@ -36,7 +36,10 @@ impl Day {
             "bad day {year}-{month}-{day}"
         );
         let days = days_from_civil(year, month, day) - EPOCH_2000_FROM_CIVIL;
-        assert!(days >= 0, "date {year}-{month:02}-{day:02} precedes 2000-01-01");
+        assert!(
+            days >= 0,
+            "date {year}-{month:02}-{day:02} precedes 2000-01-01"
+        );
         Day(days as u32)
     }
 

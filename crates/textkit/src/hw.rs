@@ -36,7 +36,12 @@ impl Currency {
             Currency::PayPal
         } else if has("btc") || has("bitcoin") {
             Currency::Btc
-        } else if has("amazon") || has("agc") || (has("gift") && has("card")) || has(" gc") || s.ends_with("gc") {
+        } else if has("amazon")
+            || has("agc")
+            || (has("gift") && has("card"))
+            || has(" gc")
+            || s.ends_with("gc")
+        {
             Currency::AmazonGiftCard
         } else if has("skrill")
             || has("venmo")
@@ -158,7 +163,10 @@ mod tests {
     #[test]
     fn classify_variants() {
         assert_eq!(Currency::classify("PP balance"), Currency::PayPal);
-        assert_eq!(Currency::classify("$25 amazon gift card"), Currency::AmazonGiftCard);
+        assert_eq!(
+            Currency::classify("$25 amazon gift card"),
+            Currency::AmazonGiftCard
+        );
         assert_eq!(Currency::classify("30 gc"), Currency::AmazonGiftCard);
         assert_eq!(Currency::classify("bitcoin"), Currency::Btc);
         assert_eq!(Currency::classify(""), Currency::Unknown);

@@ -24,26 +24,80 @@ pub const EWHORING_KEYWORDS: &[&str] = &["ewhor", "e-whor"];
 
 /// TOP-classification keywords (paper Table 2, row 2).
 pub const TOP_KEYWORDS: &[&str] = &[
-    "pack", "packs", "package", "packages", "pics", "pictures", "videos", "vids", "video",
-    "collection", "collections", "set", "sets", "repository", "repositories", "selling", "wts",
-    "offering", "free", "unsaturated", "new", "giving", "compilation", "private", "girl",
-    "girls", "sexy",
+    "pack",
+    "packs",
+    "package",
+    "packages",
+    "pics",
+    "pictures",
+    "videos",
+    "vids",
+    "video",
+    "collection",
+    "collections",
+    "set",
+    "sets",
+    "repository",
+    "repositories",
+    "selling",
+    "wts",
+    "offering",
+    "free",
+    "unsaturated",
+    "new",
+    "giving",
+    "compilation",
+    "private",
+    "girl",
+    "girls",
+    "sexy",
 ];
 
 /// Info-requesting keywords (paper Table 2, row 3). Multi-word and
 /// bracketed entries are substring-matched.
 pub const REQUEST_KEYWORDS: &[&str] = &[
-    "[question]", "[help]", "need advice", "need", "needed", "wtb", "want to buy", "req",
-    "request", "question", "looking for", "give me advice", "quick question", "question for",
-    "i wonder whether", "i wonder if", "im asking for", "general query", "general question",
-    "i have a question", "i have a doubt", "help requested", "how to", "help please",
-    "help with", "need help", "need a", "need some help", "help needed", "i want help",
-    "help me", "seeking",
+    "[question]",
+    "[help]",
+    "need advice",
+    "need",
+    "needed",
+    "wtb",
+    "want to buy",
+    "req",
+    "request",
+    "question",
+    "looking for",
+    "give me advice",
+    "quick question",
+    "question for",
+    "i wonder whether",
+    "i wonder if",
+    "im asking for",
+    "general query",
+    "general question",
+    "i have a question",
+    "i have a doubt",
+    "help requested",
+    "how to",
+    "help please",
+    "help with",
+    "need help",
+    "need a",
+    "need some help",
+    "help needed",
+    "i want help",
+    "help me",
+    "seeking",
 ];
 
 /// Tutorial keywords (paper Table 2, row 4).
 pub const TUTORIAL_KEYWORDS: &[&str] = &[
-    "tutorial", "[tut]", "howto", "how-to", "definite guide", "guide",
+    "tutorial",
+    "[tut]",
+    "howto",
+    "how-to",
+    "definite guide",
+    "guide",
 ];
 
 /// Earnings keywords (paper Table 2, row 5).

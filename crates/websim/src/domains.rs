@@ -235,9 +235,7 @@ mod tests {
         let reg = registry(1000);
         let mut rng = rng_from_seed(9);
         let n = 20_000;
-        let low = (0..n)
-            .filter(|_| reg.sample_source(&mut rng) < 250)
-            .count();
+        let low = (0..n).filter(|_| reg.sample_source(&mut rng) < 250).count();
         // Quadratic skew: P(index < 25%) = sqrt(0.25) = 50%.
         let share = low as f64 / n as f64;
         assert!((share - 0.5).abs() < 0.03, "low-quartile share {share}");

@@ -45,42 +45,321 @@ pub struct Site {
 /// The image-sharing sites of paper Table 3. "Others" (700 links) is
 /// represented by seven generic domains sharing that mass.
 pub const IMAGE_SHARING_SITES: &[Site] = &[
-    site("imgur.com", SiteKind::ImageSharing, 3297, false, false, 0.28, 0.22, true),
-    site("gyazo.com", SiteKind::ImageSharing, 1006, false, false, 0.30, 0.18, true),
-    site("imageshack.com", SiteKind::ImageSharing, 679, false, false, 0.35, 0.20, true),
-    site("prnt.sc", SiteKind::ImageSharing, 383, false, false, 0.30, 0.15, true),
-    site("photobucket.com", SiteKind::ImageSharing, 311, false, false, 0.40, 0.25, true),
-    site("imagetwist.com", SiteKind::ImageSharing, 105, false, false, 0.35, 0.20, false),
-    site("imagezilla.net", SiteKind::ImageSharing, 97, false, false, 0.35, 0.20, false),
-    site("minus.com", SiteKind::ImageSharing, 51, true, false, 1.0, 0.0, false),
-    site("postimage.io", SiteKind::ImageSharing, 47, false, false, 0.30, 0.18, false),
-    site("imagebam.com", SiteKind::ImageSharing, 44, false, false, 0.35, 0.20, false),
-    site("pixhost.example", SiteKind::ImageSharing, 100, false, false, 0.5, 0.2, false),
-    site("imgbox.example", SiteKind::ImageSharing, 100, false, false, 0.5, 0.2, false),
-    site("fastpic.example", SiteKind::ImageSharing, 100, false, false, 0.5, 0.2, false),
-    site("picload.example", SiteKind::ImageSharing, 100, false, false, 0.5, 0.2, false),
-    site("imghost.example", SiteKind::ImageSharing, 100, false, false, 0.5, 0.2, false),
-    site("screencap.example", SiteKind::ImageSharing, 100, false, false, 0.5, 0.2, false),
-    site("imageupload.example", SiteKind::ImageSharing, 100, false, false, 0.5, 0.2, false),
+    site(
+        "imgur.com",
+        SiteKind::ImageSharing,
+        3297,
+        false,
+        false,
+        0.28,
+        0.22,
+        true,
+    ),
+    site(
+        "gyazo.com",
+        SiteKind::ImageSharing,
+        1006,
+        false,
+        false,
+        0.30,
+        0.18,
+        true,
+    ),
+    site(
+        "imageshack.com",
+        SiteKind::ImageSharing,
+        679,
+        false,
+        false,
+        0.35,
+        0.20,
+        true,
+    ),
+    site(
+        "prnt.sc",
+        SiteKind::ImageSharing,
+        383,
+        false,
+        false,
+        0.30,
+        0.15,
+        true,
+    ),
+    site(
+        "photobucket.com",
+        SiteKind::ImageSharing,
+        311,
+        false,
+        false,
+        0.40,
+        0.25,
+        true,
+    ),
+    site(
+        "imagetwist.com",
+        SiteKind::ImageSharing,
+        105,
+        false,
+        false,
+        0.35,
+        0.20,
+        false,
+    ),
+    site(
+        "imagezilla.net",
+        SiteKind::ImageSharing,
+        97,
+        false,
+        false,
+        0.35,
+        0.20,
+        false,
+    ),
+    site(
+        "minus.com",
+        SiteKind::ImageSharing,
+        51,
+        true,
+        false,
+        1.0,
+        0.0,
+        false,
+    ),
+    site(
+        "postimage.io",
+        SiteKind::ImageSharing,
+        47,
+        false,
+        false,
+        0.30,
+        0.18,
+        false,
+    ),
+    site(
+        "imagebam.com",
+        SiteKind::ImageSharing,
+        44,
+        false,
+        false,
+        0.35,
+        0.20,
+        false,
+    ),
+    site(
+        "pixhost.example",
+        SiteKind::ImageSharing,
+        100,
+        false,
+        false,
+        0.5,
+        0.2,
+        false,
+    ),
+    site(
+        "imgbox.example",
+        SiteKind::ImageSharing,
+        100,
+        false,
+        false,
+        0.5,
+        0.2,
+        false,
+    ),
+    site(
+        "fastpic.example",
+        SiteKind::ImageSharing,
+        100,
+        false,
+        false,
+        0.5,
+        0.2,
+        false,
+    ),
+    site(
+        "picload.example",
+        SiteKind::ImageSharing,
+        100,
+        false,
+        false,
+        0.5,
+        0.2,
+        false,
+    ),
+    site(
+        "imghost.example",
+        SiteKind::ImageSharing,
+        100,
+        false,
+        false,
+        0.5,
+        0.2,
+        false,
+    ),
+    site(
+        "screencap.example",
+        SiteKind::ImageSharing,
+        100,
+        false,
+        false,
+        0.5,
+        0.2,
+        false,
+    ),
+    site(
+        "imageupload.example",
+        SiteKind::ImageSharing,
+        100,
+        false,
+        false,
+        0.5,
+        0.2,
+        false,
+    ),
 ];
 
 /// The cloud-storage services of paper Table 4; "Others" (94 links) is
 /// represented by four generic domains.
 pub const CLOUD_STORAGE_SITES: &[Site] = &[
-    site("mediafire.com", SiteKind::CloudStorage, 892, false, false, 0.42, 0.18, true),
-    site("mega.nz", SiteKind::CloudStorage, 284, false, false, 0.35, 0.22, true),
-    site("dropbox.com", SiteKind::CloudStorage, 130, false, true, 0.30, 0.10, true),
-    site("oron.com", SiteKind::CloudStorage, 95, true, false, 1.0, 0.0, true),
-    site("depositfiles.com", SiteKind::CloudStorage, 46, false, false, 0.55, 0.15, false),
-    site("filefactory.com", SiteKind::CloudStorage, 37, false, false, 0.55, 0.15, false),
-    site("drive.google.com", SiteKind::CloudStorage, 31, false, true, 0.25, 0.10, true),
-    site("ge.tt", SiteKind::CloudStorage, 28, false, false, 0.60, 0.10, false),
-    site("zippyshare.com", SiteKind::CloudStorage, 25, false, false, 0.60, 0.15, false),
-    site("filedropper.com", SiteKind::CloudStorage, 24, false, false, 0.60, 0.15, false),
-    site("rapidgator.example", SiteKind::CloudStorage, 24, false, false, 0.7, 0.1, false),
-    site("uploaded.example", SiteKind::CloudStorage, 24, false, false, 0.7, 0.1, false),
-    site("filehost.example", SiteKind::CloudStorage, 23, false, false, 0.7, 0.1, false),
-    site("sendspace.example", SiteKind::CloudStorage, 23, false, false, 0.7, 0.1, false),
+    site(
+        "mediafire.com",
+        SiteKind::CloudStorage,
+        892,
+        false,
+        false,
+        0.42,
+        0.18,
+        true,
+    ),
+    site(
+        "mega.nz",
+        SiteKind::CloudStorage,
+        284,
+        false,
+        false,
+        0.35,
+        0.22,
+        true,
+    ),
+    site(
+        "dropbox.com",
+        SiteKind::CloudStorage,
+        130,
+        false,
+        true,
+        0.30,
+        0.10,
+        true,
+    ),
+    site(
+        "oron.com",
+        SiteKind::CloudStorage,
+        95,
+        true,
+        false,
+        1.0,
+        0.0,
+        true,
+    ),
+    site(
+        "depositfiles.com",
+        SiteKind::CloudStorage,
+        46,
+        false,
+        false,
+        0.55,
+        0.15,
+        false,
+    ),
+    site(
+        "filefactory.com",
+        SiteKind::CloudStorage,
+        37,
+        false,
+        false,
+        0.55,
+        0.15,
+        false,
+    ),
+    site(
+        "drive.google.com",
+        SiteKind::CloudStorage,
+        31,
+        false,
+        true,
+        0.25,
+        0.10,
+        true,
+    ),
+    site(
+        "ge.tt",
+        SiteKind::CloudStorage,
+        28,
+        false,
+        false,
+        0.60,
+        0.10,
+        false,
+    ),
+    site(
+        "zippyshare.com",
+        SiteKind::CloudStorage,
+        25,
+        false,
+        false,
+        0.60,
+        0.15,
+        false,
+    ),
+    site(
+        "filedropper.com",
+        SiteKind::CloudStorage,
+        24,
+        false,
+        false,
+        0.60,
+        0.15,
+        false,
+    ),
+    site(
+        "rapidgator.example",
+        SiteKind::CloudStorage,
+        24,
+        false,
+        false,
+        0.7,
+        0.1,
+        false,
+    ),
+    site(
+        "uploaded.example",
+        SiteKind::CloudStorage,
+        24,
+        false,
+        false,
+        0.7,
+        0.1,
+        false,
+    ),
+    site(
+        "filehost.example",
+        SiteKind::CloudStorage,
+        23,
+        false,
+        false,
+        0.7,
+        0.1,
+        false,
+    ),
+    site(
+        "sendspace.example",
+        SiteKind::CloudStorage,
+        23,
+        false,
+        false,
+        0.7,
+        0.1,
+        false,
+    ),
 ];
 
 #[allow(clippy::too_many_arguments)] // table-row constructor mirroring the Site fields
@@ -124,10 +403,16 @@ impl SiteCatalog {
     pub fn new() -> SiteCatalog {
         SiteCatalog {
             image_sampler: WeightedIndex::from_counts(
-                &IMAGE_SHARING_SITES.iter().map(|s| s.weight).collect::<Vec<_>>(),
+                &IMAGE_SHARING_SITES
+                    .iter()
+                    .map(|s| s.weight)
+                    .collect::<Vec<_>>(),
             ),
             cloud_sampler: WeightedIndex::from_counts(
-                &CLOUD_STORAGE_SITES.iter().map(|s| s.weight).collect::<Vec<_>>(),
+                &CLOUD_STORAGE_SITES
+                    .iter()
+                    .map(|s| s.weight)
+                    .collect::<Vec<_>>(),
             ),
         }
     }
@@ -215,7 +500,10 @@ mod tests {
         }
         let imgur_share = imgur as f64 / n as f64;
         let mf_share = mediafire as f64 / n as f64;
-        assert!((imgur_share - 3297.0 / 6720.0).abs() < 0.02, "{imgur_share}");
+        assert!(
+            (imgur_share - 3297.0 / 6720.0).abs() < 0.02,
+            "{imgur_share}"
+        );
         assert!((mf_share - 892.0 / 1686.0).abs() < 0.02, "{mf_share}");
     }
 

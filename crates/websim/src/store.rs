@@ -206,8 +206,16 @@ mod tests {
         let catalog = SiteCatalog::new();
         let mut store = WebStore::new();
         let url = Url::new("imgur.com", "/abc");
-        store.host(url.clone(), HostedObject::Image(image(1)), day(), LinkState::Live);
-        assert!(matches!(store.fetch(&catalog, &url), FetchOutcome::Image(_)));
+        store.host(
+            url.clone(),
+            HostedObject::Image(image(1)),
+            day(),
+            LinkState::Live,
+        );
+        assert!(matches!(
+            store.fetch(&catalog, &url),
+            FetchOutcome::Image(_)
+        ));
     }
 
     #[test]
@@ -234,7 +242,12 @@ mod tests {
         let catalog = SiteCatalog::new();
         let mut store = WebStore::new();
         let url = Url::new("imgur.com", "/gone");
-        store.host(url.clone(), HostedObject::Image(image(1)), day(), LinkState::Dead);
+        store.host(
+            url.clone(),
+            HostedObject::Image(image(1)),
+            day(),
+            LinkState::Dead,
+        );
         assert_eq!(store.fetch(&catalog, &url), FetchOutcome::NotFound);
     }
 
@@ -273,7 +286,9 @@ mod tests {
         let url = Url::new("mediafire.com", "/f/removed");
         store.host(
             url.clone(),
-            HostedObject::Pack { images: vec![image(1)] },
+            HostedObject::Pack {
+                images: vec![image(1)],
+            },
             day(),
             LinkState::TosRemoved,
         );
@@ -285,7 +300,12 @@ mod tests {
         let catalog = SiteCatalog::new();
         let mut store = WebStore::new();
         let url = Url::new("oron.com", "/f/old");
-        store.host(url.clone(), HostedObject::Image(image(1)), day(), LinkState::Live);
+        store.host(
+            url.clone(),
+            HostedObject::Image(image(1)),
+            day(),
+            LinkState::Live,
+        );
         assert_eq!(store.fetch(&catalog, &url), FetchOutcome::NotFound);
     }
 
@@ -296,7 +316,9 @@ mod tests {
         let url = Url::new("dropbox.com", "/s/pack");
         store.host(
             url.clone(),
-            HostedObject::Pack { images: vec![image(1)] },
+            HostedObject::Pack {
+                images: vec![image(1)],
+            },
             day(),
             LinkState::Live,
         );
@@ -311,8 +333,16 @@ mod tests {
         let catalog = SiteCatalog::new();
         let mut store = WebStore::new();
         let url = Url::new("i.imgur.com", "/direct");
-        store.host(url.clone(), HostedObject::Image(image(2)), day(), LinkState::Live);
-        assert!(matches!(store.fetch(&catalog, &url), FetchOutcome::Image(_)));
+        store.host(
+            url.clone(),
+            HostedObject::Image(image(2)),
+            day(),
+            LinkState::Live,
+        );
+        assert!(matches!(
+            store.fetch(&catalog, &url),
+            FetchOutcome::Image(_)
+        ));
     }
 
     #[test]

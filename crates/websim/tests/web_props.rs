@@ -4,9 +4,7 @@
 use imagesim::{ImageClass, ImageSpec};
 use proptest::prelude::*;
 use synthrand::Day;
-use websim::{
-    FetchOutcome, HostedObject, LinkState, SiteCatalog, SiteKind, StoredImage, WebStore,
-};
+use websim::{FetchOutcome, HostedObject, LinkState, SiteCatalog, SiteKind, StoredImage, WebStore};
 
 fn any_state() -> impl Strategy<Value = LinkState> {
     prop_oneof![

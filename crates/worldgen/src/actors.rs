@@ -112,8 +112,7 @@ impl ActorPlan {
         // shows proof volume concentrated after 2014), so entry dates are
         // biased towards later years.
         let u: f64 = rng.gen();
-        let start_offset =
-            (f64::from(span_budget.saturating_sub(30).max(1)) * u.powf(0.5)) as u32;
+        let start_offset = (f64::from(span_budget.saturating_sub(30).max(1)) * u.powf(0.5)) as u32;
         let first_ew = forum_first.plus_days(start_offset);
         let span = if n_ewhoring <= 1 {
             0
@@ -191,7 +190,10 @@ mod tests {
         // Paper: 626 784 posts / 72 982 actors ≈ 8.6 per actor.
         let mut rng = rng_from_seed(9);
         let n = 60_000;
-        let mean: f64 = (0..n).map(|_| CohortTail::sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| CohortTail::sample(&mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((6.0..11.5).contains(&mean), "mean {mean}");
     }
 
@@ -287,6 +289,11 @@ mod tests {
             }
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(avg(&big) > avg(&small) * 2.0, "{} vs {}", avg(&big), avg(&small));
+        assert!(
+            avg(&big) > avg(&small) * 2.0,
+            "{} vs {}",
+            avg(&big),
+            avg(&small)
+        );
     }
 }

@@ -41,7 +41,11 @@ pub struct ProofFactory<'w> {
 
 impl<'w> ProofFactory<'w> {
     /// Creates the factory.
-    pub fn new(catalog: &'w SiteCatalog, web: &'w mut WebStore, fx: &'w FxTable) -> ProofFactory<'w> {
+    pub fn new(
+        catalog: &'w SiteCatalog,
+        web: &'w mut WebStore,
+        fx: &'w FxTable,
+    ) -> ProofFactory<'w> {
         ProofFactory {
             catalog,
             web,
@@ -105,7 +109,10 @@ impl<'w> ProofFactory<'w> {
         if state.remaining_images == 0 {
             return Vec::new();
         }
-        let n = state.remaining_images.min(max_images).min(1 + rng.gen_range(0..4));
+        let n = state
+            .remaining_images
+            .min(max_images)
+            .min(1 + rng.gen_range(0..4));
         let mut lines = Vec::new();
         for _ in 0..n {
             let state = self.earners.get_mut(&actor).expect("inserted above");
@@ -208,11 +215,31 @@ impl<'w> ProofFactory<'w> {
 /// `(offered, wanted, count)` in [PP, BTC, AGC, ?, OTH] order. Marginals
 /// reproduce the published row/column totals exactly.
 pub const CE_JOINT: &[(usize, usize, u64)] = &[
-    (0, 0, 80), (0, 1, 2700), (0, 2, 180), (0, 3, 640), (0, 4, 107), // PP offered: 3707
-    (1, 0, 2200), (1, 1, 50), (1, 2, 60), (1, 3, 400), (1, 4, 53),   // BTC: 2763
-    (2, 0, 250), (2, 1, 1200), (2, 2, 0), (2, 3, 28), (2, 4, 20),    // AGC: 1498
-    (3, 0, 220), (3, 1, 500), (3, 2, 39), (3, 3, 60), (3, 4, 20),    // ?: 839
-    (4, 0, 51), (4, 1, 176), (4, 2, 31), (4, 3, 0), (4, 4, 1),       // others: 259
+    (0, 0, 80),
+    (0, 1, 2700),
+    (0, 2, 180),
+    (0, 3, 640),
+    (0, 4, 107), // PP offered: 3707
+    (1, 0, 2200),
+    (1, 1, 50),
+    (1, 2, 60),
+    (1, 3, 400),
+    (1, 4, 53), // BTC: 2763
+    (2, 0, 250),
+    (2, 1, 1200),
+    (2, 2, 0),
+    (2, 3, 28),
+    (2, 4, 20), // AGC: 1498
+    (3, 0, 220),
+    (3, 1, 500),
+    (3, 2, 39),
+    (3, 3, 60),
+    (3, 4, 20), // ?: 839
+    (4, 0, 51),
+    (4, 1, 176),
+    (4, 2, 31),
+    (4, 3, 0),
+    (4, 4, 1), // others: 259
 ];
 
 /// Currency segment text by index [PP, BTC, AGC, ?, OTH].

@@ -98,11 +98,11 @@ fn btc_rate(m: i32) -> f64 {
     // Key points: ~$0.1 (2010), ~$13 (Jan 2013), ~$800 (Jan 2014),
     // ~$430 (Jan 2016), ~$14k (Jan 2018 peak), ~$3.8k (Jan 2019).
     let anchors: [(i32, f64); 8] = [
-        (24, 0.01),   // 2010-01
-        (48, 1.0),    // 2012-01
-        (60, 13.0),   // 2013-01
-        (72, 800.0),  // 2014-01
-        (96, 430.0),  // 2016-01
+        (24, 0.01),      // 2010-01
+        (48, 1.0),       // 2012-01
+        (60, 13.0),      // 2013-01
+        (72, 800.0),     // 2014-01
+        (96, 430.0),     // 2016-01
         (119, 19_000.0), // 2017-12
         (132, 3_800.0),  // 2019-01
         (143, 7_200.0),  // 2019-12

@@ -46,12 +46,32 @@ pub fn heading(rng: &mut StdRng, role: ThreadRole, force_keyword: bool) -> Strin
 
 fn top_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
     let size = rng.gen_range(2..30) * 10;
-    let adj = pick(rng, &["unsaturated", "new", "private", "HQ", "fresh", "exclusive"]);
-    let noun = pick(rng, &["pack", "collection", "set", "compilation", "repository"]);
+    let adj = pick(
+        rng,
+        &["unsaturated", "new", "private", "HQ", "fresh", "exclusive"],
+    );
+    let noun = pick(
+        rng,
+        &["pack", "collection", "set", "compilation", "repository"],
+    );
     let extra = pick(rng, &["pics", "pictures", "videos", "vids", "pics + vids"]);
     let girl = pick(rng, &["girl", "sexy girl", "model", "blonde", "brunette"]);
-    let verb = pick(rng, &["Selling", "WTS", "Offering", "Giving away", "FREE", "Sharing"]);
-    let tail = if with_kw { format!(" for {kw}") } else { String::new() };
+    let verb = pick(
+        rng,
+        &[
+            "Selling",
+            "WTS",
+            "Offering",
+            "Giving away",
+            "FREE",
+            "Sharing",
+        ],
+    );
+    let tail = if with_kw {
+        format!(" for {kw}")
+    } else {
+        String::new()
+    };
     // ~12% of real TOPs carry vague headings with none of the Table 2
     // vocabulary ("you know what this is") — the classifier's recall
     // misses come from these.
@@ -72,7 +92,10 @@ fn top_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
 }
 
 fn request_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
-    let noun = pick(rng, &["pack", "packs", "pics", "collection", "mentor", "advice"]);
+    let noun = pick(
+        rng,
+        &["pack", "packs", "pics", "collection", "mentor", "advice"],
+    );
     let subj = if with_kw { kw } else { "this method" };
     match rng.gen_range(0..5) {
         0 => format!("[QUESTION] how do I start with {subj}?"),
@@ -129,8 +152,15 @@ fn discussion_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
 fn trade_heading(rng: &mut StdRng, with_kw: bool, kw: &str) -> String {
     let name = pick(rng, &["Ashley", "Sophie", "Emma", "Chloe", "Mia", "Lena"]);
     let app = pick(rng, &["Snapchat", "Kik", "Instagram"]);
-    let tail = if with_kw { format!(" ({kw} ready)") } else { String::new() };
-    format!("Selling {app} account @{name}{}{tail}", rng.gen_range(10..99))
+    let tail = if with_kw {
+        format!(" ({kw} ready)")
+    } else {
+        String::new()
+    };
+    format!(
+        "Selling {app} account @{name}{}{tail}",
+        rng.gen_range(10..99)
+    )
 }
 
 /// Body of an initial post; `url_lines` are inserted verbatim (link lines
@@ -181,8 +211,10 @@ pub fn initial_body(rng: &mut StdRng, role: ThreadRole, url_lines: &[String]) ->
         )),
         ThreadRole::Trade => body.push_str(pick(
             rng,
-            &["Account comes with the original email. Price in PM.",
-              "Aged account, feminine handle, perfect for the method."],
+            &[
+                "Account comes with the original email. Price in PM.",
+                "Aged account, feminine handle, perfect for the method.",
+            ],
         )),
     }
     for line in url_lines {

@@ -24,7 +24,9 @@ use rand::Rng;
 use revsearch::{IndexedImage, ReverseIndex, Wayback};
 use safety::{HashList, HashListEntry, Severity};
 use synthrand::{Day, LogNormal};
-use websim::{HostedObject, LinkState, OriginRegistry, Site, SiteCatalog, SiteKind, StoredImage, WebStore};
+use websim::{
+    HostedObject, LinkState, OriginRegistry, Site, SiteCatalog, SiteKind, StoredImage, WebStore,
+};
 
 /// A source image as it exists "on the web": the pristine spec, where it
 /// lives, when it came online, and on how many sites.
@@ -160,8 +162,7 @@ impl<'w> PackFactory<'w> {
         // Site count: log-normal with median 4 and σ=1.5 → mean ≈ 12
         // (Table 5 ratios of 12.7/17.3 matches per matched image), with a
         // tail reaching the paper's maxima (642 packs / 1 969 previews).
-        let n_sites =
-            (LogNormal::from_median(4.0, 1.5).sample(rng) as u32).clamp(1, 1_900);
+        let n_sites = (LogNormal::from_median(4.0, 1.5).sample(rng) as u32).clamp(1, 1_900);
         // The image came online before it was stolen; ~75-80% of matched
         // images have their earliest crawl before the forum post.
         let seen_before = rng.gen_bool(0.70);
@@ -180,8 +181,9 @@ impl<'w> PackFactory<'w> {
                 spec.variant ^ u64::from(spec.model) << 20
             );
             // Copies are crawled at or after the first crawl.
-            let crawled = Day((first_crawled.0 + if s == 0 { 0 } else { rng.gen_range(0..600) })
-                .min(self.end.0));
+            let crawled = Day(
+                (first_crawled.0 + if s == 0 { 0 } else { rng.gen_range(0..600) }).min(self.end.0),
+            );
             self.index.add(IndexedImage {
                 hash,
                 domain: domain_idx,
@@ -190,7 +192,8 @@ impl<'w> PackFactory<'w> {
             });
             // Wayback archives a subset of those URLs.
             if rng.gen_bool(0.4) {
-                self.wayback.record(&url, crawled.plus_days(rng.gen_range(0..90)));
+                self.wayback
+                    .record(&url, crawled.plus_days(rng.gen_range(0..90)));
             }
         }
         SourceImage {
@@ -270,8 +273,7 @@ impl<'w> PackFactory<'w> {
                     _ => ImageClass::ModelSexual,
                 };
                 let spec = ImageSpec::model_photo(class, model, rng.gen());
-                let src =
-                    self.publish_source(rng, spec, posted, kind == PackKind::SelfMade);
+                let src = self.publish_source(rng, spec, posted, kind == PackKind::SelfMade);
                 self.shared_pool.push(src.clone());
                 src
             };
@@ -415,7 +417,8 @@ impl<'w> PackFactory<'w> {
         // Adaptive planting: spread the hash-list budget over the expected
         // remaining linked TOPs, forcing p → 1 near the end so the budget
         // always exhausts when enough qualifying packs exist.
-        let remaining_tops = f64::from(self.expected_tops.saturating_sub(self.tops_made - 1).max(1));
+        let remaining_tops =
+            f64::from(self.expected_tops.saturating_sub(self.tops_made - 1).max(1));
         let expected_linked_left = (remaining_tops * self.p_linked).max(1.0);
         let p_plant = (f64::from(self.csam_budget) * 1.6 / expected_linked_left).clamp(0.0, 1.0);
         let planted = if allow_csam
@@ -480,7 +483,8 @@ impl<'w> PackFactory<'w> {
                     transform: self.preview_transform(rng, kind),
                 }
             };
-            self.web.host(url.clone(), HostedObject::Image(stored), posted, state);
+            self.web
+                .host(url.clone(), HostedObject::Image(stored), posted, state);
             url_lines.push(format!("Preview: {}", url.to_https()));
         }
 

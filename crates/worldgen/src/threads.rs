@@ -74,8 +74,8 @@ pub fn generate_forum_threads(
         .min(events.len() as u32) as usize;
     let roles = role_sequence(rng, input, n_threads);
     let sizes = thread_sizes(rng, &roles, events.len());
-    let sharer_zipf = (input.sharer_pool.len() > 1)
-        .then(|| synthrand::Zipf::new(input.sharer_pool.len(), 0.75));
+    let sharer_zipf =
+        (input.sharer_pool.len() > 1).then(|| synthrand::Zipf::new(input.sharer_pool.len(), 0.75));
 
     let mut created = Vec::with_capacity(n_threads);
     let pool = 48.min(n_threads.max(1));
@@ -113,9 +113,7 @@ pub fn generate_forum_threads(
             } else {
                 actor
             };
-            let thread = open_thread(
-                rng, builder, truth, packs, proofs, input, role, author, day,
-            );
+            let thread = open_thread(rng, builder, truth, packs, proofs, input, role, author, day);
             created.push(thread);
             slots[slot_idx] = Some(Slot {
                 thread,
@@ -152,8 +150,8 @@ pub fn generate_forum_threads(
         };
         let slot_idx = occupied[rng.gen_range(0..occupied.len())];
         let slot = slots[slot_idx].as_mut().expect("occupied");
-        let quote = (rng.gen_bool(0.3))
-            .then(|| slot.post_ids[rng.gen_range(0..slot.post_ids.len())]);
+        let quote =
+            (rng.gen_bool(0.3)).then(|| slot.post_ids[rng.gen_range(0..slot.post_ids.len())]);
         let mut body = headings::reply_body(rng, slot.role == ThreadRole::Top).to_string();
         // Proof-of-earnings content arrives mostly as replies in earnings
         // threads ("users regularly post in response to these threads").
@@ -209,13 +207,21 @@ fn build_events(rng: &mut StdRng, input: &ForumThreadGen<'_>) -> Vec<(Day, Actor
 }
 
 /// Draws the role of every thread, respecting the forum's TOP quota.
-fn role_sequence(rng: &mut StdRng, input: &ForumThreadGen<'_>, n_threads: usize) -> Vec<ThreadRole> {
+fn role_sequence(
+    rng: &mut StdRng,
+    input: &ForumThreadGen<'_>,
+    n_threads: usize,
+) -> Vec<ThreadRole> {
     let min_tops = u32::from(input.profile.tops > 0);
     let n_tops = input
         .config
         .scaled(input.profile.tops, min_tops)
         .min(n_threads as u32) as usize;
-    let trade_share = if input.profile.name == "OGUsers" { 0.50 } else { 0.02 };
+    let trade_share = if input.profile.name == "OGUsers" {
+        0.50
+    } else {
+        0.02
+    };
     let mut roles = Vec::with_capacity(n_threads);
     roles.resize(n_tops, ThreadRole::Top);
     for _ in n_tops..n_threads {
@@ -305,10 +311,9 @@ fn open_thread(
                 url_lines.extend(proofs.make_proof_lines(rng, truth, author, day, 1));
             }
         }
-        ThreadRole::Earnings
-            if input.proof_posters.contains(&author) && rng.gen_bool(0.7) => {
-                url_lines = proofs.make_proof_lines(rng, truth, author, day, 3);
-            }
+        ThreadRole::Earnings if input.proof_posters.contains(&author) && rng.gen_bool(0.7) => {
+            url_lines = proofs.make_proof_lines(rng, truth, author, day, 3);
+        }
         _ => {}
     }
     let body = headings::initial_body(rng, role, &url_lines);
@@ -328,9 +333,7 @@ mod tests {
     use synthrand::rng_from_seed;
     use websim::{OriginRegistry, SiteCatalog, WebStore};
 
-    fn tiny_world_threads(
-        seed: u64,
-    ) -> (crimebb::Corpus, GroundTruth, Vec<ThreadId>, WorldConfig) {
+    fn tiny_world_threads(seed: u64) -> (crimebb::Corpus, GroundTruth, Vec<ThreadId>, WorldConfig) {
         let config = WorldConfig::test_scale(seed);
         let mut rng = rng_from_seed(seed);
         let catalog = SiteCatalog::new();
@@ -370,11 +373,17 @@ mod tests {
             .filter(|(_, p)| p.n_ewhoring >= 40)
             .map(|(a, _)| *a)
             .collect();
-        let zero_match: HashSet<ActorId> =
-            actors.iter().take(2).map(|(a, _)| *a).collect();
+        let zero_match: HashSet<ActorId> = actors.iter().take(2).map(|(a, _)| *a).collect();
 
         let mut packs = PackFactory::new(
-            &config, 200, &catalog, &origins, &mut web, &mut index, &mut wayback, &mut hashlist,
+            &config,
+            200,
+            &catalog,
+            &origins,
+            &mut web,
+            &mut index,
+            &mut wayback,
+            &mut hashlist,
         );
         let mut proofs = ProofFactory::new(&catalog, &mut web2, &fx);
         let sharer_pool: Vec<(ActorId, Day, Day)> = actors
@@ -391,8 +400,14 @@ mod tests {
             zero_match_producers: &zero_match,
             sharer_pool: &sharer_pool,
         };
-        let threads =
-            generate_forum_threads(&mut rng, &mut builder, &mut truth, &mut packs, &mut proofs, &input);
+        let threads = generate_forum_threads(
+            &mut rng,
+            &mut builder,
+            &mut truth,
+            &mut packs,
+            &mut proofs,
+            &input,
+        );
         (builder.build(), truth, threads, config)
     }
 
@@ -404,7 +419,10 @@ mod tests {
         let posts = corpus.posts().len();
         let expected_posts = config.scaled(596_827, 1) as usize;
         let ratio = posts as f64 / expected_posts as f64;
-        assert!((0.75..1.35).contains(&ratio), "posts {posts} vs {expected_posts}");
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "posts {posts} vs {expected_posts}"
+        );
     }
 
     #[test]
@@ -440,7 +458,10 @@ mod tests {
         }
         let top_avg = top_sum as f64 / top_n.max(1) as f64;
         let other_avg = other_sum as f64 / other_n.max(1) as f64;
-        assert!(top_avg > other_avg, "TOP avg {top_avg} vs other {other_avg}");
+        assert!(
+            top_avg > other_avg,
+            "TOP avg {top_avg} vs other {other_avg}"
+        );
     }
 
     #[test]
@@ -491,9 +512,6 @@ mod tests {
         let (c1, _, _, _) = tiny_world_threads(38);
         let (c2, _, _, _) = tiny_world_threads(38);
         assert_eq!(c1.posts().len(), c2.posts().len());
-        assert_eq!(
-            c1.threads()[5].heading,
-            c2.threads()[5].heading
-        );
+        assert_eq!(c1.threads()[5].heading, c2.threads()[5].heading);
     }
 }

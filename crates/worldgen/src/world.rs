@@ -3,19 +3,19 @@
 use crate::actors::ActorPlan;
 use crate::config::{WorldConfig, FORUM_PROFILES};
 use crate::finance::{ce_heading, ce_sampler, ProofFactory};
+use crate::fx::FxTable;
 use crate::headings;
 use crate::packs::PackFactory;
 use crate::threads::{generate_forum_threads, ForumThreadGen};
 use crate::truth::{GroundTruth, ProofInfo, ThreadRole};
-use crate::fx::FxTable;
 use crimebb::{ActorId, BoardCategory, BoardId, Corpus, CorpusBuilder, ForumId};
 use imagesim::ImageSpec;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
-use synthrand::{Day, LogNormal, SeedFactory, WeightedIndex};
 use revsearch::{ReverseIndex, Wayback};
 use safety::HashList;
+use std::collections::{HashMap, HashSet};
+use synthrand::{Day, LogNormal, SeedFactory, WeightedIndex};
 use websim::{OriginRegistry, SiteCatalog, WebStore};
 
 /// The generated world: corpus + web + services + ground truth.
@@ -220,7 +220,14 @@ impl World {
                     zero_match_producers: &zero_match_producers,
                     sharer_pool: if is_hf { &sharer_pool } else { &[] },
                 };
-                generate_forum_threads(&mut rng, &mut builder, &mut truth, &mut packs, &mut proofs, &input);
+                generate_forum_threads(
+                    &mut rng,
+                    &mut builder,
+                    &mut truth,
+                    &mut packs,
+                    &mut proofs,
+                    &input,
+                );
 
                 if !is_hf && config.with_side_boards {
                     // Other forums get modest off-topic activity in their
@@ -351,7 +358,12 @@ fn generate_side_activity(
         let len_after = f64::from(plan.last_post.days_since(plan.last_ew)) + 1.0;
         let total_len = len_before + len_during + len_after;
         let windows = [
-            (plan.first_post, plan.first_ew, len_before / total_len, 0usize),
+            (
+                plan.first_post,
+                plan.first_ew,
+                len_before / total_len,
+                0usize,
+            ),
             (plan.first_ew, plan.last_ew, len_during / total_len, 1),
             (plan.last_ew, plan.last_post, len_after / total_len, 2),
         ];
@@ -445,8 +457,7 @@ fn generate_bragging_threads(
         .map(|_| {
             let author = posters[rng.gen_range(0..posters.len())];
             let plan = plan_of[&author];
-            let day =
-                Day::sample_between(rng, plan.first_ew, plan.last_post.max(plan.first_ew));
+            let day = Day::sample_between(rng, plan.first_ew, plan.last_post.max(plan.first_ew));
             (day, author)
         })
         .collect();
@@ -558,9 +569,7 @@ mod tests {
         let mut per_forum: HashMap<ForumId, usize> = HashMap::new();
         for t in w.corpus.threads() {
             let forum = w.corpus.board(t.board).forum;
-            if forum != w.hackforums
-                && textkit::lexicon::heading_is_ewhoring(&t.heading)
-            {
+            if forum != w.hackforums && textkit::lexicon::heading_is_ewhoring(&t.heading) {
                 *per_forum.entry(forum).or_insert(0) += 1;
             }
         }

@@ -62,7 +62,10 @@ fn main() {
         ce_by_actor: &ce_by_actor,
     };
     let key = select_key_actors(&inputs, 12);
-    println!("\n{} key actors selected across 5 indicators:", key.all.len());
+    println!(
+        "\n{} key actors selected across 5 indicators:",
+        key.all.len()
+    );
     for (group, members) in &key.groups {
         println!("  {:<2}: {} members", group.label(), members.len());
     }

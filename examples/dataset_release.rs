@@ -57,10 +57,21 @@ fn main() {
 
     // 3. Sample synthetic "images" as PPMs — visibly abstract rasters.
     let samples = [
-        ("model_photo.ppm", imagesim::ImageSpec::model_photo(imagesim::ImageClass::ModelNude, 7, 3)),
-        ("payment_screenshot.ppm", imagesim::ImageSpec::of(
-            imagesim::ImageClass::PaymentScreenshot(imagesim::PaymentPlatform::PayPal), 3)),
-        ("landscape.ppm", imagesim::ImageSpec::of(imagesim::ImageClass::Landscape, 11)),
+        (
+            "model_photo.ppm",
+            imagesim::ImageSpec::model_photo(imagesim::ImageClass::ModelNude, 7, 3),
+        ),
+        (
+            "payment_screenshot.ppm",
+            imagesim::ImageSpec::of(
+                imagesim::ImageClass::PaymentScreenshot(imagesim::PaymentPlatform::PayPal),
+                3,
+            ),
+        ),
+        (
+            "landscape.ppm",
+            imagesim::ImageSpec::of(imagesim::ImageClass::Landscape, 11),
+        ),
     ];
     for (name, spec) in samples {
         let path = dir.join(name);

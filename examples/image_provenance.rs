@@ -19,7 +19,13 @@ fn main() {
     // Stage 1+2: find eWhoring threads, then the ones offering packs.
     let threads = extract_ewhoring_threads(&world.corpus).all_threads();
     let mut rng = synthrand::rng_from_seed(1);
-    let (_, tops) = classify_tops(&mut rng, &world.corpus, &world.catalog, &world.truth, &threads);
+    let (_, tops) = classify_tops(
+        &mut rng,
+        &world.corpus,
+        &world.catalog,
+        &world.truth,
+        &threads,
+    );
     println!(
         "{} eWhoring threads; {} classified as offering packs (P={:.2} R={:.2})",
         threads.len(),
@@ -97,8 +103,12 @@ fn main() {
     );
     println!(
         "reverse search: packs {}/{} matched (ratio {:.1}), previews {}/{} (ratio {:.1})",
-        prov.packs.matched, prov.packs.total, prov.packs.ratio,
-        prov.previews.matched, prov.previews.total, prov.previews.ratio
+        prov.packs.matched,
+        prov.packs.total,
+        prov.packs.ratio,
+        prov.previews.matched,
+        prov.previews.total,
+        prov.previews.ratio
     );
     println!(
         "zero-match packs: {}/{}; distinct provenance domains: {}",

@@ -40,17 +40,22 @@ fn main() {
         .collect();
     let packs: Vec<(&ewhoring_core::crawl::PackDownload, &[ImageMeasures])> =
         owned.iter().map(|(p, m)| (p, m.as_slice())).collect();
-    println!("{} packs crawled; replaying the blacklist intervention…\n", packs.len());
+    println!(
+        "{} packs crawled; replaying the blacklist intervention…\n",
+        packs.len()
+    );
 
     // Sweep deployment dates across the posting timeline.
     let mut dates: Vec<synthrand::Day> = packs.iter().map(|(p, _)| p.link.posted).collect();
     dates.sort_unstable();
-    let sweep_dates: Vec<synthrand::Day> = (1..=4)
-        .map(|i| dates[dates.len() * i / 5])
-        .collect();
+    let sweep_dates: Vec<synthrand::Day> = (1..=4).map(|i| dates[dates.len() * i / 5]).collect();
     println!("deployment date   image-block rate   pack-disruption rate");
     for (date, block, disrupt) in deployment_sweep(&packs, &sweep_dates) {
-        println!("  {date}        {:>5.1}%             {:>5.1}%", 100.0 * block, 100.0 * disrupt);
+        println!(
+            "  {date}        {:>5.1}%             {:>5.1}%",
+            100.0 * block,
+            100.0 * disrupt
+        );
     }
 
     // Detail at the midpoint.

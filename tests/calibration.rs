@@ -60,12 +60,21 @@ fn reverse_search_shape_matches_table5() {
     let packs = &r.provenance.packs;
     let previews = &r.provenance.previews;
     // Paper: packs 74% matched vs previews 49% — previews are harder.
-    assert!(packs.match_rate() > previews.match_rate(), "pack {} vs preview {}",
-        packs.match_rate(), previews.match_rate());
+    assert!(
+        packs.match_rate() > previews.match_rate(),
+        "pack {} vs preview {}",
+        packs.match_rate(),
+        previews.match_rate()
+    );
     assert!((0.55..0.92).contains(&packs.match_rate()));
     assert!((0.30..0.70).contains(&previews.match_rate()));
     // But matched previews appear on more sites (17.3 vs 12.7).
-    assert!(previews.ratio > packs.ratio, "ratios {} vs {}", previews.ratio, packs.ratio);
+    assert!(
+        previews.ratio > packs.ratio,
+        "ratios {} vs {}",
+        previews.ratio,
+        packs.ratio
+    );
     // Seen-before below match rate, in the paper's band.
     assert!(packs.seen_before_rate() < packs.match_rate());
     assert!(packs.seen_before_rate() > 0.35);
@@ -123,7 +132,11 @@ fn earnings_match_section5_shape() {
         usd.sort_by(|a, b| a.partial_cmp(b).unwrap());
         usd[usd.len() / 2]
     };
-    assert!(median < e.mean_per_actor, "median {median} < mean {}", e.mean_per_actor);
+    assert!(
+        median < e.mean_per_actor,
+        "median {median} < mean {}",
+        e.mean_per_actor
+    );
     // Paper: avg transaction ≈ $41.90.
     assert!((20.0..70.0).contains(&e.avg_transaction_usd));
     // AGC + PayPal dominate (paper: 934 + 795 of 1868).

@@ -43,7 +43,7 @@ fn no_side_boards_world_runs() {
     // Without Currency Exchange / Bragging Rights the finance analyses
     // degrade gracefully to empty rather than panicking.
     assert_eq!(report.currency.threads, 0);
-    assert!(report.topcls.detected.len() > 0);
+    assert!(!report.topcls.detected.is_empty());
     assert!(report.funnel.packs_downloaded > 0);
 }
 

@@ -1,23 +1,46 @@
 //! Reproducibility: the entire measurement — world generation plus all
 //! eight pipeline stages — must be a pure function of the seed.
 
+/// Serializes a report with the only nondeterministic field (wall-clock
+/// stage timings) stripped — the canonical snapshot form.
+fn report_snapshot(report: &ewhoring_core::PipelineReport) -> String {
+    let json = serde_json::to_string(report).expect("json");
+    let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    v.as_object_mut().unwrap().remove("timings");
+    v.to_string()
+}
+
 #[test]
 fn same_seed_same_report_json() {
     let run = || {
         let world = ewhoring_suite::demo_world(0xD37);
         let report = ewhoring_suite::demo_pipeline(&world);
-        serde_json::to_string(&report).expect("json")
+        report_snapshot(&report)
     };
-    let a = run();
-    let b = run();
-    // Strip the only nondeterministic field (wall-clock stage timings).
-    let strip = |s: &str| -> String {
-        let v: serde_json::Value = serde_json::from_str(s).unwrap();
-        let mut v = v;
-        v.as_object_mut().unwrap().remove("stage_ms");
-        v.to_string()
-    };
-    assert_eq!(strip(&a), strip(&b));
+    assert_eq!(run(), run());
+}
+
+/// Byte-level snapshot determinism: two runs over the same seed must
+/// produce *byte-identical* serialized reports (not just equal field
+/// values), so a snapshot taken before a refactor can be compared
+/// byte-for-byte against one taken after.
+#[test]
+fn serialized_report_snapshot_is_byte_identical() {
+    let world = ewhoring_suite::demo_world(0xD37);
+    let a = report_snapshot(&ewhoring_suite::demo_pipeline(&world));
+    let b = report_snapshot(&ewhoring_suite::demo_pipeline(&world));
+    assert_eq!(a.as_bytes(), b.as_bytes());
+    // The snapshot covers every per-section artefact the paper reports.
+    for key in [
+        "\"forums\"",
+        "\"funnel\"",
+        "\"safety\"",
+        "\"provenance\"",
+        "\"earnings\"",
+        "\"key_actors\"",
+    ] {
+        assert!(a.contains(key), "snapshot misses section {key}");
+    }
 }
 
 #[test]
@@ -40,9 +63,7 @@ fn world_regeneration_is_stable_across_calls() {
         a.corpus.threads()[17].heading,
         b.corpus.threads()[17].heading
     );
-    let url_a: std::collections::BTreeSet<String> =
-        a.web.urls().map(|u| u.to_https()).collect();
-    let url_b: std::collections::BTreeSet<String> =
-        b.web.urls().map(|u| u.to_https()).collect();
+    let url_a: std::collections::BTreeSet<String> = a.web.urls().map(|u| u.to_https()).collect();
+    let url_b: std::collections::BTreeSet<String> = b.web.urls().map(|u| u.to_https()).collect();
     assert_eq!(url_a, url_b);
 }

@@ -28,11 +28,10 @@ fn funnel_is_monotone() {
 #[test]
 fn detected_tops_are_extracted_threads() {
     let (world, r) = report();
-    let extracted: HashSet<_> =
-        ewhoring_core::extract::extract_ewhoring_threads(&world.corpus)
-            .all_threads()
-            .into_iter()
-            .collect();
+    let extracted: HashSet<_> = ewhoring_core::extract::extract_ewhoring_threads(&world.corpus)
+        .all_threads()
+        .into_iter()
+        .collect();
     for t in &r.topcls.detected {
         assert!(extracted.contains(t), "TOP outside the extraction set");
     }
@@ -57,7 +56,11 @@ fn table1_totals_are_consistent_with_corpus() {
             .filter(|a| a.forum == forum.id)
             .count();
         assert!(row.actors <= registered, "{}", row.forum);
-        assert!(row.posts >= row.threads, "{}: every thread has a post", row.forum);
+        assert!(
+            row.posts >= row.threads,
+            "{}: every thread has a post",
+            row.forum
+        );
     }
     // TOPs column sums to the detected set.
     let tops: usize = r.forums.iter().map(|f| f.tops).sum();
@@ -101,8 +104,7 @@ fn full_report_renders_and_serialises() {
     let text = full_report(&r);
     assert!(text.len() > 4000);
     let json = serde_json::to_string(&r).expect("json");
-    let back: ewhoring_core::PipelineReport =
-        serde_json::from_str(&json).expect("roundtrip");
+    let back: ewhoring_core::PipelineReport = serde_json::from_str(&json).expect("roundtrip");
     assert_eq!(back.funnel.unique_files, r.funnel.unique_files);
     assert_eq!(back.forums.len(), r.forums.len());
 }
@@ -110,7 +112,7 @@ fn full_report_renders_and_serialises() {
 #[test]
 fn stage_timings_cover_all_stages() {
     let (_, r) = report();
-    let names: Vec<&str> = r.stage_ms.iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = r.timings.iter().map(|t| t.stage.as_str()).collect();
     for expected in [
         "extract",
         "top_classifier",
@@ -123,5 +125,9 @@ fn stage_timings_cover_all_stages() {
         "actors",
     ] {
         assert!(names.contains(&expected), "missing stage {expected}");
+    }
+    // Every stage reports throughput alongside wall-clock.
+    for t in &r.timings {
+        assert!(t.items > 0, "stage {} processed no items", t.stage);
     }
 }

@@ -93,8 +93,7 @@ fn screening_happens_before_analysis_order() {
     }
     // unique_files was computed post-deletion: deleting flagged images
     // again must not change the count.
-    let total_kept =
-        report.funnel.preview_downloads + report.funnel.pack_images - flagged;
+    let total_kept = report.funnel.preview_downloads + report.funnel.pack_images - flagged;
     assert!(report.funnel.unique_files <= total_kept);
 }
 

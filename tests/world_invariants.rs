@@ -146,11 +146,10 @@ fn index_dates_never_exceed_dataset_end() {
 #[test]
 fn thread_roles_cover_exactly_the_ewhoring_threads() {
     let w = world();
-    let extracted: HashSet<_> =
-        ewhoring_core::extract::extract_ewhoring_threads(&w.corpus)
-            .all_threads()
-            .into_iter()
-            .collect();
+    let extracted: HashSet<_> = ewhoring_core::extract::extract_ewhoring_threads(&w.corpus)
+        .all_threads()
+        .into_iter()
+        .collect();
     // Every extracted thread has a role; roles also cover Bragging Rights
     // threads (harvested via board membership, not the keyword query).
     let mut missing = 0;
