@@ -1,0 +1,3 @@
+//! Offline stand-in for `bytes` (unused API surface in this workspace).
+
+pub type Bytes = Vec<u8>;

@@ -1,0 +1,47 @@
+//! Offline stand-in for `crossbeam` scoped threads: same `scope`/`spawn`/
+//! `join` shape, but closures run eagerly on the calling thread. Results
+//! are identical to the threaded version for deterministic workloads.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+pub struct Scope<'env> {
+    _marker: PhantomData<&'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        ScopedJoinHandle {
+            result: catch_unwind(AssertUnwindSafe(|| f(self))),
+        }
+    }
+}
+
+pub struct ScopedJoinHandle<T> {
+    result: std::thread::Result<T>,
+}
+
+impl<T> ScopedJoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.result
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        f(&Scope {
+            _marker: PhantomData,
+        })
+    }))
+}

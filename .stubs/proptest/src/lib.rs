@@ -1,0 +1,99 @@
+//! Offline stand-in for `proptest`. The `proptest!` macro expands to
+//! nothing, so property bodies are *not exercised locally* — they only
+//! need to exist for the real environment. Strategy combinators used
+//! outside the macro typecheck against a minimal `Strategy` trait.
+
+pub mod strategy {
+    use std::marker::PhantomData;
+
+    pub trait Strategy {
+        type Value;
+    }
+
+    pub struct Just<T>(pub T);
+
+    impl<T> Strategy for Just<T> {
+        type Value = T;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+
+    pub struct OneOf<T> {
+        pub strategies: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+    }
+
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for std::ops::Range<T> {
+        type Value = T;
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            strategies: vec![$($crate::strategy::boxed({ let _ = $weight; $strat })),+],
+        }
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            strategies: vec![$($crate::strategy::boxed($strat)),+],
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, boxed, Just, OneOf, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,745 @@
+//! Offline stand-in for `serde`: a value-tree serialization model with the
+//! same *surface* (`Serialize`/`Deserialize` traits + derive macros), good
+//! enough to run this workspace's JSON round-trips locally. Not remotely
+//! wire-compatible with real serde — local testing only.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Serialization error (shared by the `serde_json` stub).
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn err<T>(msg: impl Into<String>) -> Result<T, Error> {
+    Err(Error(msg.into()))
+}
+
+/// An ordered JSON object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map(pub Vec<(String, Value)>);
+
+impl Map {
+    pub fn new() -> Map {
+        Map(Vec::new())
+    }
+
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.0.push((key.into(), value));
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.0.iter().position(|(k, _)| k == key)?;
+        Some(self.0.remove(idx).1)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &(String, Value)> {
+        self.0.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i128),
+    UInt(u128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(x) => Some(*x as f64),
+            Value::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(x) => u64::try_from(*x).ok(),
+            Value::Int(x) => u64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render(self))
+    }
+}
+
+// ---------------------------------------------------------------- traits
+
+pub trait Serialize {
+    fn __to_value(&self) -> Value;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn __from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and decodes a struct field (used by the derive macro).
+pub fn __get<T>(m: &Map, key: &str) -> Result<T, Error>
+where
+    T: for<'any> Deserialize<'any>,
+{
+    match m.get(key) {
+        Some(v) => T::__from_value(v),
+        None => err(format!("missing field `{key}`")),
+    }
+}
+
+// ------------------------------------------------------ primitive impls
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value { Value::UInt(*self as u128) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error("uint out of range".into())),
+                    Value::Int(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error("int out of range".into())),
+                    _ => err(format!("expected uint, got {}", v.kind())),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value { Value::Int(*self as i128) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error("int out of range".into())),
+                    Value::UInt(x) => i128::try_from(*x)
+                        .ok()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| Error("uint out of range".into())),
+                    _ => err(format!("expected int, got {}", v.kind())),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error(format!("expected float, got {}", v.kind())))
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn __to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => err(format!("expected bool, got {}", v.kind())),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => err("expected single-char string"),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => err(format!("expected string, got {}", v.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// Stub-only: `&'static str` fields round-trip by leaking. Fine for local
+// test runs, where static-str tables are never actually deserialized at
+// scale.
+impl<'de> Deserialize<'de> for &'static str {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => err(format!("expected string, got {}", v.kind())),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn __to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => err("expected null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        T::__from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __to_value(&self) -> Value {
+        match self {
+            Some(x) => x.__to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::__from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::__from_value).collect(),
+            _ => err(format!("expected array, got {}", v.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::__from_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error("array length mismatch".into()))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn __to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.__to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error("expected tuple array".into()))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if items.len() != expected {
+                    return err("tuple arity mismatch");
+                }
+                Ok(($($name::__from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+// ------------------------------------------------------------- map impls
+
+fn key_string<K: Serialize>(key: &K) -> String {
+    match key.__to_value() {
+        Value::Str(s) => s,
+        other => render(&other),
+    }
+}
+
+fn key_value(key: &str) -> Value {
+    parse(key).unwrap_or_else(|_| Value::Str(key.to_string()))
+}
+
+fn map_to_value<'a, K, V, I>(entries: I, sort: bool) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<(String, Value)> = entries
+        .map(|(k, v)| (key_string(k), v.__to_value()))
+        .collect();
+    if sort {
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    Value::Object(Map(pairs))
+}
+
+fn map_from_value<K, V>(v: &Value) -> Result<Vec<(K, V)>, Error>
+where
+    K: for<'any> Deserialize<'any>,
+    V: for<'any> Deserialize<'any>,
+{
+    let obj = match v {
+        Value::Object(m) => m,
+        _ => return err(format!("expected object, got {}", v.kind())),
+    };
+    obj.iter()
+        .map(|(k, v)| Ok((K::__from_value(&key_value(k))?, V::__from_value(v)?)))
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn __to_value(&self) -> Value {
+        map_to_value(self.iter(), true)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: for<'any> Deserialize<'any> + std::hash::Hash + Eq,
+    V: for<'any> Deserialize<'any>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn __to_value(&self) -> Value {
+        map_to_value(self.iter(), false)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'any> Deserialize<'any> + Ord,
+    V: for<'any> Deserialize<'any>,
+{
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn __to_value(&self) -> Value {
+        let mut rendered: Vec<Value> = self.iter().map(Serialize::__to_value).collect();
+        rendered.sort_by_key(|v| render(v));
+        Value::Array(rendered)
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: for<'any> Deserialize<'any> + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::__from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for BTreeSet<T>
+where
+    T: for<'any> Deserialize<'any> + Ord,
+{
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::__from_value(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn __to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// --------------------------------------------------------- JSON encode
+
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out);
+    out
+}
+
+fn render_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(x) => out.push_str(&x.to_string()),
+        Value::UInt(x) => out.push_str(&x.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"))
+            } else {
+                out.push_str("null")
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(k, out);
+                out.push(':');
+                render_into(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------- JSON decode
+
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut p = Parser { chars: &bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return err("trailing characters");
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, Error> {
+        let c = self.peek().ok_or_else(|| Error("unexpected end".into()))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        if self.bump()? == c {
+            Ok(())
+        } else {
+            err(format!("expected `{c}`"))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| Error("unexpected end".into()))? {
+            'n' => self.literal("null", Value::Null),
+            't' => self.literal("true", Value::Bool(true)),
+            'f' => self.literal("false", Value::Bool(false)),
+            '"' => Ok(Value::Str(self.string()?)),
+            '[' => self.array(),
+            '{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16
+                                + self
+                                    .bump()?
+                                    .to_digit(16)
+                                    .ok_or_else(|| Error("bad \\u escape".into()))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return err(format!("bad escape `\\{other}`")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Ok(Value::Array(items)),
+                _ => return err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect('{')?;
+        let mut m = Map::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            m.insert(key, value);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Value::Object(m)),
+                _ => return err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some('0'..='9' | '-' | '+' | '.' | 'e' | 'E')
+        ) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if text.is_empty() {
+            return err("expected number");
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(x) = rest.parse::<i128>() {
+                    return Ok(Value::Int(-x));
+                }
+            } else if let Ok(x) = text.parse::<u128>() {
+                return Ok(Value::UInt(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+}

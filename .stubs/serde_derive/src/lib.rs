@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde_derive`: hand-rolled (no `syn`) derive of
+//! the stub `serde::Serialize` / `serde::Deserialize` traits. Supports
+//! non-generic structs (named / tuple / unit) and enums (unit / tuple /
+//! struct variants). `#[serde(...)]` attributes are accepted and ignored —
+//! encodings only need to round-trip against themselves locally.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("serde stub: emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("serde stub: emitted invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generics are not supported (type `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let group = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde stub derive: malformed enum `{name}`"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(group),
+            }
+        }
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *pos += 2;
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` skipping attributes, visibility, and types
+/// (angle-bracket aware so `Map<K, V>` commas don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if i + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------ emission
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::__to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::__to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => named_to_object(names, "self."),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn __to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_to_object(names: &[String], prefix: &str) -> String {
+    let mut out = String::from("{ let mut m = ::serde::Map::new(); ");
+    for f in names {
+        let _ = write!(
+            out,
+            "m.insert(\"{f}\", ::serde::Serialize::__to_value(&{prefix}{f})); "
+        );
+    }
+    out.push_str("::serde::Value::Object(m) }");
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::__from_value(v)?))"
+        ),
+        Fields::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::__from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "{{ let arr = v.as_array().ok_or_else(|| ::serde::Error(\
+                     \"expected array for {name}\".to_string()))?;\n\
+                   if arr.len() != {n} {{ return ::serde::err(\"arity mismatch for {name}\"); }}\n\
+                   ::std::result::Result::Ok({name}({gets})) }}",
+                gets = gets.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let gets: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::__get(obj, \"{f}\")?"))
+                .collect();
+            format!(
+                "{{ let obj = v.as_object().ok_or_else(|| ::serde::Error(\
+                     \"expected object for {name}\".to_string()))?;\n\
+                   ::std::result::Result::Ok({name} {{ {gets} }}) }}",
+                gets = gets.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn __from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::__to_value(x0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::__to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                let _ = write!(
+                    arms,
+                    "{name}::{vn}({binds}) => {{ let mut m = ::serde::Map::new(); \
+                       m.insert(\"{vn}\", {inner}); ::serde::Value::Object(m) }}\n",
+                    binds = binds.join(", ")
+                );
+            }
+            Fields::Named(fields) => {
+                let binds = fields.join(", ");
+                let inner = named_to_object(fields, "");
+                let _ = write!(
+                    arms,
+                    "{name}::{vn} {{ {binds} }} => {{ let mut m = ::serde::Map::new(); \
+                       m.insert(\"{vn}\", {inner}); ::serde::Value::Object(m) }}\n"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn __to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    unit_arms,
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    data_arms,
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                       ::serde::Deserialize::__from_value(inner)?)),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::__from_value(&arr[{i}])?"))
+                    .collect();
+                let _ = write!(
+                    data_arms,
+                    "\"{vn}\" => {{ let arr = inner.as_array().ok_or_else(|| ::serde::Error(\
+                        \"expected array for {name}::{vn}\".to_string()))?;\n\
+                      if arr.len() != {n} {{ return ::serde::err(\"arity mismatch\"); }}\n\
+                      ::std::result::Result::Ok({name}::{vn}({gets})) }}\n",
+                    gets = gets.join(", ")
+                );
+            }
+            Fields::Named(fields) => {
+                let gets: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__get(obj, \"{f}\")?"))
+                    .collect();
+                let _ = write!(
+                    data_arms,
+                    "\"{vn}\" => {{ let obj = inner.as_object().ok_or_else(|| ::serde::Error(\
+                        \"expected object for {name}::{vn}\".to_string()))?;\n\
+                      ::std::result::Result::Ok({name}::{vn} {{ {gets} }}) }}\n",
+                    gets = gets.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn __from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::serde::err(format!(\"unknown variant `{{other}}` of {name}\")),\n\
+                     }},\n\
+                     ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                         let (k, inner) = &m.0[0];\n\
+                         match k.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::serde::err(format!(\"unknown variant `{{other}}` of {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::serde::err(\"expected string or 1-key object for enum {name}\"),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde_json` over the stub `serde` value tree.
+//! Self-consistent (round-trips its own output); NOT wire-compatible with
+//! real serde_json — local testing only.
+
+pub use serde::{Map, Value};
+
+pub type Error = serde::Error;
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::render(&value.__to_value()))
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let v = value.__to_value();
+    let mut out = String::new();
+    pretty(&v, 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.__to_value())
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(text: &'a str) -> Result<T> {
+    let v = serde::parse(text)?;
+    T::__from_value(&v)
+}
+
+pub fn from_value<T: for<'any> serde::Deserialize<'any>>(v: Value) -> Result<T> {
+    T::__from_value(&v)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&serde::render(&Value::Str(k.clone())));
+                out.push_str(": ");
+                pretty(item, indent + 1, out);
+                if i + 1 < m.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push('}');
+        }
+        other => out.push_str(&serde::render(other)),
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-24cdf218630f3b15.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-24cdf218630f3b15.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builder_props-65be2596673afa07.d: crates/crimebb/tests/builder_props.rs
+
+/root/repo/target/debug/deps/builder_props-65be2596673afa07: crates/crimebb/tests/builder_props.rs
+
+crates/crimebb/tests/builder_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/builder_props-d57775b3b371c01a.d: crates/crimebb/tests/builder_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuilder_props-d57775b3b371c01a.rmeta: crates/crimebb/tests/builder_props.rs Cargo.toml
+
+crates/crimebb/tests/builder_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

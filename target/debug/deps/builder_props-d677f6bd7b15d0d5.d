@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builder_props-d677f6bd7b15d0d5.d: crates/crimebb/tests/builder_props.rs
+
+/root/repo/target/debug/deps/libbuilder_props-d677f6bd7b15d0d5.rmeta: crates/crimebb/tests/builder_props.rs
+
+crates/crimebb/tests/builder_props.rs:

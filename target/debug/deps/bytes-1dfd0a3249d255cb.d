@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-1dfd0a3249d255cb.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-1dfd0a3249d255cb.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-1dfd0a3249d255cb.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-68f59ea845a94ff4.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-68f59ea845a94ff4.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

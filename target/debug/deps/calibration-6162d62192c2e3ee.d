@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-6162d62192c2e3ee.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/libcalibration-6162d62192c2e3ee.rmeta: tests/calibration.rs
+
+tests/calibration.rs:

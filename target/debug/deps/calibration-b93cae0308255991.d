@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-b93cae0308255991.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-b93cae0308255991: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-d887944f116ca931.d: tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-d887944f116ca931.rmeta: tests/calibration.rs Cargo.toml
+
+tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crimebb-24877f4dee4c70c7.d: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+/root/repo/target/debug/deps/libcrimebb-24877f4dee4c70c7.rmeta: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+crates/crimebb/src/lib.rs:
+crates/crimebb/src/corpus.rs:
+crates/crimebb/src/export.rs:
+crates/crimebb/src/ids.rs:
+crates/crimebb/src/model.rs:
+crates/crimebb/src/query.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crimebb-ab64daf735687ef3.d: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrimebb-ab64daf735687ef3.rmeta: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs Cargo.toml
+
+crates/crimebb/src/lib.rs:
+crates/crimebb/src/corpus.rs:
+crates/crimebb/src/export.rs:
+crates/crimebb/src/ids.rs:
+crates/crimebb/src/model.rs:
+crates/crimebb/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crimebb-ab889759d466f2a9.d: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+/root/repo/target/debug/deps/libcrimebb-ab889759d466f2a9.rlib: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+/root/repo/target/debug/deps/libcrimebb-ab889759d466f2a9.rmeta: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+crates/crimebb/src/lib.rs:
+crates/crimebb/src/corpus.rs:
+crates/crimebb/src/export.rs:
+crates/crimebb/src/ids.rs:
+crates/crimebb/src/model.rs:
+crates/crimebb/src/query.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crimebb-acaa6e4ce5060fbe.d: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrimebb-acaa6e4ce5060fbe.rmeta: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs Cargo.toml
+
+crates/crimebb/src/lib.rs:
+crates/crimebb/src/corpus.rs:
+crates/crimebb/src/export.rs:
+crates/crimebb/src/ids.rs:
+crates/crimebb/src/model.rs:
+crates/crimebb/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-da1f4886da7b20bc.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-da1f4886da7b20bc.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-da1f4886da7b20bc.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

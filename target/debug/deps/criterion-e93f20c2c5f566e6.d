@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e93f20c2c5f566e6.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e93f20c2c5f566e6.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

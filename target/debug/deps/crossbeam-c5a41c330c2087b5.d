@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-c5a41c330c2087b5.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-c5a41c330c2087b5.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-c5a41c330c2087b5.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

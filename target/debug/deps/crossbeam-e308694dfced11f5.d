@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-e308694dfced11f5.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e308694dfced11f5.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate_worlds-33a6e3ab125d64bf.d: tests/degenerate_worlds.rs
+
+/root/repo/target/debug/deps/degenerate_worlds-33a6e3ab125d64bf: tests/degenerate_worlds.rs
+
+tests/degenerate_worlds.rs:

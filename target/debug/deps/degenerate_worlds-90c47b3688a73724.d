@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate_worlds-90c47b3688a73724.d: tests/degenerate_worlds.rs
+
+/root/repo/target/debug/deps/libdegenerate_worlds-90c47b3688a73724.rmeta: tests/degenerate_worlds.rs
+
+tests/degenerate_worlds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degenerate_worlds-ab3a3f0539eb3b71.d: tests/degenerate_worlds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegenerate_worlds-ab3a3f0539eb3b71.rmeta: tests/degenerate_worlds.rs Cargo.toml
+
+tests/degenerate_worlds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5671f2436f3b3125.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-5671f2436f3b3125.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cbe6da8fed099b40.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cbe6da8fed099b40: tests/determinism.rs
+
+tests/determinism.rs:

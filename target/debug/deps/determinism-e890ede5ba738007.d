@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-e890ede5ba738007.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-e890ede5ba738007.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

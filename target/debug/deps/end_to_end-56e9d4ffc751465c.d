@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-56e9d4ffc751465c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-56e9d4ffc751465c.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

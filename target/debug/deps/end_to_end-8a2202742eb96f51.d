@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8a2202742eb96f51.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8a2202742eb96f51: tests/end_to_end.rs
+
+tests/end_to_end.rs:

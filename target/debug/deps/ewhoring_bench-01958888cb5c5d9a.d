@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ewhoring_bench-01958888cb5c5d9a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libewhoring_bench-01958888cb5c5d9a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ewhoring_bench-14ac145ca6028d35.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libewhoring_bench-14ac145ca6028d35.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libewhoring_bench-14ac145ca6028d35.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

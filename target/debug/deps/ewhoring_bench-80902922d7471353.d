@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ewhoring_bench-80902922d7471353.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libewhoring_bench-80902922d7471353.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ewhoring_bench-b18c0ed6e6ced228.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libewhoring_bench-b18c0ed6e6ced228.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ewhoring_bench-cb956716e3887892.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ewhoring_bench-cb956716e3887892: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ewhoring_bench-f4adcf3e249b2626.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libewhoring_bench-f4adcf3e249b2626.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/ewhoring_core-f8ba4587997fbd25.d: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/crawl.rs crates/core/src/extract.rs crates/core/src/features.rs crates/core/src/finance.rs crates/core/src/intervention.rs crates/core/src/nsfv.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/ctx.rs crates/core/src/pipeline/stages/mod.rs crates/core/src/pipeline/stages/actors.rs crates/core/src/pipeline/stages/crawl.rs crates/core/src/pipeline/stages/extract.rs crates/core/src/pipeline/stages/finance.rs crates/core/src/pipeline/stages/measure.rs crates/core/src/pipeline/stages/nsfv.rs crates/core/src/pipeline/stages/provenance.rs crates/core/src/pipeline/stages/safety.rs crates/core/src/pipeline/stages/topcls.rs crates/core/src/provenance.rs crates/core/src/report.rs crates/core/src/safety_stage.rs crates/core/src/topcls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libewhoring_core-f8ba4587997fbd25.rmeta: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/crawl.rs crates/core/src/extract.rs crates/core/src/features.rs crates/core/src/finance.rs crates/core/src/intervention.rs crates/core/src/nsfv.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/ctx.rs crates/core/src/pipeline/stages/mod.rs crates/core/src/pipeline/stages/actors.rs crates/core/src/pipeline/stages/crawl.rs crates/core/src/pipeline/stages/extract.rs crates/core/src/pipeline/stages/finance.rs crates/core/src/pipeline/stages/measure.rs crates/core/src/pipeline/stages/nsfv.rs crates/core/src/pipeline/stages/provenance.rs crates/core/src/pipeline/stages/safety.rs crates/core/src/pipeline/stages/topcls.rs crates/core/src/provenance.rs crates/core/src/report.rs crates/core/src/safety_stage.rs crates/core/src/topcls.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/actors.rs:
+crates/core/src/crawl.rs:
+crates/core/src/extract.rs:
+crates/core/src/features.rs:
+crates/core/src/finance.rs:
+crates/core/src/intervention.rs:
+crates/core/src/nsfv.rs:
+crates/core/src/pipeline/mod.rs:
+crates/core/src/pipeline/ctx.rs:
+crates/core/src/pipeline/stages/mod.rs:
+crates/core/src/pipeline/stages/actors.rs:
+crates/core/src/pipeline/stages/crawl.rs:
+crates/core/src/pipeline/stages/extract.rs:
+crates/core/src/pipeline/stages/finance.rs:
+crates/core/src/pipeline/stages/measure.rs:
+crates/core/src/pipeline/stages/nsfv.rs:
+crates/core/src/pipeline/stages/provenance.rs:
+crates/core/src/pipeline/stages/safety.rs:
+crates/core/src/pipeline/stages/topcls.rs:
+crates/core/src/provenance.rs:
+crates/core/src/report.rs:
+crates/core/src/safety_stage.rs:
+crates/core/src/topcls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ewhoring_suite-013cde8a5ae53517.d: src/suite.rs
+
+/root/repo/target/debug/deps/libewhoring_suite-013cde8a5ae53517.rmeta: src/suite.rs
+
+src/suite.rs:

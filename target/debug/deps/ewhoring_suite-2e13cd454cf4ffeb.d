@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ewhoring_suite-2e13cd454cf4ffeb.d: src/suite.rs
+
+/root/repo/target/debug/deps/libewhoring_suite-2e13cd454cf4ffeb.rlib: src/suite.rs
+
+/root/repo/target/debug/deps/libewhoring_suite-2e13cd454cf4ffeb.rmeta: src/suite.rs
+
+src/suite.rs:

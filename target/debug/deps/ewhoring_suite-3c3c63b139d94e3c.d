@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ewhoring_suite-3c3c63b139d94e3c.d: src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libewhoring_suite-3c3c63b139d94e3c.rmeta: src/suite.rs Cargo.toml
+
+src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

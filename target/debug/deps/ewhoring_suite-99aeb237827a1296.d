@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ewhoring_suite-99aeb237827a1296.d: src/suite.rs
+
+/root/repo/target/debug/deps/ewhoring_suite-99aeb237827a1296: src/suite.rs
+
+src/suite.rs:

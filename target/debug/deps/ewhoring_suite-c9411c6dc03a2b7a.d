@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ewhoring_suite-c9411c6dc03a2b7a.d: src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libewhoring_suite-c9411c6dc03a2b7a.rmeta: src/suite.rs Cargo.toml
+
+src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ewhoring_suite-e87d44b96df89d4b.d: src/suite.rs
+
+/root/repo/target/debug/deps/libewhoring_suite-e87d44b96df89d4b.rmeta: src/suite.rs
+
+src/suite.rs:

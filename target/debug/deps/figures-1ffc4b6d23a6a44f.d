@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-1ffc4b6d23a6a44f.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-1ffc4b6d23a6a44f.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

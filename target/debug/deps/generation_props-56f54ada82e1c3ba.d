@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generation_props-56f54ada82e1c3ba.d: crates/worldgen/tests/generation_props.rs
+
+/root/repo/target/debug/deps/generation_props-56f54ada82e1c3ba: crates/worldgen/tests/generation_props.rs
+
+crates/worldgen/tests/generation_props.rs:

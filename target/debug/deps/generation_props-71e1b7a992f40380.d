@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generation_props-71e1b7a992f40380.d: crates/worldgen/tests/generation_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeneration_props-71e1b7a992f40380.rmeta: crates/worldgen/tests/generation_props.rs Cargo.toml
+
+crates/worldgen/tests/generation_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generation_props-b7ba0f4592859294.d: crates/worldgen/tests/generation_props.rs
+
+/root/repo/target/debug/deps/libgeneration_props-b7ba0f4592859294.rmeta: crates/worldgen/tests/generation_props.rs
+
+crates/worldgen/tests/generation_props.rs:

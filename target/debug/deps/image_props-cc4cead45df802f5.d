@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/image_props-cc4cead45df802f5.d: crates/imagesim/tests/image_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimage_props-cc4cead45df802f5.rmeta: crates/imagesim/tests/image_props.rs Cargo.toml
+
+crates/imagesim/tests/image_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

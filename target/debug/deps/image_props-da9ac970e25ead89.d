@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_props-da9ac970e25ead89.d: crates/imagesim/tests/image_props.rs
+
+/root/repo/target/debug/deps/image_props-da9ac970e25ead89: crates/imagesim/tests/image_props.rs
+
+crates/imagesim/tests/image_props.rs:

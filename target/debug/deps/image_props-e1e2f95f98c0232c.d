@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_props-e1e2f95f98c0232c.d: crates/imagesim/tests/image_props.rs
+
+/root/repo/target/debug/deps/libimage_props-e1e2f95f98c0232c.rmeta: crates/imagesim/tests/image_props.rs
+
+crates/imagesim/tests/image_props.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/imagesim-07d064636902ac34.d: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimagesim-07d064636902ac34.rmeta: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs Cargo.toml
+
+crates/imagesim/src/lib.rs:
+crates/imagesim/src/bitmap.rs:
+crates/imagesim/src/hash.rs:
+crates/imagesim/src/nsfw.rs:
+crates/imagesim/src/ocr.rs:
+crates/imagesim/src/spec.rs:
+crates/imagesim/src/transform.rs:
+crates/imagesim/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

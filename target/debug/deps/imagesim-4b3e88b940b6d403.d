@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/imagesim-4b3e88b940b6d403.d: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs
+
+/root/repo/target/debug/deps/libimagesim-4b3e88b940b6d403.rmeta: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs
+
+crates/imagesim/src/lib.rs:
+crates/imagesim/src/bitmap.rs:
+crates/imagesim/src/hash.rs:
+crates/imagesim/src/nsfw.rs:
+crates/imagesim/src/ocr.rs:
+crates/imagesim/src/spec.rs:
+crates/imagesim/src/transform.rs:
+crates/imagesim/src/validation.rs:

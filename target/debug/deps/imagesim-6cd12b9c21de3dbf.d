@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/imagesim-6cd12b9c21de3dbf.d: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs
+
+/root/repo/target/debug/deps/imagesim-6cd12b9c21de3dbf: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs
+
+crates/imagesim/src/lib.rs:
+crates/imagesim/src/bitmap.rs:
+crates/imagesim/src/hash.rs:
+crates/imagesim/src/nsfw.rs:
+crates/imagesim/src/ocr.rs:
+crates/imagesim/src/spec.rs:
+crates/imagesim/src/transform.rs:
+crates/imagesim/src/validation.rs:

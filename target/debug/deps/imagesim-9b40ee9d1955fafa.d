@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/imagesim-9b40ee9d1955fafa.d: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimagesim-9b40ee9d1955fafa.rmeta: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs Cargo.toml
+
+crates/imagesim/src/lib.rs:
+crates/imagesim/src/bitmap.rs:
+crates/imagesim/src/hash.rs:
+crates/imagesim/src/nsfw.rs:
+crates/imagesim/src/ocr.rs:
+crates/imagesim/src/spec.rs:
+crates/imagesim/src/transform.rs:
+crates/imagesim/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/linsvm-2df76bb9e52fc315.d: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinsvm-2df76bb9e52fc315.rmeta: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs Cargo.toml
+
+crates/linsvm/src/lib.rs:
+crates/linsvm/src/logreg.rs:
+crates/linsvm/src/metrics.rs:
+crates/linsvm/src/nbayes.rs:
+crates/linsvm/src/sparse.rs:
+crates/linsvm/src/split.rs:
+crates/linsvm/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

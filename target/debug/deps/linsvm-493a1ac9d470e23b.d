@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/linsvm-493a1ac9d470e23b.d: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs
+
+/root/repo/target/debug/deps/linsvm-493a1ac9d470e23b: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs
+
+crates/linsvm/src/lib.rs:
+crates/linsvm/src/logreg.rs:
+crates/linsvm/src/metrics.rs:
+crates/linsvm/src/nbayes.rs:
+crates/linsvm/src/sparse.rs:
+crates/linsvm/src/split.rs:
+crates/linsvm/src/svm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/linsvm-6763d0433e9ae0ea.d: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs
+
+/root/repo/target/debug/deps/liblinsvm-6763d0433e9ae0ea.rlib: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs
+
+/root/repo/target/debug/deps/liblinsvm-6763d0433e9ae0ea.rmeta: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs
+
+crates/linsvm/src/lib.rs:
+crates/linsvm/src/logreg.rs:
+crates/linsvm/src/metrics.rs:
+crates/linsvm/src/nbayes.rs:
+crates/linsvm/src/sparse.rs:
+crates/linsvm/src/split.rs:
+crates/linsvm/src/svm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/linsvm-c6e4088e5e40684a.d: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs
+
+/root/repo/target/debug/deps/liblinsvm-c6e4088e5e40684a.rmeta: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs
+
+crates/linsvm/src/lib.rs:
+crates/linsvm/src/logreg.rs:
+crates/linsvm/src/metrics.rs:
+crates/linsvm/src/nbayes.rs:
+crates/linsvm/src/sparse.rs:
+crates/linsvm/src/split.rs:
+crates/linsvm/src/svm.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/linsvm-e0b40cd9b3a65036.d: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinsvm-e0b40cd9b3a65036.rmeta: crates/linsvm/src/lib.rs crates/linsvm/src/logreg.rs crates/linsvm/src/metrics.rs crates/linsvm/src/nbayes.rs crates/linsvm/src/sparse.rs crates/linsvm/src/split.rs crates/linsvm/src/svm.rs Cargo.toml
+
+crates/linsvm/src/lib.rs:
+crates/linsvm/src/logreg.rs:
+crates/linsvm/src/metrics.rs:
+crates/linsvm/src/nbayes.rs:
+crates/linsvm/src/sparse.rs:
+crates/linsvm/src/split.rs:
+crates/linsvm/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-98717f2919ddcc7a.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-98717f2919ddcc7a.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

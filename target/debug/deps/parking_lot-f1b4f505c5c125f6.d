@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-f1b4f505c5c125f6.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f1b4f505c5c125f6.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f1b4f505c5c125f6.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

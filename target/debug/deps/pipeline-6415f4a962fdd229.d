@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6415f4a962fdd229.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-6415f4a962fdd229.rmeta: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5f70c0ff9a2ee0d4.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5f70c0ff9a2ee0d4.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

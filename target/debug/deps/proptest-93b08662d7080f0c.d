@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-93b08662d7080f0c.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-93b08662d7080f0c.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-93b08662d7080f0c.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-40dafbf1a2e6d47a.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-40dafbf1a2e6d47a.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-40dafbf1a2e6d47a.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

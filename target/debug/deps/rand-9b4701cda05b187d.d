@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9b4701cda05b187d.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9b4701cda05b187d.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-0f9a8f2b1ae4dbfe.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/libreport-0f9a8f2b1ae4dbfe.rmeta: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

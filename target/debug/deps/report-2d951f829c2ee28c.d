@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-2d951f829c2ee28c.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-2d951f829c2ee28c: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

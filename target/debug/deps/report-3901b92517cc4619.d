@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-3901b92517cc4619.d: crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-3901b92517cc4619.rmeta: crates/bench/src/bin/report.rs Cargo.toml
+
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-ab1eca3654121987.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/libreport-ab1eca3654121987.rmeta: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

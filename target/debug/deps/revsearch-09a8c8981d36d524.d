@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/revsearch-09a8c8981d36d524.d: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs Cargo.toml
+
+/root/repo/target/debug/deps/librevsearch-09a8c8981d36d524.rmeta: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs Cargo.toml
+
+crates/revsearch/src/lib.rs:
+crates/revsearch/src/domaincls.rs:
+crates/revsearch/src/index.rs:
+crates/revsearch/src/wayback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

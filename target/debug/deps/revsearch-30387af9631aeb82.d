@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/revsearch-30387af9631aeb82.d: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+/root/repo/target/debug/deps/librevsearch-30387af9631aeb82.rmeta: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+crates/revsearch/src/lib.rs:
+crates/revsearch/src/domaincls.rs:
+crates/revsearch/src/index.rs:
+crates/revsearch/src/wayback.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/revsearch-7819705f6f4b78bc.d: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+/root/repo/target/debug/deps/librevsearch-7819705f6f4b78bc.rlib: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+/root/repo/target/debug/deps/librevsearch-7819705f6f4b78bc.rmeta: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+crates/revsearch/src/lib.rs:
+crates/revsearch/src/domaincls.rs:
+crates/revsearch/src/index.rs:
+crates/revsearch/src/wayback.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/revsearch-aee750b80c75b535.d: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs Cargo.toml
+
+/root/repo/target/debug/deps/librevsearch-aee750b80c75b535.rmeta: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs Cargo.toml
+
+crates/revsearch/src/lib.rs:
+crates/revsearch/src/domaincls.rs:
+crates/revsearch/src/index.rs:
+crates/revsearch/src/wayback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/revsearch-c1bef84b1cc19611.d: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+/root/repo/target/debug/deps/revsearch-c1bef84b1cc19611: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+crates/revsearch/src/lib.rs:
+crates/revsearch/src/domaincls.rs:
+crates/revsearch/src/index.rs:
+crates/revsearch/src/wayback.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/safety-3447989aaf8f5478.d: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+/root/repo/target/debug/deps/libsafety-3447989aaf8f5478.rmeta: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+crates/safety/src/lib.rs:
+crates/safety/src/gate.rs:
+crates/safety/src/hashlist.rs:
+crates/safety/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/safety-4b769d1b570b8e0a.d: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+/root/repo/target/debug/deps/safety-4b769d1b570b8e0a: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+crates/safety/src/lib.rs:
+crates/safety/src/gate.rs:
+crates/safety/src/hashlist.rs:
+crates/safety/src/report.rs:

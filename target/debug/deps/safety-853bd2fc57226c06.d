@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/safety-853bd2fc57226c06.d: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+/root/repo/target/debug/deps/libsafety-853bd2fc57226c06.rlib: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+/root/repo/target/debug/deps/libsafety-853bd2fc57226c06.rmeta: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+crates/safety/src/lib.rs:
+crates/safety/src/gate.rs:
+crates/safety/src/hashlist.rs:
+crates/safety/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/safety-fc6d20b1d86a46b3.d: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsafety-fc6d20b1d86a46b3.rmeta: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs Cargo.toml
+
+crates/safety/src/lib.rs:
+crates/safety/src/gate.rs:
+crates/safety/src/hashlist.rs:
+crates/safety/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

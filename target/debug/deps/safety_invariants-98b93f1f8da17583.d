@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_invariants-98b93f1f8da17583.d: tests/safety_invariants.rs
+
+/root/repo/target/debug/deps/libsafety_invariants-98b93f1f8da17583.rmeta: tests/safety_invariants.rs
+
+tests/safety_invariants.rs:

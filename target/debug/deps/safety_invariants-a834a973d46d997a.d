@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/safety_invariants-a834a973d46d997a.d: tests/safety_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsafety_invariants-a834a973d46d997a.rmeta: tests/safety_invariants.rs Cargo.toml
+
+tests/safety_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

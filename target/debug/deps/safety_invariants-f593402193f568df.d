@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_invariants-f593402193f568df.d: tests/safety_invariants.rs
+
+/root/repo/target/debug/deps/safety_invariants-f593402193f568df: tests/safety_invariants.rs
+
+tests/safety_invariants.rs:

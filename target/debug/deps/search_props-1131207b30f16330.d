@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_props-1131207b30f16330.d: crates/revsearch/tests/search_props.rs
+
+/root/repo/target/debug/deps/search_props-1131207b30f16330: crates/revsearch/tests/search_props.rs
+
+crates/revsearch/tests/search_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_props-85c19eafff854cec.d: crates/revsearch/tests/search_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_props-85c19eafff854cec.rmeta: crates/revsearch/tests/search_props.rs Cargo.toml
+
+crates/revsearch/tests/search_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

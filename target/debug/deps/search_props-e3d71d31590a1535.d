@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_props-e3d71d31590a1535.d: crates/revsearch/tests/search_props.rs
+
+/root/repo/target/debug/deps/libsearch_props-e3d71d31590a1535.rmeta: crates/revsearch/tests/search_props.rs
+
+crates/revsearch/tests/search_props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-8a4d58ee215a6532.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8a4d58ee215a6532.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8a4d58ee215a6532.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e630c2b9b99cf025.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e630c2b9b99cf025.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ae18352ff88ef51e.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ae18352ff88ef51e.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-59aabde20ec93329.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-59aabde20ec93329.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

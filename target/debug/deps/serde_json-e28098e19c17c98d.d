@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-e28098e19c17c98d.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e28098e19c17c98d.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-e28098e19c17c98d.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/socgraph-42da7b2eb0963e11.d: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsocgraph-42da7b2eb0963e11.rmeta: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs Cargo.toml
+
+crates/socgraph/src/lib.rs:
+crates/socgraph/src/centrality.rs:
+crates/socgraph/src/graph.rs:
+crates/socgraph/src/hindex.rs:
+crates/socgraph/src/pagerank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

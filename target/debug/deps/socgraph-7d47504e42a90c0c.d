@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/socgraph-7d47504e42a90c0c.d: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+/root/repo/target/debug/deps/libsocgraph-7d47504e42a90c0c.rmeta: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+crates/socgraph/src/lib.rs:
+crates/socgraph/src/centrality.rs:
+crates/socgraph/src/graph.rs:
+crates/socgraph/src/hindex.rs:
+crates/socgraph/src/pagerank.rs:

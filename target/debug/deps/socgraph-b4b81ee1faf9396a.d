@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/socgraph-b4b81ee1faf9396a.d: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+/root/repo/target/debug/deps/socgraph-b4b81ee1faf9396a: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+crates/socgraph/src/lib.rs:
+crates/socgraph/src/centrality.rs:
+crates/socgraph/src/graph.rs:
+crates/socgraph/src/hindex.rs:
+crates/socgraph/src/pagerank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/socgraph-cc8d8ce3b79dfb55.d: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+/root/repo/target/debug/deps/libsocgraph-cc8d8ce3b79dfb55.rmeta: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+crates/socgraph/src/lib.rs:
+crates/socgraph/src/centrality.rs:
+crates/socgraph/src/graph.rs:
+crates/socgraph/src/hindex.rs:
+crates/socgraph/src/pagerank.rs:

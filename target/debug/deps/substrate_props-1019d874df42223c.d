@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_props-1019d874df42223c.d: tests/substrate_props.rs
+
+/root/repo/target/debug/deps/libsubstrate_props-1019d874df42223c.rmeta: tests/substrate_props.rs
+
+tests/substrate_props.rs:

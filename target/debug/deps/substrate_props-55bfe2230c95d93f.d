@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_props-55bfe2230c95d93f.d: tests/substrate_props.rs
+
+/root/repo/target/debug/deps/substrate_props-55bfe2230c95d93f: tests/substrate_props.rs
+
+tests/substrate_props.rs:

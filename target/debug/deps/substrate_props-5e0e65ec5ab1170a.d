@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_props-5e0e65ec5ab1170a.d: tests/substrate_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_props-5e0e65ec5ab1170a.rmeta: tests/substrate_props.rs Cargo.toml
+
+tests/substrate_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-e94d8ecf33b6f8fe.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/libsubstrates-e94d8ecf33b6f8fe.rmeta: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

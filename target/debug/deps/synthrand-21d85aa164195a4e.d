@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/synthrand-21d85aa164195a4e.d: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+/root/repo/target/debug/deps/synthrand-21d85aa164195a4e: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+crates/synthrand/src/lib.rs:
+crates/synthrand/src/dist.rs:
+crates/synthrand/src/seed.rs:
+crates/synthrand/src/time.rs:
+crates/synthrand/src/weighted.rs:
+crates/synthrand/src/zipf.rs:

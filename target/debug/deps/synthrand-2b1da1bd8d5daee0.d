@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/synthrand-2b1da1bd8d5daee0.d: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+/root/repo/target/debug/deps/libsynthrand-2b1da1bd8d5daee0.rlib: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+/root/repo/target/debug/deps/libsynthrand-2b1da1bd8d5daee0.rmeta: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+crates/synthrand/src/lib.rs:
+crates/synthrand/src/dist.rs:
+crates/synthrand/src/seed.rs:
+crates/synthrand/src/time.rs:
+crates/synthrand/src/weighted.rs:
+crates/synthrand/src/zipf.rs:

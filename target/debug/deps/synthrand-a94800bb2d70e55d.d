@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/synthrand-a94800bb2d70e55d.d: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+/root/repo/target/debug/deps/libsynthrand-a94800bb2d70e55d.rmeta: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+crates/synthrand/src/lib.rs:
+crates/synthrand/src/dist.rs:
+crates/synthrand/src/seed.rs:
+crates/synthrand/src/time.rs:
+crates/synthrand/src/weighted.rs:
+crates/synthrand/src/zipf.rs:

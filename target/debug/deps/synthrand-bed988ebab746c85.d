@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/synthrand-bed988ebab746c85.d: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+/root/repo/target/debug/deps/libsynthrand-bed988ebab746c85.rmeta: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs
+
+crates/synthrand/src/lib.rs:
+crates/synthrand/src/dist.rs:
+crates/synthrand/src/seed.rs:
+crates/synthrand/src/time.rs:
+crates/synthrand/src/weighted.rs:
+crates/synthrand/src/zipf.rs:

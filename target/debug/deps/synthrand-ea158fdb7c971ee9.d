@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/synthrand-ea158fdb7c971ee9.d: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynthrand-ea158fdb7c971ee9.rmeta: crates/synthrand/src/lib.rs crates/synthrand/src/dist.rs crates/synthrand/src/seed.rs crates/synthrand/src/time.rs crates/synthrand/src/weighted.rs crates/synthrand/src/zipf.rs Cargo.toml
+
+crates/synthrand/src/lib.rs:
+crates/synthrand/src/dist.rs:
+crates/synthrand/src/seed.rs:
+crates/synthrand/src/time.rs:
+crates/synthrand/src/weighted.rs:
+crates/synthrand/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

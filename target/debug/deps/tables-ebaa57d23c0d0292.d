@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-ebaa57d23c0d0292.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/libtables-ebaa57d23c0d0292.rmeta: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

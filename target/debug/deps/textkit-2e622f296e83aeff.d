@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/textkit-2e622f296e83aeff.d: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+/root/repo/target/debug/deps/textkit-2e622f296e83aeff: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/dtm.rs:
+crates/textkit/src/hw.rs:
+crates/textkit/src/lexicon.rs:
+crates/textkit/src/tokenize.rs:
+crates/textkit/src/url.rs:

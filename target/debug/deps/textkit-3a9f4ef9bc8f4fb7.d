@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/textkit-3a9f4ef9bc8f4fb7.d: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+/root/repo/target/debug/deps/libtextkit-3a9f4ef9bc8f4fb7.rmeta: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/dtm.rs:
+crates/textkit/src/hw.rs:
+crates/textkit/src/lexicon.rs:
+crates/textkit/src/tokenize.rs:
+crates/textkit/src/url.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/textkit-ba8683c4b36f0908.d: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtextkit-ba8683c4b36f0908.rmeta: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs Cargo.toml
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/dtm.rs:
+crates/textkit/src/hw.rs:
+crates/textkit/src/lexicon.rs:
+crates/textkit/src/tokenize.rs:
+crates/textkit/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/textkit-d41069e40000a6c0.d: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+/root/repo/target/debug/deps/libtextkit-d41069e40000a6c0.rlib: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+/root/repo/target/debug/deps/libtextkit-d41069e40000a6c0.rmeta: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/dtm.rs:
+crates/textkit/src/hw.rs:
+crates/textkit/src/lexicon.rs:
+crates/textkit/src/tokenize.rs:
+crates/textkit/src/url.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/web_props-8e41b07e7f59ac6f.d: crates/websim/tests/web_props.rs
+
+/root/repo/target/debug/deps/web_props-8e41b07e7f59ac6f: crates/websim/tests/web_props.rs
+
+crates/websim/tests/web_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/web_props-8eb54ed5fc67c871.d: crates/websim/tests/web_props.rs
+
+/root/repo/target/debug/deps/libweb_props-8eb54ed5fc67c871.rmeta: crates/websim/tests/web_props.rs
+
+crates/websim/tests/web_props.rs:

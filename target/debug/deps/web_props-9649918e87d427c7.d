@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/web_props-9649918e87d427c7.d: crates/websim/tests/web_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweb_props-9649918e87d427c7.rmeta: crates/websim/tests/web_props.rs Cargo.toml
+
+crates/websim/tests/web_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

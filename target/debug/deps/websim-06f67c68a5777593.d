@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/websim-06f67c68a5777593.d: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+/root/repo/target/debug/deps/libwebsim-06f67c68a5777593.rmeta: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+crates/websim/src/lib.rs:
+crates/websim/src/domains.rs:
+crates/websim/src/sites.rs:
+crates/websim/src/store.rs:

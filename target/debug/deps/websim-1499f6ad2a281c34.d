@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/websim-1499f6ad2a281c34.d: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+/root/repo/target/debug/deps/websim-1499f6ad2a281c34: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+crates/websim/src/lib.rs:
+crates/websim/src/domains.rs:
+crates/websim/src/sites.rs:
+crates/websim/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/websim-23daa059d9626204.d: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+/root/repo/target/debug/deps/libwebsim-23daa059d9626204.rlib: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+/root/repo/target/debug/deps/libwebsim-23daa059d9626204.rmeta: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+crates/websim/src/lib.rs:
+crates/websim/src/domains.rs:
+crates/websim/src/sites.rs:
+crates/websim/src/store.rs:

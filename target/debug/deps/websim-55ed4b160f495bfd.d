@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/websim-55ed4b160f495bfd.d: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+/root/repo/target/debug/deps/libwebsim-55ed4b160f495bfd.rmeta: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+crates/websim/src/lib.rs:
+crates/websim/src/domains.rs:
+crates/websim/src/sites.rs:
+crates/websim/src/store.rs:

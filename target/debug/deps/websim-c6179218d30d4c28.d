@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/websim-c6179218d30d4c28.d: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebsim-c6179218d30d4c28.rmeta: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs Cargo.toml
+
+crates/websim/src/lib.rs:
+crates/websim/src/domains.rs:
+crates/websim/src/sites.rs:
+crates/websim/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_invariants-4d7be0e21ded0a7b.d: tests/world_invariants.rs
+
+/root/repo/target/debug/deps/libworld_invariants-4d7be0e21ded0a7b.rmeta: tests/world_invariants.rs
+
+tests/world_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_invariants-6119bc81e0c0d6a8.d: tests/world_invariants.rs
+
+/root/repo/target/debug/deps/world_invariants-6119bc81e0c0d6a8: tests/world_invariants.rs
+
+tests/world_invariants.rs:

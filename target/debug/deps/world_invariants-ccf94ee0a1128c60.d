@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/world_invariants-ccf94ee0a1128c60.d: tests/world_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworld_invariants-ccf94ee0a1128c60.rmeta: tests/world_invariants.rs Cargo.toml
+
+tests/world_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/worldgen-1040406f647257d5.d: crates/worldgen/src/lib.rs crates/worldgen/src/actors.rs crates/worldgen/src/config.rs crates/worldgen/src/finance.rs crates/worldgen/src/fx.rs crates/worldgen/src/headings.rs crates/worldgen/src/packs.rs crates/worldgen/src/threads.rs crates/worldgen/src/truth.rs crates/worldgen/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworldgen-1040406f647257d5.rmeta: crates/worldgen/src/lib.rs crates/worldgen/src/actors.rs crates/worldgen/src/config.rs crates/worldgen/src/finance.rs crates/worldgen/src/fx.rs crates/worldgen/src/headings.rs crates/worldgen/src/packs.rs crates/worldgen/src/threads.rs crates/worldgen/src/truth.rs crates/worldgen/src/world.rs Cargo.toml
+
+crates/worldgen/src/lib.rs:
+crates/worldgen/src/actors.rs:
+crates/worldgen/src/config.rs:
+crates/worldgen/src/finance.rs:
+crates/worldgen/src/fx.rs:
+crates/worldgen/src/headings.rs:
+crates/worldgen/src/packs.rs:
+crates/worldgen/src/threads.rs:
+crates/worldgen/src/truth.rs:
+crates/worldgen/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/worldgen-9581b56555371707.d: crates/worldgen/src/lib.rs crates/worldgen/src/actors.rs crates/worldgen/src/config.rs crates/worldgen/src/finance.rs crates/worldgen/src/fx.rs crates/worldgen/src/headings.rs crates/worldgen/src/packs.rs crates/worldgen/src/threads.rs crates/worldgen/src/truth.rs crates/worldgen/src/world.rs
+
+/root/repo/target/debug/deps/libworldgen-9581b56555371707.rmeta: crates/worldgen/src/lib.rs crates/worldgen/src/actors.rs crates/worldgen/src/config.rs crates/worldgen/src/finance.rs crates/worldgen/src/fx.rs crates/worldgen/src/headings.rs crates/worldgen/src/packs.rs crates/worldgen/src/threads.rs crates/worldgen/src/truth.rs crates/worldgen/src/world.rs
+
+crates/worldgen/src/lib.rs:
+crates/worldgen/src/actors.rs:
+crates/worldgen/src/config.rs:
+crates/worldgen/src/finance.rs:
+crates/worldgen/src/fx.rs:
+crates/worldgen/src/headings.rs:
+crates/worldgen/src/packs.rs:
+crates/worldgen/src/threads.rs:
+crates/worldgen/src/truth.rs:
+crates/worldgen/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/actor_analysis-09fde090bb283850.d: examples/actor_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libactor_analysis-09fde090bb283850.rmeta: examples/actor_analysis.rs Cargo.toml
+
+examples/actor_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

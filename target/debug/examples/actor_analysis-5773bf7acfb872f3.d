@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/actor_analysis-5773bf7acfb872f3.d: examples/actor_analysis.rs
+
+/root/repo/target/debug/examples/libactor_analysis-5773bf7acfb872f3.rmeta: examples/actor_analysis.rs
+
+examples/actor_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/actor_analysis-ef17af389ac11c65.d: examples/actor_analysis.rs
+
+/root/repo/target/debug/examples/actor_analysis-ef17af389ac11c65: examples/actor_analysis.rs
+
+examples/actor_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataset_release-26d30e14bfcad0b9.d: examples/dataset_release.rs
+
+/root/repo/target/debug/examples/libdataset_release-26d30e14bfcad0b9.rmeta: examples/dataset_release.rs
+
+examples/dataset_release.rs:

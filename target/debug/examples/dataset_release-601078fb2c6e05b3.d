@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataset_release-601078fb2c6e05b3.d: examples/dataset_release.rs
+
+/root/repo/target/debug/examples/dataset_release-601078fb2c6e05b3: examples/dataset_release.rs
+
+examples/dataset_release.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dataset_release-a254fb0cd4a26e8e.d: examples/dataset_release.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdataset_release-a254fb0cd4a26e8e.rmeta: examples/dataset_release.rs Cargo.toml
+
+examples/dataset_release.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/financial_profits-25109da978be7304.d: examples/financial_profits.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfinancial_profits-25109da978be7304.rmeta: examples/financial_profits.rs Cargo.toml
+
+examples/financial_profits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

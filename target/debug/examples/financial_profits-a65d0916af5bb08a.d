@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/financial_profits-a65d0916af5bb08a.d: examples/financial_profits.rs
+
+/root/repo/target/debug/examples/financial_profits-a65d0916af5bb08a: examples/financial_profits.rs
+
+examples/financial_profits.rs:

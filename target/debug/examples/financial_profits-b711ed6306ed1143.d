@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/financial_profits-b711ed6306ed1143.d: examples/financial_profits.rs
+
+/root/repo/target/debug/examples/libfinancial_profits-b711ed6306ed1143.rmeta: examples/financial_profits.rs
+
+examples/financial_profits.rs:

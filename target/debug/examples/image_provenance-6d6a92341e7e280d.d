@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_provenance-6d6a92341e7e280d.d: examples/image_provenance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_provenance-6d6a92341e7e280d.rmeta: examples/image_provenance.rs Cargo.toml
+
+examples/image_provenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_provenance-af4681a70fd783f6.d: examples/image_provenance.rs
+
+/root/repo/target/debug/examples/image_provenance-af4681a70fd783f6: examples/image_provenance.rs
+
+examples/image_provenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_provenance-d8490577bf2538e5.d: examples/image_provenance.rs
+
+/root/repo/target/debug/examples/libimage_provenance-d8490577bf2538e5.rmeta: examples/image_provenance.rs
+
+examples/image_provenance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intervention-7d1d8410af6f0af5.d: examples/intervention.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintervention-7d1d8410af6f0af5.rmeta: examples/intervention.rs Cargo.toml
+
+examples/intervention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

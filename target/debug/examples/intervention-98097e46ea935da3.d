@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intervention-98097e46ea935da3.d: examples/intervention.rs
+
+/root/repo/target/debug/examples/intervention-98097e46ea935da3: examples/intervention.rs
+
+examples/intervention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intervention-d7b7e8692f81e62c.d: examples/intervention.rs
+
+/root/repo/target/debug/examples/libintervention-d7b7e8692f81e62c.rmeta: examples/intervention.rs
+
+examples/intervention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-076301dee2856ae6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-076301dee2856ae6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-96af7ffe15228b65.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-96af7ffe15228b65.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

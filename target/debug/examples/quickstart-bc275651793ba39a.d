@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-bc275651793ba39a.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-bc275651793ba39a.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/safety_pipeline-0811535440be26b7.d: examples/safety_pipeline.rs
+
+/root/repo/target/debug/examples/libsafety_pipeline-0811535440be26b7.rmeta: examples/safety_pipeline.rs
+
+examples/safety_pipeline.rs:

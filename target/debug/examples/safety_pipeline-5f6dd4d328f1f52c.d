@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/safety_pipeline-5f6dd4d328f1f52c.d: examples/safety_pipeline.rs
+
+/root/repo/target/debug/examples/safety_pipeline-5f6dd4d328f1f52c: examples/safety_pipeline.rs
+
+examples/safety_pipeline.rs:

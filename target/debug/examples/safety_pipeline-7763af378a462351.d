@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/safety_pipeline-7763af378a462351.d: examples/safety_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsafety_pipeline-7763af378a462351.rmeta: examples/safety_pipeline.rs Cargo.toml
+
+examples/safety_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

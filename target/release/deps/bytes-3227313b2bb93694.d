@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-3227313b2bb93694.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-3227313b2bb93694.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-3227313b2bb93694.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/crimebb-bbf5a8b036d30b2f.d: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+/root/repo/target/release/deps/libcrimebb-bbf5a8b036d30b2f.rlib: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+/root/repo/target/release/deps/libcrimebb-bbf5a8b036d30b2f.rmeta: crates/crimebb/src/lib.rs crates/crimebb/src/corpus.rs crates/crimebb/src/export.rs crates/crimebb/src/ids.rs crates/crimebb/src/model.rs crates/crimebb/src/query.rs
+
+crates/crimebb/src/lib.rs:
+crates/crimebb/src/corpus.rs:
+crates/crimebb/src/export.rs:
+crates/crimebb/src/ids.rs:
+crates/crimebb/src/model.rs:
+crates/crimebb/src/query.rs:

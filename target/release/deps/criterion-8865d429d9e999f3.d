@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8865d429d9e999f3.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8865d429d9e999f3.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8865d429d9e999f3.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

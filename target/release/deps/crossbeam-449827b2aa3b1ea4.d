@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-449827b2aa3b1ea4.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-449827b2aa3b1ea4.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-449827b2aa3b1ea4.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ewhoring_bench-dfad4e10ee98c215.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libewhoring_bench-dfad4e10ee98c215.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libewhoring_bench-dfad4e10ee98c215.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,30 @@
+/root/repo/target/release/deps/ewhoring_core-ba7d354eaface7dc.d: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/crawl.rs crates/core/src/extract.rs crates/core/src/features.rs crates/core/src/finance.rs crates/core/src/intervention.rs crates/core/src/nsfv.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/ctx.rs crates/core/src/pipeline/stages/mod.rs crates/core/src/pipeline/stages/actors.rs crates/core/src/pipeline/stages/crawl.rs crates/core/src/pipeline/stages/extract.rs crates/core/src/pipeline/stages/finance.rs crates/core/src/pipeline/stages/measure.rs crates/core/src/pipeline/stages/nsfv.rs crates/core/src/pipeline/stages/provenance.rs crates/core/src/pipeline/stages/safety.rs crates/core/src/pipeline/stages/topcls.rs crates/core/src/provenance.rs crates/core/src/report.rs crates/core/src/safety_stage.rs crates/core/src/topcls.rs
+
+/root/repo/target/release/deps/libewhoring_core-ba7d354eaface7dc.rlib: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/crawl.rs crates/core/src/extract.rs crates/core/src/features.rs crates/core/src/finance.rs crates/core/src/intervention.rs crates/core/src/nsfv.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/ctx.rs crates/core/src/pipeline/stages/mod.rs crates/core/src/pipeline/stages/actors.rs crates/core/src/pipeline/stages/crawl.rs crates/core/src/pipeline/stages/extract.rs crates/core/src/pipeline/stages/finance.rs crates/core/src/pipeline/stages/measure.rs crates/core/src/pipeline/stages/nsfv.rs crates/core/src/pipeline/stages/provenance.rs crates/core/src/pipeline/stages/safety.rs crates/core/src/pipeline/stages/topcls.rs crates/core/src/provenance.rs crates/core/src/report.rs crates/core/src/safety_stage.rs crates/core/src/topcls.rs
+
+/root/repo/target/release/deps/libewhoring_core-ba7d354eaface7dc.rmeta: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/crawl.rs crates/core/src/extract.rs crates/core/src/features.rs crates/core/src/finance.rs crates/core/src/intervention.rs crates/core/src/nsfv.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/ctx.rs crates/core/src/pipeline/stages/mod.rs crates/core/src/pipeline/stages/actors.rs crates/core/src/pipeline/stages/crawl.rs crates/core/src/pipeline/stages/extract.rs crates/core/src/pipeline/stages/finance.rs crates/core/src/pipeline/stages/measure.rs crates/core/src/pipeline/stages/nsfv.rs crates/core/src/pipeline/stages/provenance.rs crates/core/src/pipeline/stages/safety.rs crates/core/src/pipeline/stages/topcls.rs crates/core/src/provenance.rs crates/core/src/report.rs crates/core/src/safety_stage.rs crates/core/src/topcls.rs
+
+crates/core/src/lib.rs:
+crates/core/src/actors.rs:
+crates/core/src/crawl.rs:
+crates/core/src/extract.rs:
+crates/core/src/features.rs:
+crates/core/src/finance.rs:
+crates/core/src/intervention.rs:
+crates/core/src/nsfv.rs:
+crates/core/src/pipeline/mod.rs:
+crates/core/src/pipeline/ctx.rs:
+crates/core/src/pipeline/stages/mod.rs:
+crates/core/src/pipeline/stages/actors.rs:
+crates/core/src/pipeline/stages/crawl.rs:
+crates/core/src/pipeline/stages/extract.rs:
+crates/core/src/pipeline/stages/finance.rs:
+crates/core/src/pipeline/stages/measure.rs:
+crates/core/src/pipeline/stages/nsfv.rs:
+crates/core/src/pipeline/stages/provenance.rs:
+crates/core/src/pipeline/stages/safety.rs:
+crates/core/src/pipeline/stages/topcls.rs:
+crates/core/src/provenance.rs:
+crates/core/src/report.rs:
+crates/core/src/safety_stage.rs:
+crates/core/src/topcls.rs:

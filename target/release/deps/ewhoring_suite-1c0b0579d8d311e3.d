@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ewhoring_suite-1c0b0579d8d311e3.d: src/suite.rs
+
+/root/repo/target/release/deps/libewhoring_suite-1c0b0579d8d311e3.rlib: src/suite.rs
+
+/root/repo/target/release/deps/libewhoring_suite-1c0b0579d8d311e3.rmeta: src/suite.rs
+
+src/suite.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/imagesim-4c9234c73af1a956.d: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs
+
+/root/repo/target/release/deps/libimagesim-4c9234c73af1a956.rlib: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs
+
+/root/repo/target/release/deps/libimagesim-4c9234c73af1a956.rmeta: crates/imagesim/src/lib.rs crates/imagesim/src/bitmap.rs crates/imagesim/src/hash.rs crates/imagesim/src/nsfw.rs crates/imagesim/src/ocr.rs crates/imagesim/src/spec.rs crates/imagesim/src/transform.rs crates/imagesim/src/validation.rs
+
+crates/imagesim/src/lib.rs:
+crates/imagesim/src/bitmap.rs:
+crates/imagesim/src/hash.rs:
+crates/imagesim/src/nsfw.rs:
+crates/imagesim/src/ocr.rs:
+crates/imagesim/src/spec.rs:
+crates/imagesim/src/transform.rs:
+crates/imagesim/src/validation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-d3615d322dec4ab4.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d3615d322dec4ab4.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-d3615d322dec4ab4.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

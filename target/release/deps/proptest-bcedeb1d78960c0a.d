@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-bcedeb1d78960c0a.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bcedeb1d78960c0a.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bcedeb1d78960c0a.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c534e38e6786c3fc.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c534e38e6786c3fc.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c534e38e6786c3fc.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

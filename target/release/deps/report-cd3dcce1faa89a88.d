@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-cd3dcce1faa89a88.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-cd3dcce1faa89a88: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/revsearch-3116bf9111df65c9.d: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+/root/repo/target/release/deps/librevsearch-3116bf9111df65c9.rlib: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+/root/repo/target/release/deps/librevsearch-3116bf9111df65c9.rmeta: crates/revsearch/src/lib.rs crates/revsearch/src/domaincls.rs crates/revsearch/src/index.rs crates/revsearch/src/wayback.rs
+
+crates/revsearch/src/lib.rs:
+crates/revsearch/src/domaincls.rs:
+crates/revsearch/src/index.rs:
+crates/revsearch/src/wayback.rs:

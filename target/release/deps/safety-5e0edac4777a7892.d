@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/safety-5e0edac4777a7892.d: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+/root/repo/target/release/deps/libsafety-5e0edac4777a7892.rlib: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+/root/repo/target/release/deps/libsafety-5e0edac4777a7892.rmeta: crates/safety/src/lib.rs crates/safety/src/gate.rs crates/safety/src/hashlist.rs crates/safety/src/report.rs
+
+crates/safety/src/lib.rs:
+crates/safety/src/gate.rs:
+crates/safety/src/hashlist.rs:
+crates/safety/src/report.rs:

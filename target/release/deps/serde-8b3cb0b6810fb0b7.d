@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8b3cb0b6810fb0b7.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8b3cb0b6810fb0b7.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8b3cb0b6810fb0b7.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

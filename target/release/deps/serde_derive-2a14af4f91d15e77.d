@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2a14af4f91d15e77.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2a14af4f91d15e77.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

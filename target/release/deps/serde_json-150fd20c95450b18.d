@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-150fd20c95450b18.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-150fd20c95450b18.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-150fd20c95450b18.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/socgraph-c2e4c5d0b401ce42.d: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+/root/repo/target/release/deps/libsocgraph-c2e4c5d0b401ce42.rlib: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+/root/repo/target/release/deps/libsocgraph-c2e4c5d0b401ce42.rmeta: crates/socgraph/src/lib.rs crates/socgraph/src/centrality.rs crates/socgraph/src/graph.rs crates/socgraph/src/hindex.rs crates/socgraph/src/pagerank.rs
+
+crates/socgraph/src/lib.rs:
+crates/socgraph/src/centrality.rs:
+crates/socgraph/src/graph.rs:
+crates/socgraph/src/hindex.rs:
+crates/socgraph/src/pagerank.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/textkit-98ec4b31b18faadf.d: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+/root/repo/target/release/deps/libtextkit-98ec4b31b18faadf.rlib: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+/root/repo/target/release/deps/libtextkit-98ec4b31b18faadf.rmeta: crates/textkit/src/lib.rs crates/textkit/src/dtm.rs crates/textkit/src/hw.rs crates/textkit/src/lexicon.rs crates/textkit/src/tokenize.rs crates/textkit/src/url.rs
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/dtm.rs:
+crates/textkit/src/hw.rs:
+crates/textkit/src/lexicon.rs:
+crates/textkit/src/tokenize.rs:
+crates/textkit/src/url.rs:

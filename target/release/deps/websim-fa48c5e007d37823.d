@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/websim-fa48c5e007d37823.d: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+/root/repo/target/release/deps/libwebsim-fa48c5e007d37823.rlib: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+/root/repo/target/release/deps/libwebsim-fa48c5e007d37823.rmeta: crates/websim/src/lib.rs crates/websim/src/domains.rs crates/websim/src/sites.rs crates/websim/src/store.rs
+
+crates/websim/src/lib.rs:
+crates/websim/src/domains.rs:
+crates/websim/src/sites.rs:
+crates/websim/src/store.rs:

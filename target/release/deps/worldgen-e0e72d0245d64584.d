@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/worldgen-e0e72d0245d64584.d: crates/worldgen/src/lib.rs crates/worldgen/src/actors.rs crates/worldgen/src/config.rs crates/worldgen/src/finance.rs crates/worldgen/src/fx.rs crates/worldgen/src/headings.rs crates/worldgen/src/packs.rs crates/worldgen/src/threads.rs crates/worldgen/src/truth.rs crates/worldgen/src/world.rs
+
+/root/repo/target/release/deps/libworldgen-e0e72d0245d64584.rlib: crates/worldgen/src/lib.rs crates/worldgen/src/actors.rs crates/worldgen/src/config.rs crates/worldgen/src/finance.rs crates/worldgen/src/fx.rs crates/worldgen/src/headings.rs crates/worldgen/src/packs.rs crates/worldgen/src/threads.rs crates/worldgen/src/truth.rs crates/worldgen/src/world.rs
+
+/root/repo/target/release/deps/libworldgen-e0e72d0245d64584.rmeta: crates/worldgen/src/lib.rs crates/worldgen/src/actors.rs crates/worldgen/src/config.rs crates/worldgen/src/finance.rs crates/worldgen/src/fx.rs crates/worldgen/src/headings.rs crates/worldgen/src/packs.rs crates/worldgen/src/threads.rs crates/worldgen/src/truth.rs crates/worldgen/src/world.rs
+
+crates/worldgen/src/lib.rs:
+crates/worldgen/src/actors.rs:
+crates/worldgen/src/config.rs:
+crates/worldgen/src/finance.rs:
+crates/worldgen/src/fx.rs:
+crates/worldgen/src/headings.rs:
+crates/worldgen/src/packs.rs:
+crates/worldgen/src/threads.rs:
+crates/worldgen/src/truth.rs:
+crates/worldgen/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-453c00c7f3c6f214.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-453c00c7f3c6f214: examples/quickstart.rs
+
+examples/quickstart.rs:
