@@ -1,8 +1,15 @@
 # Development workflow shortcuts. `make verify` is the full pre-merge
 # gate: formatting, lints-as-errors, release build, and the test suite
 # (the tier-1 check from ROADMAP.md).
+#
+# Everything runs `--offline --locked`: the workspace builds entirely
+# from the vendored `.stubs/` crates (see `[patch.crates-io]` in
+# Cargo.toml), so a registry-resolution regression — a dependency that
+# silently needs the network, or a stale Cargo.lock — fails the gate
+# immediately instead of surfacing on the next offline machine.
 
 CARGO ?= cargo
+OFFLINE = --offline --locked
 
 .PHONY: verify fmt-check clippy build test
 
@@ -12,10 +19,10 @@ fmt-check:
 	$(CARGO) fmt --all -- --check
 
 clippy:
-	$(CARGO) clippy --workspace -- -D warnings
+	$(CARGO) clippy $(OFFLINE) --workspace -- -D warnings
 
 build:
-	$(CARGO) build --release
+	$(CARGO) build $(OFFLINE) --release
 
 test:
-	$(CARGO) test -q
+	$(CARGO) test $(OFFLINE) -q

@@ -1,14 +1,17 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--intervention]
+//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--intervention] [--faults SEVERITY]
 //! ```
 //!
 //! `scale` defaults to 0.3 (≈30% of the paper's corpus — same shapes, a
 //! third of the wall clock); use `1.0` for full paper scale. The text
 //! report prints to stdout; `--json` additionally dumps the raw
 //! `PipelineReport`; `--intervention` appends the §8 countermeasure
-//! simulations (shared hash-blacklist + payment screening).
+//! simulations (shared hash-blacklist + payment screening); `--faults`
+//! enables transient-fault injection in the crawl stage (`1.0` =
+//! calibrated per-site rates; the retry/breaker health counters land in
+//! the crawler-health section next to the stage timings).
 
 use ewhoring_core::pipeline::{Pipeline, PipelineOptions};
 use ewhoring_core::report::full_report;
@@ -21,6 +24,7 @@ fn main() {
     let mut seed = 0xE400_2019u64;
     let mut json_path: Option<String> = None;
     let mut with_intervention = false;
+    let mut fault_severity = 0.0f64;
     let mut positional = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -30,6 +34,14 @@ fn main() {
         }
         if arg == "--intervention" {
             with_intervention = true;
+            continue;
+        }
+        if arg == "--faults" {
+            fault_severity = it
+                .next()
+                .expect("--faults takes a severity")
+                .parse()
+                .expect("fault severity must be a float");
             continue;
         }
         match positional {
@@ -64,6 +76,7 @@ fn main() {
     let t = Instant::now();
     let report = Pipeline::new(PipelineOptions {
         k_key_actors: k,
+        fault_severity,
         ..PipelineOptions::default()
     })
     .run(&world);
@@ -82,6 +95,15 @@ fn main() {
             per_sec
         );
     }
+    let cs = &report.crawl_stats;
+    eprintln!(
+        "  crawl health: {} attempts, {} retries, {} breaker trips, {} unreachable, {:.1} s simulated wait",
+        cs.attempts.total(),
+        cs.retries.total(),
+        cs.breaker_trips,
+        report.crawl.unreachable_links,
+        cs.wait_us.total() as f64 / 1_000_000.0
+    );
 
     println!("=== Measuring eWhoring — reproduction report (scale {scale}, seed {seed:#x}) ===\n");
     println!("{}", full_report(&report));

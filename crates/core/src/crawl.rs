@@ -8,13 +8,24 @@
 //! The crawler is *ethical by construction*: registration-walled content
 //! (Dropbox, Google Drive) is skipped, and nothing is ever posted or paid
 //! to unlock reply-gated packs.
+//!
+//! It is also *resilient by construction*: the paper's crawl ran for
+//! weeks against flaky hosts, so transient failures (timeouts, 429s,
+//! 5xx, truncated archives — injected here by a [`FaultPlan`]) are
+//! retried with exponential backoff and seeded jitter, a per-host
+//! circuit breaker stops hammering hosts that fail consecutively, and a
+//! per-host request budget bounds total traffic. A link that cannot be
+//! fetched is recorded as unreachable — the stage never aborts.
 
 use crimebb::{Corpus, PostId, ThreadId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use synthrand::Day;
 use textkit::url::{extract_urls, Url};
-use websim::{FetchOutcome, SiteCatalog, SiteKind, StoredImage, WebStore};
+use websim::{
+    FaultPlan, FetchAttempt, FetchOutcome, SiteCatalog, SiteKind, StoredImage, TransientFault,
+    WebStore,
+};
 
 /// One link found in a TOP, classified by host kind.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -73,6 +84,111 @@ pub struct CrawlResult {
     pub dead_links: usize,
     /// Links skipped behind registration walls.
     pub registration_blocked: usize,
+    /// Links abandoned after transient failures (retries exhausted,
+    /// breaker open, or host budget spent). Zero with faults disabled.
+    pub unreachable_links: usize,
+}
+
+/// Retry/backoff/breaker knobs for the resilient crawler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt of a link.
+    pub max_retries: u32,
+    /// First-retry backoff, µs; doubles per retry.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling, µs (jitter included).
+    pub max_backoff_us: u64,
+    /// Consecutive transient failures on one host that trip its breaker;
+    /// a tripped breaker stays open for the rest of the crawl and every
+    /// later link on that host is recorded unreachable without a fetch.
+    pub breaker_threshold: u32,
+    /// Maximum fetch attempts (including retries) per host.
+    pub per_host_budget: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_us: 50_000,
+            max_backoff_us: 1_600_000,
+            breaker_threshold: 6,
+            per_host_budget: 100_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based) of `url`:
+    /// exponential in the retry count, capped, plus seeded jitter of up
+    /// to half the base — deterministic in the plan seed.
+    fn backoff_us(&self, plan: &FaultPlan, url: &Url, retry: u32) -> u64 {
+        let exp = self
+            .base_backoff_us
+            .saturating_mul(1u64 << (retry - 1).min(20))
+            .min(self.max_backoff_us);
+        let jitter = plan.backoff_jitter_us(url, retry, self.base_backoff_us / 2);
+        (exp + jitter).min(self.max_backoff_us)
+    }
+}
+
+/// Tally split by hosting-site kind (Tables 3/4 split).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindTally {
+    /// Image-sharing hosts.
+    pub image_sharing: u64,
+    /// Cloud-storage hosts.
+    pub cloud_storage: u64,
+}
+
+impl KindTally {
+    fn slot(&mut self, kind: SiteKind) -> &mut u64 {
+        match kind {
+            SiteKind::ImageSharing => &mut self.image_sharing,
+            SiteKind::CloudStorage => &mut self.cloud_storage,
+        }
+    }
+
+    /// Sum over both kinds.
+    pub fn total(&self) -> u64 {
+        self.image_sharing + self.cloud_storage
+    }
+}
+
+/// Crawler health counters: how much work the resilience layer did.
+/// All-zero (except `attempts`) when faults are disabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// Fetch attempts issued, including retries, per site kind.
+    pub attempts: KindTally,
+    /// Re-attempts after a transient fault, per site kind.
+    pub retries: KindTally,
+    /// Injected timeouts observed.
+    pub timeouts: u64,
+    /// Injected 429 rate limits observed.
+    pub rate_limited: u64,
+    /// Injected 5xx server errors observed.
+    pub server_errors: u64,
+    /// Truncated pack archives observed (re-downloaded on retry).
+    pub truncated_archives: u64,
+    /// Circuit-breaker trip events (at most one per host).
+    pub breaker_trips: u64,
+    /// Links skipped because their host's breaker was already open.
+    pub breaker_skipped: usize,
+    /// Links abandoned because the per-host budget ran out.
+    pub budget_exhausted: usize,
+    /// Links that used every retry and still failed.
+    pub retries_exhausted: usize,
+    /// Simulated wait, µs (service latency + backoff), per site kind.
+    pub wait_us: KindTally,
+}
+
+/// Per-host crawl state: breaker and budget accounting.
+#[derive(Debug, Default)]
+struct HostState {
+    consecutive_failures: u32,
+    tripped: bool,
+    attempts_used: u64,
 }
 
 /// Builds the hosting whitelist by snowball sampling: start from the seed
@@ -159,55 +275,158 @@ pub fn extract_links(
 }
 
 /// Fetches every link, producing downloads and mortality statistics.
+/// Equivalent to [`crawl_links_with_faults`] with faults disabled.
 pub fn crawl_links(catalog: &SiteCatalog, web: &WebStore, links: Vec<FoundLink>) -> CrawlResult {
+    crawl_links_with_faults(
+        catalog,
+        web,
+        links,
+        &FaultPlan::disabled(),
+        &RetryPolicy::default(),
+    )
+    .0
+}
+
+/// Fetches every link through the fault plan, retrying transient
+/// failures per `policy`. Permanent outcomes (404, registration wall)
+/// are never retried; transient faults back off exponentially with
+/// seeded jitter; hosts that fail `breaker_threshold` times in a row
+/// trip their breaker and every later link on them is recorded as
+/// unreachable — the crawl itself always completes.
+pub fn crawl_links_with_faults(
+    catalog: &SiteCatalog,
+    web: &WebStore,
+    links: Vec<FoundLink>,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (CrawlResult, CrawlStats) {
     let mut result = CrawlResult::default();
+    let mut stats = CrawlStats::default();
+    let mut hosts: HashMap<String, HostState> = HashMap::new();
     for link in links {
         // Tally under the catalogue's canonical name so subdomain-hosted
-        // services (drive.google.com) group correctly.
+        // services (drive.google.com) group correctly. Tables 3/4 count
+        // *observed* links, so the tally happens before any fetch.
         let domain = catalog
             .lookup(&link.url.domain())
             .map_or_else(|| link.url.domain(), |s| s.domain.to_string());
         match link.kind {
             SiteKind::ImageSharing => {
-                *result.image_links_by_site.entry(domain).or_insert(0) += 1;
+                *result
+                    .image_links_by_site
+                    .entry(domain.clone())
+                    .or_insert(0) += 1;
             }
             SiteKind::CloudStorage => {
-                *result.cloud_links_by_site.entry(domain).or_insert(0) += 1;
+                *result
+                    .cloud_links_by_site
+                    .entry(domain.clone())
+                    .or_insert(0) += 1;
             }
         }
-        match web.fetch(catalog, &link.url) {
-            FetchOutcome::Image(image) => result.previews.push(Download {
-                image,
-                link,
-                is_banner: false,
-            }),
-            FetchOutcome::RemovalBanner(image) => result.previews.push(Download {
-                image,
-                link,
-                is_banner: true,
-            }),
-            FetchOutcome::Pack(images) => result.packs.push(PackDownload { images, link }),
-            FetchOutcome::NotFound => result.dead_links += 1,
-            FetchOutcome::RegistrationRequired => result.registration_blocked += 1,
+        let host = hosts.entry(domain).or_default();
+        if host.tripped {
+            stats.breaker_skipped += 1;
+            result.unreachable_links += 1;
+            continue;
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            if host.attempts_used >= policy.per_host_budget {
+                stats.budget_exhausted += 1;
+                result.unreachable_links += 1;
+                break;
+            }
+            host.attempts_used += 1;
+            *stats.attempts.slot(link.kind) += 1;
+            *stats.wait_us.slot(link.kind) += plan.latency_us(catalog, &link.url, attempt);
+            match plan.fetch(web, catalog, &link.url, attempt) {
+                FetchAttempt::Delivered(outcome) => {
+                    host.consecutive_failures = 0;
+                    match outcome {
+                        FetchOutcome::Image(image) => result.previews.push(Download {
+                            image,
+                            link,
+                            is_banner: false,
+                        }),
+                        FetchOutcome::RemovalBanner(image) => result.previews.push(Download {
+                            image,
+                            link,
+                            is_banner: true,
+                        }),
+                        FetchOutcome::Pack(images) => {
+                            result.packs.push(PackDownload { images, link })
+                        }
+                        FetchOutcome::NotFound => result.dead_links += 1,
+                        FetchOutcome::RegistrationRequired => result.registration_blocked += 1,
+                    }
+                    break;
+                }
+                FetchAttempt::Fault(fault) => {
+                    match fault {
+                        TransientFault::Timeout => stats.timeouts += 1,
+                        TransientFault::RateLimited => stats.rate_limited += 1,
+                        TransientFault::ServerError => stats.server_errors += 1,
+                        TransientFault::TruncatedArchive => stats.truncated_archives += 1,
+                    }
+                    host.consecutive_failures += 1;
+                    if host.consecutive_failures >= policy.breaker_threshold {
+                        host.tripped = true;
+                        stats.breaker_trips += 1;
+                        result.unreachable_links += 1;
+                        break;
+                    }
+                    if attempt >= policy.max_retries {
+                        stats.retries_exhausted += 1;
+                        result.unreachable_links += 1;
+                        break;
+                    }
+                    attempt += 1;
+                    *stats.retries.slot(link.kind) += 1;
+                    *stats.wait_us.slot(link.kind) += policy.backoff_us(plan, &link.url, attempt);
+                }
+            }
         }
     }
-    result
+    (result, stats)
 }
 
-/// Runs the full stage: snowball → extract → crawl.
+/// Runs the full stage: snowball → extract → crawl (faults disabled).
 pub fn crawl_tops(
     corpus: &Corpus,
     catalog: &SiteCatalog,
     web: &WebStore,
     tops: &[ThreadId],
 ) -> CrawlResult {
+    crawl_tops_with_faults(
+        corpus,
+        catalog,
+        web,
+        tops,
+        &FaultPlan::disabled(),
+        &RetryPolicy::default(),
+    )
+    .0
+}
+
+/// Runs the full stage through a fault plan: snowball → extract →
+/// resilient crawl, returning the result plus the crawler's health
+/// counters.
+pub fn crawl_tops_with_faults(
+    corpus: &Corpus,
+    catalog: &SiteCatalog,
+    web: &WebStore,
+    tops: &[ThreadId],
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (CrawlResult, CrawlStats) {
     let whitelist = snowball_whitelist(corpus, catalog, tops);
     let (links, linked_tops) = extract_links(corpus, catalog, &whitelist, tops);
-    let mut result = crawl_links(catalog, web, links);
+    let (mut result, stats) = crawl_links_with_faults(catalog, web, links, plan, policy);
     result.whitelist = whitelist;
     result.linked_tops = linked_tops;
     result.total_tops = tops.len();
-    result
+    (result, stats)
 }
 
 #[cfg(test)]
@@ -317,5 +536,157 @@ mod tests {
         let r = crawl_tops(&w.corpus, &w.catalog, &w.web, &[]);
         assert!(r.previews.is_empty());
         assert_eq!(r.total_tops, 0);
+    }
+
+    fn sorted_tops() -> (World, Vec<ThreadId>) {
+        let (w, mut tops) = world_and_tops();
+        tops.sort_unstable();
+        (w, tops)
+    }
+
+    #[test]
+    fn faults_disabled_matches_plain_crawl_byte_for_byte() {
+        let (w, tops) = sorted_tops();
+        let plain = crawl_tops(&w.corpus, &w.catalog, &w.web, &tops);
+        let (faulted, stats) = crawl_tops_with_faults(
+            &w.corpus,
+            &w.catalog,
+            &w.web,
+            &tops,
+            &FaultPlan::disabled(),
+            &RetryPolicy::default(),
+        );
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&faulted).unwrap()
+        );
+        // The resilience layer did no extra work.
+        assert_eq!(stats.retries, KindTally::default());
+        assert_eq!(stats.wait_us, KindTally::default());
+        assert_eq!(stats.breaker_trips, 0);
+        assert_eq!(faulted.unreachable_links, 0);
+        // One attempt per observed link, no more.
+        let links: usize = faulted.image_links_by_site.values().sum::<usize>()
+            + faulted.cloud_links_by_site.values().sum::<usize>();
+        assert_eq!(stats.attempts.total(), links as u64);
+    }
+
+    #[test]
+    fn calibrated_faults_retry_and_still_download() {
+        let (w, tops) = sorted_tops();
+        let plan = FaultPlan::new(0xFA17);
+        let policy = RetryPolicy::default();
+        let (r, stats) =
+            crawl_tops_with_faults(&w.corpus, &w.catalog, &w.web, &tops, &plan, &policy);
+        assert!(stats.retries.total() > 0, "no retries at calibrated rates");
+        assert!(
+            stats.attempts.total() > stats.retries.total(),
+            "attempts include first tries"
+        );
+        assert!(stats.wait_us.total() > 0, "waits were simulated");
+        assert!(!r.previews.is_empty(), "faults must not kill the crawl");
+        assert!(!r.packs.is_empty());
+        let faults =
+            stats.timeouts + stats.rate_limited + stats.server_errors + stats.truncated_archives;
+        assert!(
+            faults >= stats.retries.total(),
+            "every retry follows a fault"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_plan_reproduces_result_and_stats() {
+        let (w, tops) = sorted_tops();
+        let run = || {
+            crawl_tops_with_faults(
+                &w.corpus,
+                &w.catalog,
+                &w.web,
+                &tops,
+                &FaultPlan::new(0xD15EA5E),
+                &RetryPolicy::default(),
+            )
+        };
+        let (ra, sa) = run();
+        let (rb, sb) = run();
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap()
+        );
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn total_outage_trips_breakers_and_degrades_gracefully() {
+        let (w, tops) = sorted_tops();
+        let plan = FaultPlan::with_severity(0xBAD, 1e9);
+        let (r, stats) = crawl_tops_with_faults(
+            &w.corpus,
+            &w.catalog,
+            &w.web,
+            &tops,
+            &plan,
+            &RetryPolicy::default(),
+        );
+        assert!(r.previews.is_empty(), "nothing downloadable in an outage");
+        assert!(r.packs.is_empty());
+        assert!(stats.breaker_trips > 0, "breakers trip on dead hosts");
+        assert!(stats.breaker_skipped > 0, "open breakers skip later links");
+        assert!(r.unreachable_links > 0);
+        // Defunct hosts still answer permanently (404), so some links die
+        // the old way even in a total outage.
+        assert!(r.dead_links > 0);
+        // Link tallies are unaffected: Tables 3/4 count observed links.
+        assert!(r.image_links_by_site.values().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn per_host_budget_bounds_traffic() {
+        let (w, tops) = sorted_tops();
+        let policy = RetryPolicy {
+            per_host_budget: 5,
+            ..RetryPolicy::default()
+        };
+        let (r, stats) = crawl_tops_with_faults(
+            &w.corpus,
+            &w.catalog,
+            &w.web,
+            &tops,
+            &FaultPlan::disabled(),
+            &policy,
+        );
+        assert!(stats.budget_exhausted > 0, "tiny budgets run out");
+        assert_eq!(
+            stats.budget_exhausted, r.unreachable_links,
+            "with faults disabled every unreachable link is budget-bound"
+        );
+        let hosts = r.image_links_by_site.len() + r.cloud_links_by_site.len();
+        assert!(
+            stats.attempts.total() <= 5 * hosts as u64,
+            "attempts bounded by per-host budget"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy::default();
+        let plan = FaultPlan::new(1);
+        let url = Url::new("imgur.com", "/x");
+        let floor = |retry| {
+            policy
+                .base_backoff_us
+                .saturating_mul(1u64 << (retry - 1))
+                .min(policy.max_backoff_us)
+        };
+        for retry in 1..=12u32 {
+            let b = policy.backoff_us(&plan, &url, retry);
+            assert!(b >= floor(retry).min(policy.max_backoff_us));
+            assert!(b <= policy.max_backoff_us);
+            assert_eq!(b, policy.backoff_us(&plan, &url, retry), "deterministic");
+        }
+        assert!(
+            policy.backoff_us(&plan, &url, 6) >= policy.backoff_us(&plan, &url, 1),
+            "later retries wait at least as long as the first"
+        );
     }
 }

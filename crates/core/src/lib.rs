@@ -47,4 +47,5 @@ pub mod report;
 pub mod safety_stage;
 pub mod topcls;
 
+pub use crawl::{CrawlStats, KindTally, RetryPolicy};
 pub use pipeline::{Pipeline, PipelineReport, StageTiming};

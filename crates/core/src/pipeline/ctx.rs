@@ -7,7 +7,7 @@
 
 use super::{ForumRow, ImageFunnel, PipelineOptions, PipelineReport, SafetyFindings, StageTiming};
 use crate::actors::{CohortRow, GroupProfile, InterestEvolution, KeyActors};
-use crate::crawl::CrawlResult;
+use crate::crawl::{CrawlResult, CrawlStats};
 use crate::extract::EwhoringSet;
 use crate::finance::{CurrencyExchangeAnalysis, EarningsAnalysis, EarningsHarvest};
 use crate::nsfv::{ImageMeasures, NsfvValidation};
@@ -222,6 +222,9 @@ pub struct StageCtx<'w> {
     pub forums: Option<Vec<ForumRow>>,
     /// Stage `crawl`: crawler output (§4.2).
     pub crawl: Option<CrawlResult>,
+    /// Stage `crawl`: crawler health counters (retries, breaker trips,
+    /// simulated waits per site kind).
+    pub crawl_stats: Option<CrawlStats>,
     /// Stage `measure_images`: per-image measures keyed by [`ImageRef`].
     pub measures: Option<MeasuredImages>,
     /// Stage `safety`: the hash-matching gate (kept for finance's proof
@@ -283,6 +286,8 @@ artifact_accessors! {
     forums: Vec<ForumRow>,
     /// Crawl output, or an error if `crawl` has not run.
     crawl: CrawlResult,
+    /// Crawler health counters, or an error if `crawl` has not run.
+    crawl_stats: CrawlStats,
     /// Image measures, or an error if `measure_images` has not run.
     measures: MeasuredImages,
     /// The safety gate, or an error if `safety` has not run.
@@ -333,6 +338,7 @@ impl<'w> StageCtx<'w> {
             topcls: None,
             forums: None,
             crawl: None,
+            crawl_stats: None,
             measures: None,
             gate: None,
             flagged: None,
@@ -382,6 +388,7 @@ impl<'w> StageCtx<'w> {
             forums: take!(forums),
             topcls: take!(topcls),
             crawl: take!(crawl),
+            crawl_stats: take!(crawl_stats),
             funnel: take!(funnel),
             safety: take!(safety),
             nsfv_validation: take!(nsfv_validation),

@@ -33,7 +33,7 @@ pub use ctx::{
 pub use stages::measure::measure_batch;
 
 use crate::actors::{CohortRow, GroupProfile, InterestEvolution, KeyActors};
-use crate::crawl::CrawlResult;
+use crate::crawl::{CrawlResult, CrawlStats};
 use crate::finance::{CurrencyExchangeAnalysis, EarningsAnalysis, EarningsHarvest};
 use crate::nsfv::NsfvValidation;
 use crate::provenance::ProvenanceResult;
@@ -52,6 +52,12 @@ pub struct PipelineOptions {
     pub k_key_actors: usize,
     /// Worker threads for image measurement (0 = all cores).
     pub workers: usize,
+    /// Transient-fault severity for the crawl stage: `0.0` (default)
+    /// disables injection — output is then byte-identical to the
+    /// pre-fault pipeline — `1.0` injects at the calibrated per-site
+    /// rates, and large values simulate a total outage. The fault plan's
+    /// seed derives from `seed`, so runs stay reproducible.
+    pub fault_severity: f64,
 }
 
 impl Default for PipelineOptions {
@@ -60,6 +66,7 @@ impl Default for PipelineOptions {
             seed: 0x1919,
             k_key_actors: 50,
             workers: 0,
+            fault_severity: 0.0,
         }
     }
 }
@@ -130,6 +137,9 @@ pub struct PipelineReport {
     pub topcls: TopClassification,
     /// §4.2 crawl output (Tables 3/4 live in the tallies).
     pub crawl: CrawlResult,
+    /// §4.2 crawler health: attempts, retries, breaker trips, simulated
+    /// waits. Deterministic in the seed (unlike `timings`).
+    pub crawl_stats: CrawlStats,
     /// §4.2/§4.4 funnel.
     pub funnel: ImageFunnel,
     /// §4.3 safety results.

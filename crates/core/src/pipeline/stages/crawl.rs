@@ -1,10 +1,22 @@
 //! Stage `crawl`: follow TOP links to previews and packs (paper §4.2).
+//!
+//! Fetches go through a [`FaultPlan`] seeded from the pipeline seed, so
+//! transient failures (timeouts, 429s, 5xx, truncated archives) are
+//! injected deterministically at `PipelineOptions::fault_severity` and
+//! survived by the resilient crawler (retry + backoff + per-host circuit
+//! breaker). The stage emits both the crawl result and a [`CrawlStats`]
+//! health artifact; at severity `0.0` the plan is inert and the result is
+//! byte-identical to the pre-fault pipeline.
+//!
+//! [`CrawlStats`]: crate::crawl::CrawlStats
 
-use crate::crawl::crawl_tops;
+use crate::crawl::{crawl_tops_with_faults, RetryPolicy};
 use crate::pipeline::ctx::require;
 use crate::pipeline::{Stage, StageCtx, StageError};
+use synthrand::SeedFactory;
+use websim::FaultPlan;
 
-/// Produces `crawl`.
+/// Produces `crawl` and `crawl_stats`.
 pub struct CrawlStage;
 
 impl Stage for CrawlStage {
@@ -15,9 +27,23 @@ impl Stage for CrawlStage {
     fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
         let world = ctx.world;
         let detected = &require(&ctx.topcls, "topcls")?.detected;
-        let crawl = crawl_tops(&world.corpus, &world.catalog, &world.web, detected);
+        // A sub-seed keeps the fault stream independent of the classifier
+        // stage's draws from `ctx.rng`.
+        let plan = FaultPlan::with_severity(
+            SeedFactory::new(ctx.options.seed).seed_for("crawl/faults"),
+            ctx.options.fault_severity,
+        );
+        let (crawl, stats) = crawl_tops_with_faults(
+            &world.corpus,
+            &world.catalog,
+            &world.web,
+            detected,
+            &plan,
+            &RetryPolicy::default(),
+        );
         ctx.note_items(detected.len());
         ctx.crawl = Some(crawl);
+        ctx.crawl_stats = Some(stats);
         Ok(())
     }
 }

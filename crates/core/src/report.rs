@@ -230,6 +230,40 @@ pub fn tables3_4(report: &PipelineReport) -> String {
     )
 }
 
+/// §4.2 crawler health: what the resilience layer did (attempts,
+/// retries, breaker trips, simulated waits per site kind). All zeros
+/// except attempts when fault injection is disabled.
+pub fn crawl_health(report: &PipelineReport) -> String {
+    let s = &report.crawl_stats;
+    let mut out = String::from("§4.2: crawler health (fault injection + retry layer)\n");
+    let _ = writeln!(
+        out,
+        "  attempts: {} (image {} / cloud {}), retries: {}",
+        s.attempts.total(),
+        s.attempts.image_sharing,
+        s.attempts.cloud_storage,
+        s.retries.total()
+    );
+    let _ = writeln!(
+        out,
+        "  transient faults: {} timeouts, {} rate-limited, {} server errors, {} truncated archives",
+        s.timeouts, s.rate_limited, s.server_errors, s.truncated_archives
+    );
+    let _ = writeln!(
+        out,
+        "  breaker trips: {} (links skipped while open: {}); budget-exhausted: {}; retries exhausted: {}",
+        s.breaker_trips, s.breaker_skipped, s.budget_exhausted, s.retries_exhausted
+    );
+    let _ = writeln!(
+        out,
+        "  unreachable links: {}; simulated wait: {:.1} s image-sharing, {:.1} s cloud-storage",
+        report.crawl.unreachable_links,
+        s.wait_us.image_sharing as f64 / 1_000_000.0,
+        s.wait_us.cloud_storage as f64 / 1_000_000.0
+    );
+    out
+}
+
 /// §4.2/§4.4 funnel summary.
 pub fn funnel(report: &PipelineReport) -> String {
     let fu = &report.funnel;
@@ -581,6 +615,7 @@ pub fn full_report(report: &PipelineReport) -> String {
         table2(),
         section41(report),
         tables3_4(report),
+        crawl_health(report),
         funnel(report),
         section43(report),
         table5(report),
@@ -660,6 +695,8 @@ mod tests {
             "§4.1",
             "Table 3",
             "Table 4",
+            "crawler health",
+            "breaker trips",
             "§4.3",
             "Table 5",
             "Table 6",

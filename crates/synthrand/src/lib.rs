@@ -29,7 +29,7 @@ pub mod weighted;
 pub mod zipf;
 
 pub use dist::{Exponential, LogNormal, Pareto, Poisson};
-pub use seed::SeedFactory;
+pub use seed::{splitmix64, SeedFactory};
 pub use time::Day;
 pub use weighted::WeightedIndex;
 pub use zipf::Zipf;

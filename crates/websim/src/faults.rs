@@ -1,0 +1,408 @@
+//! Deterministic transient-fault injection over [`WebStore::fetch`].
+//!
+//! The paper's crawler (§4.2) runs against a hostile substrate: hosts
+//! throttle crawlers, time out, serve 5xx under load, and cut pack
+//! downloads off mid-stream. Those failures are *transient* — a retry can
+//! succeed — unlike the permanent outcomes modelled by
+//! [`FetchOutcome`] (rotted links, defunct sites, registration walls).
+//!
+//! A [`FaultPlan`] wraps the store: each fetch *attempt* either surfaces a
+//! [`TransientFault`] or delivers the store's permanent outcome. Fault
+//! decisions are pure functions of `(plan seed, url, attempt)` — no
+//! internal state — so a crawl is byte-deterministic in the seed
+//! regardless of the order links are visited in, and attempt `k + 1` for
+//! a URL draws independently of attempt `k` (retries can succeed).
+//!
+//! Per-site fault rates derive from each [`Site`]'s behaviour profile
+//! ([`FaultProfile::for_site`]): flaky hosts (high link rot) time out
+//! more, popular hosts rate-limit crawlers, moderation-heavy hosts serve
+//! more 5xx, and only cloud-storage archives can arrive truncated.
+//! Latency is simulated (recorded, never slept) so tests stay fast.
+
+use crate::sites::{Site, SiteCatalog, SiteKind};
+use crate::store::{FetchOutcome, WebStore};
+use serde::{Deserialize, Serialize};
+use synthrand::splitmix64;
+use textkit::Url;
+
+/// A transient, retryable failure injected in front of a fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransientFault {
+    /// The request timed out before any bytes arrived.
+    Timeout,
+    /// HTTP 429: the host is throttling the crawler.
+    RateLimited,
+    /// HTTP 5xx: the host fell over under load.
+    ServerError,
+    /// A pack archive cut off mid-download (length/checksum mismatch).
+    TruncatedArchive,
+}
+
+/// One fetch attempt: a transient fault, or the store's permanent answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchAttempt {
+    /// The host responded; this is the store's permanent outcome.
+    Delivered(FetchOutcome),
+    /// The attempt failed transiently; a retry may succeed.
+    Fault(TransientFault),
+}
+
+/// Per-site transient-failure rates and simulated latency, derived from
+/// the site's behaviour profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability an attempt times out.
+    pub timeout: f64,
+    /// Probability an attempt is rate-limited (HTTP 429).
+    pub rate_limit: f64,
+    /// Probability an attempt hits a server error (HTTP 5xx).
+    pub server_error: f64,
+    /// Probability a pack archive arrives truncated (cloud storage only).
+    pub truncated_archive: f64,
+    /// Mean service latency per attempt, µs (simulated, never slept).
+    pub base_latency_us: u64,
+    /// Uniform jitter added on top of the base latency, µs.
+    pub jitter_latency_us: u64,
+}
+
+impl FaultProfile {
+    /// Rates for an unknown host (not in the catalogue).
+    pub fn unknown_host() -> FaultProfile {
+        FaultProfile {
+            timeout: 0.05,
+            rate_limit: 0.02,
+            server_error: 0.03,
+            truncated_archive: 0.0,
+            base_latency_us: 80_000,
+            jitter_latency_us: 40_000,
+        }
+    }
+
+    /// Derives the profile from a site's behaviour attributes:
+    ///
+    /// * link rot correlates with flaky hosting → more timeouts;
+    /// * popular hosts (Tables 3/4 weight ≥ 500) throttle crawlers;
+    /// * heavy ToS moderation correlates with load → more 5xx;
+    /// * only cloud-storage archives can arrive truncated;
+    /// * defunct sites fail *permanently* (the store 404s them), so they
+    ///   draw no transient faults — retrying a dead site is pointless.
+    pub fn for_site(site: Option<&Site>) -> FaultProfile {
+        let Some(site) = site else {
+            return FaultProfile::unknown_host();
+        };
+        if site.defunct {
+            return FaultProfile {
+                timeout: 0.0,
+                rate_limit: 0.0,
+                server_error: 0.0,
+                truncated_archive: 0.0,
+                base_latency_us: 5_000,
+                jitter_latency_us: 0,
+            };
+        }
+        let (base_latency_us, truncated_archive) = match site.kind {
+            SiteKind::ImageSharing => (60_000, 0.0),
+            // Archives are orders of magnitude larger: slower, and the
+            // long transfer can be cut off mid-stream.
+            SiteKind::CloudStorage => (250_000, 0.05),
+        };
+        FaultProfile {
+            timeout: 0.02 + 0.10 * site.link_rot,
+            rate_limit: if site.weight >= 500 { 0.06 } else { 0.02 },
+            server_error: 0.02 + 0.08 * site.tos_removal,
+            truncated_archive,
+            base_latency_us,
+            jitter_latency_us: base_latency_us / 2,
+        }
+    }
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// `severity` scales every per-site fault rate: `0.0` disables injection
+/// entirely (every fetch delivers the store's outcome with zero simulated
+/// latency — byte-identical to calling [`WebStore::fetch`] directly),
+/// `1.0` is the calibrated rate, and large values force a total outage of
+/// every non-defunct host (useful for degradation tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    severity: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything and simulates zero latency.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            severity: 0.0,
+        }
+    }
+
+    /// A plan at calibrated severity `1.0`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan::with_severity(seed, 1.0)
+    }
+
+    /// A plan with an explicit severity multiplier (clamped to `>= 0`).
+    pub fn with_severity(seed: u64, severity: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            severity: severity.max(0.0),
+        }
+    }
+
+    /// True when the plan can inject faults or latency at all.
+    pub fn is_enabled(&self) -> bool {
+        self.severity > 0.0
+    }
+
+    /// The severity multiplier.
+    pub fn severity(&self) -> f64 {
+        self.severity
+    }
+
+    /// Deterministic 64-bit draw for `(url, attempt, salt)`.
+    fn draw(&self, url: &Url, attempt: u32, salt: u64) -> u64 {
+        let mut state = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut acc = splitmix64(&mut state);
+        for b in url.host.bytes().chain([b'/']).chain(url.path.bytes()) {
+            state ^= u64::from(b).wrapping_mul(0x0100_0000_01B3);
+            acc ^= splitmix64(&mut state);
+        }
+        state ^= u64::from(attempt).rotate_left(17);
+        acc ^ splitmix64(&mut state)
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for `(url, attempt)`.
+    fn unit(&self, url: &Url, attempt: u32) -> f64 {
+        (self.draw(url, attempt, 0xFA01) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Simulated service latency of one attempt, µs. Zero when disabled.
+    pub fn latency_us(&self, catalog: &SiteCatalog, url: &Url, attempt: u32) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let profile = FaultProfile::for_site(catalog.lookup(&url.domain()));
+        let jitter = match profile.jitter_latency_us {
+            0 => 0,
+            j => self.draw(url, attempt, 0x1A7E) % j,
+        };
+        profile.base_latency_us + jitter
+    }
+
+    /// Deterministic backoff jitter in `[0, cap_us]` for a retry of `url`.
+    pub fn backoff_jitter_us(&self, url: &Url, attempt: u32, cap_us: u64) -> u64 {
+        if cap_us == 0 {
+            return 0;
+        }
+        self.draw(url, attempt, 0xB0FF) % (cap_us + 1)
+    }
+
+    /// One fetch attempt against `web`: either an injected transient
+    /// fault, or the store's permanent [`FetchOutcome`].
+    pub fn fetch(
+        &self,
+        web: &WebStore,
+        catalog: &SiteCatalog,
+        url: &Url,
+        attempt: u32,
+    ) -> FetchAttempt {
+        if self.is_enabled() {
+            let profile = FaultProfile::for_site(catalog.lookup(&url.domain()));
+            let u = self.unit(url, attempt);
+            let mut cum = 0.0;
+            for (rate, fault) in [
+                (profile.timeout, TransientFault::Timeout),
+                (profile.rate_limit, TransientFault::RateLimited),
+                (profile.server_error, TransientFault::ServerError),
+                (profile.truncated_archive, TransientFault::TruncatedArchive),
+            ] {
+                cum += rate * self.severity;
+                if u < cum.min(1.0) {
+                    return FetchAttempt::Fault(fault);
+                }
+            }
+        }
+        FetchAttempt::Delivered(web.fetch(catalog, url))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{HostedObject, LinkState, StoredImage};
+    use imagesim::{ImageClass, ImageSpec};
+    use synthrand::Day;
+
+    fn image(variant: u64) -> StoredImage {
+        StoredImage::pristine(ImageSpec::model_photo(ImageClass::ModelNude, 3, variant))
+    }
+
+    fn store_with(url: &Url) -> WebStore {
+        let mut store = WebStore::new();
+        store.host(
+            url.clone(),
+            HostedObject::Image(image(1)),
+            Day::from_ymd(2015, 5, 5),
+            LinkState::Live,
+        );
+        store
+    }
+
+    #[test]
+    fn disabled_plan_is_transparent() {
+        let catalog = SiteCatalog::new();
+        let url = Url::new("imgur.com", "/abc");
+        let store = store_with(&url);
+        let plan = FaultPlan::disabled();
+        for attempt in 0..50 {
+            assert_eq!(
+                plan.fetch(&store, &catalog, &url, attempt),
+                FetchAttempt::Delivered(store.fetch(&catalog, &url))
+            );
+            assert_eq!(plan.latency_us(&catalog, &url, attempt), 0);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_url_and_attempt() {
+        let catalog = SiteCatalog::new();
+        let url = Url::new("imgur.com", "/abc");
+        let store = store_with(&url);
+        let a = FaultPlan::new(7);
+        let b = FaultPlan::new(7);
+        for attempt in 0..200 {
+            assert_eq!(
+                a.fetch(&store, &catalog, &url, attempt),
+                b.fetch(&store, &catalog, &url, attempt)
+            );
+            assert_eq!(
+                a.latency_us(&catalog, &url, attempt),
+                b.latency_us(&catalog, &url, attempt)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_fault_differently() {
+        let catalog = SiteCatalog::new();
+        let store = WebStore::new();
+        let a = FaultPlan::new(1);
+        let b = FaultPlan::new(2);
+        let differs = (0..500).any(|i| {
+            let url = Url::new("imgur.com", format!("/p/{i}"));
+            a.fetch(&store, &catalog, &url, 0) != b.fetch(&store, &catalog, &url, 0)
+        });
+        assert!(differs, "seeds 1 and 2 never diverged over 500 URLs");
+    }
+
+    #[test]
+    fn calibrated_severity_faults_sometimes_and_retries_can_succeed() {
+        let catalog = SiteCatalog::new();
+        let url_base = "mediafire.com";
+        let store = WebStore::new();
+        let plan = FaultPlan::new(0xFA);
+        let mut faults = 0;
+        let mut recovered = 0;
+        for i in 0..1000 {
+            let url = Url::new(url_base, format!("/f/{i}"));
+            if let FetchAttempt::Fault(_) = plan.fetch(&store, &catalog, &url, 0) {
+                faults += 1;
+                // Later attempts draw independently, so some succeed.
+                if (1..8).any(|k| {
+                    matches!(
+                        plan.fetch(&store, &catalog, &url, k),
+                        FetchAttempt::Delivered(_)
+                    )
+                }) {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(faults > 30, "expected some faults, got {faults}");
+        assert!(faults < 700, "expected mostly clean fetches, got {faults}");
+        assert!(recovered > 0, "no faulted URL ever recovered on retry");
+    }
+
+    #[test]
+    fn extreme_severity_is_a_total_outage_for_live_hosts() {
+        let catalog = SiteCatalog::new();
+        let url = Url::new("imgur.com", "/abc");
+        let store = store_with(&url);
+        let plan = FaultPlan::with_severity(3, 1e9);
+        for attempt in 0..20 {
+            assert!(matches!(
+                plan.fetch(&store, &catalog, &url, attempt),
+                FetchAttempt::Fault(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn defunct_sites_fail_permanently_not_transiently() {
+        let catalog = SiteCatalog::new();
+        let url = Url::new("oron.com", "/f/old");
+        let store = store_with(&url);
+        // Even at outage severity, a defunct host answers permanently.
+        let plan = FaultPlan::with_severity(3, 1e9);
+        assert_eq!(
+            plan.fetch(&store, &catalog, &url, 0),
+            FetchAttempt::Delivered(FetchOutcome::NotFound)
+        );
+    }
+
+    #[test]
+    fn truncated_archives_only_hit_cloud_storage() {
+        for site in crate::sites::IMAGE_SHARING_SITES {
+            assert_eq!(
+                FaultProfile::for_site(Some(site)).truncated_archive,
+                0.0,
+                "{}",
+                site.domain
+            );
+        }
+        let mf = SiteCatalog::new().lookup("mediafire.com");
+        assert!(FaultProfile::for_site(mf).truncated_archive > 0.0);
+    }
+
+    #[test]
+    fn profile_rates_are_valid_probabilities() {
+        let catalog = SiteCatalog::new();
+        for domain in catalog.all_domains() {
+            let p = FaultProfile::for_site(catalog.lookup(domain));
+            for rate in [p.timeout, p.rate_limit, p.server_error, p.truncated_archive] {
+                assert!((0.0..=1.0).contains(&rate), "{domain}: {rate}");
+            }
+            assert!(
+                p.timeout + p.rate_limit + p.server_error + p.truncated_archive < 1.0,
+                "{domain}: calibrated rates must leave room for success"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_tracks_payload_size() {
+        let catalog = SiteCatalog::new();
+        let plan = FaultPlan::new(9);
+        let img = plan.latency_us(&catalog, &Url::new("imgur.com", "/a"), 0);
+        let pack = plan.latency_us(&catalog, &Url::new("mediafire.com", "/f/a"), 0);
+        assert!(
+            pack > img,
+            "archive fetch ({pack} µs) should outweigh image fetch ({img} µs)"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_deterministic() {
+        let plan = FaultPlan::new(11);
+        let url = Url::new("imgur.com", "/a");
+        for attempt in 0..10 {
+            let j = plan.backoff_jitter_us(&url, attempt, 1_000);
+            assert!(j <= 1_000);
+            assert_eq!(j, plan.backoff_jitter_us(&url, attempt, 1_000));
+        }
+        assert_eq!(plan.backoff_jitter_us(&url, 0, 0), 0);
+    }
+}

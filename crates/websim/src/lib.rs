@@ -12,6 +12,9 @@
 //!   walls, defunct status);
 //! * [`WebStore`] — URL → hosted object, with upload dates and link
 //!   lifecycle; [`WebStore::fetch`] reproduces crawler-visible semantics;
+//! * [`faults`] — seeded, deterministic transient-fault injection
+//!   ([`FaultPlan`]) in front of the store: timeouts, 429s, 5xx, and
+//!   truncated pack archives at per-site rates, plus simulated latency;
 //! * [`domains`] — the registry of *origin* domains (porn sites, social
 //!   networks, blogs, …) that pack material is stolen from, used by the
 //!   reverse-search index and the §4.5 provenance analysis.
@@ -20,9 +23,11 @@
 //! semantics only.
 
 pub mod domains;
+pub mod faults;
 pub mod sites;
 pub mod store;
 
 pub use domains::{DomainCategory, OriginDomain, OriginRegistry};
+pub use faults::{FaultPlan, FaultProfile, FetchAttempt, TransientFault};
 pub use sites::{Site, SiteCatalog, SiteKind};
 pub use store::{FetchOutcome, HostedObject, LinkState, StoredImage, WebStore};

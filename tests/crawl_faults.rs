@@ -1,0 +1,162 @@
+//! Fault-injected crawling: the pipeline must survive transient failures
+//! (timeouts, 429s, 5xx, truncated archives) without aborting, reproduce
+//! identical results and stats from the same seed, and — with faults
+//! disabled — behave byte-identically to a plain crawl.
+
+use ewhoring_core::crawl::{crawl_links_with_faults, crawl_tops_with_faults, RetryPolicy};
+use ewhoring_core::pipeline::{Pipeline, PipelineOptions};
+use ewhoring_core::report::full_report;
+use websim::{FaultPlan, FetchOutcome};
+use worldgen::{ThreadRole, World, WorldConfig};
+
+fn world_and_tops(seed: u64) -> (World, Vec<crimebb::ThreadId>) {
+    let w = World::generate(WorldConfig::test_scale(seed));
+    let mut tops: Vec<crimebb::ThreadId> = w
+        .truth
+        .thread_roles
+        .iter()
+        .filter(|&(_, &r)| r == ThreadRole::Top)
+        .map(|(&t, _)| t)
+        .collect();
+    tops.sort_unstable();
+    (w, tops)
+}
+
+/// The determinism regression the tentpole demands: two runs with the
+/// same seed and the same `FaultPlan` produce identical `CrawlResult`
+/// and `CrawlStats`, compared as serialized bytes.
+#[test]
+fn same_seed_same_plan_identical_result_and_stats() {
+    let (w, tops) = world_and_tops(0xFA57);
+    let run = |severity: f64| {
+        crawl_tops_with_faults(
+            &w.corpus,
+            &w.catalog,
+            &w.web,
+            &tops,
+            &FaultPlan::with_severity(0x5EED, severity),
+            &RetryPolicy::default(),
+        )
+    };
+    for severity in [0.0, 0.5, 1.0, 3.0] {
+        let (ra, sa) = run(severity);
+        let (rb, sb) = run(severity);
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap().into_bytes(),
+            serde_json::to_string(&rb).unwrap().into_bytes(),
+            "CrawlResult diverged at severity {severity}"
+        );
+        assert_eq!(
+            serde_json::to_string(&sa).unwrap().into_bytes(),
+            serde_json::to_string(&sb).unwrap().into_bytes(),
+            "CrawlStats diverged at severity {severity}"
+        );
+    }
+}
+
+/// Faults-disabled output must match the pre-change crawl semantics: a
+/// reference crawler that calls `WebStore::fetch` once per link (exactly
+/// what `crawl_links` did before the resilience layer) agrees with the
+/// fault-aware path on every outcome.
+#[test]
+fn disabled_faults_match_single_fetch_reference() {
+    let (w, tops) = world_and_tops(0xFA58);
+    let whitelist = ewhoring_core::crawl::snowball_whitelist(&w.corpus, &w.catalog, &tops);
+    let (links, _) = ewhoring_core::crawl::extract_links(&w.corpus, &w.catalog, &whitelist, &tops);
+
+    // Reference: the pre-resilience semantics, one plain fetch per link.
+    let (mut previews, mut packs, mut dead, mut blocked) = (0usize, 0usize, 0usize, 0usize);
+    for link in &links {
+        match w.web.fetch(&w.catalog, &link.url) {
+            FetchOutcome::Image(_) | FetchOutcome::RemovalBanner(_) => previews += 1,
+            FetchOutcome::Pack(_) => packs += 1,
+            FetchOutcome::NotFound => dead += 1,
+            FetchOutcome::RegistrationRequired => blocked += 1,
+        }
+    }
+
+    let (r, stats) = crawl_links_with_faults(
+        &w.catalog,
+        &w.web,
+        links,
+        &FaultPlan::disabled(),
+        &RetryPolicy::default(),
+    );
+    assert_eq!(r.previews.len(), previews);
+    assert_eq!(r.packs.len(), packs);
+    assert_eq!(r.dead_links, dead);
+    assert_eq!(r.registration_blocked, blocked);
+    assert_eq!(r.unreachable_links, 0);
+    assert_eq!(stats.retries.total(), 0);
+    assert_eq!(stats.wait_us.total(), 0);
+}
+
+/// End-to-end: with fault injection enabled at a nonzero rate the whole
+/// pipeline completes, reports retries (and deterministically identical
+/// stats across runs), and the report renders.
+#[test]
+fn pipeline_with_faults_completes_and_reproduces() {
+    let world = World::generate(WorldConfig::test_scale(0xFA59));
+    let opts = PipelineOptions {
+        k_key_actors: 8,
+        fault_severity: 1.0,
+        ..PipelineOptions::default()
+    };
+    let a = Pipeline::new(opts).run(&world);
+    let b = Pipeline::new(opts).run(&world);
+
+    assert!(a.crawl_stats.retries.total() > 0, "no retries recorded");
+    assert!(a.crawl_stats.wait_us.total() > 0, "no waits simulated");
+    assert!(
+        a.funnel.preview_downloads > 0,
+        "calibrated faults must not kill the crawl"
+    );
+    assert_eq!(
+        serde_json::to_string(&a.crawl_stats).unwrap(),
+        serde_json::to_string(&b.crawl_stats).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&a.crawl).unwrap(),
+        serde_json::to_string(&b.crawl).unwrap()
+    );
+    let text = full_report(&a);
+    assert!(text.contains("crawler health"));
+}
+
+/// The zero-success satellite: when every live host is down, the crawl
+/// stage yields zero downloads, every downstream stage accepts the empty
+/// artifacts, `run_prefix` never panics, and the report renders with
+/// zeroed image sections.
+#[test]
+fn total_outage_pipeline_degrades_to_zero_images() {
+    let world = World::generate(WorldConfig::test_scale(0xFA5A));
+    let opts = PipelineOptions {
+        k_key_actors: 5,
+        fault_severity: 1e9,
+        ..PipelineOptions::default()
+    };
+
+    // Prefix through the crawl stage first: zero successes, no panic.
+    let pipe = Pipeline::new(opts);
+    let ctx = pipe.run_prefix(&world, 3).expect("prefix runs");
+    let crawl = ctx.crawl().expect("crawl artifact");
+    assert!(crawl.previews.is_empty(), "outage leaves no previews");
+    assert!(crawl.packs.is_empty(), "outage leaves no packs");
+    assert!(crawl.unreachable_links > 0);
+    let stats = ctx.crawl_stats().expect("crawl stats artifact");
+    assert!(stats.breaker_trips > 0, "outage trips breakers");
+
+    // Then the full graph: downstream stages get empty artifacts.
+    let report = pipe.run(&world);
+    assert_eq!(report.funnel.preview_downloads, 0);
+    assert_eq!(report.funnel.packs_downloaded, 0);
+    assert_eq!(report.funnel.unique_files, 0);
+    assert_eq!(report.safety.stage.summary.matched_cases, 0);
+    assert_eq!(report.provenance.packs.total, 0);
+    assert_eq!(report.provenance.previews.total, 0);
+
+    // The text report renders the zeroed image sections.
+    let text = full_report(&report);
+    assert!(text.contains("Table 5"));
+    assert!(text.contains("breaker trips"));
+}
