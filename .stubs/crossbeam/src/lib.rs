@@ -1,47 +1,55 @@
 //! Offline stand-in for `crossbeam` scoped threads: same `scope`/`spawn`/
-//! `join` shape, but closures run eagerly on the calling thread. Results
-//! are identical to the threaded version for deterministic workloads.
+//! `join` shape, built on `std::thread::scope`, so spawned closures run on
+//! real OS threads and scale with the machine's cores. Results are
+//! identical to serial execution for deterministic workloads that
+//! reassemble worker output in input order (the `parkit` contract).
 
-use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 pub mod thread {
     pub use super::{scope, Scope, ScopedJoinHandle};
 }
 
-pub struct Scope<'env> {
-    _marker: PhantomData<&'env ()>,
+/// A fork-join scope. Wraps [`std::thread::Scope`] so spawned closures may
+/// borrow from the enclosing stack frame (everything outliving `'env`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
 }
 
-impl<'env> Scope<'env> {
-    pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<T>
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on a new OS thread. The closure receives the scope so
+    /// workers can spawn nested workers, as in real crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
     where
-        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
-        T: Send + 'env,
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
     {
+        let inner = self.inner;
         ScopedJoinHandle {
-            result: catch_unwind(AssertUnwindSafe(|| f(self))),
+            inner: inner.spawn(move || f(&Scope { inner })),
         }
     }
 }
 
-pub struct ScopedJoinHandle<T> {
-    result: std::thread::Result<T>,
+/// Handle to one spawned worker; `join` blocks until it finishes.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
 }
 
-impl<T> ScopedJoinHandle<T> {
+impl<T> ScopedJoinHandle<'_, T> {
     pub fn join(self) -> std::thread::Result<T> {
-        self.result
+        self.inner.join()
     }
 }
 
+/// Runs `f` with a scope; returns once every spawned thread has finished.
+/// A panic escaping the scope body (e.g. an `expect` on a failed join) is
+/// caught and surfaced as `Err`, matching crossbeam's signature.
 pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
 where
-    F: FnOnce(&Scope<'env>) -> R,
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
     catch_unwind(AssertUnwindSafe(|| {
-        f(&Scope {
-            _marker: PhantomData,
-        })
+        std::thread::scope(|s| f(&Scope { inner: s }))
     }))
 }

@@ -11,9 +11,9 @@
 CARGO ?= cargo
 OFFLINE = --offline --locked
 
-.PHONY: verify fmt-check clippy build test
+.PHONY: verify fmt-check clippy build test bench-build bench
 
-verify: fmt-check clippy build test
+verify: fmt-check clippy build test bench-build
 
 fmt-check:
 	$(CARGO) fmt --all -- --check
@@ -26,3 +26,16 @@ build:
 
 test:
 	$(CARGO) test $(OFFLINE) -q
+
+# The criterion benches must at least compile, even where running them
+# would take too long — catches bench-only API drift.
+bench-build:
+	$(CARGO) bench $(OFFLINE) --no-run
+
+# Machine-readable per-stage baseline: workers=1 vs workers=4 over a
+# small world, written to BENCH_pipeline.json (see README for the
+# schema). Scale is kept low so the target stays minutes-not-hours on a
+# laptop; raise it for publishable numbers.
+bench:
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		0.05 --workers 4 --bench-json BENCH_pipeline.json > /dev/null

@@ -38,6 +38,7 @@ fn bench_ablations(c: &mut Criterion) {
         &world.catalog,
         &world.truth,
         &threads,
+        1,
     );
     PRINT_ONCE.call_once(|| {
         eprintln!(

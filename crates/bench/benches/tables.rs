@@ -39,6 +39,7 @@ fn bench_tables(c: &mut Criterion) {
                 &world.catalog,
                 &world.truth,
                 &threads,
+                1,
             );
             black_box(r.detected.len())
         })
@@ -52,6 +53,7 @@ fn bench_tables(c: &mut Criterion) {
         &world.catalog,
         &world.truth,
         &threads,
+        1,
     );
     group.bench_function("tables3_4_crawl", |b| {
         b.iter(|| {
@@ -130,7 +132,7 @@ fn bench_tables(c: &mut Criterion) {
                 graph: &graph,
                 ce_by_actor: &ce,
             };
-            let key = select_key_actors(&inputs, bench_options().k_key_actors);
+            let key = select_key_actors(&inputs, bench_options().k_key_actors, 1);
             black_box(group_profiles(&inputs, &key).len())
         })
     });

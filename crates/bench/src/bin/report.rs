@@ -1,19 +1,26 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--intervention] [--faults SEVERITY]
+//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--workers N] [--bench-json PATH] [--intervention] [--faults SEVERITY]
 //! ```
 //!
 //! `scale` defaults to 0.3 (≈30% of the paper's corpus — same shapes, a
 //! third of the wall clock); use `1.0` for full paper scale. The text
 //! report prints to stdout; `--json` additionally dumps the raw
-//! `PipelineReport`; `--intervention` appends the §8 countermeasure
-//! simulations (shared hash-blacklist + payment screening); `--faults`
-//! enables transient-fault injection in the crawl stage (`1.0` =
-//! calibrated per-site rates; the retry/breaker health counters land in
-//! the crawler-health section next to the stage timings).
+//! `PipelineReport`; `--workers` sets the thread count for the
+//! data-parallel stages (default 4; 0 = all cores — the report itself is
+//! byte-identical either way); `--bench-json` reruns the pipeline at
+//! `workers = 1` and writes a machine-readable baseline (per-stage
+//! `wall_us`, `items`, `items_per_sec` at workers=1 vs workers=N, plus
+//! the aggregate speedup over the parallel stages) to PATH —
+//! conventionally `BENCH_pipeline.json`; `--intervention` appends the §8
+//! countermeasure simulations (shared hash-blacklist + payment
+//! screening); `--faults` enables transient-fault injection in the crawl
+//! stage (`1.0` = calibrated per-site rates; the retry/breaker health
+//! counters land in the crawler-health section next to the stage
+//! timings).
 
-use ewhoring_core::pipeline::{Pipeline, PipelineOptions};
+use ewhoring_core::pipeline::{Pipeline, PipelineOptions, StageTiming};
 use ewhoring_core::report::full_report;
 use std::time::Instant;
 use worldgen::{World, WorldConfig};
@@ -23,6 +30,8 @@ fn main() {
     let mut scale = 0.3f64;
     let mut seed = 0xE400_2019u64;
     let mut json_path: Option<String> = None;
+    let mut bench_json_path: Option<String> = None;
+    let mut workers = 4usize;
     let mut with_intervention = false;
     let mut fault_severity = 0.0f64;
     let mut positional = 0;
@@ -30,6 +39,18 @@ fn main() {
     while let Some(arg) = it.next() {
         if arg == "--json" {
             json_path = it.next().cloned();
+            continue;
+        }
+        if arg == "--bench-json" {
+            bench_json_path = it.next().cloned();
+            continue;
+        }
+        if arg == "--workers" {
+            workers = it
+                .next()
+                .expect("--workers takes a count")
+                .parse()
+                .expect("worker count must be an integer");
             continue;
         }
         if arg == "--intervention" {
@@ -73,13 +94,14 @@ fn main() {
     );
 
     let k = ((50.0 * scale).round() as usize).clamp(8, 50);
-    let t = Instant::now();
-    let report = Pipeline::new(PipelineOptions {
+    let options = PipelineOptions {
         k_key_actors: k,
+        workers,
         fault_severity,
         ..PipelineOptions::default()
-    })
-    .run(&world);
+    };
+    let t = Instant::now();
+    let report = Pipeline::new(options).run(&world);
     eprintln!("pipeline finished in {:.1?}", t.elapsed());
     for t in &report.timings {
         let per_sec = if t.wall_us > 0 {
@@ -109,7 +131,7 @@ fn main() {
     println!("{}", full_report(&report));
 
     if with_intervention {
-        println!("{}", intervention_section(&report));
+        println!("{}", intervention_section(&report, workers));
     }
 
     if let Some(path) = json_path {
@@ -117,13 +139,115 @@ fn main() {
         std::fs::write(&path, json).expect("write JSON report");
         eprintln!("raw report written to {path}");
     }
+
+    if let Some(path) = bench_json_path {
+        eprintln!("bench baseline: rerunning pipeline at workers=1 …");
+        let t = Instant::now();
+        let serial = Pipeline::new(PipelineOptions {
+            workers: 1,
+            ..options
+        })
+        .run(&world);
+        eprintln!("serial run finished in {:.1?}", t.elapsed());
+        let json = bench_baseline_json(scale, seed, workers, &serial.timings, &report.timings);
+        std::fs::write(&path, json).expect("write bench baseline");
+        eprintln!("bench baseline written to {path}");
+    }
+}
+
+/// Stages whose per-item loops run on the `core::par` layer; the
+/// aggregate speedup is computed over these.
+const PARALLEL_STAGES: [&str; 4] = ["top_classifier", "measure_images", "nsfv", "actors"];
+
+/// Items-per-second for one timing entry.
+fn items_per_sec(t: &StageTiming) -> f64 {
+    if t.wall_us > 0 {
+        t.items as f64 / (t.wall_us as f64 / 1_000_000.0)
+    } else {
+        0.0
+    }
+}
+
+/// Aggregate items/sec over the parallel stages of one run.
+fn aggregate_items_per_sec(timings: &[StageTiming]) -> f64 {
+    let (items, wall_us) = timings
+        .iter()
+        .filter(|t| PARALLEL_STAGES.contains(&t.stage.as_str()))
+        .fold((0usize, 0u128), |(i, w), t| (i + t.items, w + t.wall_us));
+    if wall_us > 0 {
+        items as f64 / (wall_us as f64 / 1_000_000.0)
+    } else {
+        0.0
+    }
+}
+
+/// Renders the machine-readable `BENCH_pipeline.json` baseline: per-stage
+/// `wall_us`, `items`, and `items_per_sec` at workers=1 vs workers=N,
+/// plus the aggregate speedup over [`PARALLEL_STAGES`]. Hand-assembled so
+/// the schema is explicit in one place.
+fn bench_baseline_json(
+    scale: f64,
+    seed: u64,
+    workers: usize,
+    serial: &[StageTiming],
+    parallel: &[StageTiming],
+) -> String {
+    use std::fmt::Write as _;
+
+    let run_json = |workers: usize, timings: &[StageTiming]| {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "    {{\n      \"workers\": {workers},\n      \"stages\": ["
+        );
+        for (i, t) in timings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{ \"stage\": \"{}\", \"wall_us\": {}, \"items\": {}, \"items_per_sec\": {:.1} }}{}",
+                t.stage,
+                t.wall_us,
+                t.items,
+                items_per_sec(t),
+                if i + 1 < timings.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "      ],\n      \"parallel_items_per_sec\": {:.1}\n    }}",
+            aggregate_items_per_sec(timings)
+        );
+        out
+    };
+
+    let serial_agg = aggregate_items_per_sec(serial);
+    let parallel_agg = aggregate_items_per_sec(parallel);
+    let speedup = if serial_agg > 0.0 {
+        parallel_agg / serial_agg
+    } else {
+        0.0
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!(
+        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"available_parallelism\": {cores},\n  \"parallel_stages\": [{}],\n  \"runs\": [\n{},\n{}\n  ],\n  \"aggregate_speedup\": {speedup:.2}\n}}\n",
+        PARALLEL_STAGES
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        run_json(1, serial),
+        run_json(workers, parallel),
+    )
 }
 
 /// Runs the §8 countermeasure simulations against the already-crawled
 /// material and renders them as a report section.
-fn intervention_section(report: &ewhoring_core::pipeline::PipelineReport) -> String {
+fn intervention_section(
+    report: &ewhoring_core::pipeline::PipelineReport,
+    workers: usize,
+) -> String {
     use ewhoring_core::intervention::{deployment_sweep, screen_payment_accounts};
     use ewhoring_core::nsfv::ImageMeasures;
+    use ewhoring_core::pipeline::measure_batch;
     use std::fmt::Write as _;
 
     let mut out = String::from(
@@ -131,19 +255,15 @@ fn intervention_section(report: &ewhoring_core::pipeline::PipelineReport) -> Str
 ",
     );
 
-    // Shared hash-blacklist over the crawled packs.
+    // Shared hash-blacklist over the crawled packs, measured on the same
+    // parallel layer as the pipeline's measure stage.
     let owned: Vec<(&ewhoring_core::crawl::PackDownload, Vec<ImageMeasures>)> = report
         .crawl
         .packs
         .iter()
         .map(|p| {
-            let measures = p
-                .images
-                .iter()
-                .take(30)
-                .map(|img| ImageMeasures::of(&img.render()))
-                .collect();
-            (p, measures)
+            let sample = &p.images[..p.images.len().min(30)];
+            (p, measure_batch(sample, workers))
         })
         .collect();
     let packs: Vec<(&ewhoring_core::crawl::PackDownload, &[ImageMeasures])> =

@@ -15,7 +15,7 @@
 
 use crimebb::{ActorId, BoardCategory, Corpus, ThreadId};
 use serde::{Deserialize, Serialize};
-use socgraph::{eigenvector_centrality, h_index, i_index, DiGraph};
+use socgraph::{eigenvector_centrality_par, h_index, i_index, DiGraph};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use synthrand::Day;
 
@@ -246,8 +246,10 @@ pub struct KeyActorInputs<'a> {
 }
 
 /// Selects the key actors: top `k` per indicator (the paper uses 50, plus
-/// a ≥6-packs rule that yielded 63 sharers).
-pub fn select_key_actors(inputs: &KeyActorInputs<'_>, k: usize) -> KeyActors {
+/// a ≥6-packs rule that yielded 63 sharers). The eigenvector-centrality
+/// power iteration runs across `workers` threads (0 = all cores) and is
+/// bit-identical for any worker count.
+pub fn select_key_actors(inputs: &KeyActorInputs<'_>, k: usize, workers: usize) -> KeyActors {
     let mut groups: BTreeMap<KeyGroup, Vec<ActorId>> = BTreeMap::new();
 
     // Packs: everyone with ≥6 shared packs; if that undershoots (small
@@ -295,7 +297,7 @@ pub fn select_key_actors(inputs: &KeyActorInputs<'_>, k: usize) -> KeyActors {
     );
 
     // Influence: top-k eigenvector centrality.
-    let centrality = eigenvector_centrality(inputs.graph, 200);
+    let centrality = eigenvector_centrality_par(inputs.graph, 200, workers);
     let mut influential: Vec<(ActorId, f64)> = inputs
         .metrics
         .iter()
@@ -600,7 +602,7 @@ mod tests {
             graph: &g,
             ce_by_actor: &ce_by_actor,
         };
-        let key = select_key_actors(&inputs, 10);
+        let key = select_key_actors(&inputs, 10, 2);
         assert_eq!(key.groups.len(), 5);
         assert!(!key.all.is_empty());
         // Union is at most the sum of group sizes and at least the largest.

@@ -125,12 +125,15 @@ pub struct FeatureExtractor {
 }
 
 impl FeatureExtractor {
-    /// Fits vocabulary and IDF on the training threads.
-    pub fn fit(corpus: &Corpus, train: &[ThreadId]) -> FeatureExtractor {
-        let docs: Vec<Vec<String>> = train.iter().map(|&t| thread_tokens(corpus, t)).collect();
+    /// Fits vocabulary and IDF on the training threads. Tokenisation, the
+    /// document-term matrix, and the IDF fit all run across `workers`
+    /// threads (0 = all cores) with output identical to a serial fit.
+    pub fn fit(corpus: &Corpus, train: &[ThreadId], workers: usize) -> FeatureExtractor {
+        let docs: Vec<Vec<String>> =
+            crate::par::par_map(train, workers, |&t| thread_tokens(corpus, t));
         let vocab = Vocabulary::build(docs.iter().map(|d| d.iter()), 2);
-        let dtm = textkit::dtm::DocTermMatrix::from_docs(&vocab, &docs);
-        let tfidf = TfIdf::fit(&dtm);
+        let dtm = textkit::dtm::DocTermMatrix::from_docs_par(&vocab, &docs, workers);
+        let tfidf = TfIdf::fit_par(&dtm, workers);
         FeatureExtractor { vocab, tfidf }
     }
 
@@ -141,6 +144,18 @@ impl FeatureExtractor {
         let tfidf_row = self.tfidf.transform_row(&counts);
         let text = SparseVec::from_sorted(tfidf_row);
         stats.concat(&text, STAT_DIM)
+    }
+
+    /// Feature vectors for many threads across `workers` threads
+    /// (0 = all cores), in input order.
+    pub fn features_many(
+        &self,
+        corpus: &Corpus,
+        catalog: &SiteCatalog,
+        threads: &[ThreadId],
+        workers: usize,
+    ) -> Vec<SparseVec> {
+        crate::par::par_map(threads, workers, |&t| self.features(corpus, catalog, t))
     }
 
     /// Vocabulary size (diagnostics).
@@ -216,7 +231,7 @@ mod tests {
         let c = corpus();
         let catalog = SiteCatalog::new();
         let all: Vec<ThreadId> = c.threads().iter().map(|t| t.id).collect();
-        let ex = FeatureExtractor::fit(&c, &all);
+        let ex = FeatureExtractor::fit(&c, &all, 1);
         let fv = ex.features(&c, &catalog, all[0]);
         // Statistical entries live below STAT_DIM; text entries above.
         assert!(fv.entries().iter().any(|&(i, _)| i < STAT_DIM));
@@ -228,7 +243,7 @@ mod tests {
         let c = corpus();
         let catalog = SiteCatalog::new();
         // Fit on the request thread only; TOP thread's vocabulary is OOV.
-        let ex = FeatureExtractor::fit(&c, &[c.threads()[1].id]);
+        let ex = FeatureExtractor::fit(&c, &[c.threads()[1].id], 1);
         let fv = ex.features(&c, &catalog, c.threads()[0].id);
         // Still has statistical features even if no text features survive.
         assert!(fv.entries().iter().any(|&(i, _)| i < STAT_DIM));

@@ -41,6 +41,7 @@ pub mod features;
 pub mod finance;
 pub mod intervention;
 pub mod nsfv;
+pub mod par;
 pub mod pipeline;
 pub mod provenance;
 pub mod report;

@@ -118,13 +118,17 @@ impl NsfvValidation {
     }
 }
 
-/// Runs Algorithm 1 over the validation set.
-pub fn validate(images: &[ValidationImage]) -> NsfvValidation {
+/// Runs Algorithm 1 over the validation set. Per-image rendering and
+/// scoring run across `workers` threads (0 = all cores); the verdicts
+/// fold serially in input order, so the counts are identical for any
+/// worker count.
+pub fn validate(images: &[ValidationImage], workers: usize) -> NsfvValidation {
+    let verdicts: Vec<(ValidationLabel, bool)> = crate::par::par_map(images, workers, |img| {
+        (img.label, !ImageMeasures::of(&img.spec.render()).is_sfv())
+    });
     let mut v = NsfvValidation::default();
-    for img in images {
-        let m = ImageMeasures::of(&img.spec.render());
-        let nsfv = !m.is_sfv();
-        if img.label == ValidationLabel::Nude {
+    for (label, nsfv) in verdicts {
+        if label == ValidationLabel::Nude {
             v.nude_total += 1;
             if nsfv {
                 v.nude_detected += 1;
@@ -168,7 +172,7 @@ mod tests {
 
     #[test]
     fn validation_reaches_paper_operating_point() {
-        let v = validate(&build_validation_set(0xA11CE));
+        let v = validate(&build_validation_set(0xA11CE), 2);
         // "100% detection of NSFV images".
         assert_eq!(v.nude_detected, v.nude_total, "recall {}", v.recall());
         // "few false positives (nearly 8%)".

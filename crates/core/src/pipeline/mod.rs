@@ -20,9 +20,12 @@
 //! | `finance`        | [`stages::finance`]   | §5    |
 //! | `actors`         | [`stages::actors`]    | §6    |
 //!
-//! Everything is deterministic in `PipelineOptions::seed`; only the
-//! image-measurement stage touches worker threads, and its output is
-//! order-preserving regardless of worker count.
+//! Everything is deterministic in `PipelineOptions::seed`. The hot
+//! stages (`top_classifier`, `measure_images`, `nsfv`, `actors`) run
+//! their per-item loops on the shared data-parallel layer in
+//! [`crate::par`], which reassembles results in input order — so the
+//! report is byte-identical for any `PipelineOptions::workers` value
+//! (enforced by the worker-matrix test in `tests/determinism.rs`).
 
 pub mod ctx;
 pub mod stages;
@@ -50,7 +53,10 @@ pub struct PipelineOptions {
     pub seed: u64,
     /// `k` for key-actor selection (paper: 50).
     pub k_key_actors: usize,
-    /// Worker threads for image measurement (0 = all cores).
+    /// Worker threads for every data-parallel stage — classifier feature
+    /// extraction, image measurement, NSFV scoring, dedup counting, and
+    /// the centrality iteration (0 = all cores). Output is byte-identical
+    /// for any value; see [`crate::par`] for the determinism contract.
     pub workers: usize,
     /// Transient-fault severity for the crawl stage: `0.0` (default)
     /// disables injection — output is then byte-identical to the

@@ -54,7 +54,7 @@ impl Stage for ActorsStage {
             graph: &graph,
             ce_by_actor: &ce_by_actor,
         };
-        let key_actors = select_key_actors(&inputs, ctx.options.k_key_actors);
+        let key_actors = select_key_actors(&inputs, ctx.options.k_key_actors, ctx.options.workers);
         let profiles = group_profiles(&inputs, &key_actors);
         let interests = interest_evolution(&world.corpus, &metrics, &key_actors.all);
 

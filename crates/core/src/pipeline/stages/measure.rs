@@ -53,38 +53,10 @@ impl Stage for MeasureStage {
 }
 
 /// Measures a batch of stored images across worker threads. Output order
-/// matches input order regardless of worker count.
+/// matches input order regardless of worker count (the [`crate::par`]
+/// contract; batches below [`crate::par::SERIAL_CUTOFF`] stay serial).
 pub fn measure_batch(images: &[StoredImage], workers: usize) -> Vec<ImageMeasures> {
-    let workers = if workers == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        workers
-    };
-    if images.len() < 64 || workers <= 1 {
-        return images
-            .iter()
-            .map(|img| ImageMeasures::of(&img.render()))
-            .collect();
-    }
-    let chunk = images.len().div_ceil(workers);
-    let mut out: Vec<Vec<ImageMeasures>> = Vec::new();
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = images
-            .chunks(chunk)
-            .map(|part| {
-                s.spawn(move |_| {
-                    part.iter()
-                        .map(|img| ImageMeasures::of(&img.render()))
-                        .collect::<Vec<ImageMeasures>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("measurement worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    out.into_iter().flatten().collect()
+    crate::par::par_map(images, workers, |img| ImageMeasures::of(&img.render()))
 }
 
 #[cfg(test)]

@@ -21,7 +21,8 @@ impl Stage for NsfvStage {
         let measures = require(&ctx.measures, "measures")?;
         let kept = require(&ctx.kept, "kept")?;
 
-        let nsfv_validation = validate(&build_validation_set(ctx.options.seed ^ 0x24));
+        let workers = ctx.options.workers;
+        let nsfv_validation = validate(&build_validation_set(ctx.options.seed ^ 0x24), workers);
         let previews_nsfv: Vec<(ImageMeasures, Day)> = kept
             .previews
             .iter()
@@ -30,14 +31,27 @@ impl Stage for NsfvStage {
             .collect();
 
         // Funnel accounting: downloads counted pre-deletion, uniqueness
-        // over survivors only.
+        // over survivors only. Each worker counts exact-dedup digests over
+        // a chunk; merging the partial maps is commutative integer
+        // addition, so the counts match the serial fold for any worker
+        // count.
+        let digests: Vec<u64> = kept
+            .previews
+            .iter()
+            .map(|(_, m)| m.digest)
+            .chain(kept.packs.iter().flatten().map(|m| m.digest))
+            .collect();
+        let partials = crate::par::par_map_chunks(&digests, workers, |chunk| {
+            let mut counts: HashMap<u64, usize> = HashMap::new();
+            for &d in chunk {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+            counts
+        });
         let mut digest_counts: HashMap<u64, usize> = HashMap::new();
-        for (_, m) in &kept.previews {
-            *digest_counts.entry(m.digest).or_insert(0) += 1;
-        }
-        for pack in &kept.packs {
-            for m in pack {
-                *digest_counts.entry(m.digest).or_insert(0) += 1;
+        for partial in partials {
+            for (d, c) in partial {
+                *digest_counts.entry(d).or_insert(0) += c;
             }
         }
         let funnel = ImageFunnel {

@@ -24,6 +24,7 @@ impl Stage for TopClassifierStage {
             &world.catalog,
             &world.truth,
             all_threads,
+            ctx.options.workers,
         );
         let set = require(&ctx.extraction, "extraction")?;
         let forums = forum_rows(&world.corpus, set, &topcls.detected);

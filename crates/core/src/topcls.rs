@@ -112,12 +112,18 @@ pub fn annotation_sample(
 
 /// Trains the hybrid classifier on the annotated sample and applies it to
 /// every extracted thread.
+///
+/// Feature extraction and the full-corpus application sweep run across
+/// `workers` threads (0 = all cores) with results reassembled in input
+/// order, so the output is identical for any worker count — only the
+/// annotation sampling draws from `rng`, and it stays serial.
 pub fn classify_tops(
     rng: &mut StdRng,
     corpus: &Corpus,
     catalog: &SiteCatalog,
     truth: &GroundTruth,
     threads: &[ThreadId],
+    workers: usize,
 ) -> (TopClassifier, TopClassification) {
     // 1. Annotate.
     let sample = annotation_sample(rng, corpus, catalog, threads, ANNOTATION_SAMPLE);
@@ -128,12 +134,11 @@ pub fn classify_tops(
     let n_train = (sample.len() * TRAIN_SIZE / ANNOTATION_SAMPLE).max(1);
     let (train_idx, test_idx) = linsvm::train_test_split(sample.len(), n_train, 0x5711);
     let train_threads: Vec<ThreadId> = train_idx.iter().map(|&i| sample[i]).collect();
-    let extractor = FeatureExtractor::fit(corpus, &train_threads);
+    let extractor = FeatureExtractor::fit(corpus, &train_threads, workers);
 
     let rows = |idx: &[usize]| -> Vec<SparseVec> {
-        idx.iter()
-            .map(|&i| extractor.features(corpus, catalog, sample[i]))
-            .collect()
+        let picked: Vec<ThreadId> = idx.iter().map(|&i| sample[i]).collect();
+        extractor.features_many(corpus, catalog, &picked, workers)
     };
     let mut train_x = rows(&train_idx);
     let mut train_y: Vec<bool> = train_idx.iter().map(|&i| labels[i]).collect();
@@ -168,14 +173,20 @@ pub fn classify_tops(
         .map(|(&m, &h)| m || h)
         .collect();
 
-    // 4. Apply to the full extracted set.
+    // 4. Apply to the full extracted set: the per-thread decisions are
+    // independent, so both classifier sides run data-parallel; the tallies
+    // fold serially in input order.
+    let decisions: Vec<(bool, bool)> = crate::par::par_map(threads, workers, |&t| {
+        (
+            classifier.ml_is_top(corpus, catalog, t),
+            heuristic_is_top(corpus, catalog, t),
+        )
+    });
     let mut detected = Vec::new();
     let mut ml_count = 0;
     let mut heuristic_count = 0;
     let mut both_count = 0;
-    for &t in threads {
-        let ml = classifier.ml_is_top(corpus, catalog, t);
-        let heur = heuristic_is_top(corpus, catalog, t);
+    for (&t, &(ml, heur)) in threads.iter().zip(&decisions) {
         if ml {
             ml_count += 1;
         }
@@ -225,7 +236,7 @@ mod tests {
         let set = extract_ewhoring_threads(&w.corpus);
         let threads = set.all_threads();
         let mut rng = rng_from_seed(1);
-        let (_, result) = classify_tops(&mut rng, &w.corpus, &w.catalog, &w.truth, &threads);
+        let (_, result) = classify_tops(&mut rng, &w.corpus, &w.catalog, &w.truth, &threads, 2);
         // Paper: precision 92%, recall 93%, F1 92%.
         assert!(
             result.hybrid_metrics.recall > 0.80,
@@ -245,7 +256,7 @@ mod tests {
         let set = extract_ewhoring_threads(&w.corpus);
         let threads = set.all_threads();
         let mut rng = rng_from_seed(2);
-        let (_, r) = classify_tops(&mut rng, &w.corpus, &w.catalog, &w.truth, &threads);
+        let (_, r) = classify_tops(&mut rng, &w.corpus, &w.catalog, &w.truth, &threads, 2);
         assert!(r.detected.len() >= r.ml_count.max(r.heuristic_count));
         assert_eq!(
             r.detected.len(),
@@ -264,7 +275,7 @@ mod tests {
         let set = extract_ewhoring_threads(&w.corpus);
         let threads = set.all_threads();
         let mut rng = rng_from_seed(3);
-        let (_, r) = classify_tops(&mut rng, &w.corpus, &w.catalog, &w.truth, &threads);
+        let (_, r) = classify_tops(&mut rng, &w.corpus, &w.catalog, &w.truth, &threads, 2);
         let planted = w.truth.top_count() as f64;
         let detected = r.detected.len() as f64;
         assert!(

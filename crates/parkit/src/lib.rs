@@ -1,0 +1,278 @@
+//! Deterministic data-parallel primitives for the hot pipeline stages.
+//!
+//! Every parallel stage in the workspace uses the same pattern, extracted
+//! from the original `measure_batch`: split the input into contiguous
+//! chunks, map each chunk on a scoped worker thread, and reassemble the
+//! per-chunk outputs **in input order**. Because the mapped function is a
+//! pure function of the item (and, for [`par_map_seeded`], of a seed
+//! derived from the item's fixed-size block — never from the worker
+//! count), the output is byte-identical for *any* worker count, including
+//! the serial fallback. That is the determinism contract the pipeline's
+//! snapshot tests enforce.
+//!
+//! Worker threads come from the `crossbeam::scope` stub, which spawns
+//! real OS threads via `std::thread::scope`.
+
+/// Inputs shorter than this run serially on the calling thread.
+///
+/// Rationale: spawning a scoped OS thread costs on the order of tens of
+/// microseconds; the cheapest per-item work we parallelise (rendering and
+/// hashing one synthetic image, extracting one thread's features) sits
+/// around a microsecond or more. Below ~64 items the spawn + join
+/// overhead rivals the work itself, so small batches — most packs, tiny
+/// test corpora — stay serial and fast, while anything worth splitting is
+/// far above the cutoff. Shared by all parallel stages so the threshold
+/// is tuned (and documented) in exactly one place.
+pub const SERIAL_CUTOFF: usize = 64;
+
+/// Resolves a `workers` knob: `0` means "all available cores".
+pub fn effective_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        workers
+    }
+}
+
+/// Maps `f` over `items` across `workers` threads, preserving input
+/// order. `workers == 0` uses all cores; short inputs run serially.
+pub fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, workers, |_, item| f(item))
+}
+
+/// [`par_map`] where `f` also receives the item's index in `items`.
+pub fn par_map_indexed<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_range(items.len(), workers, |i| f(i, &items[i]))
+}
+
+/// Maps `f` over the index range `0..n` across `workers` threads,
+/// returning results in index order. The slice-free primitive the others
+/// build on — iterative solvers use it to fill a whole vector per
+/// iteration without materialising an index list.
+pub fn par_map_range<U, F>(n: usize, workers: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = effective_workers(workers);
+    if n < SERIAL_CUTOFF || workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    crossbeam::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                s.spawn(move |_| (start..end).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    })
+    .expect("parallel scope");
+    out
+}
+
+/// Splits `items` into one contiguous chunk per worker and maps `f` over
+/// each whole chunk on its own thread, returning per-chunk results in
+/// input order. The building block for parallel *accumulation* (document
+/// frequencies, digest counts): each worker folds its chunk, the caller
+/// merges the partials. The number of chunks depends on the worker count,
+/// so worker-count invariance requires the merge to be commutative and
+/// associative over chunk boundaries (integer counts are; floats are
+/// not). Short inputs produce a single chunk processed serially.
+pub fn par_map_chunks<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    let workers = effective_workers(workers);
+    if items.len() < SERIAL_CUTOFF || workers <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<U> = Vec::with_capacity(workers);
+    crossbeam::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| s.spawn(move |_| f(part)))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    })
+    .expect("parallel scope");
+    out
+}
+
+/// Mixes a block index into a base seed (splitmix-style odd constant).
+fn block_seed(seed: u64, block: usize) -> u64 {
+    seed ^ (block as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Maps `f` over `items` with per-block seeded state, deterministically
+/// for any worker count.
+///
+/// The input is split into **fixed-size blocks of [`SERIAL_CUTOFF`]
+/// items** — fixed, so block boundaries never depend on the worker count
+/// the way per-worker chunks do. Each block builds its own state via
+/// `init(seed ⊕ mix(block_index))` and maps its items through `f` in
+/// order; blocks are distributed over the workers and reassembled in
+/// input order. Stages that need randomness inside a parallel loop seed
+/// `init` from `PipelineOptions::seed`, keeping the stream independent of
+/// both thread scheduling and worker count.
+pub fn par_map_seeded<T, U, S, I, F>(
+    items: &[T],
+    workers: usize,
+    seed: u64,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn(u64) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let blocks: Vec<(usize, &[T])> = items.chunks(SERIAL_CUTOFF).enumerate().collect();
+    let mapped: Vec<Vec<U>> = par_map(&blocks, workers, |&(b, part)| {
+        let mut state = init(block_seed(seed, b));
+        part.iter()
+            .enumerate()
+            .map(|(j, item)| f(&mut state, b * SERIAL_CUTOFF + j, item))
+            .collect()
+    });
+    mapped.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = par_map(&[] as &[i32], 4, |x| x * 2);
+        assert!(out.is_empty());
+        assert!(par_map_range(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn below_cutoff_runs_serially_and_matches() {
+        let items: Vec<u64> = (0..SERIAL_CUTOFF as u64 - 1).collect();
+        let out = par_map(&items, 8, |&x| x * x);
+        let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn length_not_divisible_by_workers_preserves_order() {
+        // 1000 items over 7 workers: chunks of 143, last chunk short.
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, 7, |&x| x + 1);
+        let serial: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn more_workers_than_items_still_covers_everything() {
+        let items: Vec<u64> = (0..SERIAL_CUTOFF as u64 + 5).collect();
+        let out = par_map(&items, 1000, |&x| x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn indexed_map_sees_global_indices() {
+        let items = vec![10u64; 300];
+        let out = par_map_indexed(&items, 4, |i, &x| i as u64 + x);
+        let serial: Vec<u64> = (0..300).map(|i| i as u64 + 10).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn range_map_matches_serial_for_any_worker_count() {
+        let serial: Vec<usize> = (0..517).map(|i| i * 3).collect();
+        for workers in [1, 2, 3, 7, 16] {
+            assert_eq!(par_map_range(517, workers, |i| i * 3), serial);
+        }
+    }
+
+    /// The seeded contract: the per-item stream depends only on the seed
+    /// and the item's fixed block, never on the worker count.
+    #[test]
+    fn seeded_map_is_worker_count_invariant() {
+        // A toy xorshift state stands in for StdRng.
+        let next = |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            *s
+        };
+        let items: Vec<u64> = (0..1000).collect();
+        let run = |workers| {
+            par_map_seeded(
+                &items,
+                workers,
+                0xFEED,
+                |s| s.max(1),
+                |s, i, &x| next(s) ^ x ^ i as u64,
+            )
+        };
+        let reference = run(1);
+        for workers in [2, 3, 7, 13] {
+            assert_eq!(run(workers), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn seeded_blocks_get_distinct_seeds() {
+        let items = vec![0u8; 3 * SERIAL_CUTOFF];
+        let seeds = par_map_seeded(&items, 2, 7, |s| s, |s, _, _| *s);
+        assert_eq!(seeds[0], seeds[SERIAL_CUTOFF - 1], "same block, same seed");
+        assert_ne!(seeds[0], seeds[SERIAL_CUTOFF], "next block differs");
+        assert_ne!(seeds[SERIAL_CUTOFF], seeds[2 * SERIAL_CUTOFF]);
+    }
+
+    #[test]
+    fn chunked_fold_partials_merge_to_serial_total() {
+        let items: Vec<u64> = (0..999).collect();
+        let serial: u64 = items.iter().sum();
+        for workers in [1, 2, 5, 8] {
+            let partials = par_map_chunks(&items, workers, |part| part.iter().sum::<u64>());
+            assert!(partials.len() <= workers.max(1));
+            assert_eq!(partials.iter().sum::<u64>(), serial, "workers={workers}");
+        }
+        // Short input: one serial chunk.
+        let short: Vec<u64> = (0..10).collect();
+        assert_eq!(par_map_chunks(&short, 8, |p| p.len()), vec![10]);
+        // Empty input still produces one (empty) chunk for the fold.
+        assert_eq!(par_map_chunks(&[] as &[u64], 4, |p| p.len()), vec![0]);
+    }
+
+    #[test]
+    fn zero_workers_means_all_cores() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+        // And the mapping still matches serial output.
+        let items: Vec<u64> = (0..500).collect();
+        assert_eq!(par_map(&items, 0, |&x| x * 7), {
+            let s: Vec<u64> = items.iter().map(|&x| x * 7).collect();
+            s
+        });
+    }
+}

@@ -17,7 +17,7 @@ pub mod graph;
 pub mod hindex;
 pub mod pagerank;
 
-pub use centrality::eigenvector_centrality;
+pub use centrality::{eigenvector_centrality, eigenvector_centrality_par};
 pub use graph::DiGraph;
 pub use hindex::{h_index, i_index};
-pub use pagerank::pagerank;
+pub use pagerank::{pagerank, pagerank_par};

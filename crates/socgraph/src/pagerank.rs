@@ -16,6 +16,18 @@ use crate::graph::DiGraph;
 /// `max_iter` rounds. Self-loops are ignored, as in the centrality
 /// computation.
 pub fn pagerank(g: &DiGraph, damping: f64, max_iter: usize) -> Vec<f64> {
+    pagerank_par(g, damping, max_iter, 1)
+}
+
+/// [`pagerank`] with the per-iteration gather split across `workers`
+/// threads (0 = all cores).
+///
+/// Each node pulls `damping · rank[u] / out_strength[u] · w` from its
+/// in-edges — the expression the serial push sweep computes as
+/// `share · w` — in the same ascending-source order ([`DiGraph`] keeps
+/// in-edges sorted by source), so the ranks are **bit-identical** to the
+/// serial result for any worker count.
+pub fn pagerank_par(g: &DiGraph, damping: f64, max_iter: usize, workers: usize) -> Vec<f64> {
     assert!((0.0..1.0).contains(&damping), "damping in [0, 1)");
     let n = g.node_count();
     if n == 0 {
@@ -23,7 +35,6 @@ pub fn pagerank(g: &DiGraph, damping: f64, max_iter: usize) -> Vec<f64> {
     }
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
-    let mut next = vec![0.0; n];
 
     // Precompute out strengths without self-loops.
     let out_strength: Vec<f64> = (0..n as u32)
@@ -44,21 +55,18 @@ pub fn pagerank(g: &DiGraph, damping: f64, max_iter: usize) -> Vec<f64> {
             }
         }
         let base = (1.0 - damping) * uniform + damping * dangling * uniform;
-        next.iter_mut().for_each(|v| *v = base);
-        for u in 0..n as u32 {
-            let s = out_strength[u as usize];
-            if s == 0.0 {
-                continue;
-            }
-            let share = damping * rank[u as usize] / s;
-            for &(v, w) in g.out_edges(u) {
-                if v != u {
-                    next[v as usize] += share * w;
+        let next: Vec<f64> = parkit::par_map_range(n, workers, |v| {
+            let mut acc = base;
+            for &(u, w) in g.in_edges(v as u32) {
+                let s = out_strength[u as usize];
+                if u as usize != v && s != 0.0 {
+                    acc += damping * rank[u as usize] / s * w;
                 }
             }
-        }
+            acc
+        });
         let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-        std::mem::swap(&mut rank, &mut next);
+        rank = next;
         if delta < 1e-10 {
             break;
         }
@@ -130,6 +138,27 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(top_pr, top_ev);
+    }
+
+    /// The bit-identity contract, including dangling nodes (no out-edges).
+    #[test]
+    fn parallel_gather_is_bit_identical_to_serial() {
+        let mut g = DiGraph::with_nodes(300);
+        for i in 0..290u32 {
+            // Leave nodes 290.. dangling.
+            g.add_edge(i, (i * 11 + 2) % 300, 1.0 + f64::from(i % 3));
+        }
+        let serial = pagerank(&g, 0.85, 200);
+        for workers in [2, 3, 7] {
+            let par = pagerank_par(&g, 0.85, 200, workers);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "workers={workers} diverged"
+            );
+        }
     }
 
     #[test]

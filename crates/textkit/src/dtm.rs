@@ -92,8 +92,19 @@ pub struct DocTermMatrix {
 impl DocTermMatrix {
     /// Counts every document through `vocab`.
     pub fn from_docs(vocab: &Vocabulary, docs: &[Vec<String>]) -> DocTermMatrix {
+        Self::from_docs_par(vocab, docs, 1)
+    }
+
+    /// [`Self::from_docs`] across `workers` threads (0 = all cores). Rows
+    /// come back in document order, so the matrix is identical to the
+    /// serial build for any worker count.
+    pub fn from_docs_par(
+        vocab: &Vocabulary,
+        docs: &[Vec<String>],
+        workers: usize,
+    ) -> DocTermMatrix {
         DocTermMatrix {
-            rows: docs.iter().map(|d| vocab.count(d)).collect(),
+            rows: parkit::par_map(docs, workers, |d| vocab.count(d)),
             n_terms: vocab.len(),
         }
     }
@@ -117,11 +128,28 @@ pub struct TfIdf {
 impl TfIdf {
     /// Fits IDF weights from a document-term matrix.
     pub fn fit(dtm: &DocTermMatrix) -> TfIdf {
+        Self::fit_par(dtm, 1)
+    }
+
+    /// [`Self::fit`] across `workers` threads (0 = all cores). Each worker
+    /// accumulates document frequencies over a chunk of rows; the partial
+    /// counts are summed element-wise, so the result is identical to the
+    /// serial fit for any worker count (integer addition commutes).
+    pub fn fit_par(dtm: &DocTermMatrix, workers: usize) -> TfIdf {
         let n = dtm.n_docs() as f64;
+        let partials = parkit::par_map_chunks(&dtm.rows, workers, |rows| {
+            let mut df = vec![0usize; dtm.n_terms];
+            for row in rows {
+                for &(id, _) in row {
+                    df[id] += 1;
+                }
+            }
+            df
+        });
         let mut df = vec![0usize; dtm.n_terms];
-        for row in &dtm.rows {
-            for &(id, _) in row {
-                df[id] += 1;
+        for partial in partials {
+            for (total, d) in df.iter_mut().zip(partial) {
+                *total += d;
             }
         }
         let idf = df
@@ -153,7 +181,13 @@ impl TfIdf {
 
     /// Transforms a whole matrix.
     pub fn transform(&self, dtm: &DocTermMatrix) -> Vec<Vec<(usize, f64)>> {
-        dtm.rows.iter().map(|r| self.transform_row(r)).collect()
+        self.transform_par(dtm, 1)
+    }
+
+    /// [`Self::transform`] across `workers` threads (0 = all cores), rows
+    /// in document order.
+    pub fn transform_par(&self, dtm: &DocTermMatrix, workers: usize) -> Vec<Vec<(usize, f64)>> {
+        parkit::par_map(&dtm.rows, workers, |r| self.transform_row(r))
     }
 }
 
@@ -221,6 +255,30 @@ mod tests {
         for row in tfidf.transform(&dtm) {
             let norm: f64 = row.iter().map(|&(_, x)| x * x).sum::<f64>().sqrt();
             assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+        }
+    }
+
+    /// The worker-count invariance contract: build, fit, and transform
+    /// must produce identical output for any worker count, on a corpus
+    /// large enough to engage the parallel path.
+    #[test]
+    fn parallel_build_fit_transform_match_serial() {
+        let d: Vec<Vec<String>> = (0..300)
+            .map(|i| {
+                let kind = if i % 2 == 0 { "selling" } else { "tutorial" };
+                tokenize_with_stopwords(&format!("pack pics doc{} {kind}", i % 17))
+            })
+            .collect();
+        let v = Vocabulary::build(d.iter().map(|x| x.iter()), 1);
+        let dtm = DocTermMatrix::from_docs(&v, &d);
+        let tfidf = TfIdf::fit(&dtm);
+        let rows = tfidf.transform(&dtm);
+        for workers in [2, 3, 7] {
+            let dtm_p = DocTermMatrix::from_docs_par(&v, &d, workers);
+            assert_eq!(dtm.rows, dtm_p.rows, "workers={workers}");
+            let fit_p = TfIdf::fit_par(&dtm_p, workers);
+            assert_eq!(tfidf.idf, fit_p.idf, "workers={workers}");
+            assert_eq!(rows, tfidf.transform_par(&dtm_p, workers));
         }
     }
 

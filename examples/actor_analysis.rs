@@ -61,7 +61,7 @@ fn main() {
         graph: &graph,
         ce_by_actor: &ce_by_actor,
     };
-    let key = select_key_actors(&inputs, 12);
+    let key = select_key_actors(&inputs, 12, 1);
     println!(
         "\n{} key actors selected across 5 indicators:",
         key.all.len()

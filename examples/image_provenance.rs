@@ -25,6 +25,7 @@ fn main() {
         &world.catalog,
         &world.truth,
         &threads,
+        1,
     );
     println!(
         "{} eWhoring threads; {} classified as offering packs (P={:.2} R={:.2})",

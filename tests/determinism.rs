@@ -43,6 +43,36 @@ fn serialized_report_snapshot_is_byte_identical() {
     }
 }
 
+/// The worker-matrix contract behind `core::par`: the pipeline report is
+/// a pure function of the seed, *not* of the worker count. Every
+/// data-parallel stage reassembles its results in input order (and the
+/// centrality gather is bit-identical to the serial sweep), so the
+/// stripped-timings snapshot must match byte-for-byte across worker
+/// counts — including one that divides nothing evenly.
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    use ewhoring_core::pipeline::{Pipeline, PipelineOptions};
+
+    let world = ewhoring_suite::demo_world(0xD37);
+    let run = |workers: usize| {
+        let report = Pipeline::new(PipelineOptions {
+            k_key_actors: 12,
+            workers,
+            ..PipelineOptions::default()
+        })
+        .run(&world);
+        report_snapshot(&report)
+    };
+    let reference = run(1);
+    for workers in [2, 7] {
+        assert_eq!(
+            run(workers).as_bytes(),
+            reference.as_bytes(),
+            "workers={workers} diverged from the serial report"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let w1 = ewhoring_suite::demo_world(1);
