@@ -11,9 +11,9 @@
 CARGO ?= cargo
 OFFLINE = --offline --locked
 
-.PHONY: verify fmt-check clippy build test bench-build bench
+.PHONY: verify fmt-check clippy build test bench-build bench smoke-resume clean-journal
 
-verify: fmt-check clippy build test bench-build
+verify: fmt-check clippy build test bench-build smoke-resume
 
 fmt-check:
 	$(CARGO) fmt --all -- --check
@@ -39,3 +39,22 @@ bench-build:
 bench:
 	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
 		0.05 --workers 4 --bench-json BENCH_pipeline.json > /dev/null
+
+# Kill-and-resume smoke test over the checkpoint journal: run the first
+# four stages with a journal (simulated crash at the stage boundary),
+# resume the run from the journal, and require the resumed report's
+# determinism snapshot to match a fresh uninterrupted run byte-for-byte.
+smoke-resume:
+	rm -rf .journals/smoke
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		0.02 --journal-dir .journals/smoke --stop-after 4 > /dev/null
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		0.02 --journal-dir .journals/smoke --resume \
+		--snapshot-json .journals/smoke/resumed.json > /dev/null
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		0.02 --snapshot-json .journals/smoke/fresh.json > /dev/null
+	cmp .journals/smoke/resumed.json .journals/smoke/fresh.json
+	rm -rf .journals/smoke
+
+clean-journal:
+	rm -rf .journals

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--workers N] [--bench-json PATH] [--intervention] [--faults SEVERITY]
+//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--workers N] [--bench-json PATH] [--intervention] [--faults SEVERITY] [--corruption SEVERITY] [--journal-dir PATH] [--resume] [--stop-after N] [--snapshot-json PATH]
 //! ```
 //!
 //! `scale` defaults to 0.3 (≈30% of the paper's corpus — same shapes, a
@@ -11,16 +11,29 @@
 //! data-parallel stages (default 4; 0 = all cores — the report itself is
 //! byte-identical either way); `--bench-json` reruns the pipeline at
 //! `workers = 1` and writes a machine-readable baseline (per-stage
-//! `wall_us`, `items`, `items_per_sec` at workers=1 vs workers=N, plus
-//! the aggregate speedup over the parallel stages) to PATH —
-//! conventionally `BENCH_pipeline.json`; `--intervention` appends the §8
-//! countermeasure simulations (shared hash-blacklist + payment
-//! screening); `--faults` enables transient-fault injection in the crawl
-//! stage (`1.0` = calibrated per-site rates; the retry/breaker health
-//! counters land in the crawler-health section next to the stage
-//! timings).
+//! `wall_us`, `items`, `items_per_sec`, and `source` — computed vs
+//! journal-loaded — at workers=1 vs workers=N, plus the aggregate
+//! speedup over the parallel stages and the run's quarantined-record
+//! count) to PATH — conventionally `BENCH_pipeline.json`;
+//! `--intervention` appends the §8 countermeasure simulations (shared
+//! hash-blacklist + payment screening); `--faults` enables
+//! transient-fault injection in the crawl stage (`1.0` = calibrated
+//! per-site rates); `--corruption` enables input-corruption injection
+//! (`1.0` = calibrated per-kind rates; corrupt records land in the
+//! quarantine ledger and the pipeline-health report section, never a
+//! panic).
+//!
+//! Checkpointing: `--journal-dir PATH` journals every completed stage
+//! under `PATH/run-<key>` (the key hashes the world config + pipeline
+//! options, so unrelated runs never collide). By default the run dir is
+//! cleared first; `--resume` keeps it and loads the journaled prefix
+//! instead of recomputing it — the final report is byte-identical to an
+//! uninterrupted run. `--stop-after N` exits after N stages (simulating
+//! a crash at a stage boundary) without printing a report.
+//! `--snapshot-json PATH` writes the report minus wall-clock timings —
+//! the determinism snapshot two runs can be `cmp`'d on.
 
-use ewhoring_core::pipeline::{Pipeline, PipelineOptions, StageTiming};
+use ewhoring_core::pipeline::{Journal, Pipeline, PipelineOptions, StageTiming, TimingSource};
 use ewhoring_core::report::full_report;
 use std::time::Instant;
 use worldgen::{World, WorldConfig};
@@ -31,9 +44,14 @@ fn main() {
     let mut seed = 0xE400_2019u64;
     let mut json_path: Option<String> = None;
     let mut bench_json_path: Option<String> = None;
+    let mut snapshot_json_path: Option<String> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut resume = false;
+    let mut stop_after: Option<usize> = None;
     let mut workers = 4usize;
     let mut with_intervention = false;
     let mut fault_severity = 0.0f64;
+    let mut corruption_severity = 0.0f64;
     let mut positional = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -43,6 +61,27 @@ fn main() {
         }
         if arg == "--bench-json" {
             bench_json_path = it.next().cloned();
+            continue;
+        }
+        if arg == "--snapshot-json" {
+            snapshot_json_path = it.next().cloned();
+            continue;
+        }
+        if arg == "--journal-dir" {
+            journal_dir = it.next().cloned();
+            continue;
+        }
+        if arg == "--resume" {
+            resume = true;
+            continue;
+        }
+        if arg == "--stop-after" {
+            stop_after = Some(
+                it.next()
+                    .expect("--stop-after takes a stage count")
+                    .parse()
+                    .expect("stage count must be an integer"),
+            );
             continue;
         }
         if arg == "--workers" {
@@ -63,6 +102,14 @@ fn main() {
                 .expect("--faults takes a severity")
                 .parse()
                 .expect("fault severity must be a float");
+            continue;
+        }
+        if arg == "--corruption" {
+            corruption_severity = it
+                .next()
+                .expect("--corruption takes a severity")
+                .parse()
+                .expect("corruption severity must be a float");
             continue;
         }
         match positional {
@@ -98,10 +145,49 @@ fn main() {
         k_key_actors: k,
         workers,
         fault_severity,
+        corruption_severity,
         ..PipelineOptions::default()
     };
     let t = Instant::now();
-    let report = Pipeline::new(options).run(&world);
+    let report = if let Some(dir) = &journal_dir {
+        let dir = std::path::Path::new(dir);
+        if !resume {
+            // A fresh (non-resume) run must never trust leftover
+            // checkpoints for this run key.
+            let journal =
+                Journal::open(dir, &world.config, &options).expect("open checkpoint journal");
+            journal.clear().expect("clear checkpoint journal");
+        }
+        let pipe = Pipeline::new(options);
+        if let Some(n) = stop_after {
+            // Simulated crash: run (and checkpoint) the first N stages,
+            // then exit at the stage boundary without a report.
+            let ctx = pipe
+                .run_prefix_resumable(&world, n, dir)
+                .expect("prefix run");
+            eprintln!(
+                "stopped after {} stage(s); journal under {}",
+                ctx.timings()
+                    .iter()
+                    .filter(|t| t.stage != "journal")
+                    .count(),
+                dir.display()
+            );
+            for t in ctx.timings() {
+                eprintln!(
+                    "  {:<16} {:>9.1} ms  {:>8} items  [{}]",
+                    t.stage,
+                    t.wall_us as f64 / 1_000.0,
+                    t.items,
+                    t.source.as_str()
+                );
+            }
+            return;
+        }
+        pipe.run_resumable(&world, dir).expect("resumable run")
+    } else {
+        Pipeline::new(options).run(&world)
+    };
     eprintln!("pipeline finished in {:.1?}", t.elapsed());
     for t in &report.timings {
         let per_sec = if t.wall_us > 0 {
@@ -110,11 +196,19 @@ fn main() {
             0.0
         };
         eprintln!(
-            "  {:<16} {:>9.1} ms  {:>8} items  {:>12.0} items/s",
+            "  {:<16} {:>9.1} ms  {:>8} items  {:>12.0} items/s  [{}]",
             t.stage,
             t.wall_us as f64 / 1_000.0,
             t.items,
-            per_sec
+            per_sec,
+            t.source.as_str()
+        );
+    }
+    if !report.quarantine.is_empty() || !report.health.is_empty() {
+        eprintln!(
+            "  quarantine: {} record(s) quarantined, {} stage intervention(s) — see the pipeline-health section",
+            report.quarantine.len(),
+            report.health.len()
         );
     }
     let cs = &report.crawl_stats;
@@ -140,6 +234,19 @@ fn main() {
         eprintln!("raw report written to {path}");
     }
 
+    if let Some(path) = snapshot_json_path {
+        // The determinism snapshot: the full report minus wall-clock
+        // timings, so two runs (resumed vs uninterrupted, any worker
+        // count) can be compared byte-for-byte.
+        let mut value = serde_json::to_value(&report).expect("serialise report");
+        if let Some(obj) = value.as_object_mut() {
+            obj.remove("timings");
+        }
+        let json = serde_json::to_string_pretty(&value).expect("render snapshot");
+        std::fs::write(&path, json).expect("write snapshot JSON");
+        eprintln!("determinism snapshot written to {path}");
+    }
+
     if let Some(path) = bench_json_path {
         eprintln!("bench baseline: rerunning pipeline at workers=1 …");
         let t = Instant::now();
@@ -149,7 +256,14 @@ fn main() {
         })
         .run(&world);
         eprintln!("serial run finished in {:.1?}", t.elapsed());
-        let json = bench_baseline_json(scale, seed, workers, &serial.timings, &report.timings);
+        let json = bench_baseline_json(
+            scale,
+            seed,
+            workers,
+            &serial.timings,
+            &report.timings,
+            report.quarantine.len(),
+        );
         std::fs::write(&path, json).expect("write bench baseline");
         eprintln!("bench baseline written to {path}");
     }
@@ -168,11 +282,15 @@ fn items_per_sec(t: &StageTiming) -> f64 {
     }
 }
 
-/// Aggregate items/sec over the parallel stages of one run.
+/// Aggregate items/sec over the parallel stages of one run. Only
+/// computed stages count — a journal-loaded stage's wall clock measures
+/// deserialization, not stage work, and would corrupt the speedup.
 fn aggregate_items_per_sec(timings: &[StageTiming]) -> f64 {
     let (items, wall_us) = timings
         .iter()
-        .filter(|t| PARALLEL_STAGES.contains(&t.stage.as_str()))
+        .filter(|t| {
+            PARALLEL_STAGES.contains(&t.stage.as_str()) && t.source == TimingSource::Computed
+        })
         .fold((0usize, 0u128), |(i, w), t| (i + t.items, w + t.wall_us));
     if wall_us > 0 {
         items as f64 / (wall_us as f64 / 1_000_000.0)
@@ -182,15 +300,19 @@ fn aggregate_items_per_sec(timings: &[StageTiming]) -> f64 {
 }
 
 /// Renders the machine-readable `BENCH_pipeline.json` baseline: per-stage
-/// `wall_us`, `items`, and `items_per_sec` at workers=1 vs workers=N,
-/// plus the aggregate speedup over [`PARALLEL_STAGES`]. Hand-assembled so
-/// the schema is explicit in one place.
+/// `wall_us`, `items`, `items_per_sec`, and `source` (computed vs
+/// journal-loaded — a loaded stage's wall clock is I/O, not stage work,
+/// and must never be read as a compute baseline) at workers=1 vs
+/// workers=N, plus the aggregate speedup over [`PARALLEL_STAGES`] and the
+/// run's quarantined-record count. Hand-assembled so the schema is
+/// explicit in one place.
 fn bench_baseline_json(
     scale: f64,
     seed: u64,
     workers: usize,
     serial: &[StageTiming],
     parallel: &[StageTiming],
+    quarantined_records: usize,
 ) -> String {
     use std::fmt::Write as _;
 
@@ -203,11 +325,12 @@ fn bench_baseline_json(
         for (i, t) in timings.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "        {{ \"stage\": \"{}\", \"wall_us\": {}, \"items\": {}, \"items_per_sec\": {:.1} }}{}",
+                "        {{ \"stage\": \"{}\", \"wall_us\": {}, \"items\": {}, \"items_per_sec\": {:.1}, \"source\": \"{}\" }}{}",
                 t.stage,
                 t.wall_us,
                 t.items,
                 items_per_sec(t),
+                t.source.as_str(),
                 if i + 1 < timings.len() { "," } else { "" }
             );
         }
@@ -228,7 +351,7 @@ fn bench_baseline_json(
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     format!(
-        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"available_parallelism\": {cores},\n  \"parallel_stages\": [{}],\n  \"runs\": [\n{},\n{}\n  ],\n  \"aggregate_speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"available_parallelism\": {cores},\n  \"quarantined_records\": {quarantined_records},\n  \"parallel_stages\": [{}],\n  \"runs\": [\n{},\n{}\n  ],\n  \"aggregate_speedup\": {speedup:.2}\n}}\n",
         PARALLEL_STAGES
             .iter()
             .map(|s| format!("\"{s}\""))

@@ -1,0 +1,379 @@
+//! Seeded input-corruption injection and the quarantine ledger.
+//!
+//! Real collection pipelines ingest adversarial, messy data: truncated
+//! database rows, headings with broken encodings, corrupt archives,
+//! amounts that parse to NaN. [`CorruptionPlan`] injects exactly those
+//! defects deterministically — it mirrors [`websim::faults::FaultPlan`]:
+//! a seed plus a severity multiplier, with every decision a pure
+//! stateless draw over the record's stable key. Severity `0.0`
+//! (the default) disables injection entirely and the pipeline is
+//! byte-identical to the uncorrupted build.
+//!
+//! Stages do not panic on a corrupt record; they drop it into the
+//! [`QuarantineLedger`] (stage, record key, error kind) and continue on
+//! the surviving data. The ledger is an artifact: it rides through the
+//! journal, the [`PipelineReport`], the text report's pipeline-health
+//! section, and the bench JSON.
+//!
+//! [`PipelineReport`]: super::PipelineReport
+
+use crimebb::ThreadId;
+use serde::{Deserialize, Serialize};
+use synthrand::splitmix64;
+
+/// What was wrong with a quarantined record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecordErrorKind {
+    /// A forum row cut short mid-field (lost in the dump).
+    TruncatedRow,
+    /// A forum row whose fields do not parse.
+    MalformedRow,
+    /// A thread heading that is not valid UTF-8.
+    InvalidUtf8Heading,
+    /// Image bytes that do not decode.
+    CorruptImageBytes,
+    /// A numeric input that produced a non-finite value.
+    NonFiniteFeature,
+}
+
+impl RecordErrorKind {
+    /// Short label for report rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecordErrorKind::TruncatedRow => "truncated row",
+            RecordErrorKind::MalformedRow => "malformed row",
+            RecordErrorKind::InvalidUtf8Heading => "invalid UTF-8 heading",
+            RecordErrorKind::CorruptImageBytes => "corrupt image bytes",
+            RecordErrorKind::NonFiniteFeature => "non-finite feature",
+        }
+    }
+}
+
+/// One quarantined record: which stage dropped it, its stable key, and
+/// why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Stage that quarantined the record.
+    pub stage: String,
+    /// Stable record key (e.g. `thread/1234`, `preview/3/https://…`).
+    pub record: String,
+    /// What was wrong with it.
+    pub kind: RecordErrorKind,
+}
+
+/// Append-only ledger of per-record failures, in quarantine order.
+///
+/// Deterministic in the pipeline seed: the same seed and severity
+/// produce the same entries in the same order, for any worker count
+/// (every quarantine decision happens in a serial stage section).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineLedger {
+    entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineLedger {
+    /// An empty ledger.
+    pub fn new() -> QuarantineLedger {
+        QuarantineLedger::default()
+    }
+
+    /// Records one quarantined record.
+    pub fn record(&mut self, stage: &str, record: String, kind: RecordErrorKind) {
+        self.entries.push(QuarantineEntry {
+            stage: stage.to_string(),
+            record,
+            kind,
+        });
+    }
+
+    /// Appends an already-built entry (journal restore).
+    pub(crate) fn push(&mut self, entry: QuarantineEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Drops every entry from `len` on (stage-retry rollback).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
+    /// All entries, in quarantine order.
+    pub fn entries(&self) -> &[QuarantineEntry] {
+        &self.entries
+    }
+
+    /// Number of quarantined records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(stage, kind) → count`, sorted, for report rendering.
+    pub fn counts(&self) -> Vec<((String, RecordErrorKind), usize)> {
+        let mut map: std::collections::BTreeMap<(String, RecordErrorKind), usize> =
+            std::collections::BTreeMap::new();
+        for e in &self.entries {
+            *map.entry((e.stage.clone(), e.kind)).or_insert(0) += 1;
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// Per-record corruption rates at severity `1.0`, calibrated so a
+/// test-scale world quarantines a handful of records per kind without
+/// hollowing out any stage's input.
+mod rates {
+    /// A thread row truncated mid-field.
+    pub const TRUNCATED_ROW: f64 = 0.004;
+    /// A thread row that does not parse.
+    pub const MALFORMED_ROW: f64 = 0.004;
+    /// A heading byte overwritten with a non-UTF-8 byte.
+    pub const MANGLED_HEADING: f64 = 0.003;
+    /// A downloaded image whose bytes do not decode.
+    pub const CORRUPT_IMAGE: f64 = 0.012;
+    /// A classifier feature input that evaluates to NaN.
+    pub const FEATURE_NOISE: f64 = 0.006;
+    /// A proof amount that converts to NaN.
+    pub const PROOF_NAN: f64 = 0.02;
+}
+
+/// A seeded, deterministic input-corruption plan.
+///
+/// `severity` scales every per-record rate: `0.0` disables injection
+/// entirely (byte-identical to the uncorrupted pipeline), `1.0` is the
+/// calibrated rate, larger values stress-test degradation. Every
+/// decision is a pure draw over `(seed, record key, salt)` — no state,
+/// no ordering sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionPlan {
+    seed: u64,
+    severity: f64,
+}
+
+impl CorruptionPlan {
+    /// A plan that never corrupts anything.
+    pub fn disabled() -> CorruptionPlan {
+        CorruptionPlan {
+            seed: 0,
+            severity: 0.0,
+        }
+    }
+
+    /// A plan with an explicit severity multiplier (clamped to `>= 0`).
+    pub fn with_severity(seed: u64, severity: f64) -> CorruptionPlan {
+        CorruptionPlan {
+            seed,
+            severity: severity.max(0.0),
+        }
+    }
+
+    /// True when the plan can corrupt records at all.
+    pub fn is_enabled(&self) -> bool {
+        self.severity > 0.0
+    }
+
+    /// The severity multiplier.
+    pub fn severity(&self) -> f64 {
+        self.severity
+    }
+
+    /// Deterministic 64-bit draw for `(key, salt)`.
+    fn draw(&self, key: &str, salt: u64) -> u64 {
+        let mut state = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut acc = splitmix64(&mut state);
+        for b in key.bytes() {
+            state ^= u64::from(b).wrapping_mul(0x0100_0000_01B3);
+            acc ^= splitmix64(&mut state);
+        }
+        acc ^ splitmix64(&mut state)
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for `(key, salt)`.
+    fn unit(&self, key: &str, salt: u64) -> f64 {
+        (self.draw(key, salt) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether an event at base `rate` fires for `(key, salt)`.
+    fn fires(&self, key: &str, salt: u64, rate: f64) -> bool {
+        self.is_enabled() && self.unit(key, salt) < (rate * self.severity).min(1.0)
+    }
+
+    /// Row-level damage to one extracted thread record, if any.
+    /// Truncation and malformation are mutually exclusive (cumulative
+    /// draw, like the fault plan's transient-fault selection).
+    pub fn thread_row(&self, t: ThreadId) -> Option<RecordErrorKind> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let key = format!("thread/{}", t.0);
+        let u = self.unit(&key, 0x7B0B);
+        let mut cum = 0.0;
+        for (rate, kind) in [
+            (rates::TRUNCATED_ROW, RecordErrorKind::TruncatedRow),
+            (rates::MALFORMED_ROW, RecordErrorKind::MalformedRow),
+        ] {
+            cum += rate * self.severity;
+            if u < cum.min(1.0) {
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Mangled heading bytes for thread `t`, if the plan damages it:
+    /// one byte overwritten with `0xFF` (never valid in UTF-8). Returns
+    /// `None` when the heading survives or is empty. Callers must still
+    /// run a real `std::str::from_utf8` check — the corruption is
+    /// injected at the byte level, not assumed invalid.
+    pub fn mangled_heading(&self, t: ThreadId, heading: &str) -> Option<Vec<u8>> {
+        if heading.is_empty() {
+            return None;
+        }
+        let key = format!("heading/{}", t.0);
+        if !self.fires(&key, 0x4EAD, rates::MANGLED_HEADING) {
+            return None;
+        }
+        let mut bytes = heading.as_bytes().to_vec();
+        let idx = (self.draw(&key, 0x4EAE) as usize) % bytes.len();
+        bytes[idx] = 0xFF;
+        Some(bytes)
+    }
+
+    /// Whether the downloaded image at `key` has corrupt bytes.
+    pub fn image_corrupt(&self, key: &str) -> bool {
+        self.fires(key, 0x13A6, rates::CORRUPT_IMAGE)
+    }
+
+    /// Additive noise on thread `t`'s classifier feature vector: `0.0`
+    /// (clean) or NaN (a corrupt numeric input propagated).
+    pub fn feature_noise(&self, t: ThreadId) -> f64 {
+        let key = format!("feature/{}", t.0);
+        if self.fires(&key, 0xF10A, rates::FEATURE_NOISE) {
+            f64::NAN
+        } else {
+            0.0
+        }
+    }
+
+    /// Multiplier on the `index`-th harvested proof's USD amount: `1.0`
+    /// (clean, bit-exact) or NaN (a corrupt exchange rate).
+    pub fn proof_multiplier(&self, index: usize) -> f64 {
+        let key = format!("proof/{index}");
+        if self.fires(&key, 0x90F5, rates::PROOF_NAN) {
+            f64::NAN
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_corrupts() {
+        let plan = CorruptionPlan::disabled();
+        for i in 0..5_000u32 {
+            let t = ThreadId(i);
+            assert_eq!(plan.thread_row(t), None);
+            assert_eq!(plan.mangled_heading(t, "free ewhore pack"), None);
+            assert!(!plan.image_corrupt(&format!("preview/{i}/x")));
+            assert_eq!(plan.feature_noise(t), 0.0);
+            assert_eq!(plan.proof_multiplier(i as usize), 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_severity_equals_disabled_for_any_seed() {
+        let plan = CorruptionPlan::with_severity(0xDEAD_BEEF, 0.0);
+        assert!(!plan.is_enabled());
+        for i in 0..1_000u32 {
+            assert_eq!(plan.thread_row(ThreadId(i)), None);
+            assert!(!plan.image_corrupt(&format!("pack/{i}/0")));
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let a = CorruptionPlan::with_severity(7, 1.0);
+        let b = CorruptionPlan::with_severity(7, 1.0);
+        let c = CorruptionPlan::with_severity(8, 1.0);
+        let hits = |p: &CorruptionPlan| -> Vec<u32> {
+            (0..20_000u32)
+                .filter(|&i| p.thread_row(ThreadId(i)).is_some())
+                .collect()
+        };
+        assert_eq!(hits(&a), hits(&b), "same seed, same plan");
+        assert_ne!(hits(&a), hits(&c), "different seed, different plan");
+        assert!(!hits(&a).is_empty(), "calibrated rate fires at scale");
+    }
+
+    #[test]
+    fn severity_scales_hit_rate() {
+        let lo = CorruptionPlan::with_severity(3, 0.5);
+        let hi = CorruptionPlan::with_severity(3, 4.0);
+        let count = |p: &CorruptionPlan| {
+            (0..20_000u32)
+                .filter(|&i| p.image_corrupt(&format!("img/{i}")))
+                .count()
+        };
+        assert!(count(&hi) > count(&lo));
+    }
+
+    #[test]
+    fn mangled_headings_fail_a_real_utf8_check() {
+        let plan = CorruptionPlan::with_severity(11, 100.0);
+        let mut mangled = 0;
+        for i in 0..200u32 {
+            if let Some(bytes) = plan.mangled_heading(ThreadId(i), "selling my pack") {
+                assert!(std::str::from_utf8(&bytes).is_err(), "0xFF is never UTF-8");
+                mangled += 1;
+            }
+        }
+        assert!(mangled > 0, "severity 100 mangles at least one heading");
+        assert_eq!(
+            plan.mangled_heading(ThreadId(0), ""),
+            None,
+            "empty headings cannot be mangled"
+        );
+    }
+
+    #[test]
+    fn ledger_counts_group_by_stage_and_kind() {
+        let mut ledger = QuarantineLedger::new();
+        ledger.record("extract", "thread/1".into(), RecordErrorKind::TruncatedRow);
+        ledger.record("extract", "thread/2".into(), RecordErrorKind::TruncatedRow);
+        ledger.record(
+            "crawl",
+            "preview/0/x".into(),
+            RecordErrorKind::CorruptImageBytes,
+        );
+        assert_eq!(ledger.len(), 3);
+        let counts = ledger.counts();
+        assert_eq!(
+            counts,
+            vec![
+                (("crawl".to_string(), RecordErrorKind::CorruptImageBytes), 1),
+                (("extract".to_string(), RecordErrorKind::TruncatedRow), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let mut ledger = QuarantineLedger::new();
+        ledger.record(
+            "finance",
+            "proof/3".into(),
+            RecordErrorKind::NonFiniteFeature,
+        );
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: QuarantineLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ledger);
+    }
+}

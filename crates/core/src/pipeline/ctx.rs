@@ -5,7 +5,11 @@
 //! leaves later slots `None` and [`StageCtx::into_report`] reports
 //! exactly which artifact is missing.
 
-use super::{ForumRow, ImageFunnel, PipelineOptions, PipelineReport, SafetyFindings, StageTiming};
+use super::corruption::{CorruptionPlan, QuarantineLedger};
+use super::{
+    ForumRow, ImageFunnel, PipelineOptions, PipelineReport, SafetyFindings, StageHealth,
+    StageTiming,
+};
 use crate::actors::{CohortRow, GroupProfile, InterestEvolution, KeyActors};
 use crate::crawl::{CrawlResult, CrawlStats};
 use crate::extract::EwhoringSet;
@@ -23,12 +27,92 @@ use synthrand::Day;
 use worldgen::World;
 
 /// Why a stage (or report assembly) could not proceed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum StageError {
     /// A required artifact was never produced — the stage that writes it
     /// did not run (e.g. a prefix run stopped too early).
     MissingArtifact(&'static str),
+    /// An I/O operation failed (journal read/write). Carries the
+    /// underlying [`std::io::Error`] behind an `Arc` so the variant stays
+    /// `Clone`; [`std::error::Error::source`] exposes it for chaining.
+    Io {
+        /// What the pipeline was doing (path and operation).
+        context: String,
+        /// The underlying I/O error.
+        source: std::sync::Arc<std::io::Error>,
+    },
+    /// A journaled or in-flight artifact failed validation (bad
+    /// checksum, unparseable payload, stale run key, inconsistent
+    /// cross-references).
+    CorruptArtifact {
+        /// The file or artifact that failed validation.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A stage quarantined every record it was given — there is nothing
+    /// left to measure, so proceeding would silently report an empty
+    /// world as a finding.
+    Quarantined {
+        /// The stage that ran out of clean records.
+        stage: &'static str,
+        /// How many records it quarantined.
+        records: usize,
+    },
 }
+
+impl StageError {
+    /// Wraps an I/O failure with its operation context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> StageError {
+        StageError::Io {
+            context: context.into(),
+            source: std::sync::Arc::new(source),
+        }
+    }
+}
+
+// Manual impl: `std::io::Error` is not `PartialEq`, so the `Io` variant
+// compares context plus error kind (enough for test assertions).
+impl PartialEq for StageError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (StageError::MissingArtifact(a), StageError::MissingArtifact(b)) => a == b,
+            (
+                StageError::Io {
+                    context: ca,
+                    source: sa,
+                },
+                StageError::Io {
+                    context: cb,
+                    source: sb,
+                },
+            ) => ca == cb && sa.kind() == sb.kind(),
+            (
+                StageError::CorruptArtifact {
+                    path: pa,
+                    reason: ra,
+                },
+                StageError::CorruptArtifact {
+                    path: pb,
+                    reason: rb,
+                },
+            ) => pa == pb && ra == rb,
+            (
+                StageError::Quarantined {
+                    stage: sa,
+                    records: ra,
+                },
+                StageError::Quarantined {
+                    stage: sb,
+                    records: rb,
+                },
+            ) => sa == sb && ra == rb,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for StageError {}
 
 impl fmt::Display for StageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -39,11 +123,30 @@ impl fmt::Display for StageError {
                     "missing artifact `{name}`: the stage producing it has not run"
                 )
             }
+            StageError::Io { context, source } => {
+                write!(f, "I/O failure while {context}: {source}")
+            }
+            StageError::CorruptArtifact { path, reason } => {
+                write!(f, "corrupt artifact `{path}`: {reason}")
+            }
+            StageError::Quarantined { stage, records } => {
+                write!(
+                    f,
+                    "stage `{stage}` quarantined all {records} of its records: nothing left to measure"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for StageError {}
+impl std::error::Error for StageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StageError::Io { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Which crawl product an image came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -99,24 +202,44 @@ impl MeasuredImages {
     /// Re-splits one flat measurement batch (previews first, then every
     /// pack in order) back into its sources. Panics if the lengths do not
     /// add up — that would mean the batch dropped or invented images.
+    /// Prefer [`MeasuredImages::try_from_flat`] in stage code.
     pub fn from_flat(
         flat: Vec<ImageMeasures>,
         n_previews: usize,
         pack_lens: &[usize],
     ) -> MeasuredImages {
+        match Self::try_from_flat(flat, n_previews, pack_lens) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible re-split: a length mismatch is reported as a
+    /// [`StageError::CorruptArtifact`] instead of a panic, so the driver
+    /// can retry or surface the failure in the run report.
+    pub fn try_from_flat(
+        flat: Vec<ImageMeasures>,
+        n_previews: usize,
+        pack_lens: &[usize],
+    ) -> Result<MeasuredImages, StageError> {
         let expected = n_previews + pack_lens.iter().sum::<usize>();
-        assert_eq!(
-            flat.len(),
-            expected,
-            "flat measure batch must cover previews + all pack images"
-        );
+        if flat.len() != expected {
+            return Err(StageError::CorruptArtifact {
+                path: "measures/flat".to_string(),
+                reason: format!(
+                    "flat measure batch must cover previews + all pack images: \
+                     got {}, expected {expected}",
+                    flat.len()
+                ),
+            });
+        }
         let mut rest = flat.into_iter();
         let previews = rest.by_ref().take(n_previews).collect();
         let packs = pack_lens
             .iter()
             .map(|&len| rest.by_ref().take(len).collect())
             .collect();
-        MeasuredImages { previews, packs }
+        Ok(MeasuredImages { previews, packs })
     }
 
     /// Total images measured.
@@ -149,7 +272,7 @@ impl MeasuredImages {
 }
 
 /// Measures that survived safety deletions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KeptImages {
     /// Surviving previews with their original refs (`source == Preview`),
     /// so the crawl metadata (post date, link) stays addressable.
@@ -208,8 +331,16 @@ pub struct StageCtx<'w> {
     /// the TOP-classifier stage draws from it, so streams match the
     /// pre-stage-graph pipeline exactly.
     pub rng: StdRng,
+    /// The run's input-corruption plan, seeded from `options.seed` via
+    /// the `pipeline/corruption` sub-seed and scaled by
+    /// `options.corruption_severity`. Inert at severity `0.0`.
+    pub corruption: CorruptionPlan,
+    /// Per-record failures quarantined so far. Stages push entries via
+    /// [`QuarantineLedger::record`] instead of panicking on bad input.
+    pub ledger: QuarantineLedger,
     pub(super) timings: Vec<StageTiming>,
     pub(super) items: usize,
+    pub(super) health: Vec<StageHealth>,
 
     // ---- artifacts, in production order ----
     /// Stage `extract`: the extraction set (§3).
@@ -331,8 +462,14 @@ impl<'w> StageCtx<'w> {
             world,
             options,
             rng: synthrand::rng_from_seed(options.seed),
+            corruption: CorruptionPlan::with_severity(
+                synthrand::SeedFactory::new(options.seed).seed_for("pipeline/corruption"),
+                options.corruption_severity,
+            ),
+            ledger: QuarantineLedger::new(),
             timings: Vec::new(),
             items: 0,
+            health: Vec::new(),
             extraction: None,
             all_threads: None,
             topcls: None,
@@ -375,6 +512,12 @@ impl<'w> StageCtx<'w> {
         &self.timings
     }
 
+    /// Stage-health events recorded so far (recovered retries,
+    /// degradations). Empty on a clean run.
+    pub fn health(&self) -> &[StageHealth] {
+        &self.health
+    }
+
     /// Assembles the final [`PipelineReport`], consuming the context.
     /// Errors with the first missing artifact if only a prefix ran.
     pub fn into_report(self) -> Result<PipelineReport, StageError> {
@@ -401,6 +544,8 @@ impl<'w> StageCtx<'w> {
             key_actors: take!(key_actors),
             group_profiles: take!(group_profiles),
             interests: take!(interests),
+            quarantine: self.ledger,
+            health: self.health,
             timings: self.timings,
         })
     }

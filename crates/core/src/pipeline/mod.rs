@@ -26,13 +26,28 @@
 //! [`crate::par`], which reassembles results in input order — so the
 //! report is byte-identical for any `PipelineOptions::workers` value
 //! (enforced by the worker-matrix test in `tests/determinism.rs`).
+//!
+//! The execution layer is crash-tolerant: [`Pipeline::run_resumable`]
+//! journals every completed stage's artifacts to disk ([`journal`]) and
+//! resumes a killed run from the last completed stage boundary,
+//! byte-identical to an uninterrupted run. Input corruption is injected
+//! deterministically by a [`corruption::CorruptionPlan`] at
+//! `PipelineOptions::corruption_severity`; stages quarantine corrupt
+//! records into a [`corruption::QuarantineLedger`] instead of
+//! panicking, and the driver retries a failed stage once before asking
+//! it to degrade ([`Stage::degrade`]).
+#![deny(clippy::unwrap_used)]
 
+pub mod corruption;
 pub mod ctx;
+pub mod journal;
 pub mod stages;
 
+pub use corruption::{CorruptionPlan, QuarantineEntry, QuarantineLedger, RecordErrorKind};
 pub use ctx::{
     apply_deletions, ImageRef, ImageSource, KeptImages, MeasuredImages, StageCtx, StageError,
 };
+pub use journal::Journal;
 pub use stages::measure::measure_batch;
 
 use crate::actors::{CohortRow, GroupProfile, InterestEvolution, KeyActors};
@@ -64,6 +79,14 @@ pub struct PipelineOptions {
     /// rates, and large values simulate a total outage. The fault plan's
     /// seed derives from `seed`, so runs stay reproducible.
     pub fault_severity: f64,
+    /// Input-corruption severity: `0.0` (default) disables injection —
+    /// output is then byte-identical to the uncorrupted pipeline —
+    /// `1.0` mangles records at the calibrated per-kind rates
+    /// (truncated/malformed forum rows, invalid-UTF-8 headings, corrupt
+    /// image bytes, NaN feature inputs). Corrupt records land in the
+    /// quarantine ledger instead of aborting the run. The plan's seed
+    /// derives from `seed`, so runs stay reproducible.
+    pub corruption_severity: f64,
 }
 
 impl Default for PipelineOptions {
@@ -73,6 +96,7 @@ impl Default for PipelineOptions {
             k_key_actors: 50,
             workers: 0,
             fault_severity: 0.0,
+            corruption_severity: 0.0,
         }
     }
 }
@@ -120,6 +144,28 @@ pub struct ImageFunnel {
     pub previews_nsfv: usize,
 }
 
+/// How a stage's result entered the run: computed in-process, or loaded
+/// back from the checkpoint journal. Bench baselines must never
+/// conflate the two — a journal load is measured I/O, not stage work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingSource {
+    /// The stage executed in this process.
+    Computed,
+    /// The stage's artifacts were loaded from the checkpoint journal
+    /// (also used for the journal-overhead bookkeeping row itself).
+    Journal,
+}
+
+impl TimingSource {
+    /// Lower-case label for machine-readable output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TimingSource::Computed => "computed",
+            TimingSource::Journal => "journal",
+        }
+    }
+}
+
 /// Wall-clock and throughput for one executed stage.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageTiming {
@@ -129,6 +175,30 @@ pub struct StageTiming {
     pub wall_us: u128,
     /// Items the stage processed (threads, images, packs — per stage).
     pub items: usize,
+    /// Whether the stage was computed or journal-loaded.
+    pub source: TimingSource,
+}
+
+/// Post-mortem status of a stage the driver had to intervene on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageStatus {
+    /// The stage failed once and succeeded on the driver's retry.
+    Recovered,
+    /// The stage failed twice and wrote degraded (partial or default)
+    /// artifacts via [`Stage::degrade`] so downstream stages could run.
+    Degraded,
+}
+
+/// One stage-health event. Only stages the driver intervened on appear
+/// here — a clean run has an empty health list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageHealth {
+    /// The stage concerned.
+    pub stage: String,
+    /// What the driver did.
+    pub status: StageStatus,
+    /// The triggering error, rendered.
+    pub detail: String,
 }
 
 /// Per-stage timings for a (possibly prefix) pipeline run.
@@ -171,6 +241,13 @@ pub struct PipelineReport {
     pub group_profiles: Vec<GroupProfile>,
     /// Figure 5.
     pub interests: InterestEvolution,
+    /// Per-record failures quarantined during the run. Deterministic in
+    /// the seed (unlike `timings`); empty at `corruption_severity 0.0`
+    /// on clean inputs.
+    pub quarantine: corruption::QuarantineLedger,
+    /// Stage-health events (recovered retries, degradations). Empty on
+    /// a clean run.
+    pub health: Vec<StageHealth>,
     /// Wall-clock + throughput per executed stage.
     pub timings: StageTimings,
 }
@@ -186,6 +263,16 @@ pub trait Stage {
     fn name(&self) -> &'static str;
     /// Runs the stage against `ctx`.
     fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError>;
+    /// Last-resort degradation: after [`Stage::run`] failed twice, a
+    /// non-critical stage may write partial or default artifacts so
+    /// downstream stages can still run, returning `true`. The default
+    /// (`false`) propagates the error — correct for stages whose
+    /// artifacts every later stage depends on. Implementations must not
+    /// degrade on [`StageError::MissingArtifact`]: that is a broken
+    /// graph, not broken data.
+    fn degrade(&self, _ctx: &mut StageCtx<'_>, _cause: &StageError) -> bool {
+        false
+    }
 }
 
 /// The pipeline runner: a thin driver over the stage graph.
@@ -223,24 +310,153 @@ impl Pipeline {
         Ok(ctx)
     }
 
-    /// Executes one stage, recording its timing into the context.
+    /// Runs every stage with a checkpoint journal under `journal_dir`:
+    /// already-journaled stages are loaded instead of re-executed, every
+    /// computed stage is checkpointed on completion. A run killed at any
+    /// stage boundary resumes here to a report byte-identical (modulo
+    /// wall-clock timings) to an uninterrupted run — the ledger, health
+    /// events, and item counts are journaled along with the artifacts.
+    pub fn run_resumable(
+        &self,
+        world: &World,
+        journal_dir: &std::path::Path,
+    ) -> Result<PipelineReport, StageError> {
+        self.run_prefix_resumable(world, usize::MAX, journal_dir)?
+            .into_report()
+    }
+
+    /// [`Pipeline::run_prefix`] with a checkpoint journal: loads the
+    /// longest journaled prefix, computes (and checkpoints) the rest.
+    /// Journal records are validated on load — a checksum or run-key
+    /// mismatch falls back to recomputation, never to silent reuse.
+    pub fn run_prefix_resumable<'w>(
+        &self,
+        world: &'w World,
+        n: usize,
+        journal_dir: &std::path::Path,
+    ) -> Result<StageCtx<'w>, StageError> {
+        let journal = Journal::open(journal_dir, &world.config, &self.options)?;
+        let mut ctx = StageCtx::new(world, self.options);
+        let mut journal_us: u128 = 0;
+        let mut journal_ops: usize = 0;
+        // Only a *contiguous* journaled prefix is trusted: past the
+        // first miss every later stage is recomputed and overwritten,
+        // because its inputs may no longer match what produced it.
+        let mut resuming = true;
+        for (index, stage) in Self::stages().into_iter().take(n).enumerate() {
+            if resuming {
+                let t = Instant::now();
+                match journal.load(index, stage.name()) {
+                    journal::LoadOutcome::Hit(record) => {
+                        match journal::restore_stage(stage.name(), &mut ctx, &record.artifacts) {
+                            Ok(()) => {
+                                for entry in record.quarantined {
+                                    ctx.ledger.push(entry);
+                                }
+                                ctx.health.extend(record.health);
+                                let wall_us = t.elapsed().as_micros();
+                                journal_us += wall_us;
+                                journal_ops += 1;
+                                ctx.timings.push(StageTiming {
+                                    stage: stage.name().to_string(),
+                                    wall_us,
+                                    items: record.items,
+                                    source: TimingSource::Journal,
+                                });
+                                continue;
+                            }
+                            // A record that deserialized but does not
+                            // map onto the artifact types is as corrupt
+                            // as a bad checksum: recompute from here on.
+                            Err(_) => resuming = false,
+                        }
+                    }
+                    journal::LoadOutcome::Miss | journal::LoadOutcome::Rejected(_) => {
+                        resuming = false;
+                    }
+                }
+                journal_us += t.elapsed().as_micros();
+            }
+            let ledger_before = ctx.ledger.len();
+            let health_before = ctx.health.len();
+            Self::step(stage.as_ref(), &mut ctx)?;
+            let t = Instant::now();
+            let record = journal::StageRecord {
+                artifacts: journal::capture_stage(stage.name(), &ctx)?,
+                quarantined: ctx.ledger.entries()[ledger_before..].to_vec(),
+                health: ctx.health[health_before..].to_vec(),
+                items: ctx.timings.last().map_or(0, |t| t.items),
+            };
+            journal.save(index, stage.name(), &record)?;
+            journal_us += t.elapsed().as_micros();
+            journal_ops += 1;
+        }
+        // Journal overhead gets its own row so per-stage numbers stay
+        // pure compute (or pure load, per their `source` marker).
+        ctx.timings.push(StageTiming {
+            stage: "journal".to_string(),
+            wall_us: journal_us,
+            items: journal_ops,
+            source: TimingSource::Journal,
+        });
+        Ok(ctx)
+    }
+
+    /// Executes one stage, recording its timing into the context. A
+    /// failed stage is rolled back (ledger, health, item count) and
+    /// retried once; if the retry also fails, the stage may degrade
+    /// ([`Stage::degrade`]) — otherwise the error propagates.
     fn step(stage: &dyn Stage, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
         let t = Instant::now();
-        stage.run(ctx)?;
+        let ledger_before = ctx.ledger.len();
+        let health_before = ctx.health.len();
+        if let Err(first) = stage.run(ctx) {
+            // Roll back partial per-record effects so the retry cannot
+            // double-record quarantines or items.
+            ctx.ledger.truncate(ledger_before);
+            ctx.health.truncate(health_before);
+            ctx.items = 0;
+            match stage.run(ctx) {
+                Ok(()) => {
+                    ctx.health.push(StageHealth {
+                        stage: stage.name().to_string(),
+                        status: StageStatus::Recovered,
+                        detail: first.to_string(),
+                    });
+                }
+                Err(second) => {
+                    ctx.ledger.truncate(ledger_before);
+                    ctx.health.truncate(health_before);
+                    ctx.items = 0;
+                    if stage.degrade(ctx, &second) {
+                        ctx.health.push(StageHealth {
+                            stage: stage.name().to_string(),
+                            status: StageStatus::Degraded,
+                            detail: second.to_string(),
+                        });
+                    } else {
+                        return Err(second);
+                    }
+                }
+            }
+        }
         let wall_us = t.elapsed().as_micros();
         let items = ctx.take_items();
         ctx.timings.push(StageTiming {
             stage: stage.name().to_string(),
             wall_us,
             items,
+            source: TimingSource::Computed,
         });
         Ok(())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
     use worldgen::WorldConfig;
 
     #[test]
@@ -347,5 +563,100 @@ mod tests {
             ctx.extraction().unwrap_err(),
             StageError::MissingArtifact("extraction")
         );
+    }
+
+    /// Synthetic stage for driver tests: fails its first `fails` runs
+    /// (recording a partial ledger entry each attempt so rollback is
+    /// observable), then succeeds. `degradable` opts into degradation.
+    struct FlakyStage {
+        fails_left: Cell<u32>,
+        degradable: bool,
+    }
+
+    impl FlakyStage {
+        fn failing(fails: u32, degradable: bool) -> FlakyStage {
+            FlakyStage {
+                fails_left: Cell::new(fails),
+                degradable,
+            }
+        }
+    }
+
+    impl Stage for FlakyStage {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+
+        fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
+            // A partial effect before the possible failure: the driver
+            // must roll this back on a failed attempt.
+            ctx.ledger.record(
+                "flaky",
+                "record/0".to_string(),
+                RecordErrorKind::MalformedRow,
+            );
+            if self.fails_left.get() > 0 {
+                self.fails_left.set(self.fails_left.get() - 1);
+                return Err(StageError::CorruptArtifact {
+                    path: "flaky/input".to_string(),
+                    reason: "synthetic failure".to_string(),
+                });
+            }
+            ctx.note_items(1);
+            Ok(())
+        }
+
+        fn degrade(&self, ctx: &mut StageCtx<'_>, _cause: &StageError) -> bool {
+            if self.degradable {
+                ctx.note_items(0);
+            }
+            self.degradable
+        }
+    }
+
+    #[test]
+    fn driver_retries_a_failed_stage_once_and_records_recovery() {
+        let world = World::generate(WorldConfig::test_scale(0xF1A));
+        let mut ctx = StageCtx::new(&world, PipelineOptions::default());
+        let stage = FlakyStage::failing(1, false);
+
+        Pipeline::step(&stage, &mut ctx).expect("retry succeeds");
+
+        assert_eq!(ctx.health().len(), 1);
+        assert_eq!(ctx.health()[0].stage, "flaky");
+        assert_eq!(ctx.health()[0].status, StageStatus::Recovered);
+        assert!(ctx.health()[0].detail.contains("synthetic failure"));
+        // The failed attempt's ledger entry was rolled back; only the
+        // successful attempt's entry survives.
+        assert_eq!(ctx.ledger.len(), 1);
+        let t = ctx.timings().last().unwrap();
+        assert_eq!((t.stage.as_str(), t.items), ("flaky", 1));
+        assert_eq!(t.source, TimingSource::Computed);
+    }
+
+    #[test]
+    fn driver_degrades_a_twice_failed_stage_when_allowed() {
+        let world = World::generate(WorldConfig::test_scale(0xF1A));
+        let mut ctx = StageCtx::new(&world, PipelineOptions::default());
+        let stage = FlakyStage::failing(2, true);
+
+        Pipeline::step(&stage, &mut ctx).expect("degradation keeps the run alive");
+
+        assert_eq!(ctx.health().len(), 1);
+        assert_eq!(ctx.health()[0].status, StageStatus::Degraded);
+        assert_eq!(ctx.ledger.len(), 0, "both failed attempts rolled back");
+    }
+
+    #[test]
+    fn driver_propagates_a_double_failure_without_degradation() {
+        let world = World::generate(WorldConfig::test_scale(0xF1A));
+        let mut ctx = StageCtx::new(&world, PipelineOptions::default());
+        let stage = FlakyStage::failing(2, false);
+
+        let err = Pipeline::step(&stage, &mut ctx).unwrap_err();
+        assert!(matches!(err, StageError::CorruptArtifact { .. }));
+        assert!(ctx.health().is_empty());
+        assert!(ctx.ledger.is_empty());
+        assert!(ctx.timings().is_empty(), "no timing for a failed stage");
     }
 }

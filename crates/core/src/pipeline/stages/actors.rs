@@ -4,6 +4,7 @@ use crate::actors::{
     actor_metrics, cohort_table, group_profiles, interaction_graph, interest_evolution, popularity,
     select_key_actors, KeyActorInputs,
 };
+use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{Stage, StageCtx, StageError};
 use crimebb::{ActorId, BoardCategory, Corpus, ForumId, ThreadId};
@@ -26,10 +27,23 @@ impl Stage for ActorsStage {
 
         let metrics = actor_metrics(&world.corpus, all_threads);
         let cohorts = cohort_table(&metrics);
-        let fig4_points = metrics
-            .iter()
-            .map(|m| (m.ew_posts, m.pct_ewhoring(), m.days_before, m.days_after))
-            .collect();
+        // Defensive finiteness gate on the Figure 4 scatter: a metric
+        // whose eWhoring percentage comes back non-finite (division on
+        // corrupt post counts) is quarantined rather than plotted. With
+        // healthy inputs this never fires and the artifact is identical.
+        let mut fig4_points: Vec<(usize, f64, u32, u32)> = Vec::with_capacity(metrics.len());
+        for (i, m) in metrics.iter().enumerate() {
+            let pct = m.pct_ewhoring();
+            if pct.is_finite() {
+                fig4_points.push((m.ew_posts, pct, m.days_before, m.days_after));
+            } else {
+                ctx.ledger.record(
+                    "actors",
+                    format!("actor_metric/{i}"),
+                    RecordErrorKind::NonFiniteFeature,
+                );
+            }
+        }
         let graph = interaction_graph(&world.corpus, all_threads);
         let pop = popularity(&world.corpus, all_threads);
 

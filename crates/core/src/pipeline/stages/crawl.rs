@@ -11,6 +11,7 @@
 //! [`CrawlStats`]: crate::crawl::CrawlStats
 
 use crate::crawl::{crawl_tops_with_faults, RetryPolicy};
+use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{Stage, StageCtx, StageError};
 use synthrand::SeedFactory;
@@ -33,7 +34,7 @@ impl Stage for CrawlStage {
             SeedFactory::new(ctx.options.seed).seed_for("crawl/faults"),
             ctx.options.fault_severity,
         );
-        let (crawl, stats) = crawl_tops_with_faults(
+        let (mut crawl, stats) = crawl_tops_with_faults(
             &world.corpus,
             &world.catalog,
             &world.web,
@@ -41,7 +42,55 @@ impl Stage for CrawlStage {
             &plan,
             &RetryPolicy::default(),
         );
-        ctx.note_items(detected.len());
+        let items = detected.len();
+
+        // Ingestion check on the downloaded bytes: images the corruption
+        // plan damaged in transit/storage fail decoding and are
+        // quarantined here, *before* measurement, so every downstream
+        // index (measures, refs, flags) is built over surviving images
+        // only. Packs keep their position even when emptied — the
+        // pack list must stay zip-aligned with provenance's walk.
+        let corruption = ctx.corruption;
+        if corruption.is_enabled() {
+            let mut dropped = Vec::new();
+            let previews = std::mem::take(&mut crawl.previews);
+            crawl.previews = previews
+                .into_iter()
+                .enumerate()
+                .filter(|(i, d)| {
+                    let key = format!("preview/{i}/{}", d.link.url.to_https());
+                    let ok = !corruption.image_corrupt(&key);
+                    if !ok {
+                        dropped.push(key);
+                    }
+                    ok
+                })
+                .map(|(_, d)| d)
+                .collect();
+            for (k, pack) in crawl.packs.iter_mut().enumerate() {
+                let pack_url = pack.link.url.to_https();
+                let images = std::mem::take(&mut pack.images);
+                pack.images = images
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(j, _)| {
+                        let key = format!("pack/{k}/{j}/{pack_url}");
+                        let ok = !corruption.image_corrupt(&key);
+                        if !ok {
+                            dropped.push(key);
+                        }
+                        ok
+                    })
+                    .map(|(_, img)| img)
+                    .collect();
+            }
+            for key in dropped {
+                ctx.ledger
+                    .record("crawl", key, RecordErrorKind::CorruptImageBytes);
+            }
+        }
+
+        ctx.note_items(items);
         ctx.crawl = Some(crawl);
         ctx.crawl_stats = Some(stats);
         Ok(())

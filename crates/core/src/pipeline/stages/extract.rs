@@ -1,6 +1,16 @@
 //! Stage `extract`: pull eWhoring threads out of the corpus (paper §3).
+//!
+//! This is the pipeline's ingestion edge, so it is also where input
+//! corruption lands: the run's [`CorruptionPlan`] may truncate or
+//! malform a thread row, or mangle a heading's bytes. Damaged records
+//! are quarantined (stage, record key, error kind) and dropped from the
+//! extraction set; at severity `0.0` the plan is inert and the set is
+//! byte-identical to the uncorrupted pipeline.
+//!
+//! [`CorruptionPlan`]: crate::pipeline::corruption::CorruptionPlan
 
-use crate::extract::extract_ewhoring_threads;
+use crate::extract::{extract_ewhoring_threads, EwhoringSet};
+use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::{Stage, StageCtx, StageError};
 
 /// Produces `extraction` and `all_threads`.
@@ -12,11 +22,53 @@ impl Stage for ExtractStage {
     }
 
     fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
-        let set = extract_ewhoring_threads(&ctx.world.corpus);
-        let all_threads = set.all_threads();
-        ctx.note_items(set.len());
-        ctx.all_threads = Some(all_threads);
-        ctx.extraction = Some(set);
+        let mut set = extract_ewhoring_threads(&ctx.world.corpus);
+        let plan = ctx.corruption;
+        if plan.is_enabled() {
+            let before = set.len();
+            let mut quarantined = Vec::new();
+            for (_, threads) in &mut set.per_forum {
+                threads.retain(|&t| {
+                    if let Some(kind) = plan.thread_row(t) {
+                        quarantined.push((format!("thread/{}", t.0), kind));
+                        return false;
+                    }
+                    if let Some(bytes) =
+                        plan.mangled_heading(t, &ctx.world.corpus.thread(t).heading)
+                    {
+                        // The plan damages bytes; only an actual UTF-8
+                        // validation failure quarantines the record.
+                        if std::str::from_utf8(&bytes).is_err() {
+                            quarantined.push((
+                                format!("thread/{}", t.0),
+                                RecordErrorKind::InvalidUtf8Heading,
+                            ));
+                            return false;
+                        }
+                    }
+                    true
+                });
+            }
+            let records = quarantined.len();
+            for (record, kind) in quarantined {
+                ctx.ledger.record("extract", record, kind);
+            }
+            if set.is_empty() && before > 0 {
+                return Err(StageError::Quarantined {
+                    stage: "extract",
+                    records,
+                });
+            }
+        }
+        finish(ctx, set);
         Ok(())
     }
+}
+
+/// Writes the (possibly filtered) extraction set into the context.
+fn finish(ctx: &mut StageCtx<'_>, set: EwhoringSet) {
+    let all_threads = set.all_threads();
+    ctx.note_items(set.len());
+    ctx.all_threads = Some(all_threads);
+    ctx.extraction = Some(set);
 }

@@ -4,6 +4,7 @@
 //! screened through the same hash log the image screening used.
 
 use crate::finance::{analyse_currency_exchange, analyse_earnings, harvest_earnings};
+use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{Stage, StageCtx, StageError};
 
@@ -20,7 +21,39 @@ impl Stage for FinanceStage {
         let all_threads = require(&ctx.all_threads, "all_threads")?;
         let gate = require(&ctx.gate, "gate")?;
 
-        let harvest = harvest_earnings(world, gate, all_threads);
+        let mut harvest = harvest_earnings(world, gate, all_threads);
+
+        // Ingestion check on the parsed proofs: a corrupt currency cell
+        // yields a non-finite USD amount once the exchange multiplier is
+        // applied. Those proofs are quarantined and recounted as
+        // `not_proof`, preserving `proofs + not_proof == analysed`, so
+        // the monthly aggregation never averages a NaN into Figure 7.
+        let plan = ctx.corruption;
+        if plan.is_enabled() {
+            let mut quarantined = Vec::new();
+            let proofs = std::mem::take(&mut harvest.proofs);
+            harvest.proofs = proofs
+                .into_iter()
+                .enumerate()
+                .filter(|(i, p)| {
+                    let ok = (p.usd * plan.proof_multiplier(*i)).is_finite();
+                    if !ok {
+                        quarantined.push(*i);
+                    }
+                    ok
+                })
+                .map(|(_, p)| p)
+                .collect();
+            harvest.not_proof += quarantined.len();
+            for i in quarantined {
+                ctx.ledger.record(
+                    "finance",
+                    format!("proof/{i}"),
+                    RecordErrorKind::NonFiniteFeature,
+                );
+            }
+        }
+
         let earnings = analyse_earnings(&harvest);
         let currency = analyse_currency_exchange(&world.corpus, world.hackforums, all_threads);
 

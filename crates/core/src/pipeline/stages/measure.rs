@@ -22,7 +22,10 @@ pub struct MeasureStage;
 /// a single `batch` call, and re-splits the results per source. The
 /// `batch` parameter is the test seam proving exactly one batch is
 /// issued and that the re-split is lossless.
-pub(crate) fn flatten_and_measure<F>(crawl: &CrawlResult, batch: F) -> MeasuredImages
+pub(crate) fn flatten_and_measure<F>(
+    crawl: &CrawlResult,
+    batch: F,
+) -> Result<MeasuredImages, StageError>
 where
     F: FnOnce(&[StoredImage]) -> Vec<ImageMeasures>,
 {
@@ -34,7 +37,7 @@ where
     for p in &crawl.packs {
         flat.extend(p.images.iter().copied());
     }
-    MeasuredImages::from_flat(batch(&flat), n_previews, &pack_lens)
+    MeasuredImages::try_from_flat(batch(&flat), n_previews, &pack_lens)
 }
 
 impl Stage for MeasureStage {
@@ -45,7 +48,7 @@ impl Stage for MeasureStage {
     fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
         let crawl = require(&ctx.crawl, "crawl")?;
         let workers = ctx.options.workers;
-        let measures = flatten_and_measure(crawl, |images| measure_batch(images, workers));
+        let measures = flatten_and_measure(crawl, |images| measure_batch(images, workers))?;
         ctx.note_items(measures.total());
         ctx.measures = Some(measures);
         Ok(())
@@ -60,6 +63,7 @@ pub fn measure_batch(images: &[StoredImage], workers: usize) -> Vec<ImageMeasure
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::crawl::{Download, FoundLink, PackDownload};
@@ -135,7 +139,8 @@ mod tests {
             calls += 1;
             assert_eq!(images.len(), 9, "3 previews + the 2/0/4 pack images");
             measure_batch(images, 1)
-        });
+        })
+        .unwrap();
         assert_eq!(calls, 1, "exactly one measure batch");
 
         assert_eq!(measures.previews.len(), 3);

@@ -1,7 +1,13 @@
 //! Stage `nsfv`: not-safe-for-viewing classification (paper §4.4), plus
 //! the §4.2/§4.4 funnel accounting over surviving images.
+//!
+//! NSFV classification is an *analysis* over already-screened images,
+//! not a producer of inputs any later stage strictly requires to be
+//! complete — so this stage can degrade: if it fails twice, the driver
+//! accepts a default validation result, zero NSFV previews, and a
+//! partial funnel (download counts only), and the run continues.
 
-use crate::nsfv::{validate, ImageMeasures};
+use crate::nsfv::{validate, ImageMeasures, NsfvValidation};
 use crate::pipeline::ctx::require;
 use crate::pipeline::{ImageFunnel, Stage, StageCtx, StageError};
 use imagesim::validation::build_validation_set;
@@ -14,6 +20,31 @@ pub struct NsfvStage;
 impl Stage for NsfvStage {
     fn name(&self) -> &'static str {
         "nsfv"
+    }
+
+    /// Degraded output: default validation metrics, no NSFV previews,
+    /// and a funnel holding only the raw download counts (uniqueness
+    /// and NSFV tallies zeroed). Only data errors degrade — a missing
+    /// artifact is a broken graph and must propagate.
+    fn degrade(&self, ctx: &mut StageCtx<'_>, cause: &StageError) -> bool {
+        if matches!(cause, StageError::MissingArtifact(_)) {
+            return false;
+        }
+        let (Some(crawl), Some(measures)) = (&ctx.crawl, &ctx.measures) else {
+            return false;
+        };
+        let funnel = ImageFunnel {
+            preview_downloads: measures.previews.len(),
+            packs_downloaded: crawl.packs.len(),
+            pack_images: measures.packs.iter().map(Vec::len).sum(),
+            unique_files: 0,
+            heavily_duplicated: 0,
+            previews_nsfv: 0,
+        };
+        ctx.nsfv_validation = Some(NsfvValidation::default());
+        ctx.previews_nsfv = Some(Vec::new());
+        ctx.funnel = Some(funnel);
+        true
     }
 
     fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {

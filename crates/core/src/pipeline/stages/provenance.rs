@@ -1,8 +1,13 @@
 //! Stage `provenance`: reverse-search + wayback attribution (paper §4.5).
+//!
+//! Provenance attribution is terminal analysis — nothing downstream
+//! consumes its artifact except the report — so it may degrade to an
+//! empty [`ProvenanceResult`] if it fails twice, rather than aborting a
+//! run that already paid for the crawl.
 
 use crate::pipeline::ctx::require;
 use crate::pipeline::{Stage, StageCtx, StageError};
-use crate::provenance::{analyse_provenance, PackForAnalysis};
+use crate::provenance::{analyse_provenance, PackForAnalysis, ProvenanceResult};
 use crimebb::ActorId;
 
 /// Produces `provenance`.
@@ -11,6 +16,17 @@ pub struct ProvenanceStage;
 impl Stage for ProvenanceStage {
     fn name(&self) -> &'static str {
         "provenance"
+    }
+
+    /// Degraded output: an empty provenance table (Tables 5/6 render
+    /// with zero rows). Missing artifacts still propagate — that is a
+    /// graph bug, not bad data.
+    fn degrade(&self, ctx: &mut StageCtx<'_>, cause: &StageError) -> bool {
+        if matches!(cause, StageError::MissingArtifact(_)) {
+            return false;
+        }
+        ctx.provenance = Some(ProvenanceResult::default());
+        true
     }
 
     fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {

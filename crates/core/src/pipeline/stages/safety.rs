@@ -43,9 +43,25 @@ impl Stage for SafetyScreenStage {
         let stage = screen_downloads(&gate, &world.index, &world.origins, &screen_items, today);
 
         // The screener reports flat indices into `screen_items`; convert
-        // them to stable refs before anything else touches them.
+        // them to stable refs before anything else touches them. An
+        // out-of-range index means the screener's view and the measure
+        // set diverged — a corrupt artifact, not a crash.
         let refs = measures.refs();
-        let flagged: HashSet<ImageRef> = stage.flagged.iter().map(|&i| refs[i]).collect();
+        let flagged: HashSet<ImageRef> = stage
+            .flagged
+            .iter()
+            .map(|&i| {
+                refs.get(i)
+                    .copied()
+                    .ok_or_else(|| StageError::CorruptArtifact {
+                        path: "safety/flagged".to_string(),
+                        reason: format!(
+                            "screener flagged flat index {i}, but only {} images were measured",
+                            refs.len()
+                        ),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
         let actors_in_flagged = world.corpus.actors_in_threads(&stage.flagged_threads).len();
         let kept = apply_deletions(measures, &flagged);
 

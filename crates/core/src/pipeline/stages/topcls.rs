@@ -1,6 +1,13 @@
 //! Stage `top_classifier`: hybrid TOP detection + Table 1 (paper §4.1).
+//!
+//! Threads whose feature inputs come back non-finite (a corrupt numeric
+//! column upstream — injected by the run's corruption plan) are
+//! quarantined before training/classification rather than letting NaN
+//! poison the SVM's weight updates. The quarantine check happens in
+//! this serial section, so the outcome is worker-independent.
 
 use crate::extract::EwhoringSet;
+use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{ForumRow, Stage, StageCtx, StageError};
 use crate::topcls::classify_tops;
@@ -17,18 +24,46 @@ impl Stage for TopClassifierStage {
 
     fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), StageError> {
         let world = ctx.world;
+        let plan = ctx.corruption;
         let all_threads = require(&ctx.all_threads, "all_threads")?;
+        // Partition out threads with NaN-producing feature inputs; the
+        // classifier only ever sees finite vectors. Inert at severity 0
+        // (`clean` is then the untouched artifact list).
+        let clean: Vec<ThreadId>;
+        let classify_input: &[ThreadId] = if plan.is_enabled() {
+            let mut kept = Vec::with_capacity(all_threads.len());
+            let mut noisy = Vec::new();
+            for &t in all_threads {
+                if plan.feature_noise(t).is_finite() {
+                    kept.push(t);
+                } else {
+                    noisy.push(t);
+                }
+            }
+            clean = kept;
+            for t in noisy {
+                ctx.ledger.record(
+                    "top_classifier",
+                    format!("thread/{}", t.0),
+                    RecordErrorKind::NonFiniteFeature,
+                );
+            }
+            &clean
+        } else {
+            all_threads
+        };
         let (_classifier, topcls) = classify_tops(
             &mut ctx.rng,
             &world.corpus,
             &world.catalog,
             &world.truth,
-            all_threads,
+            classify_input,
             ctx.options.workers,
         );
+        let items = classify_input.len();
         let set = require(&ctx.extraction, "extraction")?;
         let forums = forum_rows(&world.corpus, set, &topcls.detected);
-        ctx.note_items(all_threads.len());
+        ctx.note_items(items);
         ctx.topcls = Some(topcls);
         ctx.forums = Some(forums);
         Ok(())

@@ -5,7 +5,7 @@
 //! Figures are rendered as the numeric series behind them (CDF quantiles,
 //! monthly counts, percentage tables) — the shapes the paper plots.
 
-use crate::pipeline::PipelineReport;
+use crate::pipeline::{PipelineReport, StageStatus};
 use std::fmt::Write as _;
 
 /// A minimal fixed-width text-table builder.
@@ -606,6 +606,37 @@ pub fn fig5(report: &PipelineReport) -> String {
     )
 }
 
+/// Pipeline-health section: records quarantined during ingestion (per
+/// stage and error kind) and stage interventions by the driver (retries
+/// that recovered, degradations). A clean run renders one line saying
+/// so — the section always appears, so its absence is itself a signal.
+pub fn pipeline_health(report: &PipelineReport) -> String {
+    let mut out = String::from("pipeline health: quarantine + degradation\n");
+    if report.quarantine.is_empty() && report.health.is_empty() {
+        let _ = writeln!(
+            out,
+            "  clean run: no records quarantined, no stage interventions"
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  quarantined records: {} total",
+        report.quarantine.len()
+    );
+    for ((stage, kind), n) in report.quarantine.counts() {
+        let _ = writeln!(out, "    {stage:<16} {:<24} {n:>6}", kind.label());
+    }
+    for h in &report.health {
+        let status = match h.status {
+            StageStatus::Recovered => "recovered after retry",
+            StageStatus::Degraded => "degraded",
+        };
+        let _ = writeln!(out, "  stage {}: {status} — {}", h.stage, h.detail);
+    }
+    out
+}
+
 /// The full report, every artefact in paper order.
 pub fn full_report(report: &PipelineReport) -> String {
     let mut out = String::new();
@@ -628,6 +659,7 @@ pub fn full_report(report: &PipelineReport) -> String {
         table9(report),
         table10(report),
         fig5(report),
+        pipeline_health(report),
     ] {
         out.push_str(&section);
         out.push('\n');
@@ -636,8 +668,11 @@ pub fn full_report(report: &PipelineReport) -> String {
     for t in &report.timings {
         let _ = writeln!(
             out,
-            "  {:<16} {:>10} µs  {:>8} items",
-            t.stage, t.wall_us, t.items
+            "  {:<16} {:>10} µs  {:>8} items  [{}]",
+            t.stage,
+            t.wall_us,
+            t.items,
+            t.source.as_str()
         );
     }
     out
@@ -708,6 +743,8 @@ mod tests {
             "Table 9",
             "Table 10",
             "Figure 5",
+            "pipeline health",
+            "clean run",
             "Hackforums",
             "imgur.com",
             "mediafire.com",

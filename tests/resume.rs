@@ -1,0 +1,202 @@
+//! Kill-and-resume matrix for the checkpoint journal.
+//!
+//! For every stage boundary: run a prefix of the pipeline with a
+//! journal, throw the process state away (only the journal files
+//! survive, exactly like a crash at that boundary), resume from the
+//! journal, and assert the final report is byte-identical to an
+//! uninterrupted run — with fault injection *and* corruption injection
+//! active, at both a serial and an awkward worker count.
+
+use ewhoring_core::pipeline::{Pipeline, PipelineOptions, TimingSource};
+use std::fs;
+use std::path::{Path, PathBuf};
+use worldgen::{World, WorldConfig};
+
+/// The canonical snapshot: serialized report minus wall-clock timings.
+fn snapshot(report: &ewhoring_core::PipelineReport) -> String {
+    let json = serde_json::to_string(report).expect("json");
+    let mut v: serde_json::Value = serde_json::from_str(&json).expect("parse");
+    v.as_object_mut().expect("object").remove("timings");
+    v.to_string()
+}
+
+/// A fresh per-test temp dir (removed first, so reruns start clean).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ewhoring-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The single `run-<key>` subdir a journaled run creates under `base`.
+fn run_subdir(base: &Path) -> PathBuf {
+    fs::read_dir(base)
+        .expect("read journal dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.is_dir())
+        .expect("journal run dir exists")
+}
+
+/// Copies the first `k` stage records (filenames are `NN-stage.json`)
+/// from a complete journal into a fresh journal dir — the on-disk state
+/// a run killed after `k` stages leaves behind.
+fn copy_prefix(full: &Path, dst_base: &Path, k: usize) {
+    let src = run_subdir(full);
+    let dst = dst_base.join(src.file_name().expect("run dir name"));
+    fs::create_dir_all(&dst).expect("create run dir copy");
+    for entry in fs::read_dir(&src)
+        .expect("read run dir")
+        .filter_map(Result::ok)
+    {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let index: usize = match name.get(..2).and_then(|p| p.parse().ok()) {
+            Some(i) => i,
+            None => continue,
+        };
+        if index < k {
+            fs::copy(entry.path(), dst.join(&name)).expect("copy stage record");
+        }
+    }
+}
+
+fn options(workers: usize) -> PipelineOptions {
+    PipelineOptions {
+        k_key_actors: 8,
+        workers,
+        fault_severity: 1.0,
+        corruption_severity: 0.75,
+        ..PipelineOptions::default()
+    }
+}
+
+/// Journal-loaded stage rows in a report's timings (the bookkeeping
+/// `journal` row excluded).
+fn loaded_stages(report: &ewhoring_core::PipelineReport) -> usize {
+    report
+        .timings
+        .iter()
+        .filter(|t| t.stage != "journal" && t.source == TimingSource::Journal)
+        .count()
+}
+
+fn kill_matrix(workers: usize, tag: &str) {
+    let world = World::generate(WorldConfig::test_scale(0x4E5));
+    let pipe = Pipeline::new(options(workers));
+    let n_stages = Pipeline::stages().len();
+
+    // Uninterrupted, journal-free run: the reference every resumed run
+    // must reproduce byte-for-byte.
+    let reference = snapshot(&pipe.run(&world));
+
+    // A full journaled run both checks the journaling path itself and
+    // produces the complete journal the kill matrix slices prefixes of.
+    let full_dir = temp_dir(&format!("{tag}-full"));
+    let full = pipe
+        .run_resumable(&world, &full_dir)
+        .expect("journaled run");
+    assert_eq!(
+        snapshot(&full).as_bytes(),
+        reference.as_bytes(),
+        "journaling a run must not change its report"
+    );
+    assert_eq!(loaded_stages(&full), 0, "first run computes every stage");
+
+    for k in 0..=n_stages {
+        let dir = temp_dir(&format!("{tag}-k{k}"));
+        copy_prefix(&full_dir, &dir, k);
+        let resumed = pipe
+            .run_resumable(&world, &dir)
+            .expect("resume from prefix");
+        assert_eq!(
+            snapshot(&resumed).as_bytes(),
+            reference.as_bytes(),
+            "resume after {k} journaled stage(s) diverged (workers={workers})"
+        );
+        assert_eq!(
+            loaded_stages(&resumed),
+            k,
+            "exactly the journaled prefix must load, the rest recompute"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+    let _ = fs::remove_dir_all(&full_dir);
+}
+
+#[test]
+fn kill_and_resume_at_every_boundary_serial() {
+    kill_matrix(1, "w1");
+}
+
+#[test]
+fn kill_and_resume_at_every_boundary_awkward_workers() {
+    kill_matrix(7, "w7");
+}
+
+/// A tampered journal record must be rejected — and rejection means
+/// recomputation, so the final report is still byte-identical.
+#[test]
+fn tampered_journal_recomputes_instead_of_trusting() {
+    let world = World::generate(WorldConfig::test_scale(0x4E5));
+    let pipe = Pipeline::new(options(1));
+
+    let dir = temp_dir("tamper");
+    let clean = pipe.run_resumable(&world, &dir).expect("journaled run");
+    let reference = snapshot(&clean);
+
+    // Flip bytes inside the third stage's payload.
+    let run_dir = run_subdir(&dir);
+    let victim = fs::read_dir(&run_dir)
+        .expect("read run dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().starts_with("02-"))
+                .unwrap_or(false)
+        })
+        .expect("third stage record exists");
+    let tampered = fs::read_to_string(&victim)
+        .expect("read record")
+        .replace(['3', '7'], "1");
+    fs::write(&victim, tampered).expect("write tampered record");
+
+    let resumed = pipe.run_resumable(&world, &dir).expect("resume");
+    assert_eq!(
+        snapshot(&resumed).as_bytes(),
+        reference.as_bytes(),
+        "a rejected record must fall back to recomputation, not corrupt the report"
+    );
+    // Only the intact prefix (stages 0 and 1) may be trusted.
+    assert_eq!(loaded_stages(&resumed), 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Timing provenance: a fully-journaled resume marks every stage row
+/// `journal` (plus the overhead row); a plain run is all `computed`
+/// with no journal row at all.
+#[test]
+fn timing_sources_separate_journal_loads_from_compute() {
+    let world = World::generate(WorldConfig::test_scale(0x4E5));
+    let pipe = Pipeline::new(options(1));
+    let n_stages = Pipeline::stages().len();
+
+    let plain = pipe.run(&world);
+    assert!(plain
+        .timings
+        .iter()
+        .all(|t| t.source == TimingSource::Computed));
+    assert!(plain.timings.iter().all(|t| t.stage != "journal"));
+
+    let dir = temp_dir("sources");
+    let first = pipe.run_resumable(&world, &dir).expect("journaled run");
+    assert_eq!(loaded_stages(&first), 0);
+    let resumed = pipe.run_resumable(&world, &dir).expect("warm resume");
+    assert_eq!(loaded_stages(&resumed), n_stages);
+    assert!(
+        resumed.timings.iter().any(|t| t.stage == "journal"),
+        "journal overhead gets its own timing row"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
