@@ -11,9 +11,9 @@
 CARGO ?= cargo
 OFFLINE = --offline --locked
 
-.PHONY: verify fmt-check clippy build test bench-build bench smoke-resume clean-journal
+.PHONY: verify fmt-check clippy build test bench-build bench bench-serve smoke-resume smoke-serve clean-journal
 
-verify: fmt-check clippy build test bench-build smoke-resume
+verify: fmt-check clippy build test bench-build smoke-resume smoke-serve
 
 fmt-check:
 	$(CARGO) fmt --all -- --check
@@ -38,7 +38,23 @@ bench-build:
 # laptop; raise it for publishable numbers.
 bench:
 	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
-		0.05 --workers 4 --bench-json BENCH_pipeline.json > /dev/null
+		bench --scale 0.05 --workers 4 --out BENCH_pipeline.json
+
+# Service-mode baseline: start a server on an ephemeral port, fire the
+# seeded hot/cold mix from 4 client threads, and write requests/sec,
+# cache-hit ratio, and p50/p95 latency to BENCH_serve.json.
+bench-serve: build
+	rm -rf .journals/bench-serve && mkdir -p .journals/bench-serve
+	./target/release/report serve --addr 127.0.0.1:0 --pool 4 \
+		--journal-dir .journals/bench-serve/journal \
+		--port-file .journals/bench-serve/port 2> .journals/bench-serve/serve.log & \
+	server=$$!; \
+	for i in $$(seq 1 100); do [ -s .journals/bench-serve/port ] && break; sleep 0.1; done; \
+	./target/release/report loadgen --addr "$$(cat .journals/bench-serve/port)" \
+		--clients 4 --requests 25 --hot-ratio 0.8 --scale 0.02 --cold-keys 3 \
+		--out BENCH_serve.json --shutdown || { kill $$server 2> /dev/null; exit 1; }; \
+	wait $$server
+	rm -rf .journals/bench-serve
 
 # Kill-and-resume smoke test over the checkpoint journal: run the first
 # four stages with a journal (simulated crash at the stage boundary),
@@ -55,6 +71,28 @@ smoke-resume:
 		0.02 --snapshot-json .journals/smoke/fresh.json > /dev/null
 	cmp .journals/smoke/resumed.json .journals/smoke/fresh.json
 	rm -rf .journals/smoke
+
+# Service-mode smoke test: start a server on an ephemeral port, issue
+# `run` + `report` + `shutdown` over the wire, and require the
+# wire-delivered snapshot to be byte-identical to a batch
+# `--snapshot-json` run of the same (scale, seed) — the batch/service
+# equivalence the RunSpec layer guarantees.
+smoke-serve: build
+	rm -rf .journals/smoke-serve && mkdir -p .journals/smoke-serve
+	./target/release/report serve --addr 127.0.0.1:0 --pool 2 \
+		--journal-dir .journals/smoke-serve/journal \
+		--port-file .journals/smoke-serve/port 2> .journals/smoke-serve/serve.log & \
+	server=$$!; \
+	for i in $$(seq 1 100); do [ -s .journals/smoke-serve/port ] && break; sleep 0.1; done; \
+	./target/release/report loadgen --addr "$$(cat .journals/smoke-serve/port)" \
+		--clients 1 --requests 1 --hot-ratio 1.0 --scale 0.02 --seed 0xBEEF \
+		--snapshot-out .journals/smoke-serve/wire.json --shutdown 2> /dev/null \
+		|| { kill $$server 2> /dev/null; exit 1; }; \
+	wait $$server
+	./target/release/report 0.02 0xBEEF \
+		--snapshot-json .journals/smoke-serve/batch.json > /dev/null 2> /dev/null
+	cmp .journals/smoke-serve/wire.json .journals/smoke-serve/batch.json
+	rm -rf .journals/smoke-serve
 
 clean-journal:
 	rm -rf .journals

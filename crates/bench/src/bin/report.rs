@@ -1,430 +1,58 @@
-//! Regenerates every table and figure of the paper.
+//! The pipeline binary: batch reports, the long-running service, the
+//! load generator, and the worker-scaling bench, behind one subcommand
+//! CLI.
 //!
 //! ```text
-//! cargo run --release -p ewhoring-bench --bin report -- [scale] [seed] [--json PATH] [--workers N] [--bench-json PATH] [--intervention] [--faults SEVERITY] [--corruption SEVERITY] [--journal-dir PATH] [--resume] [--stop-after N] [--snapshot-json PATH]
+//! report [report] [scale] [seed] [--workers N] [--faults S] [--corruption S]
+//!                 [--json PATH] [--snapshot-json PATH] [--bench-json PATH]
+//!                 [--journal-dir PATH] [--resume] [--stop-after N] [--intervention]
+//! report serve   [--addr HOST:PORT] [--pool N] [--journal-dir PATH] [--port-file PATH]
+//! report loadgen --addr HOST:PORT [--clients K] [--requests N] [--hot-ratio R] …
+//! report bench   [--scale S] [--seed SEED] [--workers N] [--out PATH]
 //! ```
 //!
-//! `scale` defaults to 0.3 (≈30% of the paper's corpus — same shapes, a
-//! third of the wall clock); use `1.0` for full paper scale. The text
-//! report prints to stdout; `--json` additionally dumps the raw
-//! `PipelineReport`; `--workers` sets the thread count for the
-//! data-parallel stages (default 4; 0 = all cores — the report itself is
-//! byte-identical either way); `--bench-json` reruns the pipeline at
-//! `workers = 1` and writes a machine-readable baseline (per-stage
-//! `wall_us`, `items`, `items_per_sec`, and `source` — computed vs
-//! journal-loaded — at workers=1 vs workers=N, plus the aggregate
-//! speedup over the parallel stages and the run's quarantined-record
-//! count) to PATH — conventionally `BENCH_pipeline.json`;
-//! `--intervention` appends the §8 countermeasure simulations (shared
-//! hash-blacklist + payment screening); `--faults` enables
-//! transient-fault injection in the crawl stage (`1.0` = calibrated
-//! per-site rates); `--corruption` enables input-corruption injection
-//! (`1.0` = calibrated per-kind rates; corrupt records land in the
-//! quarantine ledger and the pipeline-health report section, never a
-//! panic).
+//! Batch mode: `scale` defaults to 0.3 (≈30% of the paper's corpus —
+//! same shapes, a third of the wall clock); use `1.0` for full paper
+//! scale. `--workers` sets the thread count for the data-parallel
+//! stages (defaults to 4 because the report is byte-identical for any
+//! worker count — see `tests/determinism.rs` — so the default favors
+//! throughput; `0` uses every available core, which on a single-core
+//! host is the same as 1). See `ewhoring_bench::cli` for the full flag
+//! reference and `ewhoring_bench::proto` for the wire protocol `serve`
+//! speaks.
 //!
-//! Checkpointing: `--journal-dir PATH` journals every completed stage
-//! under `PATH/run-<key>` (the key hashes the world config + pipeline
-//! options, so unrelated runs never collide). By default the run dir is
-//! cleared first; `--resume` keeps it and loads the journaled prefix
-//! instead of recomputing it — the final report is byte-identical to an
-//! uninterrupted run. `--stop-after N` exits after N stages (simulating
-//! a crash at a stage boundary) without printing a report.
-//! `--snapshot-json PATH` writes the report minus wall-clock timings —
-//! the determinism snapshot two runs can be `cmp`'d on.
+//! This file is only the dispatcher: parsing lives in
+//! `ewhoring_bench::cli`, the batch/bench paths in
+//! `ewhoring_bench::report_cmd`, the service in
+//! `ewhoring_bench::serve`, and the load generator in
+//! `ewhoring_bench::loadgen`. A malformed command line (unknown flag,
+//! bad numeric value, missing argument) prints the error plus usage and
+//! exits 2; a runtime failure prints the error and exits 1.
 
-use ewhoring_core::pipeline::{Journal, Pipeline, PipelineOptions, StageTiming, TimingSource};
-use ewhoring_core::report::full_report;
-use std::time::Instant;
-use worldgen::{World, WorldConfig};
+use ewhoring_bench::cli::{usage, Command};
+use ewhoring_bench::{loadgen, report_cmd, serve};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = 0.3f64;
-    let mut seed = 0xE400_2019u64;
-    let mut json_path: Option<String> = None;
-    let mut bench_json_path: Option<String> = None;
-    let mut snapshot_json_path: Option<String> = None;
-    let mut journal_dir: Option<String> = None;
-    let mut resume = false;
-    let mut stop_after: Option<usize> = None;
-    let mut workers = 4usize;
-    let mut with_intervention = false;
-    let mut fault_severity = 0.0f64;
-    let mut corruption_severity = 0.0f64;
-    let mut positional = 0;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--json" {
-            json_path = it.next().cloned();
-            continue;
+    let command = match Command::parse(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", usage());
+            std::process::exit(2);
         }
-        if arg == "--bench-json" {
-            bench_json_path = it.next().cloned();
-            continue;
-        }
-        if arg == "--snapshot-json" {
-            snapshot_json_path = it.next().cloned();
-            continue;
-        }
-        if arg == "--journal-dir" {
-            journal_dir = it.next().cloned();
-            continue;
-        }
-        if arg == "--resume" {
-            resume = true;
-            continue;
-        }
-        if arg == "--stop-after" {
-            stop_after = Some(
-                it.next()
-                    .expect("--stop-after takes a stage count")
-                    .parse()
-                    .expect("stage count must be an integer"),
-            );
-            continue;
-        }
-        if arg == "--workers" {
-            workers = it
-                .next()
-                .expect("--workers takes a count")
-                .parse()
-                .expect("worker count must be an integer");
-            continue;
-        }
-        if arg == "--intervention" {
-            with_intervention = true;
-            continue;
-        }
-        if arg == "--faults" {
-            fault_severity = it
-                .next()
-                .expect("--faults takes a severity")
-                .parse()
-                .expect("fault severity must be a float");
-            continue;
-        }
-        if arg == "--corruption" {
-            corruption_severity = it
-                .next()
-                .expect("--corruption takes a severity")
-                .parse()
-                .expect("corruption severity must be a float");
-            continue;
-        }
-        match positional {
-            0 => scale = arg.parse().expect("scale must be a float"),
-            1 => seed = parse_seed(arg),
-            _ => {}
-        }
-        positional += 1;
-    }
-
-    let config = WorldConfig {
-        seed,
-        scale,
-        origin_domains: ((5_917.0 * scale.sqrt()) as u32).max(200),
-        csam_images: ((36.0 * scale).round() as u32).max(4),
-        with_side_boards: true,
     };
-    eprintln!("generating world: scale {scale}, seed {seed:#x} …");
-    let t = Instant::now();
-    let world = World::generate(config);
-    eprintln!(
-        "world ready in {:.1?}: {} posts, {} threads, {} actors, {} hosted objects, {} indexed images",
-        t.elapsed(),
-        world.corpus.posts().len(),
-        world.corpus.threads().len(),
-        world.corpus.actors().len(),
-        world.web.len(),
-        world.index.len(),
-    );
-
-    let k = ((50.0 * scale).round() as usize).clamp(8, 50);
-    let options = PipelineOptions {
-        k_key_actors: k,
-        workers,
-        fault_severity,
-        corruption_severity,
-        ..PipelineOptions::default()
+    let outcome = match &command {
+        Command::Help => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Command::Report(args) => report_cmd::main(args),
+        Command::Bench(args) => report_cmd::bench_main(args),
+        Command::Serve(args) => serve::main(args),
+        Command::LoadGen(args) => loadgen::main(args),
     };
-    let t = Instant::now();
-    let report = if let Some(dir) = &journal_dir {
-        let dir = std::path::Path::new(dir);
-        if !resume {
-            // A fresh (non-resume) run must never trust leftover
-            // checkpoints for this run key.
-            let journal =
-                Journal::open(dir, &world.config, &options).expect("open checkpoint journal");
-            journal.clear().expect("clear checkpoint journal");
-        }
-        let pipe = Pipeline::new(options);
-        if let Some(n) = stop_after {
-            // Simulated crash: run (and checkpoint) the first N stages,
-            // then exit at the stage boundary without a report.
-            let ctx = pipe
-                .run_prefix_resumable(&world, n, dir)
-                .expect("prefix run");
-            eprintln!(
-                "stopped after {} stage(s); journal under {}",
-                ctx.timings()
-                    .iter()
-                    .filter(|t| t.stage != "journal")
-                    .count(),
-                dir.display()
-            );
-            for t in ctx.timings() {
-                eprintln!(
-                    "  {:<16} {:>9.1} ms  {:>8} items  [{}]",
-                    t.stage,
-                    t.wall_us as f64 / 1_000.0,
-                    t.items,
-                    t.source.as_str()
-                );
-            }
-            return;
-        }
-        pipe.run_resumable(&world, dir).expect("resumable run")
-    } else {
-        Pipeline::new(options).run(&world)
-    };
-    eprintln!("pipeline finished in {:.1?}", t.elapsed());
-    for t in &report.timings {
-        let per_sec = if t.wall_us > 0 {
-            t.items as f64 / (t.wall_us as f64 / 1_000_000.0)
-        } else {
-            0.0
-        };
-        eprintln!(
-            "  {:<16} {:>9.1} ms  {:>8} items  {:>12.0} items/s  [{}]",
-            t.stage,
-            t.wall_us as f64 / 1_000.0,
-            t.items,
-            per_sec,
-            t.source.as_str()
-        );
-    }
-    if !report.quarantine.is_empty() || !report.health.is_empty() {
-        eprintln!(
-            "  quarantine: {} record(s) quarantined, {} stage intervention(s) — see the pipeline-health section",
-            report.quarantine.len(),
-            report.health.len()
-        );
-    }
-    let cs = &report.crawl_stats;
-    eprintln!(
-        "  crawl health: {} attempts, {} retries, {} breaker trips, {} unreachable, {:.1} s simulated wait",
-        cs.attempts.total(),
-        cs.retries.total(),
-        cs.breaker_trips,
-        report.crawl.unreachable_links,
-        cs.wait_us.total() as f64 / 1_000_000.0
-    );
-
-    println!("=== Measuring eWhoring — reproduction report (scale {scale}, seed {seed:#x}) ===\n");
-    println!("{}", full_report(&report));
-
-    if with_intervention {
-        println!("{}", intervention_section(&report, workers));
-    }
-
-    if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("serialise report");
-        std::fs::write(&path, json).expect("write JSON report");
-        eprintln!("raw report written to {path}");
-    }
-
-    if let Some(path) = snapshot_json_path {
-        // The determinism snapshot: the full report minus wall-clock
-        // timings, so two runs (resumed vs uninterrupted, any worker
-        // count) can be compared byte-for-byte.
-        let mut value = serde_json::to_value(&report).expect("serialise report");
-        if let Some(obj) = value.as_object_mut() {
-            obj.remove("timings");
-        }
-        let json = serde_json::to_string_pretty(&value).expect("render snapshot");
-        std::fs::write(&path, json).expect("write snapshot JSON");
-        eprintln!("determinism snapshot written to {path}");
-    }
-
-    if let Some(path) = bench_json_path {
-        eprintln!("bench baseline: rerunning pipeline at workers=1 …");
-        let t = Instant::now();
-        let serial = Pipeline::new(PipelineOptions {
-            workers: 1,
-            ..options
-        })
-        .run(&world);
-        eprintln!("serial run finished in {:.1?}", t.elapsed());
-        let json = bench_baseline_json(
-            scale,
-            seed,
-            workers,
-            &serial.timings,
-            &report.timings,
-            report.quarantine.len(),
-        );
-        std::fs::write(&path, json).expect("write bench baseline");
-        eprintln!("bench baseline written to {path}");
-    }
-}
-
-/// Stages whose per-item loops run on the `core::par` layer; the
-/// aggregate speedup is computed over these.
-const PARALLEL_STAGES: [&str; 4] = ["top_classifier", "measure_images", "nsfv", "actors"];
-
-/// Items-per-second for one timing entry.
-fn items_per_sec(t: &StageTiming) -> f64 {
-    if t.wall_us > 0 {
-        t.items as f64 / (t.wall_us as f64 / 1_000_000.0)
-    } else {
-        0.0
-    }
-}
-
-/// Aggregate items/sec over the parallel stages of one run. Only
-/// computed stages count — a journal-loaded stage's wall clock measures
-/// deserialization, not stage work, and would corrupt the speedup.
-fn aggregate_items_per_sec(timings: &[StageTiming]) -> f64 {
-    let (items, wall_us) = timings
-        .iter()
-        .filter(|t| {
-            PARALLEL_STAGES.contains(&t.stage.as_str()) && t.source == TimingSource::Computed
-        })
-        .fold((0usize, 0u128), |(i, w), t| (i + t.items, w + t.wall_us));
-    if wall_us > 0 {
-        items as f64 / (wall_us as f64 / 1_000_000.0)
-    } else {
-        0.0
-    }
-}
-
-/// Renders the machine-readable `BENCH_pipeline.json` baseline: per-stage
-/// `wall_us`, `items`, `items_per_sec`, and `source` (computed vs
-/// journal-loaded — a loaded stage's wall clock is I/O, not stage work,
-/// and must never be read as a compute baseline) at workers=1 vs
-/// workers=N, plus the aggregate speedup over [`PARALLEL_STAGES`] and the
-/// run's quarantined-record count. Hand-assembled so the schema is
-/// explicit in one place.
-fn bench_baseline_json(
-    scale: f64,
-    seed: u64,
-    workers: usize,
-    serial: &[StageTiming],
-    parallel: &[StageTiming],
-    quarantined_records: usize,
-) -> String {
-    use std::fmt::Write as _;
-
-    let run_json = |workers: usize, timings: &[StageTiming]| {
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "    {{\n      \"workers\": {workers},\n      \"stages\": ["
-        );
-        for (i, t) in timings.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "        {{ \"stage\": \"{}\", \"wall_us\": {}, \"items\": {}, \"items_per_sec\": {:.1}, \"source\": \"{}\" }}{}",
-                t.stage,
-                t.wall_us,
-                t.items,
-                items_per_sec(t),
-                t.source.as_str(),
-                if i + 1 < timings.len() { "," } else { "" }
-            );
-        }
-        let _ = write!(
-            out,
-            "      ],\n      \"parallel_items_per_sec\": {:.1}\n    }}",
-            aggregate_items_per_sec(timings)
-        );
-        out
-    };
-
-    let serial_agg = aggregate_items_per_sec(serial);
-    let parallel_agg = aggregate_items_per_sec(parallel);
-    let speedup = if serial_agg > 0.0 {
-        parallel_agg / serial_agg
-    } else {
-        0.0
-    };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    format!(
-        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"available_parallelism\": {cores},\n  \"quarantined_records\": {quarantined_records},\n  \"parallel_stages\": [{}],\n  \"runs\": [\n{},\n{}\n  ],\n  \"aggregate_speedup\": {speedup:.2}\n}}\n",
-        PARALLEL_STAGES
-            .iter()
-            .map(|s| format!("\"{s}\""))
-            .collect::<Vec<_>>()
-            .join(", "),
-        run_json(1, serial),
-        run_json(workers, parallel),
-    )
-}
-
-/// Runs the §8 countermeasure simulations against the already-crawled
-/// material and renders them as a report section.
-fn intervention_section(
-    report: &ewhoring_core::pipeline::PipelineReport,
-    workers: usize,
-) -> String {
-    use ewhoring_core::intervention::{deployment_sweep, screen_payment_accounts};
-    use ewhoring_core::nsfv::ImageMeasures;
-    use ewhoring_core::pipeline::measure_batch;
-    use std::fmt::Write as _;
-
-    let mut out = String::from(
-        "Extension (§8): intervention simulations
-",
-    );
-
-    // Shared hash-blacklist over the crawled packs, measured on the same
-    // parallel layer as the pipeline's measure stage.
-    let owned: Vec<(&ewhoring_core::crawl::PackDownload, Vec<ImageMeasures>)> = report
-        .crawl
-        .packs
-        .iter()
-        .map(|p| {
-            let sample = &p.images[..p.images.len().min(30)];
-            (p, measure_batch(sample, workers))
-        })
-        .collect();
-    let packs: Vec<(&ewhoring_core::crawl::PackDownload, &[ImageMeasures])> =
-        owned.iter().map(|(p, m)| (*p, m.as_slice())).collect();
-    if !packs.is_empty() {
-        let mut dates: Vec<synthrand::Day> = packs.iter().map(|(p, _)| p.link.posted).collect();
-        dates.sort_unstable();
-        let sweep_dates: Vec<synthrand::Day> =
-            (1..=4).map(|i| dates[dates.len() * i / 5]).collect();
-        for (date, block, disrupt) in deployment_sweep(&packs, &sweep_dates) {
-            let _ = writeln!(
-                out,
-                "  blacklist deployed {date}: blocks {:.1}% of later images, disrupts {:.1}% of later packs",
-                100.0 * block,
-                100.0 * disrupt
-            );
-        }
-    }
-
-    // Payment screening over the harvested proofs.
-    for min_tx in [5u32, 10, 20] {
-        let s = screen_payment_accounts(&report.harvest.proofs, min_tx);
-        let _ = writeln!(
-            out,
-            "  payment screening (≥{min_tx} tx/proof): {}/{} actors flagged, {:.0}% of revenue covered",
-            s.flagged_actors,
-            s.flagged_actors + s.unflagged_actors,
-            100.0 * s.usd_coverage()
-        );
-    }
-    let _ = writeln!(out, "  (see examples/intervention.rs and DESIGN.md §7)");
-    out
-}
-
-fn parse_seed(arg: &str) -> u64 {
-    if let Some(hex) = arg.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).expect("hex seed")
-    } else {
-        arg.parse().expect("seed must be an integer")
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,460 @@
+//! Subcommand parser for the `report` binary.
+//!
+//! The binary grew from a one-shot batch tool into a pipeline service,
+//! and the CLI grew with it: a [`Command`] enum with `report` / `serve`
+//! / `loadgen` / `bench` variants (shape modeled on elodin's
+//! `Build/Run/Plan/Bench` clap enum, hand-implemented over
+//! `std::env::args` because the offline stub workspace carries no
+//! clap). `report.rs` itself is a thin dispatcher over the parsed
+//! [`Command`].
+//!
+//! Unlike the old hand-rolled flag loop, parsing is *strict*: an
+//! unknown flag (`--workes`), a malformed numeric value, a flag missing
+//! its argument, or a surplus positional is a [`CliError`] that the
+//! dispatcher renders with the usage text and a nonzero exit code —
+//! nothing is silently swallowed.
+//!
+//! Invocations whose first argument is not a subcommand name parse as
+//! the legacy batch form (`report -- 0.3 0xSEED --flags…`), so every
+//! pre-service script keeps working.
+
+use ewhoring_core::pipeline::RunSpec;
+use std::fmt;
+
+/// A rejected command line: what was wrong, in one line. The dispatcher
+/// prints it with [`usage`] and exits nonzero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// The usage text printed on `help` and on every [`CliError`].
+pub fn usage() -> &'static str {
+    "usage: report [SUBCOMMAND] [OPTIONS]
+
+subcommands:
+  report   (default)  one batch pipeline run, report to stdout
+           [scale] [seed] [--workers N] [--faults S] [--corruption S]
+           [--json PATH] [--snapshot-json PATH] [--bench-json PATH]
+           [--journal-dir PATH] [--resume] [--stop-after N] [--intervention]
+  serve    long-running pipeline service (line-delimited JSON over TCP)
+           [--addr HOST:PORT] [--pool N] [--journal-dir PATH] [--port-file PATH]
+  loadgen  fire a seeded hot/cold request mix at a running server
+           --addr HOST:PORT [--clients K] [--requests N] [--hot-ratio R]
+           [--scale S] [--seed SEED] [--cold-keys N] [--workers N]
+           [--out PATH] [--snapshot-out PATH] [--shutdown]
+  bench    workers=1 vs workers=N baseline, written as BENCH_pipeline.json
+           [--scale S] [--seed SEED] [--workers N] [--out PATH]
+  help     this text"
+}
+
+/// Batch-run arguments (the legacy surface of the binary).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReportArgs {
+    /// The run itself: scale/seed/workers/faults/corruption.
+    pub spec: RunSpec,
+    /// `--json`: dump the raw `PipelineReport`.
+    pub json: Option<String>,
+    /// `--bench-json`: also rerun at workers=1 and write the baseline.
+    pub bench_json: Option<String>,
+    /// `--snapshot-json`: write the determinism snapshot.
+    pub snapshot_json: Option<String>,
+    /// `--journal-dir`: checkpoint every stage under this directory.
+    pub journal_dir: Option<String>,
+    /// `--resume`: trust the journaled prefix instead of clearing it.
+    pub resume: bool,
+    /// `--stop-after N`: exit after N stages (simulated crash).
+    pub stop_after: Option<usize>,
+    /// `--intervention`: append the §8 countermeasure simulations.
+    pub intervention: bool,
+}
+
+/// `serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address; port `0` asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker-thread pool size (concurrent connections served).
+    pub pool: usize,
+    /// Journal root backing the result cache (`None` = memory only).
+    pub journal_dir: Option<String>,
+    /// File to write the actually-bound `host:port` to (for scripts
+    /// that asked for an ephemeral port).
+    pub port_file: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:4119".to_string(),
+            pool: 4,
+            journal_dir: None,
+            port_file: None,
+        }
+    }
+}
+
+/// `loadgen` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenArgs {
+    /// Server to fire at.
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Fraction of requests aimed at the single hot (cache-hit) spec.
+    pub hot_ratio: f64,
+    /// Scale of every generated spec.
+    pub scale: f64,
+    /// Base seed: the hot spec uses it verbatim, cold specs derive from
+    /// it; also seeds the hot/cold mix shuffle.
+    pub seed: u64,
+    /// Distinct cold (cache-miss) seeds to rotate through.
+    pub cold_keys: usize,
+    /// Workers requested per run.
+    pub workers: usize,
+    /// Where to write the latency/throughput summary
+    /// (`BENCH_serve.json`).
+    pub out: Option<String>,
+    /// Fetch the hot spec's report over the wire and write its snapshot
+    /// here (the smoke test `cmp`s it against a batch run).
+    pub snapshot_out: Option<String>,
+    /// Send `shutdown` after the run.
+    pub shutdown: bool,
+}
+
+impl Default for LoadGenArgs {
+    fn default() -> Self {
+        LoadGenArgs {
+            addr: String::new(),
+            clients: 4,
+            requests: 25,
+            hot_ratio: 0.8,
+            scale: 0.02,
+            seed: 0xE400_2019,
+            cold_keys: 3,
+            workers: 1,
+            out: None,
+            snapshot_out: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// `bench` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Scale of the benched world.
+    pub scale: f64,
+    /// World seed.
+    pub seed: u64,
+    /// The parallel worker count compared against workers=1.
+    pub workers: usize,
+    /// Output path for the baseline JSON.
+    pub out: String,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 0.05,
+            seed: 0xE400_2019,
+            workers: 4,
+            out: "BENCH_pipeline.json".to_string(),
+        }
+    }
+}
+
+/// One parsed invocation of the binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Batch run (the default when no subcommand is named).
+    Report(ReportArgs),
+    /// Long-running service.
+    Serve(ServeArgs),
+    /// Load-generator client.
+    LoadGen(LoadGenArgs),
+    /// Worker-scaling baseline.
+    Bench(BenchArgs),
+    /// Print usage and exit 0.
+    Help,
+}
+
+impl Command {
+    /// Parses a full argument list (without the program name). Every
+    /// malformed input is a [`CliError`]; nothing is ignored.
+    pub fn parse(args: &[String]) -> Result<Command, CliError> {
+        match args.first().map(String::as_str) {
+            Some("report") => Ok(Command::Report(parse_report(&args[1..])?)),
+            Some("serve") => Ok(Command::Serve(parse_serve(&args[1..])?)),
+            Some("loadgen") => Ok(Command::LoadGen(parse_loadgen(&args[1..])?)),
+            Some("bench") => Ok(Command::Bench(parse_bench(&args[1..])?)),
+            Some("help" | "--help" | "-h") => Ok(Command::Help),
+            // Legacy batch form: `report -- 0.3 0xSEED --flags…`.
+            _ => Ok(Command::Report(parse_report(args)?)),
+        }
+    }
+}
+
+/// Pulls the value after `flag`, or errors naming the flag.
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, CliError> {
+    match it.next() {
+        Some(v) => Ok(v),
+        None => err(format!("`{flag}` requires a value")),
+    }
+}
+
+/// Parses `raw` as `T` for `flag`, or errors with both.
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| CliError(format!("`{flag}` got malformed value `{raw}`")))
+}
+
+/// Seeds accept decimal or `0x`-prefixed hex.
+fn parse_seed(flag: &str, raw: &str) -> Result<u64, CliError> {
+    if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+            .map_err(|_| CliError(format!("`{flag}` got malformed hex seed `{raw}`")))
+    } else {
+        parse_num(flag, raw)
+    }
+}
+
+fn parse_report(args: &[String]) -> Result<ReportArgs, CliError> {
+    let mut out = ReportArgs::default();
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => out.json = Some(take_value(arg, &mut it)?.clone()),
+            "--bench-json" => out.bench_json = Some(take_value(arg, &mut it)?.clone()),
+            "--snapshot-json" => out.snapshot_json = Some(take_value(arg, &mut it)?.clone()),
+            "--journal-dir" => out.journal_dir = Some(take_value(arg, &mut it)?.clone()),
+            "--resume" => out.resume = true,
+            "--stop-after" => out.stop_after = Some(parse_num(arg, take_value(arg, &mut it)?)?),
+            "--workers" => out.spec.workers = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--intervention" => out.intervention = true,
+            "--faults" => out.spec.faults = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--corruption" => out.spec.corruption = parse_num(arg, take_value(arg, &mut it)?)?,
+            flag if flag.starts_with('-') => return err(format!("unknown flag `{flag}`")),
+            _ => {
+                match positional {
+                    0 => out.spec.scale = parse_num("scale", arg)?,
+                    1 => out.spec.seed = parse_seed("seed", arg)?,
+                    _ => return err(format!("unexpected extra positional `{arg}`")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = take_value(arg, &mut it)?.clone(),
+            "--pool" => {
+                out.pool = parse_num(arg, take_value(arg, &mut it)?)?;
+                if out.pool == 0 {
+                    return err("`--pool` must be at least 1");
+                }
+            }
+            "--journal-dir" => out.journal_dir = Some(take_value(arg, &mut it)?.clone()),
+            "--port-file" => out.port_file = Some(take_value(arg, &mut it)?.clone()),
+            other => return err(format!("unknown serve argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_loadgen(args: &[String]) -> Result<LoadGenArgs, CliError> {
+    let mut out = LoadGenArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = take_value(arg, &mut it)?.clone(),
+            "--clients" => out.clients = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--requests" => out.requests = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--hot-ratio" => {
+                out.hot_ratio = parse_num(arg, take_value(arg, &mut it)?)?;
+                if !(0.0..=1.0).contains(&out.hot_ratio) {
+                    return err("`--hot-ratio` must be within [0, 1]");
+                }
+            }
+            "--scale" => out.scale = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--seed" => out.seed = parse_seed(arg, take_value(arg, &mut it)?)?,
+            "--cold-keys" => {
+                out.cold_keys = parse_num(arg, take_value(arg, &mut it)?)?;
+                if out.cold_keys == 0 {
+                    return err("`--cold-keys` must be at least 1");
+                }
+            }
+            "--workers" => out.workers = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--out" => out.out = Some(take_value(arg, &mut it)?.clone()),
+            "--snapshot-out" => out.snapshot_out = Some(take_value(arg, &mut it)?.clone()),
+            "--shutdown" => out.shutdown = true,
+            other => return err(format!("unknown loadgen argument `{other}`")),
+        }
+    }
+    if out.addr.is_empty() {
+        return err("loadgen requires `--addr HOST:PORT`");
+    }
+    if out.clients == 0 {
+        return err("`--clients` must be at least 1");
+    }
+    Ok(out)
+}
+
+fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
+    let mut out = BenchArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => out.scale = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--seed" => out.seed = parse_seed(arg, take_value(arg, &mut it)?)?,
+            "--workers" => out.workers = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--out" => out.out = take_value(arg, &mut it)?.clone(),
+            other => return err(format!("unknown bench argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn legacy_batch_form_still_parses() {
+        let cmd = Command::parse(&args(&[
+            "0.02",
+            "0xDEADBEEF",
+            "--workers",
+            "2",
+            "--snapshot-json",
+            "snap.json",
+        ]))
+        .expect("legacy form parses");
+        let Command::Report(report) = cmd else {
+            panic!("expected Report, got {cmd:?}");
+        };
+        assert_eq!(report.spec.scale, 0.02);
+        assert_eq!(report.spec.seed, 0xDEAD_BEEF);
+        assert_eq!(report.spec.workers, 2);
+        assert_eq!(report.snapshot_json.as_deref(), Some("snap.json"));
+    }
+
+    /// The regression the refactor exists for: the old loop treated a
+    /// typo'd flag as a positional and silently mis-parsed the line.
+    #[test]
+    fn misspelled_flag_is_a_usage_error() {
+        let e = Command::parse(&args(&["--workes", "4"])).unwrap_err();
+        assert!(e.0.contains("unknown flag `--workes`"), "{e}");
+    }
+
+    #[test]
+    fn malformed_faults_value_is_a_usage_error() {
+        let e = Command::parse(&args(&["--faults", "calibrated"])).unwrap_err();
+        assert!(
+            e.0.contains("--faults") && e.0.contains("calibrated"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn flag_missing_its_value_is_a_usage_error() {
+        let e = Command::parse(&args(&["--workers"])).unwrap_err();
+        assert!(e.0.contains("requires a value"), "{e}");
+    }
+
+    #[test]
+    fn surplus_positionals_are_rejected() {
+        let e = Command::parse(&args(&["0.3", "7", "9"])).unwrap_err();
+        assert!(e.0.contains("extra positional"), "{e}");
+    }
+
+    #[test]
+    fn serve_and_loadgen_forms_parse() {
+        let cmd = Command::parse(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--pool",
+            "8",
+            "--journal-dir",
+            ".journals/svc",
+        ]))
+        .expect("serve parses");
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                addr: "127.0.0.1:0".into(),
+                pool: 8,
+                journal_dir: Some(".journals/svc".into()),
+                port_file: None,
+            })
+        );
+
+        let cmd = Command::parse(&args(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:4119",
+            "--clients",
+            "2",
+            "--requests",
+            "10",
+            "--hot-ratio",
+            "0.5",
+            "--shutdown",
+        ]))
+        .expect("loadgen parses");
+        let Command::LoadGen(lg) = cmd else {
+            panic!("expected LoadGen");
+        };
+        assert_eq!((lg.clients, lg.requests), (2, 10));
+        assert!(lg.shutdown);
+    }
+
+    #[test]
+    fn loadgen_without_addr_is_rejected() {
+        let e = Command::parse(&args(&["loadgen", "--clients", "2"])).unwrap_err();
+        assert!(e.0.contains("--addr"), "{e}");
+    }
+
+    #[test]
+    fn bench_subcommand_parses_with_defaults() {
+        let cmd = Command::parse(&args(&["bench", "--scale", "0.05"])).expect("bench parses");
+        let Command::Bench(b) = cmd else {
+            panic!("expected Bench");
+        };
+        assert_eq!(b.scale, 0.05);
+        assert_eq!(b.out, "BENCH_pipeline.json");
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert_eq!(Command::parse(&args(&["help"])), Ok(Command::Help));
+        assert_eq!(Command::parse(&args(&["--help"])), Ok(Command::Help));
+    }
+}

@@ -1,8 +1,17 @@
-//! Shared fixtures for the benchmark suite and the `report` binary.
+//! Shared fixtures for the benchmark suite, plus the `report` binary's
+//! implementation layers: the subcommand CLI ([`cli`]), the batch path
+//! ([`report_cmd`]), the pipeline service ([`serve`]) with its wire
+//! protocol ([`proto`]), and the load generator ([`loadgen`]).
 //!
 //! Worlds are expensive to generate, so benches share lazily-built
 //! fixtures at two scales: `small` (quick iteration benches) and `bench`
 //! (the ~10% world used for table/figure regeneration).
+
+pub mod cli;
+pub mod loadgen;
+pub mod proto;
+pub mod report_cmd;
+pub mod serve;
 
 use ewhoring_core::pipeline::{Pipeline, PipelineOptions, PipelineReport};
 use std::sync::OnceLock;

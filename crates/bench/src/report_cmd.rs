@@ -1,0 +1,346 @@
+//! The batch `report` and `bench` subcommands (the binary's original
+//! job): generate a world, run the pipeline once, print the paper
+//! report, and optionally write JSON artifacts.
+
+use crate::cli::{BenchArgs, ReportArgs};
+use ewhoring_core::pipeline::{
+    snapshot_json, Journal, Pipeline, PipelineOptions, PipelineReport, RunSpec, StageTiming,
+    TimingSource,
+};
+use ewhoring_core::report::full_report;
+use std::time::Instant;
+use worldgen::World;
+
+fn generate_world(spec: &RunSpec) -> World {
+    let config = spec.world_config();
+    eprintln!(
+        "generating world: scale {}, seed {:#x} …",
+        spec.scale, spec.seed
+    );
+    let t = Instant::now();
+    let world = World::generate(config);
+    eprintln!(
+        "world ready in {:.1?}: {} posts, {} threads, {} actors, {} hosted objects, {} indexed images",
+        t.elapsed(),
+        world.corpus.posts().len(),
+        world.corpus.threads().len(),
+        world.corpus.actors().len(),
+        world.web.len(),
+        world.index.len(),
+    );
+    world
+}
+
+/// Runs one batch report invocation. Every runtime failure is a
+/// rendered error string for the dispatcher to print and exit on.
+pub fn main(args: &ReportArgs) -> Result<(), String> {
+    let spec = args.spec;
+    let world = generate_world(&spec);
+    let options = spec.options();
+    let t = Instant::now();
+    let report = if let Some(dir) = &args.journal_dir {
+        let dir = std::path::Path::new(dir);
+        if !args.resume {
+            // A fresh (non-resume) run must never trust leftover
+            // checkpoints for this run key.
+            let journal = Journal::open(dir, &world.config, &options)
+                .map_err(|e| format!("open checkpoint journal: {e}"))?;
+            journal
+                .clear()
+                .map_err(|e| format!("clear checkpoint journal: {e}"))?;
+        }
+        let pipe = Pipeline::new(options);
+        if let Some(n) = args.stop_after {
+            // Simulated crash: run (and checkpoint) the first N stages,
+            // then exit at the stage boundary without a report.
+            let ctx = pipe
+                .run_prefix_resumable(&world, n, dir)
+                .map_err(|e| format!("prefix run: {e}"))?;
+            eprintln!(
+                "stopped after {} stage(s); journal under {}",
+                ctx.timings()
+                    .iter()
+                    .filter(|t| t.stage != "journal")
+                    .count(),
+                dir.display()
+            );
+            for t in ctx.timings() {
+                eprintln!(
+                    "  {:<16} {:>9.1} ms  {:>8} items  [{}]",
+                    t.stage,
+                    t.wall_us as f64 / 1_000.0,
+                    t.items,
+                    t.source.as_str()
+                );
+            }
+            return Ok(());
+        }
+        pipe.run_resumable(&world, dir)
+            .map_err(|e| format!("resumable run: {e}"))?
+    } else {
+        Pipeline::new(options).run(&world)
+    };
+    eprintln!("pipeline finished in {:.1?}", t.elapsed());
+    for t in &report.timings {
+        eprintln!(
+            "  {:<16} {:>9.1} ms  {:>8} items  {:>12.0} items/s  [{}]",
+            t.stage,
+            t.wall_us as f64 / 1_000.0,
+            t.items,
+            items_per_sec(t),
+            t.source.as_str()
+        );
+    }
+    if !report.quarantine.is_empty() || !report.health.is_empty() {
+        eprintln!(
+            "  quarantine: {} record(s) quarantined, {} stage intervention(s) — see the pipeline-health section",
+            report.quarantine.len(),
+            report.health.len()
+        );
+    }
+    let cs = &report.crawl_stats;
+    eprintln!(
+        "  crawl health: {} attempts, {} retries, {} breaker trips, {} unreachable, {:.1} s simulated wait",
+        cs.attempts.total(),
+        cs.retries.total(),
+        cs.breaker_trips,
+        report.crawl.unreachable_links,
+        cs.wait_us.total() as f64 / 1_000_000.0
+    );
+
+    println!(
+        "=== Measuring eWhoring — reproduction report (scale {}, seed {:#x}) ===\n",
+        spec.scale, spec.seed
+    );
+    println!("{}", full_report(&report));
+
+    if args.intervention {
+        println!("{}", intervention_section(&report, spec.workers));
+    }
+
+    if let Some(path) = &args.json {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialise report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write JSON report `{path}`: {e}"))?;
+        eprintln!("raw report written to {path}");
+    }
+
+    if let Some(path) = &args.snapshot_json {
+        // The determinism snapshot: the full report minus wall-clock
+        // timings, so two runs (resumed vs uninterrupted, batch vs
+        // wire, any worker count) can be compared byte-for-byte.
+        let json = snapshot_json(&report).map_err(|e| format!("render snapshot: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write snapshot JSON `{path}`: {e}"))?;
+        eprintln!("determinism snapshot written to {path}");
+    }
+
+    if let Some(path) = &args.bench_json {
+        eprintln!("bench baseline: rerunning pipeline at workers=1 …");
+        let t = Instant::now();
+        let serial = Pipeline::new(PipelineOptions {
+            workers: 1,
+            ..options
+        })
+        .run(&world);
+        eprintln!("serial run finished in {:.1?}", t.elapsed());
+        let json = bench_baseline_json(
+            spec.scale,
+            spec.seed,
+            spec.workers,
+            &serial.timings,
+            &report.timings,
+            report.quarantine.len(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write bench baseline `{path}`: {e}"))?;
+        eprintln!("bench baseline written to {path}");
+    }
+    Ok(())
+}
+
+/// The `bench` subcommand: one parallel run, one workers=1 rerun, and
+/// the machine-readable baseline — without the report printing the
+/// batch path does.
+pub fn bench_main(args: &BenchArgs) -> Result<(), String> {
+    let spec = RunSpec {
+        scale: args.scale,
+        seed: args.seed,
+        workers: args.workers,
+        faults: 0.0,
+        corruption: 0.0,
+    };
+    let world = generate_world(&spec);
+    let t = Instant::now();
+    let parallel = Pipeline::new(spec.options()).run(&world);
+    eprintln!(
+        "parallel run (workers={}) finished in {:.1?}",
+        args.workers,
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let serial = Pipeline::new(PipelineOptions {
+        workers: 1,
+        ..spec.options()
+    })
+    .run(&world);
+    eprintln!("serial run finished in {:.1?}", t.elapsed());
+    let json = bench_baseline_json(
+        spec.scale,
+        spec.seed,
+        spec.workers,
+        &serial.timings,
+        &parallel.timings,
+        parallel.quarantine.len(),
+    );
+    std::fs::write(&args.out, json).map_err(|e| format!("write `{}`: {e}", args.out))?;
+    eprintln!("bench baseline written to {}", args.out);
+    Ok(())
+}
+
+/// Stages whose per-item loops run on the `core::par` layer; the
+/// aggregate speedup is computed over these.
+const PARALLEL_STAGES: [&str; 4] = ["top_classifier", "measure_images", "nsfv", "actors"];
+
+/// Items-per-second for one timing entry.
+fn items_per_sec(t: &StageTiming) -> f64 {
+    if t.wall_us > 0 {
+        t.items as f64 / (t.wall_us as f64 / 1_000_000.0)
+    } else {
+        0.0
+    }
+}
+
+/// Aggregate items/sec over the parallel stages of one run. Only
+/// computed stages count — a journal-loaded stage's wall clock measures
+/// deserialization, not stage work, and would corrupt the speedup.
+fn aggregate_items_per_sec(timings: &[StageTiming]) -> f64 {
+    let (items, wall_us) = timings
+        .iter()
+        .filter(|t| {
+            PARALLEL_STAGES.contains(&t.stage.as_str()) && t.source == TimingSource::Computed
+        })
+        .fold((0usize, 0u128), |(i, w), t| (i + t.items, w + t.wall_us));
+    if wall_us > 0 {
+        items as f64 / (wall_us as f64 / 1_000_000.0)
+    } else {
+        0.0
+    }
+}
+
+/// Renders the machine-readable `BENCH_pipeline.json` baseline: per-stage
+/// `wall_us`, `items`, `items_per_sec`, and `source` (computed vs
+/// journal-loaded — a loaded stage's wall clock is I/O, not stage work,
+/// and must never be read as a compute baseline) at workers=1 vs
+/// workers=N, plus the aggregate speedup over [`PARALLEL_STAGES`] and the
+/// run's quarantined-record count. Hand-assembled so the schema is
+/// explicit in one place.
+fn bench_baseline_json(
+    scale: f64,
+    seed: u64,
+    workers: usize,
+    serial: &[StageTiming],
+    parallel: &[StageTiming],
+    quarantined_records: usize,
+) -> String {
+    use std::fmt::Write as _;
+
+    let run_json = |workers: usize, timings: &[StageTiming]| {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "    {{\n      \"workers\": {workers},\n      \"stages\": ["
+        );
+        for (i, t) in timings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{ \"stage\": \"{}\", \"wall_us\": {}, \"items\": {}, \"items_per_sec\": {:.1}, \"source\": \"{}\" }}{}",
+                t.stage,
+                t.wall_us,
+                t.items,
+                items_per_sec(t),
+                t.source.as_str(),
+                if i + 1 < timings.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "      ],\n      \"parallel_items_per_sec\": {:.1}\n    }}",
+            aggregate_items_per_sec(timings)
+        );
+        out
+    };
+
+    let serial_agg = aggregate_items_per_sec(serial);
+    let parallel_agg = aggregate_items_per_sec(parallel);
+    let speedup = if serial_agg > 0.0 {
+        parallel_agg / serial_agg
+    } else {
+        0.0
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!(
+        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"available_parallelism\": {cores},\n  \"quarantined_records\": {quarantined_records},\n  \"parallel_stages\": [{}],\n  \"runs\": [\n{},\n{}\n  ],\n  \"aggregate_speedup\": {speedup:.2}\n}}\n",
+        PARALLEL_STAGES
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        run_json(1, serial),
+        run_json(workers, parallel),
+    )
+}
+
+/// Runs the §8 countermeasure simulations against the already-crawled
+/// material and renders them as a report section.
+fn intervention_section(report: &PipelineReport, workers: usize) -> String {
+    use ewhoring_core::intervention::{deployment_sweep, screen_payment_accounts};
+    use ewhoring_core::nsfv::ImageMeasures;
+    use ewhoring_core::pipeline::measure_batch;
+    use std::fmt::Write as _;
+
+    let mut out = String::from(
+        "Extension (§8): intervention simulations
+",
+    );
+
+    // Shared hash-blacklist over the crawled packs, measured on the same
+    // parallel layer as the pipeline's measure stage.
+    let owned: Vec<(&ewhoring_core::crawl::PackDownload, Vec<ImageMeasures>)> = report
+        .crawl
+        .packs
+        .iter()
+        .map(|p| {
+            let sample = &p.images[..p.images.len().min(30)];
+            (p, measure_batch(sample, workers))
+        })
+        .collect();
+    let packs: Vec<(&ewhoring_core::crawl::PackDownload, &[ImageMeasures])> =
+        owned.iter().map(|(p, m)| (*p, m.as_slice())).collect();
+    if !packs.is_empty() {
+        let mut dates: Vec<synthrand::Day> = packs.iter().map(|(p, _)| p.link.posted).collect();
+        dates.sort_unstable();
+        let sweep_dates: Vec<synthrand::Day> =
+            (1..=4).map(|i| dates[dates.len() * i / 5]).collect();
+        for (date, block, disrupt) in deployment_sweep(&packs, &sweep_dates) {
+            let _ = writeln!(
+                out,
+                "  blacklist deployed {date}: blocks {:.1}% of later images, disrupts {:.1}% of later packs",
+                100.0 * block,
+                100.0 * disrupt
+            );
+        }
+    }
+
+    // Payment screening over the harvested proofs.
+    for min_tx in [5u32, 10, 20] {
+        let s = screen_payment_accounts(&report.harvest.proofs, min_tx);
+        let _ = writeln!(
+            out,
+            "  payment screening (≥{min_tx} tx/proof): {}/{} actors flagged, {:.0}% of revenue covered",
+            s.flagged_actors,
+            s.flagged_actors + s.unflagged_actors,
+            100.0 * s.usd_coverage()
+        );
+    }
+    let _ = writeln!(out, "  (see examples/intervention.rs and DESIGN.md §7)");
+    out
+}

@@ -1,0 +1,295 @@
+//! The long-running pipeline service (`report serve`).
+//!
+//! A [`Server`] binds a `TcpListener` and serves the [`crate::proto`]
+//! protocol from a bounded worker-thread pool: the acceptor pushes
+//! connections into a bounded channel, `pool` workers drain it, and
+//! each worker speaks request/response lines over its connection until
+//! the client hangs up. The pool bound is the backpressure story — at
+//! most `pool` pipelines execute concurrently, and a full backlog
+//! blocks the acceptor instead of queueing unbounded work.
+//!
+//! All result state lives in one shared [`RunCache`]: identical `run`
+//! requests collapse into a single pipeline execution (single-flight),
+//! repeat requests are served from memory, and — when `--journal-dir`
+//! is given — from the on-disk stage journal across server restarts,
+//! shared with batch runs pointed at the same directory.
+//!
+//! `shutdown` finishes the requesting connection, stops the acceptor,
+//! lets in-flight connections drain, and returns from [`Server::run`].
+
+use crate::cli::ServeArgs;
+use crate::proto::{Request, Response};
+use ewhoring_core::pipeline::{snapshot_json, PipelineReport, RunCache, RunStatus};
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A bound pipeline service, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    cache: Arc<RunCache>,
+    pool: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `args.addr` (port `0` = ephemeral) and prepares the result
+    /// cache; no requests are served until [`Server::run`].
+    pub fn bind(args: &ServeArgs) -> Result<Server, String> {
+        let listener = TcpListener::bind(&args.addr)
+            .map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("bound address unavailable: {e}"))?;
+        let cache = match &args.journal_dir {
+            Some(dir) => RunCache::with_journal(dir),
+            None => RunCache::in_memory(),
+        };
+        Ok(Server {
+            listener,
+            local_addr,
+            cache: Arc::new(cache),
+            pool: args.pool.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound — the resolved port when the caller
+    /// asked for an ephemeral one.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared result cache (exposed for tests and stats).
+    pub fn cache(&self) -> &Arc<RunCache> {
+        &self.cache
+    }
+
+    /// Serves until a `shutdown` request arrives: accepts connections,
+    /// hands them to the worker pool, then drains in-flight work.
+    pub fn run(&self) -> Result<(), String> {
+        // Bounded backlog: one slot of headroom per worker keeps the
+        // acceptor responsive without unbounded queueing.
+        let (tx, rx) = sync_channel::<TcpStream>(self.pool);
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..self.pool {
+                scope.spawn(|| self.worker(&rx));
+            }
+            self.accept_loop(&tx);
+            drop(tx);
+        });
+        Ok(())
+    }
+
+    fn accept_loop(&self, tx: &SyncSender<TcpStream>) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(returned)) => {
+                    // Backlog full: block the acceptor on this one —
+                    // that *is* the backpressure — unless shutdown won
+                    // the race while we waited.
+                    stream = returned;
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+    }
+
+    fn worker(&self, rx: &Mutex<Receiver<TcpStream>>) {
+        loop {
+            // Hold the dequeue lock only to receive; handling runs
+            // unlocked so workers serve connections concurrently.
+            let stream = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                Ok(stream) => stream,
+                Err(_) => return,
+            };
+            let _ = self.handle_connection(stream);
+        }
+    }
+
+    /// One connection: request lines in, response lines out, until EOF
+    /// or a `shutdown` request.
+    fn handle_connection(&self, stream: TcpStream) -> std::io::Result<()> {
+        let mut writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, stop) = self.handle_line(&line);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if stop {
+                self.initiate_shutdown();
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches one request line; the flag says "stop serving after
+    /// responding" (a `shutdown` request).
+    fn handle_line(&self, line: &str) -> (String, bool) {
+        match Request::decode(line) {
+            Err(e) => (Response::error(e), false),
+            Ok(Request::Shutdown) => (Response::ok(vec![("cmd", str_val("shutdown"))]), true),
+            Ok(Request::Run(spec)) => {
+                let t = Instant::now();
+                let response = match self.cache.get_or_compute(&spec) {
+                    Ok(run) => Response::ok(vec![
+                        ("cmd", str_val("run")),
+                        ("run_key", str_val(&run.run_key)),
+                        ("cached", Value::Bool(!run.fresh)),
+                        ("wall_us", Value::UInt(t.elapsed().as_micros())),
+                    ]),
+                    Err(e) => Response::error(format!("run failed: {e}")),
+                };
+                (response, false)
+            }
+            Ok(Request::Status(key)) => {
+                let status = self.cache.status(&key);
+                (
+                    Response::ok(vec![
+                        ("cmd", str_val("status")),
+                        ("run_key", str_val(&key)),
+                        ("status", str_val(status.as_str())),
+                    ]),
+                    false,
+                )
+            }
+            Ok(Request::Report(key)) => (self.report_response(&key), false),
+            Ok(Request::Health(key)) => (self.health_response(&key), false),
+        }
+    }
+
+    fn report_response(&self, key: &str) -> String {
+        match self.cache.get(key) {
+            Some(report) => match snapshot_json(&report) {
+                Ok(snapshot) => Response::ok(vec![
+                    ("cmd", str_val("report")),
+                    ("run_key", str_val(key)),
+                    ("snapshot", str_val(&snapshot)),
+                ]),
+                Err(e) => Response::error(format!("snapshot failed: {e}")),
+            },
+            None => Response::error(not_ready(self.cache.status(key), key)),
+        }
+    }
+
+    fn health_response(&self, key: &str) -> String {
+        match self.cache.get(key) {
+            Some(report) => Response::ok(vec![
+                ("cmd", str_val("health")),
+                ("run_key", str_val(key)),
+                ("health", health_value(&report)),
+            ]),
+            None => Response::error(not_ready(self.cache.status(key), key)),
+        }
+    }
+
+    /// Flips the shutdown flag and unblocks the acceptor with a
+    /// loopback connection so `run` can return.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+fn str_val(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn not_ready(status: RunStatus, key: &str) -> String {
+    match status {
+        RunStatus::Running => format!("run `{key}` is still computing"),
+        RunStatus::Failed => format!("run `{key}` failed; re-issue `run` for the error"),
+        _ => format!("unknown run key `{key}` (issue a `run` first)"),
+    }
+}
+
+/// The `health` payload: per-stage timings, quarantine and stage-health
+/// counts, and the crawler's health counters — the service-mode view of
+/// the report's pipeline-health section.
+fn health_value(report: &PipelineReport) -> Value {
+    let stages: Vec<Value> = report
+        .timings
+        .iter()
+        .map(|t| {
+            let mut row = serde::Map::new();
+            row.insert("stage", str_val(&t.stage));
+            row.insert("wall_us", Value::UInt(t.wall_us));
+            row.insert("items", Value::UInt(t.items as u128));
+            row.insert("source", str_val(t.source.as_str()));
+            Value::Object(row)
+        })
+        .collect();
+    let events: Vec<Value> = report
+        .health
+        .iter()
+        .map(|h| {
+            let mut row = serde::Map::new();
+            row.insert("stage", str_val(&h.stage));
+            row.insert(
+                "status",
+                str_val(match h.status {
+                    ewhoring_core::pipeline::StageStatus::Recovered => "recovered",
+                    ewhoring_core::pipeline::StageStatus::Degraded => "degraded",
+                }),
+            );
+            row.insert("detail", str_val(&h.detail));
+            Value::Object(row)
+        })
+        .collect();
+    let mut crawl = serde::Map::new();
+    let cs = &report.crawl_stats;
+    crawl.insert("attempts", Value::UInt(cs.attempts.total() as u128));
+    crawl.insert("retries", Value::UInt(cs.retries.total() as u128));
+    crawl.insert("breaker_trips", Value::UInt(cs.breaker_trips as u128));
+    crawl.insert(
+        "unreachable_links",
+        Value::UInt(report.crawl.unreachable_links as u128),
+    );
+    crawl.insert("wait_us", Value::UInt(cs.wait_us.total() as u128));
+    let mut map = serde::Map::new();
+    map.insert("stages", Value::Array(stages));
+    map.insert(
+        "quarantined_records",
+        Value::UInt(report.quarantine.len() as u128),
+    );
+    map.insert("stage_events", Value::Array(events));
+    map.insert("crawl", Value::Object(crawl));
+    Value::Object(map)
+}
+
+/// The `serve` subcommand: bind, announce, serve until shutdown.
+pub fn main(args: &ServeArgs) -> Result<(), String> {
+    let server = Server::bind(args)?;
+    let addr = server.local_addr();
+    if let Some(path) = &args.port_file {
+        // Scripts that asked for port 0 read the resolved address here.
+        std::fs::write(path, format!("{addr}"))
+            .map_err(|e| format!("cannot write port file `{path}`: {e}"))?;
+    }
+    eprintln!(
+        "serving on {addr} (pool {}, journal {})",
+        args.pool,
+        args.journal_dir.as_deref().unwrap_or("none")
+    );
+    server.run()
+}

@@ -38,11 +38,13 @@
 //! it to degrade ([`Stage::degrade`]).
 #![deny(clippy::unwrap_used)]
 
+pub mod cache;
 pub mod corruption;
 pub mod ctx;
 pub mod journal;
 pub mod stages;
 
+pub use cache::{snapshot_json, CachedRun, RunCache, RunSpec, RunStatus};
 pub use corruption::{CorruptionPlan, QuarantineEntry, QuarantineLedger, RecordErrorKind};
 pub use ctx::{
     apply_deletions, ImageRef, ImageSource, KeptImages, MeasuredImages, StageCtx, StageError,
