@@ -159,7 +159,22 @@ macro_rules! uniform_int {
                 let hi_w = hi as i128;
                 let span = (hi_w - lo_w + if inclusive { 1 } else { 0 }) as u128;
                 assert!(span > 0, "empty range in gen_range");
-                let draw = <u128 as StandardSample>::standard_sample(rng) % span;
+                // The draw is always a full 128-bit sample reduced mod
+                // `span` (two `next_u64` calls, high word first). For
+                // spans fitting u32 the reduction runs in u64 words —
+                // (hi·2^64 + lo) mod m == ((hi mod m)·(2^64 mod m)
+                // + lo mod m) mod m, with every intermediate < 2^64 —
+                // which sidesteps the slow 128-bit division intrinsic
+                // while producing the identical value.
+                let draw = if span <= u32::MAX as u128 {
+                    let m = span as u64;
+                    let hi64 = rng.next_u64();
+                    let lo64 = rng.next_u64();
+                    let r2_64 = (u64::MAX % m).wrapping_add(1) % m; // 2^64 mod m
+                    (((hi64 % m) * r2_64 + lo64 % m) % m) as u128
+                } else {
+                    <u128 as StandardSample>::standard_sample(rng) % span
+                };
                 (lo_w + draw as i128) as $t
             }
         }
@@ -248,6 +263,37 @@ pub mod seq {
             } else {
                 Some(&self[rng.gen_range(0..self.len())])
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng, StandardSample};
+
+    /// The u64-word reduction for small spans must draw exactly what the
+    /// 128-bit reduction draws, for every span class and sign mix.
+    #[test]
+    fn small_span_fast_path_matches_u128_reduction() {
+        let mut fast = StdRng::seed_from_u64(0x5EED);
+        let mut slow = fast.clone();
+        for span in [1u128, 2, 7, 31, 255, 4096, 65_537, u32::MAX as u128] {
+            for _ in 0..64 {
+                let got = fast.gen_range(0..span as u64);
+                let want = (<u128 as StandardSample>::standard_sample(&mut slow) % span) as u64;
+                assert_eq!(got, want, "span {span}");
+            }
+        }
+        // Signed, inclusive range as the render hot loops use it.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = a.clone();
+        for _ in 0..256 {
+            let got = a.gen_range(-12i16..=12);
+            let hi = u128::from(b.next_u64());
+            let lo = u128::from(b.next_u64());
+            let want = -12i128 + (((hi << 64) | lo) % 25) as i128;
+            assert_eq!(i128::from(got), want);
         }
     }
 }

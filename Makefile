@@ -11,9 +11,9 @@
 CARGO ?= cargo
 OFFLINE = --offline --locked
 
-.PHONY: verify fmt-check clippy build test bench-build bench bench-serve smoke-resume smoke-serve clean-journal
+.PHONY: verify fmt-check clippy build test bench-build bench bench-gate smoke-bench-gate bench-serve smoke-resume smoke-serve clean-journal
 
-verify: fmt-check clippy build test bench-build smoke-resume smoke-serve
+verify: fmt-check clippy build test bench-build smoke-resume smoke-serve smoke-bench-gate
 
 fmt-check:
 	$(CARGO) fmt --all -- --check
@@ -39,6 +39,23 @@ bench-build:
 bench:
 	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
 		bench --scale 0.05 --workers 4 --out BENCH_pipeline.json
+
+# Perf gate for the fused measure kernel: rerun the bench and exit
+# nonzero if `measure_images` items/sec at workers=1 falls below the
+# committed floor in BENCH_floor.txt. `bench-gate` reruns the full
+# BENCH_pipeline.json configuration; `smoke-bench-gate` is the fast
+# small-scale tripwire wired into `make verify`.
+bench-gate:
+	mkdir -p .journals
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		bench --scale 0.05 --workers 4 --out .journals/bench-gate.json \
+		--gate-floor $$(awk '$$1=="full"{print $$2}' BENCH_floor.txt)
+
+smoke-bench-gate:
+	mkdir -p .journals
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		bench --scale 0.02 --workers 2 --out .journals/bench-gate-smoke.json \
+		--gate-floor $$(awk '$$1=="smoke"{print $$2}' BENCH_floor.txt)
 
 # Service-mode baseline: start a server on an ephemeral port, fire the
 # seeded hot/cold mix from 4 client threads, and write requests/sec,

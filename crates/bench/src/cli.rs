@@ -55,6 +55,7 @@ subcommands:
            [--out PATH] [--snapshot-out PATH] [--shutdown]
   bench    workers=1 vs workers=N baseline, written as BENCH_pipeline.json
            [--scale S] [--seed SEED] [--workers N] [--out PATH]
+           [--gate-floor ITEMS_PER_SEC]
   help     this text"
 }
 
@@ -163,6 +164,10 @@ pub struct BenchArgs {
     pub workers: usize,
     /// Output path for the baseline JSON.
     pub out: String,
+    /// Performance gate: fail unless the serial (workers=1)
+    /// `measure_images` rate reaches this many items/sec. The committed
+    /// floors live in `BENCH_floor.txt` next to `BENCH_pipeline.json`.
+    pub gate_floor: Option<f64>,
 }
 
 impl Default for BenchArgs {
@@ -172,6 +177,7 @@ impl Default for BenchArgs {
             seed: 0xE400_2019,
             workers: 4,
             out: "BENCH_pipeline.json".to_string(),
+            gate_floor: None,
         }
     }
 }
@@ -331,6 +337,7 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
             "--seed" => out.seed = parse_seed(arg, take_value(arg, &mut it)?)?,
             "--workers" => out.workers = parse_num(arg, take_value(arg, &mut it)?)?,
             "--out" => out.out = take_value(arg, &mut it)?.clone(),
+            "--gate-floor" => out.gate_floor = Some(parse_num(arg, take_value(arg, &mut it)?)?),
             other => return err(format!("unknown bench argument `{other}`")),
         }
     }

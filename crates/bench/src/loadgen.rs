@@ -102,17 +102,37 @@ impl Client {
     }
 }
 
-fn run_client(args: &LoadGenArgs, client: usize) -> Result<ClientLog, String> {
-    let mut conn = Client::connect(&args.addr)?;
+/// Runs one client's schedule. Infallible by design: every one of the
+/// client's `args.requests` issued requests ends up accounted either as
+/// a latency sample or as an error, so transport failures deflate the
+/// summary instead of vanishing from it (or aborting the other
+/// clients). A client that cannot connect, or whose connection dies
+/// mid-run, charges all its unserved slots to `errors`.
+fn run_client(args: &LoadGenArgs, client: usize) -> ClientLog {
     let mut log = ClientLog {
         latencies_us: Vec::with_capacity(args.requests),
         hits: 0,
         errors: 0,
     };
+    let mut conn = match Client::connect(&args.addr) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("loadgen client {client}: {e}");
+            log.errors = args.requests;
+            return log;
+        }
+    };
     for slot in 0..args.requests {
         let spec = spec_for(args, client, slot);
         let t = Instant::now();
-        let response = conn.call(&Request::Run(spec))?;
+        let response = match conn.call(&Request::Run(spec)) {
+            Ok(response) => response,
+            Err(e) => {
+                eprintln!("loadgen client {client}: request {slot}: {e}");
+                log.errors += args.requests - slot;
+                return log;
+            }
+        };
         log.latencies_us.push(t.elapsed().as_micros());
         if response.is_ok() {
             if response.bool_field("cached") == Some(true) {
@@ -122,7 +142,7 @@ fn run_client(args: &LoadGenArgs, client: usize) -> Result<ClientLog, String> {
             log.errors += 1;
         }
     }
-    Ok(log)
+    log
 }
 
 /// The aggregated result of one loadgen run.
@@ -131,7 +151,10 @@ pub struct LoadSummary {
     pub clients: usize,
     /// Requests per client.
     pub requests_per_client: usize,
-    /// Total requests fired.
+    /// Total requests *issued* (`clients × requests_per_client`) —
+    /// errored requests stay in this denominator, so error-heavy runs
+    /// report deflated throughput and hit ratios rather than inflated
+    /// ones.
     pub total_requests: usize,
     /// Responses served from cache.
     pub cache_hits: usize,
@@ -199,18 +222,26 @@ impl LoadSummary {
     }
 }
 
-/// Fires the configured mix and aggregates the outcome.
+/// Fires the configured mix and aggregates the outcome. Every issued
+/// request is accounted: a panicked client thread counts as all-errors,
+/// like a client that never connected.
 pub fn run(args: &LoadGenArgs) -> Result<LoadSummary, String> {
     let t = Instant::now();
-    let logs: Vec<Result<ClientLog, String>> = std::thread::scope(|scope| {
+    let logs: Vec<ClientLog> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|client| scope.spawn(move || run_client(args, client)))
             .collect();
         handles
             .into_iter()
             .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+                h.join().unwrap_or_else(|_| {
+                    eprintln!("loadgen: client thread panicked");
+                    ClientLog {
+                        latencies_us: Vec::new(),
+                        hits: 0,
+                        errors: args.requests,
+                    }
+                })
             })
             .collect()
     });
@@ -219,7 +250,6 @@ pub fn run(args: &LoadGenArgs) -> Result<LoadSummary, String> {
     let mut cache_hits = 0;
     let mut errors = 0;
     for log in logs {
-        let log = log?;
         latencies_us.extend(log.latencies_us);
         cache_hits += log.hits;
         errors += log.errors;
@@ -228,7 +258,7 @@ pub fn run(args: &LoadGenArgs) -> Result<LoadSummary, String> {
     Ok(LoadSummary {
         clients: args.clients,
         requests_per_client: args.requests,
-        total_requests: latencies_us.len(),
+        total_requests: args.clients * args.requests,
         cache_hits,
         errors,
         wall_us,
@@ -353,6 +383,71 @@ mod tests {
                 assert!((1..=3).contains(&seed.wrapping_sub(a.seed)));
             }
         }
+    }
+
+    /// The accounting regression: requests a client could not complete
+    /// must stay in `total_requests` (and thus deflate the hit ratio),
+    /// not silently shrink the denominator. A fake server answers each
+    /// client's first request and then drops the connection.
+    #[test]
+    fn failing_clients_keep_issued_requests_in_the_denominator() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let mut stream = stream;
+                stream
+                    .write_all(b"{\"ok\":true,\"cached\":true}\n")
+                    .unwrap();
+                // Dropping the stream here kills the connection before
+                // the client's remaining requests.
+            }
+        });
+
+        let a = LoadGenArgs {
+            addr,
+            clients: 2,
+            requests: 3,
+            ..LoadGenArgs::default()
+        };
+        let summary = run(&a).unwrap();
+        server.join().unwrap();
+
+        assert_eq!(summary.total_requests, 6, "2 clients x 3 issued");
+        assert_eq!(summary.latencies_us.len(), 2, "one served per client");
+        assert_eq!(summary.cache_hits, 2);
+        assert_eq!(summary.errors, 4, "2 unserved slots per client");
+        let ratio = summary.hit_ratio();
+        assert!((ratio - 2.0 / 6.0).abs() < 1e-12, "hit ratio {ratio}");
+    }
+
+    /// A client that cannot connect at all still accounts every slot.
+    #[test]
+    fn unreachable_server_counts_every_issued_request_as_error() {
+        // Bind then drop to get a port that refuses connections.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let a = LoadGenArgs {
+            addr,
+            clients: 3,
+            requests: 5,
+            ..LoadGenArgs::default()
+        };
+        let summary = run(&a).unwrap();
+        assert_eq!(summary.total_requests, 15);
+        assert_eq!(summary.errors, 15);
+        assert!(summary.latencies_us.is_empty());
+        assert_eq!(summary.hit_ratio(), 0.0);
+        assert_eq!(summary.latency_quantile_us(0.95), 0);
     }
 
     #[test]

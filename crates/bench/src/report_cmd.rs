@@ -193,6 +193,31 @@ pub fn bench_main(args: &BenchArgs) -> Result<(), String> {
     );
     std::fs::write(&args.out, json).map_err(|e| format!("write `{}`: {e}", args.out))?;
     eprintln!("bench baseline written to {}", args.out);
+    if let Some(floor) = args.gate_floor {
+        gate_measure_rate(&serial.timings, floor)?;
+    }
+    Ok(())
+}
+
+/// The `--gate-floor` check: the serial `measure_images` rate must reach
+/// `floor` items/sec, or the bench exits nonzero. Guards the fused
+/// kernel's speedup against regression in CI (`make bench-gate`).
+fn gate_measure_rate(serial_timings: &[StageTiming], floor: f64) -> Result<(), String> {
+    let rate = serial_timings
+        .iter()
+        .find(|t| t.stage == "measure_images" && t.source == TimingSource::Computed)
+        .map(items_per_sec)
+        .ok_or_else(|| {
+            "bench gate: serial run has no computed measure_images timing".to_string()
+        })?;
+    if rate < floor {
+        return Err(format!(
+            "bench gate FAILED: measure_images ran {rate:.1} items/s at workers=1, floor is {floor:.1}"
+        ));
+    }
+    eprintln!(
+        "bench gate passed: measure_images {rate:.1} items/s at workers=1 (floor {floor:.1})"
+    );
     Ok(())
 }
 
@@ -343,4 +368,37 @@ fn intervention_section(report: &PipelineReport, workers: usize) -> String {
     }
     let _ = writeln!(out, "  (see examples/intervention.rs and DESIGN.md §7)");
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(wall_us: u128, items: usize, source: TimingSource) -> StageTiming {
+        StageTiming {
+            stage: "measure_images".to_string(),
+            wall_us,
+            items,
+            source,
+        }
+    }
+
+    #[test]
+    fn bench_gate_compares_serial_measure_rate_to_the_floor() {
+        // 5000 items over 1s = 5000 items/s.
+        let t = vec![timing(1_000_000, 5000, TimingSource::Computed)];
+        assert!(gate_measure_rate(&t, 4_000.0).is_ok());
+        let e = gate_measure_rate(&t, 6_000.0).unwrap_err();
+        assert!(e.contains("FAILED"), "{e}");
+        assert!(e.contains("5000.0"), "{e}");
+    }
+
+    #[test]
+    fn bench_gate_rejects_journal_loaded_timings() {
+        // A journal-loaded row times deserialization, not stage work —
+        // it must not satisfy the gate no matter how fast it looks.
+        let t = vec![timing(1, 5000, TimingSource::Journal)];
+        let e = gate_measure_rate(&t, 1.0).unwrap_err();
+        assert!(e.contains("no computed measure_images"), "{e}");
+    }
 }

@@ -16,8 +16,9 @@
 //! a bitmap is rendered once and dropped immediately — the in-memory
 //! equivalent of the paper's stream-process-delete handling.
 
+use imagesim::measure::{self, MeasureScratch, Measures};
 use imagesim::validation::{ValidationImage, ValidationLabel};
-use imagesim::{content_digest, nsfw_score, ocr_word_count, Bitmap, RobustHash};
+use imagesim::{Bitmap, RobustHash};
 use serde::{Deserialize, Serialize};
 
 /// Everything measured from one image's pixels.
@@ -33,15 +34,37 @@ pub struct ImageMeasures {
     pub ocr: usize,
 }
 
+impl From<Measures> for ImageMeasures {
+    fn from(m: Measures) -> ImageMeasures {
+        ImageMeasures {
+            hash: m.hash,
+            digest: m.digest,
+            nsfw: m.nsfw,
+            ocr: m.ocr_words,
+        }
+    }
+}
+
 impl ImageMeasures {
     /// Measures a rendered bitmap (the only place pixels are touched).
+    /// Runs the fused single-pass kernel; bit-identical to
+    /// [`ImageMeasures::reference`].
     pub fn of(bmp: &Bitmap) -> ImageMeasures {
-        ImageMeasures {
-            hash: RobustHash::of(bmp),
-            digest: content_digest(bmp),
-            nsfw: nsfw_score(bmp),
-            ocr: ocr_word_count(bmp),
-        }
+        measure::measure(bmp).into()
+    }
+
+    /// [`ImageMeasures::of`] reusing per-worker scratch — the hot-loop
+    /// form `measure_batch` uses so a worker measuring thousands of
+    /// same-sized renders allocates nothing per image.
+    pub fn of_with(bmp: &Bitmap, scratch: &mut MeasureScratch) -> ImageMeasures {
+        measure::measure_with(bmp, scratch).into()
+    }
+
+    /// The multi-pass reference (one independent scan per measurement).
+    /// Exists so tests can hold the fused kernel to bit-identity at the
+    /// pipeline's own type.
+    pub fn reference(bmp: &Bitmap) -> ImageMeasures {
+        measure::reference(bmp).into()
     }
 
     /// Algorithm 1 verdict for this image.
@@ -228,6 +251,18 @@ mod tests {
             }
         }
         assert!(nsfv >= 25, "{nsfv}/30 dressed NSFV");
+    }
+
+    #[test]
+    fn fused_of_matches_the_multipass_reference_bit_for_bit() {
+        for v in 0..6 {
+            let spec = ImageSpec::model_photo(ImageClass::ModelNude, v as u32 + 1, v);
+            let bmp = spec.render();
+            let fused = ImageMeasures::of(&bmp);
+            let multi = ImageMeasures::reference(&bmp);
+            assert_eq!(fused, multi, "variant {v}");
+            assert_eq!(fused.nsfw.to_bits(), multi.nsfw.to_bits(), "variant {v}");
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::crawl::CrawlResult;
 use crate::nsfv::ImageMeasures;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{MeasuredImages, Stage, StageCtx, StageError};
-use websim::StoredImage;
+use imagesim::{ImageSpec, MeasureScratch, Transform};
+use std::collections::HashMap;
+use websim::{RenderScratch, StoredImage};
 
 /// Produces `measures`.
 pub struct MeasureStage;
@@ -58,8 +60,68 @@ impl Stage for MeasureStage {
 /// Measures a batch of stored images across worker threads. Output order
 /// matches input order regardless of worker count (the [`crate::par`]
 /// contract; batches below [`crate::par::SERIAL_CUTOFF`] stay serial).
+///
+/// Generated worlds repost the same hosted copy many times (previews of
+/// pack images, reposts across threads), and different transforms of one
+/// spec share its procedural render. So the batch measures each unique
+/// `(spec, transform)` pair exactly once — grouped by spec, so a
+/// worker's [`RenderScratch`] serves every transform of a spec from one
+/// cached pristine render — and fans the results back out to the input
+/// slots.
+///
+/// Each worker owns one contiguous chunk of the unique list and carries
+/// two arenas across it: a [`RenderScratch`] (pristine render cache +
+/// transform canvas) and a [`MeasureScratch`] (fused-kernel tables and
+/// buffers), so the steady state renders and measures with zero
+/// per-image allocations. Every measure is a pure function of its
+/// `(spec, transform)` pair and the fused kernel matches the multi-pass
+/// reference, so the result is bit-identical to per-image
+/// `ImageMeasures::of(&img.render())` — at every worker count.
 pub fn measure_batch(images: &[StoredImage], workers: usize) -> Vec<ImageMeasures> {
-    crate::par::par_map(images, workers, |img| ImageMeasures::of(&img.render()))
+    // Level 1: dedup identical hosted copies; `slots` maps each input to
+    // its unique index.
+    let mut index_of: HashMap<(ImageSpec, Transform), u32> = HashMap::new();
+    let mut unique: Vec<StoredImage> = Vec::new();
+    let slots: Vec<u32> = images
+        .iter()
+        .map(|img| {
+            *index_of
+                .entry((img.spec, img.transform))
+                .or_insert_with(|| {
+                    unique.push(*img);
+                    (unique.len() - 1) as u32
+                })
+        })
+        .collect();
+
+    // Level 2: group the survivors by spec (stable within a spec) so
+    // contiguous chunks keep hitting the arena's pristine-render cache.
+    let mut order: Vec<u32> = (0..unique.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let s = unique[i as usize].spec;
+        (s.class, s.model, s.variant, i)
+    });
+
+    let measured = crate::par::par_map_chunks(&order, workers, |chunk| {
+        let mut arena = RenderScratch::new();
+        let mut scratch = MeasureScratch::new();
+        chunk
+            .iter()
+            .map(|&i| {
+                ImageMeasures::of_with(unique[i as usize].render_with(&mut arena), &mut scratch)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // Scatter back to unique order, then expand to input order.
+    let mut by_unique: Vec<Option<ImageMeasures>> = vec![None; unique.len()];
+    for (&i, m) in order.iter().zip(measured.into_iter().flatten()) {
+        by_unique[i as usize] = Some(m);
+    }
+    slots
+        .iter()
+        .map(|&s| by_unique[s as usize].expect("every unique image is measured"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -86,6 +148,73 @@ mod tests {
             .map(|i| ImageMeasures::of(&i.render()))
             .collect();
         assert_eq!(parallel, serial);
+    }
+
+    /// The tentpole guarantee: the arena-backed batch (chunked workers,
+    /// reused render + measure scratch) is bit-identical to the
+    /// multi-pass reference measuring each image in isolation, at every
+    /// worker count, across transformed images of mixed classes.
+    #[test]
+    fn arena_batch_is_bit_identical_to_reference_for_all_worker_counts() {
+        use imagesim::Transform;
+        let classes = [
+            ImageClass::ModelNude,
+            ImageClass::ModelDressed,
+            ImageClass::ChatScreenshot,
+            ImageClass::Landscape,
+            ImageClass::Document,
+        ];
+        let transforms = [
+            Transform::Identity,
+            Transform::MirrorHorizontal,
+            Transform::Watermark { seed: 3 },
+            Transform::Brightness(-20),
+            Transform::Noise {
+                amplitude: 6,
+                seed: 4,
+            },
+            Transform::CropMargin { percent: 8 },
+            Transform::OcclusionBar { seed: 9 },
+        ];
+        let mut images: Vec<StoredImage> = (0..90u32)
+            .map(|v| {
+                let class = classes[v as usize % classes.len()];
+                let spec = if class.is_model() {
+                    ImageSpec::model_photo(class, v + 1, v.into())
+                } else {
+                    ImageSpec::of(class, v.into())
+                };
+                StoredImage {
+                    spec,
+                    transform: transforms[v as usize % transforms.len()],
+                }
+            })
+            .collect();
+        // Reposts: exact duplicates and same-spec/different-transform
+        // copies, so the dedup fan-out and the pristine-render cache are
+        // both on the hot path.
+        let dupes: Vec<StoredImage> = images.iter().step_by(3).copied().collect();
+        images.extend(dupes);
+        let retransformed: Vec<StoredImage> = images
+            .iter()
+            .step_by(7)
+            .map(|i| StoredImage {
+                spec: i.spec,
+                transform: Transform::Brightness(25),
+            })
+            .collect();
+        images.extend(retransformed);
+        let reference: Vec<ImageMeasures> = images
+            .iter()
+            .map(|i| ImageMeasures::reference(&i.render()))
+            .collect();
+        for workers in [1, 2, 7] {
+            let batched = measure_batch(&images, workers);
+            assert_eq!(batched, reference, "workers={workers}");
+            for (b, r) in batched.iter().zip(&reference) {
+                assert_eq!(b.nsfw.to_bits(), r.nsfw.to_bits(), "workers={workers}");
+            }
+        }
     }
 
     fn image(v: u32) -> StoredImage {

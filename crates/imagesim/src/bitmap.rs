@@ -31,6 +31,17 @@ impl Bitmap {
         Bitmap::filled(SIZE, SIZE, color)
     }
 
+    /// Reshapes this bitmap to `width × height` filled with `color`,
+    /// reusing the existing pixel allocation. The buffer-recycling
+    /// equivalent of [`Bitmap::filled`] for render scratch arenas.
+    pub fn reset(&mut self, width: usize, height: usize, color: [u8; 3]) {
+        assert!(width > 0 && height > 0, "empty bitmap");
+        self.width = width;
+        self.height = height;
+        self.px.clear();
+        self.px.resize(width * height, color);
+    }
+
     /// Width in pixels.
     pub fn width(&self) -> usize {
         self.width
@@ -88,31 +99,33 @@ impl Bitmap {
 
     /// Vertical gradient from `top` to `bottom` over the full canvas.
     pub fn fill_vgradient(&mut self, top: [u8; 3], bottom: [u8; 3]) {
-        for y in 0..self.height {
-            let t = y as f32 / (self.height - 1).max(1) as f32;
-            let c = [
+        let (w, h) = (self.width, self.height);
+        for (y, row) in self.px.chunks_exact_mut(w).enumerate() {
+            let t = y as f32 / (h - 1).max(1) as f32;
+            row.fill([
                 lerp_u8(top[0], bottom[0], t),
                 lerp_u8(top[1], bottom[1], t),
                 lerp_u8(top[2], bottom[2], t),
-            ];
-            for x in 0..self.width {
-                self.px[y * self.width + x] = c;
-            }
+            ]);
         }
     }
 
     /// Multiplies every pixel by a per-column factor interpolated from
     /// `left` to `right` — directional lighting falloff. Factors are
-    /// clamped to `[0, 2]`.
+    /// clamped to `[0, 2]`. Pixels are independent, so the row-major walk
+    /// (with factors hoisted per column) produces exactly the same bytes
+    /// as a column-major one.
     pub fn shade_columns(&mut self, left: f32, right: f32) {
         let w = self.width;
-        for x in 0..w {
-            let t = x as f32 / (w - 1).max(1) as f32;
-            let f = (left + (right - left) * t).clamp(0.0, 2.0);
-            for y in 0..self.height {
-                let [r, g, b] = self.px[y * w + x];
-                let adj = |c: u8| ((c as f32 * f).round().clamp(0.0, 255.0)) as u8;
-                self.px[y * w + x] = [adj(r), adj(g), adj(b)];
+        let factors: Vec<f32> = (0..w)
+            .map(|x| {
+                let t = x as f32 / (w - 1).max(1) as f32;
+                (left + (right - left) * t).clamp(0.0, 2.0)
+            })
+            .collect();
+        for row in self.px.chunks_exact_mut(w) {
+            for (p, &f) in row.iter_mut().zip(&factors) {
+                *p = [shade_u8(p[0], f), shade_u8(p[1], f), shade_u8(p[2], f)];
             }
         }
     }
@@ -120,8 +133,7 @@ impl Bitmap {
     /// Rec. 601 luminance in `[0, 255]`.
     #[inline]
     pub fn luminance(&self, x: usize, y: usize) -> f32 {
-        let [r, g, b] = self.get(x, y);
-        0.299 * r as f32 + 0.587 * g as f32 + 0.114 * b as f32
+        lum(self.get(x, y))
     }
 
     /// Mean luminance of the rectangle `[x0, x1) × [y0, y1)` (clamped).
@@ -143,8 +155,16 @@ impl Bitmap {
 
     /// Nearest-neighbour resample to `w × h`.
     pub fn resize(&self, w: usize, h: usize) -> Bitmap {
+        let mut out = Bitmap::filled(1, 1, [0, 0, 0]);
+        self.resize_into(w, h, &mut out);
+        out
+    }
+
+    /// [`Bitmap::resize`] into an existing bitmap, reusing its
+    /// allocation. `out` must not alias `self`.
+    pub fn resize_into(&self, w: usize, h: usize, out: &mut Bitmap) {
         assert!(w > 0 && h > 0, "empty resize target");
-        let mut out = Bitmap::filled(w, h, [0, 0, 0]);
+        out.reset(w, h, [0, 0, 0]);
         for y in 0..h {
             let sy = y * self.height / h;
             for x in 0..w {
@@ -152,7 +172,29 @@ impl Bitmap {
                 out.px[y * w + x] = self.get(sx, sy);
             }
         }
-        out
+    }
+
+    /// One pixel row as a slice (the fused measurement kernel walks rows).
+    #[inline]
+    pub fn row(&self, y: usize) -> &[[u8; 3]] {
+        &self.px[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Mutable raw pixel access for this crate's row-major hot loops
+    /// (speckle, shading, per-pixel transforms) — same raster, minus the
+    /// per-pixel index arithmetic and bounds checks of [`Bitmap::set`].
+    #[inline]
+    pub(crate) fn pixels_mut(&mut self) -> &mut [[u8; 3]] {
+        &mut self.px
+    }
+
+    /// Makes `self` a copy of `other`, reusing this bitmap's allocation
+    /// (the scratch-arena analogue of `clone`).
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        self.width = other.width;
+        self.height = other.height;
+        self.px.clear();
+        self.px.extend_from_slice(&other.px);
     }
 
     /// Fraction of pixels satisfying `pred`.
@@ -219,6 +261,36 @@ impl Bitmap {
             bmp.px[i] = [chunk[0], chunk[1], chunk[2]];
         }
         Some(bmp)
+    }
+}
+
+/// Rec. 601 luminance of one pixel. The single shared expression behind
+/// [`Bitmap::luminance`] and the fused measurement kernel — both paths
+/// evaluate the exact same f32 arithmetic, which is what makes the fused
+/// kernel's block/gradient sums bit-identical to the per-rect reference.
+#[inline]
+pub(crate) fn lum(p: [u8; 3]) -> f32 {
+    let [r, g, b] = p;
+    0.299 * r as f32 + 0.587 * g as f32 + 0.114 * b as f32
+}
+
+/// `((c as f32 * f).round().clamp(0.0, 255.0)) as u8` without the libm
+/// `roundf` call. For `v = c·f ≥ 0.5`, truncating `v + 0.5` equals
+/// round-half-away-from-zero: `v`'s ulp is at least 2⁻²⁴ there, so any
+/// rounding of the sum moves it by less than the distance to the next
+/// truncation boundary; the saturating float→int cast supplies the
+/// upper clamp. Below 0.5 the answer is 0, guarded explicitly because
+/// there `v + 0.5` can round up across 1.0 (e.g. `v = 0.5 − 2⁻²⁵`).
+/// The equivalence is proved against the original expression — every
+/// channel value × a dense factor sweep plus every tie neighbourhood —
+/// in `shade_u8_matches_round_clamp_exactly`.
+#[inline]
+fn shade_u8(c: u8, f: f32) -> u8 {
+    let v = c as f32 * f;
+    if v < 0.5 {
+        0
+    } else {
+        (v + 0.5) as u8
     }
 }
 
@@ -316,5 +388,61 @@ mod tests {
     #[should_panic(expected = "empty bitmap")]
     fn zero_size_rejected() {
         let _ = Bitmap::filled(0, 4, [0; 3]);
+    }
+
+    #[test]
+    fn reset_matches_filled_and_reuses_any_prior_shape() {
+        let mut b = Bitmap::filled(3, 9, [1, 2, 3]);
+        b.set(2, 8, [9; 3]);
+        b.reset(5, 4, [7, 8, 9]);
+        assert_eq!(b, Bitmap::filled(5, 4, [7, 8, 9]));
+        b.reset(2, 2, [0; 3]);
+        assert_eq!(b, Bitmap::filled(2, 2, [0; 3]));
+    }
+
+    #[test]
+    fn resize_into_matches_resize() {
+        let mut src = Bitmap::filled(10, 6, [5; 3]);
+        src.fill_rect(0, 0, 5, 3, [200, 10, 30]);
+        let mut out = Bitmap::filled(1, 1, [0; 3]);
+        src.resize_into(7, 7, &mut out);
+        assert_eq!(out, src.resize(7, 7));
+    }
+
+    #[test]
+    fn row_slices_cover_the_raster() {
+        let mut b = Bitmap::filled(3, 2, [0; 3]);
+        b.set(1, 1, [42; 3]);
+        assert_eq!(b.row(0), &[[0; 3], [0; 3], [0; 3]]);
+        assert_eq!(b.row(1)[1], [42; 3]);
+    }
+
+    /// Exhaustive proof that the libm-free shading cast equals the
+    /// original `round().clamp()` expression: every channel value against
+    /// a dense factor sweep of `[0, 2]`, plus the exact-tie factors
+    /// `f = (k + 0.5) / c` where round-half-away behaviour is decided.
+    #[test]
+    fn shade_u8_matches_round_clamp_exactly() {
+        let reference = |c: u8, f: f32| ((c as f32 * f).round().clamp(0.0, 255.0)) as u8;
+        for c in 0..=255u8 {
+            for i in 0..=16384u32 {
+                let f = i as f32 / 8192.0;
+                assert_eq!(shade_u8(c, f), reference(c, f), "c={c} f={f}");
+            }
+            if c > 0 {
+                for k in 0..=510u32 {
+                    let tie = (k as f32 + 0.5) / c as f32;
+                    for f in [
+                        f32::from_bits(tie.to_bits() - 1),
+                        tie,
+                        f32::from_bits(tie.to_bits() + 1),
+                    ] {
+                        if (0.0..=2.0).contains(&f) {
+                            assert_eq!(shade_u8(c, f), reference(c, f), "tie c={c} f={f}");
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -66,6 +66,53 @@ impl RobustHash {
     }
 }
 
+/// Thresholds 64 block means at their median — the shared finisher for
+/// the luma and chroma block planes, used by both the per-rect reference
+/// and the fused single-pass kernel.
+pub(crate) fn median_bits(means: &[f32; 64]) -> u64 {
+    let mut sorted = *means;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("block mean is finite"));
+    let median = (sorted[31] + sorted[32]) / 2.0;
+    let mut bits = 0u64;
+    for (i, &m) in means.iter().enumerate() {
+        if m > median {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+/// Signs of the horizontal gradients of a 9×8 cell grid (dhash plane).
+pub(crate) fn dhash_bits(cells: &[[f32; 9]; 8]) -> u64 {
+    let mut bits = 0u64;
+    let mut i = 0;
+    for row in cells {
+        for w in row.windows(2) {
+            if w[0] < w[1] {
+                bits |= 1 << i;
+            }
+            i += 1;
+        }
+    }
+    bits
+}
+
+/// Signs of the vertical gradients of an 8×9 cell grid (vdhash plane).
+pub(crate) fn vdhash_bits(cells: &[[f32; 8]; 9]) -> u64 {
+    let mut bits = 0u64;
+    let mut i = 0;
+    for y in 0..8 {
+        let (row, next) = (&cells[y], &cells[y + 1]);
+        for (a, b) in row.iter().zip(next) {
+            if a < b {
+                bits |= 1 << i;
+            }
+            i += 1;
+        }
+    }
+    bits
+}
+
 /// 8×8 block-mean hash thresholded at the median.
 fn block_hash(bmp: &Bitmap) -> u64 {
     let mut means = [0.0f32; 64];
@@ -76,16 +123,7 @@ fn block_hash(bmp: &Bitmap) -> u64 {
             means[by * 8 + bx] = bmp.mean_luminance(bx * bw, by * bh, (bx + 1) * bw, (by + 1) * bh);
         }
     }
-    let mut sorted = means;
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("luminance is finite"));
-    let median = (sorted[31] + sorted[32]) / 2.0;
-    let mut bits = 0u64;
-    for (i, &m) in means.iter().enumerate() {
-        if m > median {
-            bits |= 1 << i;
-        }
-    }
-    bits
+    median_bits(&means)
 }
 
 /// 9×8 difference hash over horizontal gradients of area-averaged cells.
@@ -106,17 +144,7 @@ fn dhash(bmp: &Bitmap) -> u64 {
             *cell = bmp.mean_luminance(x0, y0, x1, y1);
         }
     }
-    let mut bits = 0u64;
-    let mut i = 0;
-    for row in &cells {
-        for w in row.windows(2) {
-            if w[0] < w[1] {
-                bits |= 1 << i;
-            }
-            i += 1;
-        }
-    }
-    bits
+    dhash_bits(&cells)
 }
 
 /// 8×9 difference hash over *vertical* gradients of area-averaged cells.
@@ -133,18 +161,7 @@ fn vdhash(bmp: &Bitmap) -> u64 {
             *cell = bmp.mean_luminance(x0, y0, x1, y1);
         }
     }
-    let mut bits = 0u64;
-    let mut i = 0;
-    for y in 0..8 {
-        let (row, next) = (&cells[y], &cells[y + 1]);
-        for (a, b) in row.iter().zip(next) {
-            if a < b {
-                bits |= 1 << i;
-            }
-            i += 1;
-        }
-    }
-    bits
+    vdhash_bits(&cells)
 }
 
 /// 8×8 block chroma hash: mean (R − B) per block thresholded at the
@@ -173,34 +190,38 @@ fn chroma_hash(bmp: &Bitmap) -> u64 {
             means[by * 8 + bx] = acc / ((x1 - x0) * (y1 - y0)) as f32;
         }
     }
-    let mut sorted = means;
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = (sorted[31] + sorted[32]) / 2.0;
-    let mut bits = 0u64;
-    for (i, &m) in means.iter().enumerate() {
-        if m > median {
-            bits |= 1 << i;
-        }
+    median_bits(&means)
+}
+
+/// Incremental FNV-1a-64 over bytes — shared by [`content_digest`] and
+/// the fused measurement kernel so both mix the identical byte stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(pub(crate) u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
     }
-    bits
+
+    #[inline]
+    pub(crate) fn mix(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x1000_0000_01B3);
+    }
 }
 
 /// FNV-1a content digest for *exact* duplicate detection (the §4.2 dedup
 /// that found 127 images present in ≥20 packs used byte identity).
 pub fn content_digest(bmp: &Bitmap) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    let mut mix = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01B3);
-    };
-    mix((bmp.width() & 0xFF) as u8);
-    mix((bmp.height() & 0xFF) as u8);
+    let mut h = Fnv::new();
+    h.mix((bmp.width() & 0xFF) as u8);
+    h.mix((bmp.height() & 0xFF) as u8);
     for p in bmp.pixels() {
-        mix(p[0]);
-        mix(p[1]);
-        mix(p[2]);
+        h.mix(p[0]);
+        h.mix(p[1]);
+        h.mix(p[2]);
     }
-    h
+    h.0
 }
 
 #[cfg(test)]

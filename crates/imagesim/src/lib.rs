@@ -31,6 +31,7 @@
 
 pub mod bitmap;
 pub mod hash;
+pub mod measure;
 pub mod nsfw;
 pub mod ocr;
 pub mod spec;
@@ -39,6 +40,7 @@ pub mod validation;
 
 pub use bitmap::Bitmap;
 pub use hash::{content_digest, RobustHash, DEFAULT_MATCH_THRESHOLD};
+pub use measure::{measure, measure_with, MeasureScratch, Measures};
 pub use nsfw::nsfw_score;
 pub use ocr::ocr_word_count;
 pub use spec::{ImageClass, ImageSpec, PaymentPlatform};

@@ -42,7 +42,14 @@ pub fn skin_fraction(bmp: &Bitmap) -> f64 {
 /// (see module docs) places coverage 0 at ≈0.004, 0.19 at ≈0.05, 0.33 at
 /// ≈0.3, and 0.5+ at ≈0.8+.
 pub fn nsfw_score(bmp: &Bitmap) -> f64 {
-    let f = skin_fraction(bmp);
+    nsfw_score_from_fraction(skin_fraction(bmp))
+}
+
+/// The logistic calibration applied to a skin fraction — the single
+/// shared expression behind [`nsfw_score`] and the fused measurement
+/// kernel (both produce bit-identical f64 scores from the same count).
+#[inline]
+pub fn nsfw_score_from_fraction(f: f64) -> f64 {
     1.0 / (1.0 + (-(f - 0.40) * 14.0).exp())
 }
 

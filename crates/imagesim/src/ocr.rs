@@ -19,44 +19,60 @@ const MAX_WORD_WIDTH: usize = 16;
 const MAX_WORD_HEIGHT: usize = 3;
 const MIN_WORD_WIDTH: usize = 2;
 
-#[derive(Debug, Clone, Copy)]
-struct Run {
-    y: usize,
-    x0: usize,
-    x1: usize, // inclusive
-    component: usize,
+/// A maximal horizontal span of ink pixels in one row (`x1` inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Run {
+    pub(crate) y: usize,
+    pub(crate) x0: usize,
+    pub(crate) x1: usize,
 }
 
-/// Counts word-like components: connected dark runs on a light local
-/// background, between `MIN_WORD_WIDTH` and `MAX_WORD_WIDTH` wide and at
-/// most `MAX_WORD_HEIGHT` tall.
-pub fn ocr_word_count(bmp: &Bitmap) -> usize {
-    // 1. Extract horizontal ink runs per row.
-    let mut runs: Vec<Run> = Vec::new();
-    for y in 0..bmp.height() {
-        let mut x = 0;
-        while x < bmp.width() {
-            if bmp.luminance(x, y) < INK_THRESHOLD {
-                let x0 = x;
-                while x < bmp.width() && bmp.luminance(x, y) < INK_THRESHOLD {
-                    x += 1;
-                }
-                runs.push(Run {
-                    y,
-                    x0,
-                    x1: x - 1,
-                    component: usize::MAX,
-                });
-            } else {
-                x += 1;
-            }
+/// Appends this row's ink runs (luminance below [`INK_THRESHOLD`]) to
+/// `runs`, given the row's already-computed per-pixel luminances. Each
+/// pixel's luminance is evaluated exactly once by the caller — the old
+/// extraction loop recomputed `bmp.luminance` in both its `if` and its
+/// inner `while`, scanning every ink pixel twice.
+#[inline]
+pub(crate) fn row_runs_into(y: usize, row_lum: &[f32], runs: &mut Vec<Run>) {
+    let mut start: Option<usize> = None;
+    for (x, &l) in row_lum.iter().enumerate() {
+        if l < INK_THRESHOLD {
+            start.get_or_insert(x);
+        } else if let Some(x0) = start.take() {
+            runs.push(Run { y, x0, x1: x - 1 });
         }
     }
+    if let Some(x0) = start {
+        runs.push(Run {
+            y,
+            x0,
+            x1: row_lum.len() - 1,
+        });
+    }
+}
+
+/// Extracts every row's ink runs into `runs` (cleared first).
+pub(crate) fn collect_runs_into(bmp: &Bitmap, runs: &mut Vec<Run>) {
+    runs.clear();
+    let mut row_lum = vec![0.0f32; bmp.width()];
+    for y in 0..bmp.height() {
+        for (l, &p) in row_lum.iter_mut().zip(bmp.row(y)) {
+            *l = crate::bitmap::lum(p);
+        }
+        row_runs_into(y, &row_lum, runs);
+    }
+}
+
+/// Counts word-like components among pre-extracted ink runs: connected
+/// runs on a light local background, between `MIN_WORD_WIDTH` and
+/// `MAX_WORD_WIDTH` wide and at most `MAX_WORD_HEIGHT` tall. `runs` must
+/// be in row order, as [`collect_runs_into`] produces them.
+pub(crate) fn count_words(bmp: &Bitmap, runs: &[Run]) -> usize {
     if runs.is_empty() {
         return 0;
     }
 
-    // 2. Union-find over vertically adjacent, horizontally overlapping runs.
+    // 1. Union-find over vertically adjacent, horizontally overlapping runs.
     let mut parent: Vec<usize> = (0..runs.len()).collect();
     fn find(parent: &mut [usize], i: usize) -> usize {
         let mut i = i;
@@ -66,8 +82,8 @@ pub fn ocr_word_count(bmp: &Bitmap) -> usize {
         }
         i
     }
-    // Runs are produced in row order; link each run to overlapping runs of
-    // the previous row with a sliding window.
+    // Runs arrive in row order; link each run to overlapping runs of the
+    // previous row with a sliding window.
     let mut prev_row_start = 0;
     let mut row_start = 0;
     #[allow(clippy::needless_range_loop)] // i indexes both runs and a sliding window
@@ -92,11 +108,8 @@ pub fn ocr_word_count(bmp: &Bitmap) -> usize {
             }
         }
     }
-    for (i, run) in runs.iter_mut().enumerate() {
-        run.component = find(&mut parent, i);
-    }
 
-    // 3. Aggregate component bounding boxes.
+    // 2. Aggregate component bounding boxes.
     use std::collections::HashMap;
     struct BBox {
         x0: usize,
@@ -105,8 +118,9 @@ pub fn ocr_word_count(bmp: &Bitmap) -> usize {
         y1: usize,
     }
     let mut boxes: HashMap<usize, BBox> = HashMap::new();
-    for r in &runs {
-        let e = boxes.entry(r.component).or_insert(BBox {
+    for (i, r) in runs.iter().enumerate() {
+        let component = find(&mut parent, i);
+        let e = boxes.entry(component).or_insert(BBox {
             x0: r.x0,
             x1: r.x1,
             y0: r.y,
@@ -118,7 +132,7 @@ pub fn ocr_word_count(bmp: &Bitmap) -> usize {
         e.y1 = e.y1.max(r.y);
     }
 
-    // 4. Count word-shaped components with light surroundings.
+    // 3. Count word-shaped components with light surroundings.
     boxes
         .values()
         .filter(|b| {
@@ -134,6 +148,15 @@ pub fn ocr_word_count(bmp: &Bitmap) -> usize {
             ring > BG_THRESHOLD * 0.72 // box mean includes the ink itself
         })
         .count()
+}
+
+/// Counts word-like components: connected dark runs on a light local
+/// background, between `MIN_WORD_WIDTH` and `MAX_WORD_WIDTH` wide and at
+/// most `MAX_WORD_HEIGHT` tall.
+pub fn ocr_word_count(bmp: &Bitmap) -> usize {
+    let mut runs = Vec::new();
+    collect_runs_into(bmp, &mut runs);
+    count_words(bmp, &runs)
 }
 
 #[cfg(test)]
@@ -194,6 +217,42 @@ mod tests {
             let w = words_of(ImageClass::Landscape, 0, v);
             assert!(w <= 5, "landscape variant {v}: {w} words");
         }
+    }
+
+    /// Pins exact run boundaries, including a run touching the right
+    /// edge — the case the end-of-row flush exists for — and verifies
+    /// each pixel's luminance is consulted exactly once per scan.
+    #[test]
+    fn run_extraction_pins_boundaries_and_scans_each_pixel_once() {
+        use crate::bitmap::Bitmap;
+        let mut b = Bitmap::filled(10, 3, [255; 3]);
+        // Row 0: ink at [2,4] and an isolated pixel at 7.
+        for x in 2..=4 {
+            b.set(x, 0, [0; 3]);
+        }
+        b.set(7, 0, [0; 3]);
+        // Row 2: ink at [6,9], running into the right edge.
+        for x in 6..=9 {
+            b.set(x, 2, [0; 3]);
+        }
+        let mut runs = Vec::new();
+        collect_runs_into(&b, &mut runs);
+        assert_eq!(
+            runs,
+            vec![
+                Run { y: 0, x0: 2, x1: 4 },
+                Run { y: 0, x0: 7, x1: 7 },
+                Run { y: 2, x0: 6, x1: 9 },
+            ]
+        );
+
+        // Degenerate rows: all ink (one full-width run) and no ink.
+        let mut pinned = Vec::new();
+        row_runs_into(5, &[0.0; 4], &mut pinned);
+        assert_eq!(pinned, vec![Run { y: 5, x0: 0, x1: 3 }]);
+        pinned.clear();
+        row_runs_into(6, &[255.0; 4], &mut pinned);
+        assert!(pinned.is_empty());
     }
 
     #[test]

@@ -152,19 +152,28 @@ impl ImageSpec {
 
     /// Renders the spec to pixels.
     pub fn render(&self) -> Bitmap {
+        let mut bmp = Bitmap::filled(1, 1, [0; 3]);
+        self.render_into(&mut bmp);
+        bmp
+    }
+
+    /// Renders the spec into an existing bitmap, reusing its allocation —
+    /// the render-arena variant of [`ImageSpec::render`]. The output is
+    /// identical to a fresh render.
+    pub fn render_into(&self, out: &mut Bitmap) {
         let mut rng = self.rng();
         match self.class {
-            ImageClass::ModelDressed => render_model(&mut rng, self.model, Coverage::Dressed),
-            ImageClass::ModelNude => render_model(&mut rng, self.model, Coverage::Nude),
-            ImageClass::ModelSexual => render_model(&mut rng, self.model, Coverage::Sexual),
-            ImageClass::PaymentScreenshot(p) => render_payment(&mut rng, p),
-            ImageClass::ChatScreenshot => render_chat(&mut rng),
-            ImageClass::DirectoryThumbnails => render_directory(&mut rng),
-            ImageClass::ErrorBanner => render_error(&mut rng),
-            ImageClass::Landscape => render_landscape(&mut rng),
-            ImageClass::Document => render_document(&mut rng),
-            ImageClass::Meme => render_meme(&mut rng),
-            ImageClass::PortraitCasual => render_portrait(&mut rng),
+            ImageClass::ModelDressed => render_model(out, &mut rng, self.model, Coverage::Dressed),
+            ImageClass::ModelNude => render_model(out, &mut rng, self.model, Coverage::Nude),
+            ImageClass::ModelSexual => render_model(out, &mut rng, self.model, Coverage::Sexual),
+            ImageClass::PaymentScreenshot(p) => render_payment(out, &mut rng, p),
+            ImageClass::ChatScreenshot => render_chat(out, &mut rng),
+            ImageClass::DirectoryThumbnails => render_directory(out, &mut rng),
+            ImageClass::ErrorBanner => render_error(out, &mut rng),
+            ImageClass::Landscape => render_landscape(out, &mut rng),
+            ImageClass::Document => render_document(out, &mut rng),
+            ImageClass::Meme => render_meme(out, &mut rng),
+            ImageClass::PortraitCasual => render_portrait(out, &mut rng),
         }
     }
 }
@@ -186,7 +195,7 @@ enum Coverage {
     Sexual,
 }
 
-fn render_model(rng: &mut StdRng, model: u32, coverage: Coverage) -> Bitmap {
+fn render_model(bmp: &mut Bitmap, rng: &mut StdRng, model: u32, coverage: Coverage) {
     // Non-skin background: indoor wall / bedsheet hues with a lighting
     // gradient (flat backgrounds would leave many hash blocks tied at the
     // median, making the robust hash needlessly fragile — real photos have
@@ -205,7 +214,7 @@ fn render_model(rng: &mut StdRng, model: u32, coverage: Coverage) -> Bitmap {
         top[1].saturating_sub(30),
         top[2].saturating_sub(25),
     ];
-    let mut bmp = Bitmap::canvas(top);
+    bmp.reset(SIZE, SIZE, top);
     bmp.fill_vgradient(top, bottom);
 
     // Background furniture/props: large non-skin patches at random
@@ -287,8 +296,7 @@ fn render_model(rng: &mut StdRng, model: u32, coverage: Coverage) -> Bitmap {
     } else {
         bmp.shade_columns(1.0, shade);
     }
-    speckle(&mut bmp, rng, 5);
-    bmp
+    speckle(bmp, rng, 5);
 }
 
 /// Draws glyph-like word runs: dark 2-px-tall dashes on the given rows.
@@ -321,24 +329,23 @@ fn draw_text_rows(
     words
 }
 
-fn render_payment(rng: &mut StdRng, platform: PaymentPlatform) -> Bitmap {
-    let mut bmp = Bitmap::canvas([248, 248, 250]);
+fn render_payment(bmp: &mut Bitmap, rng: &mut StdRng, platform: PaymentPlatform) {
+    bmp.reset(SIZE, SIZE, [248, 248, 250]);
     bmp.fill_rect(0, 0, SIZE, 8, platform.header_color());
     // Logo text in header.
-    draw_text_rows(&mut bmp, rng, 3, 30, 3, 1, 6, [255, 255, 255]);
+    draw_text_rows(bmp, rng, 3, 30, 3, 1, 6, [255, 255, 255]);
     // Transaction table: 6–9 rows of amounts and labels.
     let rows = rng.gen_range(6..10);
-    draw_text_rows(&mut bmp, rng, 4, 60, 14, rows, 6, [40, 40, 48]);
+    draw_text_rows(bmp, rng, 4, 60, 14, rows, 6, [40, 40, 48]);
     // Occasionally a small account avatar with skin pixels.
     if rng.gen_bool(0.3) {
         bmp.fill_ellipse(56.0, 4.0, 3.0, 3.0, skin_tone(rng.gen_range(1..1000)));
     }
-    speckle(&mut bmp, rng, 2);
-    bmp
+    speckle(bmp, rng, 2);
 }
 
-fn render_chat(rng: &mut StdRng) -> Bitmap {
-    let mut bmp = Bitmap::canvas([235, 235, 238]);
+fn render_chat(bmp: &mut Bitmap, rng: &mut StdRng) {
+    bmp.reset(SIZE, SIZE, [235, 235, 238]);
     let mut y = 4;
     while y + 10 < SIZE {
         let left = rng.gen_bool(0.5);
@@ -349,7 +356,7 @@ fn render_chat(rng: &mut StdRng) -> Bitmap {
             [198, 235, 198]
         };
         bmp.fill_rect(bx0, y, bx1, y + 9, bubble);
-        draw_text_rows(&mut bmp, rng, bx0 + 2, bx1 - 2, y + 2, 2, 4, [30, 30, 30]);
+        draw_text_rows(bmp, rng, bx0 + 2, bx1 - 2, y + 2, 2, 4, [30, 30, 30]);
         // Avatar circle (sometimes skin-toned).
         let avx = if left { 3.0 } else { 60.0 };
         let av_color = if rng.gen_bool(0.5) {
@@ -360,12 +367,11 @@ fn render_chat(rng: &mut StdRng) -> Bitmap {
         bmp.fill_ellipse(avx, (y + 4) as f32, 2.5, 2.5, av_color);
         y += 12 + rng.gen_range(0..3);
     }
-    speckle(&mut bmp, rng, 2);
-    bmp
+    speckle(bmp, rng, 2);
 }
 
-fn render_directory(rng: &mut StdRng) -> Bitmap {
-    let mut bmp = Bitmap::canvas([238, 238, 242]);
+fn render_directory(bmp: &mut Bitmap, rng: &mut StdRng) {
+    bmp.reset(SIZE, SIZE, [238, 238, 242]);
     for ty in 0..4 {
         for tx in 0..4 {
             let x0 = 2 + tx * 16;
@@ -384,23 +390,21 @@ fn render_directory(rng: &mut StdRng) -> Bitmap {
             bmp.fill_rect(x0, y0, x0 + 12, y0 + 9, color);
             // Filename under the tile (dark text on the light canvas so
             // the OCR stage recognises directory listings as textual).
-            draw_text_rows(&mut bmp, rng, x0, x0 + 12, y0 + 10, 1, 4, [40, 40, 45]);
+            draw_text_rows(bmp, rng, x0, x0 + 12, y0 + 10, 1, 4, [40, 40, 45]);
         }
     }
-    speckle(&mut bmp, rng, 3);
-    bmp
+    speckle(bmp, rng, 3);
 }
 
-fn render_error(rng: &mut StdRng) -> Bitmap {
-    let mut bmp = Bitmap::canvas([230, 230, 230]);
+fn render_error(bmp: &mut Bitmap, rng: &mut StdRng) {
+    bmp.reset(SIZE, SIZE, [230, 230, 230]);
     bmp.fill_rect(6, 22, 58, 42, [245, 245, 245]);
     // "This image violates our Terms of Use …" — two short rows.
-    draw_text_rows(&mut bmp, rng, 10, 54, 27, 2, 6, [60, 60, 66]);
-    bmp
+    draw_text_rows(bmp, rng, 10, 54, 27, 2, 6, [60, 60, 66]);
 }
 
-fn render_landscape(rng: &mut StdRng) -> Bitmap {
-    let mut bmp = Bitmap::canvas([0; 3]);
+fn render_landscape(bmp: &mut Bitmap, rng: &mut StdRng) {
+    bmp.reset(SIZE, SIZE, [0; 3]);
     bmp.fill_vgradient([120, 170, 235], [200, 220, 245]);
     let horizon = rng.gen_range(40..50);
     if rng.gen_bool(0.18) {
@@ -427,16 +431,15 @@ fn render_landscape(rng: &mut StdRng) -> Bitmap {
     } else {
         bmp.shade_columns(1.0, shade);
     }
-    speckle(&mut bmp, rng, 6);
-    bmp
+    speckle(bmp, rng, 6);
 }
 
-fn render_portrait(rng: &mut StdRng) -> Bitmap {
+fn render_portrait(bmp: &mut Bitmap, rng: &mut StdRng) {
     // Outdoor/indoor background with gradient, fully-clothed figure, skin
     // visible only on the face and hands (coverage ≈ 2-8%).
     let top = [170 + rng.gen_range(0..40), 180 + rng.gen_range(0..40), 200];
     let bottom = [top[0] - 30, top[1] - 30, top[2] - 20];
-    let mut bmp = Bitmap::canvas(top);
+    bmp.reset(SIZE, SIZE, top);
     bmp.fill_vgradient(top, bottom);
     let skin = skin_tone(rng.gen_range(1..100_000));
     let cx = 32.0 + rng.gen_range(-8.0..8.0);
@@ -463,19 +466,17 @@ fn render_portrait(rng: &mut StdRng) -> Bitmap {
     } else {
         bmp.shade_columns(1.0, shade);
     }
-    speckle(&mut bmp, rng, 4);
-    bmp
+    speckle(bmp, rng, 4);
 }
 
-fn render_document(rng: &mut StdRng) -> Bitmap {
-    let mut bmp = Bitmap::canvas([252, 252, 252]);
-    draw_text_rows(&mut bmp, rng, 4, 60, 6, 10, 6, [30, 30, 30]);
-    speckle(&mut bmp, rng, 1);
-    bmp
+fn render_document(bmp: &mut Bitmap, rng: &mut StdRng) {
+    bmp.reset(SIZE, SIZE, [252, 252, 252]);
+    draw_text_rows(bmp, rng, 4, 60, 6, 10, 6, [30, 30, 30]);
+    speckle(bmp, rng, 1);
 }
 
-fn render_meme(rng: &mut StdRng) -> Bitmap {
-    let mut bmp = Bitmap::canvas([255, 255, 255]);
+fn render_meme(bmp: &mut Bitmap, rng: &mut StdRng) {
+    bmp.reset(SIZE, SIZE, [255, 255, 255]);
     // Photo block in the middle with arbitrary (non-skin) colours.
     bmp.fill_rect(
         0,
@@ -490,10 +491,9 @@ fn render_meme(rng: &mut StdRng) -> Bitmap {
     );
     bmp.fill_ellipse(32.0, 32.0, 14.0, 10.0, [240, 230, 80]);
     // Caption rows top and bottom.
-    draw_text_rows(&mut bmp, rng, 6, 58, 3, 1, 6, [10, 10, 10]);
-    draw_text_rows(&mut bmp, rng, 6, 58, 56, 1, 6, [10, 10, 10]);
-    speckle(&mut bmp, rng, 4);
-    bmp
+    draw_text_rows(bmp, rng, 6, 58, 3, 1, 6, [10, 10, 10]);
+    draw_text_rows(bmp, rng, 6, 58, 56, 1, 6, [10, 10, 10]);
+    speckle(bmp, rng, 4);
 }
 
 /// Adds deterministic per-pixel jitter so images are textured rather than
@@ -502,13 +502,12 @@ fn speckle(bmp: &mut Bitmap, rng: &mut StdRng, amplitude: i16) {
     if amplitude == 0 {
         return;
     }
-    for y in 0..bmp.height() {
-        for x in 0..bmp.width() {
-            let [r, g, b] = bmp.get(x, y);
-            let d = rng.gen_range(-amplitude..=amplitude);
-            let adj = |c: u8| (c as i16 + d).clamp(0, 255) as u8;
-            bmp.set(x, y, [adj(r), adj(g), adj(b)]);
-        }
+    // Pixel storage is row-major, so this flat walk draws from the RNG in
+    // exactly the per-(y, x) order the nested loops did.
+    for p in bmp.pixels_mut() {
+        let d = rng.gen_range(-amplitude..=amplitude);
+        let adj = |c: u8| (c as i16 + d).clamp(0, 255) as u8;
+        *p = [adj(p[0]), adj(p[1]), adj(p[2])];
     }
 }
 
@@ -521,6 +520,20 @@ mod tests {
     fn rendering_is_deterministic() {
         let spec = ImageSpec::model_photo(ImageClass::ModelNude, 42, 7);
         assert_eq!(spec.render(), spec.render());
+    }
+
+    #[test]
+    fn render_into_reused_buffer_matches_fresh_render() {
+        let mut buf = Bitmap::filled(1, 1, [0; 3]);
+        for spec in [
+            ImageSpec::model_photo(ImageClass::ModelSexual, 9, 4),
+            ImageSpec::of(ImageClass::Document, 2),
+            ImageSpec::of(ImageClass::Landscape, 5),
+            ImageSpec::of(ImageClass::ChatScreenshot, 1),
+        ] {
+            spec.render_into(&mut buf);
+            assert_eq!(buf, spec.render(), "{spec:?}");
+        }
     }
 
     #[test]

@@ -48,13 +48,24 @@ pub enum Transform {
 impl Transform {
     /// Applies the transform, producing a new bitmap of the same size.
     pub fn apply(&self, bmp: &Bitmap) -> Bitmap {
+        let mut out = bmp.clone();
+        let mut tmp = Bitmap::filled(1, 1, [0; 3]);
+        self.apply_into(&mut out, &mut tmp);
+        out
+    }
+
+    /// Applies the transform in place. `tmp` is caller-owned scratch
+    /// (only `CropMargin` uses it) so a hot loop can reuse both
+    /// allocations across images. Produces exactly the pixels
+    /// [`Transform::apply`] does — `apply` delegates here.
+    pub fn apply_into(&self, bmp: &mut Bitmap, tmp: &mut Bitmap) {
         match *self {
-            Transform::Identity => bmp.clone(),
+            Transform::Identity => {}
             Transform::MirrorHorizontal => mirror_h(bmp),
             Transform::Watermark { seed } => watermark(bmp, seed),
             Transform::Brightness(delta) => brightness(bmp, delta),
             Transform::Noise { amplitude, seed } => noise(bmp, amplitude, seed),
-            Transform::CropMargin { percent } => crop_margin(bmp, percent),
+            Transform::CropMargin { percent } => crop_margin(bmp, tmp, percent),
             Transform::OcclusionBar { seed } => occlusion(bmp, seed),
         }
     }
@@ -66,28 +77,23 @@ impl Transform {
     }
 }
 
-fn mirror_h(bmp: &Bitmap) -> Bitmap {
-    let (w, h) = (bmp.width(), bmp.height());
-    let mut out = Bitmap::filled(w, h, [0; 3]);
-    for y in 0..h {
-        for x in 0..w {
-            out.set(w - 1 - x, y, bmp.get(x, y));
-        }
+fn mirror_h(bmp: &mut Bitmap) {
+    let w = bmp.width();
+    for row in bmp.pixels_mut().chunks_exact_mut(w) {
+        row.reverse();
     }
-    out
 }
 
-fn watermark(bmp: &Bitmap, seed: u64) -> Bitmap {
+fn watermark(bmp: &mut Bitmap, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x3A7E_12A2_4B5C_99D1);
-    let mut out = bmp.clone();
     let y0 = rng.gen_range(0..bmp.height().saturating_sub(6));
     let x0 = rng.gen_range(0..bmp.width() / 2);
     let x1 = (x0 + bmp.width() / 3).min(bmp.width());
     // 50% alpha white strip with a dark tag inside.
     for y in y0..(y0 + 5).min(bmp.height()) {
         for x in x0..x1 {
-            let [r, g, b] = out.get(x, y);
-            out.set(
+            let [r, g, b] = bmp.get(x, y);
+            bmp.set(
                 x,
                 y,
                 [
@@ -98,58 +104,48 @@ fn watermark(bmp: &Bitmap, seed: u64) -> Bitmap {
             );
         }
     }
-    out.fill_rect(x0 + 2, y0 + 2, x1.saturating_sub(2), y0 + 4, [40, 40, 40]);
-    out
+    bmp.fill_rect(x0 + 2, y0 + 2, x1.saturating_sub(2), y0 + 4, [40, 40, 40]);
 }
 
-fn brightness(bmp: &Bitmap, delta: i16) -> Bitmap {
-    let mut out = bmp.clone();
-    for y in 0..bmp.height() {
-        for x in 0..bmp.width() {
-            let [r, g, b] = bmp.get(x, y);
-            let adj = |c: u8| (c as i16 + delta).clamp(0, 255) as u8;
-            out.set(x, y, [adj(r), adj(g), adj(b)]);
-        }
+fn brightness(bmp: &mut Bitmap, delta: i16) {
+    for p in bmp.pixels_mut() {
+        let adj = |c: u8| (c as i16 + delta).clamp(0, 255) as u8;
+        *p = [adj(p[0]), adj(p[1]), adj(p[2])];
     }
-    out
 }
 
-fn noise(bmp: &Bitmap, amplitude: i16, seed: u64) -> Bitmap {
+fn noise(bmp: &mut Bitmap, amplitude: i16, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4E01_5E00);
-    let mut out = bmp.clone();
     let amp = amplitude.max(1);
-    for y in 0..bmp.height() {
-        for x in 0..bmp.width() {
-            let [r, g, b] = bmp.get(x, y);
-            let d = rng.gen_range(-amp..=amp);
-            let adj = |c: u8| (c as i16 + d).clamp(0, 255) as u8;
-            out.set(x, y, [adj(r), adj(g), adj(b)]);
-        }
+    // Row-major flat walk: identical RNG draw order to the nested (y, x)
+    // loops this replaces.
+    for p in bmp.pixels_mut() {
+        let d = rng.gen_range(-amp..=amp);
+        let adj = |c: u8| (c as i16 + d).clamp(0, 255) as u8;
+        *p = [adj(p[0]), adj(p[1]), adj(p[2])];
     }
-    out
 }
 
-fn crop_margin(bmp: &Bitmap, percent: u8) -> Bitmap {
+fn crop_margin(bmp: &mut Bitmap, tmp: &mut Bitmap, percent: u8) {
+    let (ow, oh) = (bmp.width(), bmp.height());
     let pct = percent.clamp(1, 20) as usize;
-    let mx = bmp.width() * pct / 100;
-    let my = bmp.height() * pct / 100;
-    let w = bmp.width() - 2 * mx;
-    let h = bmp.height() - 2 * my;
-    let mut cropped = Bitmap::filled(w.max(1), h.max(1), [0; 3]);
+    let mx = ow * pct / 100;
+    let my = oh * pct / 100;
+    let w = ow - 2 * mx;
+    let h = oh - 2 * my;
+    tmp.reset(w.max(1), h.max(1), [0; 3]);
     for y in 0..h {
         for x in 0..w {
-            cropped.set(x, y, bmp.get(x + mx, y + my));
+            tmp.set(x, y, bmp.get(x + mx, y + my));
         }
     }
-    cropped.resize(bmp.width(), bmp.height())
+    tmp.resize_into(ow, oh, bmp);
 }
 
-fn occlusion(bmp: &Bitmap, seed: u64) -> Bitmap {
+fn occlusion(bmp: &mut Bitmap, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0CC1_0510);
-    let mut out = bmp.clone();
     let y0 = rng.gen_range(4..bmp.height() / 2);
-    out.fill_rect(8, y0, bmp.width() - 8, y0 + 4, [5, 5, 5]);
-    out
+    bmp.fill_rect(8, y0, bmp.width() - 8, y0 + 4, [5, 5, 5]);
 }
 
 #[cfg(test)]
@@ -229,6 +225,31 @@ mod tests {
             (changed as f64) < total as f64 * 0.15,
             "watermark touched {changed}/{total} pixels"
         );
+    }
+
+    #[test]
+    fn apply_into_with_reused_scratch_matches_apply() {
+        let b = sample();
+        let mut work = Bitmap::filled(1, 1, [0; 3]);
+        let mut tmp = Bitmap::filled(1, 1, [0; 3]);
+        for t in [
+            Transform::Identity,
+            Transform::CropMargin { percent: 10 },
+            Transform::MirrorHorizontal,
+            Transform::Watermark { seed: 3 },
+            Transform::CropMargin { percent: 1 },
+            Transform::Brightness(-30),
+            Transform::Noise {
+                amplitude: 8,
+                seed: 5,
+            },
+            Transform::CropMargin { percent: 20 },
+            Transform::OcclusionBar { seed: 2 },
+        ] {
+            work.clone_from(&b);
+            t.apply_into(&mut work, &mut tmp);
+            assert_eq!(work, t.apply(&b), "{t:?}");
+        }
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod store;
 pub use domains::{DomainCategory, OriginDomain, OriginRegistry};
 pub use faults::{FaultPlan, FaultProfile, FetchAttempt, TransientFault};
 pub use sites::{Site, SiteCatalog, SiteKind};
-pub use store::{FetchOutcome, HostedObject, LinkState, StoredImage, WebStore};
+pub use store::{FetchOutcome, HostedObject, LinkState, RenderScratch, StoredImage, WebStore};

@@ -29,7 +29,67 @@ impl StoredImage {
 
     /// Renders the hosted bytes (spec render + transform).
     pub fn render(&self) -> imagesim::Bitmap {
-        self.transform.apply(&self.spec.render())
+        let mut scratch = RenderScratch::new();
+        self.render_with(&mut scratch).clone()
+    }
+
+    /// Renders into a reusable arena: the spec renders into the arena's
+    /// pristine canvas and the transform is applied in a separate one.
+    /// Produces exactly the pixels [`StoredImage::render`] does, with
+    /// zero allocations once the arena has warmed up — the shape hot
+    /// loops measuring thousands of hosted images want.
+    ///
+    /// The arena remembers which spec its pristine canvas holds, so a
+    /// caller measuring the same spec under several transforms (the
+    /// duplication [`ImageSpec`] sharing creates in generated worlds)
+    /// pays for the procedural render once and for each transform only
+    /// the copy + in-place edit. `Transform::Identity` returns the
+    /// pristine canvas directly without copying.
+    pub fn render_with<'a>(&self, scratch: &'a mut RenderScratch) -> &'a imagesim::Bitmap {
+        if scratch.pristine_of != Some(self.spec) {
+            self.spec.render_into(&mut scratch.pristine);
+            scratch.pristine_of = Some(self.spec);
+        }
+        if self.transform == Transform::Identity {
+            return &scratch.pristine;
+        }
+        scratch.canvas.copy_from(&scratch.pristine);
+        self.transform
+            .apply_into(&mut scratch.canvas, &mut scratch.tmp);
+        &scratch.canvas
+    }
+}
+
+/// Reusable render arena for [`StoredImage::render_with`]: the pristine
+/// spec render (cached across same-spec calls), the transformed canvas,
+/// and the transform's crop/resample scratch. One per worker.
+#[derive(Debug, Clone)]
+pub struct RenderScratch {
+    /// Untransformed render of `pristine_of`.
+    pristine: imagesim::Bitmap,
+    /// Which spec `pristine` currently holds, if any.
+    pristine_of: Option<ImageSpec>,
+    /// The transformed raster lives here after a non-identity call.
+    canvas: imagesim::Bitmap,
+    /// Transform scratch (`CropMargin` stages its crop here).
+    tmp: imagesim::Bitmap,
+}
+
+impl Default for RenderScratch {
+    fn default() -> RenderScratch {
+        RenderScratch::new()
+    }
+}
+
+impl RenderScratch {
+    /// A minimal arena; the first render sizes it.
+    pub fn new() -> RenderScratch {
+        RenderScratch {
+            pristine: imagesim::Bitmap::filled(1, 1, [0; 3]),
+            pristine_of: None,
+            canvas: imagesim::Bitmap::filled(1, 1, [0; 3]),
+            tmp: imagesim::Bitmap::filled(1, 1, [0; 3]),
+        }
     }
 }
 
@@ -343,6 +403,39 @@ mod tests {
             store.fetch(&catalog, &url),
             FetchOutcome::Image(_)
         ));
+    }
+
+    #[test]
+    fn render_with_reused_arena_matches_render() {
+        let mut scratch = RenderScratch::new();
+        for (variant, transform) in [
+            (1, Transform::Identity),
+            (2, Transform::CropMargin { percent: 12 }),
+            // Same spec back-to-back: the cached pristine render must
+            // serve a fresh transform, then an identity, then another
+            // transform, all bit-identically.
+            (2, Transform::MirrorHorizontal),
+            (2, Transform::Identity),
+            (
+                2,
+                Transform::Noise {
+                    amplitude: 6,
+                    seed: 9,
+                },
+            ),
+            (4, Transform::CropMargin { percent: 3 }),
+            (4, Transform::Identity),
+        ] {
+            let img = StoredImage {
+                spec: image(variant).spec,
+                transform,
+            };
+            assert_eq!(
+                img.render_with(&mut scratch),
+                &img.render(),
+                "{transform:?}"
+            );
+        }
     }
 
     #[test]
