@@ -11,9 +11,9 @@
 CARGO ?= cargo
 OFFLINE = --offline --locked
 
-.PHONY: verify fmt-check clippy build test bench-build bench bench-gate smoke-bench-gate bench-serve smoke-resume smoke-serve clean-journal
+.PHONY: verify fmt-check clippy build test bench-build bench bench-gate smoke-bench-gate bench-serve bench-epoch smoke-epoch smoke-resume smoke-serve clean-journal
 
-verify: fmt-check clippy build test bench-build smoke-resume smoke-serve smoke-bench-gate
+verify: fmt-check clippy build test bench-build smoke-resume smoke-serve smoke-bench-gate smoke-epoch
 
 fmt-check:
 	$(CARGO) fmt --all -- --check
@@ -21,8 +21,10 @@ fmt-check:
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace -- -D warnings
 
+# `--workspace` so `target/release/report` (ewhoring-bench is not the
+# root package) is current for the smoke targets that execute it.
 build:
-	$(CARGO) build $(OFFLINE) --release
+	$(CARGO) build $(OFFLINE) --release --workspace
 
 test:
 	$(CARGO) test $(OFFLINE) -q
@@ -72,6 +74,32 @@ bench-serve: build
 		--out BENCH_serve.json --shutdown || { kill $$server 2> /dev/null; exit 1; }; \
 	wait $$server
 	rm -rf .journals/bench-serve
+
+# Epoch-advance baseline: advance the epoch engine through 6 epochs,
+# timing each warm delta against a full recompute of the same prefix,
+# and gate on the final-epoch delta being at least the committed
+# multiple of a full recompute (the `epoch` row of BENCH_floor.txt).
+bench-epoch:
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		bench epoch --scale 0.05 --workers 4 --epochs 6 --out BENCH_epoch.json \
+		--gate-floor $$(awk '$$1=="epoch"{print $$2}' BENCH_floor.txt)
+
+# Epoch smoke test wired into `make verify`: a small-scale incremental
+# run must produce a byte-identical snapshot to the one-shot batch run
+# of the same streamed spec (warm advance ≡ fresh recompute), and the
+# final-epoch delta must clear the smoke floor.
+smoke-epoch: build
+	rm -rf .journals/smoke-epoch && mkdir -p .journals/smoke-epoch
+	./target/release/report 0.02 0xE70C --epochs 3 --incremental \
+		--journal-dir .journals/smoke-epoch/journal \
+		--snapshot-json .journals/smoke-epoch/incremental.json > /dev/null
+	./target/release/report 0.02 0xE70C --epochs 3 \
+		--snapshot-json .journals/smoke-epoch/full.json > /dev/null
+	cmp .journals/smoke-epoch/incremental.json .journals/smoke-epoch/full.json
+	./target/release/report bench epoch --scale 0.02 --workers 2 --epochs 3 \
+		--out .journals/smoke-epoch/bench.json \
+		--gate-floor $$(awk '$$1=="epoch-smoke"{print $$2}' BENCH_floor.txt)
+	rm -rf .journals/smoke-epoch
 
 # Kill-and-resume smoke test over the checkpoint journal: run the first
 # four stages with a journal (simulated crash at the stage boundary),

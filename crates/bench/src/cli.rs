@@ -45,6 +45,7 @@ pub fn usage() -> &'static str {
 subcommands:
   report   (default)  one batch pipeline run, report to stdout
            [scale] [seed] [--workers N] [--faults S] [--corruption S]
+           [--epochs K] [--upto E] [--incremental]
            [--json PATH] [--snapshot-json PATH] [--bench-json PATH]
            [--journal-dir PATH] [--resume] [--stop-after N] [--intervention]
   serve    long-running pipeline service (line-delimited JSON over TCP)
@@ -56,6 +57,10 @@ subcommands:
   bench    workers=1 vs workers=N baseline, written as BENCH_pipeline.json
            [--scale S] [--seed SEED] [--workers N] [--out PATH]
            [--gate-floor ITEMS_PER_SEC]
+  bench epoch
+           epoch-advance delta vs full recompute, written as BENCH_epoch.json
+           [--scale S] [--seed SEED] [--workers N] [--epochs K] [--out PATH]
+           [--gate-floor FINAL_EPOCH_SPEEDUP]
   help     this text"
 }
 
@@ -78,6 +83,10 @@ pub struct ReportArgs {
     pub stop_after: Option<usize>,
     /// `--intervention`: append the §8 countermeasure simulations.
     pub intervention: bool,
+    /// `--incremental`: drive a streamed spec (`--epochs K`) through the
+    /// epoch engine, one warm advance per epoch, instead of one full
+    /// stream-mode recompute.
+    pub incremental: bool,
 }
 
 /// `serve` arguments.
@@ -164,10 +173,17 @@ pub struct BenchArgs {
     pub workers: usize,
     /// Output path for the baseline JSON.
     pub out: String,
-    /// Performance gate: fail unless the serial (workers=1)
-    /// `measure_images` rate reaches this many items/sec. The committed
-    /// floors live in `BENCH_floor.txt` next to `BENCH_pipeline.json`.
+    /// Performance gate. In the worker-scaling mode: fail unless the
+    /// serial (workers=1) `measure_images` rate reaches this many
+    /// items/sec. In `bench epoch` mode: fail unless the final-epoch
+    /// warm advance is at least this many times faster than the full
+    /// recompute. The committed floors live in `BENCH_floor.txt`.
     pub gate_floor: Option<f64>,
+    /// `bench epoch`: measure warm epoch advances against fresh full
+    /// recomputes instead of the worker-scaling baseline.
+    pub epoch: bool,
+    /// `--epochs K` (epoch mode): how many slices to advance through.
+    pub epochs: u32,
 }
 
 impl Default for BenchArgs {
@@ -178,6 +194,8 @@ impl Default for BenchArgs {
             workers: 4,
             out: "BENCH_pipeline.json".to_string(),
             gate_floor: None,
+            epoch: false,
+            epochs: 6,
         }
     }
 }
@@ -256,6 +274,9 @@ fn parse_report(args: &[String]) -> Result<ReportArgs, CliError> {
             "--intervention" => out.intervention = true,
             "--faults" => out.spec.faults = parse_num(arg, take_value(arg, &mut it)?)?,
             "--corruption" => out.spec.corruption = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--epochs" => out.spec.epochs = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--upto" => out.spec.upto = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--incremental" => out.incremental = true,
             flag if flag.starts_with('-') => return err(format!("unknown flag `{flag}`")),
             _ => {
                 match positional {
@@ -266,6 +287,12 @@ fn parse_report(args: &[String]) -> Result<ReportArgs, CliError> {
                 positional += 1;
             }
         }
+    }
+    if out.incremental && out.spec.epochs == 0 {
+        return err("`--incremental` requires `--epochs K`");
+    }
+    if out.spec.upto > 0 && out.spec.epochs == 0 {
+        return err("`--upto` requires `--epochs K`");
     }
     Ok(out)
 }
@@ -330,6 +357,14 @@ fn parse_loadgen(args: &[String]) -> Result<LoadGenArgs, CliError> {
 
 fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
     let mut out = BenchArgs::default();
+    // `bench epoch` switches modes (and the default output path) before
+    // the flag loop so `--out` can still override it.
+    let mut args = args;
+    if args.first().map(String::as_str) == Some("epoch") {
+        out.epoch = true;
+        out.out = "BENCH_epoch.json".to_string();
+        args = &args[1..];
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -338,6 +373,12 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
             "--workers" => out.workers = parse_num(arg, take_value(arg, &mut it)?)?,
             "--out" => out.out = take_value(arg, &mut it)?.clone(),
             "--gate-floor" => out.gate_floor = Some(parse_num(arg, take_value(arg, &mut it)?)?),
+            "--epochs" if out.epoch => {
+                out.epochs = parse_num(arg, take_value(arg, &mut it)?)?;
+                if out.epochs == 0 {
+                    return err("`--epochs` must be at least 1");
+                }
+            }
             other => return err(format!("unknown bench argument `{other}`")),
         }
     }
@@ -457,6 +498,56 @@ mod tests {
         };
         assert_eq!(b.scale, 0.05);
         assert_eq!(b.out, "BENCH_pipeline.json");
+    }
+
+    #[test]
+    fn epoch_flags_parse_and_are_validated() {
+        let cmd = Command::parse(&args(&[
+            "0.02",
+            "7",
+            "--epochs",
+            "4",
+            "--upto",
+            "2",
+            "--incremental",
+        ]))
+        .expect("streamed report form parses");
+        let Command::Report(report) = cmd else {
+            panic!("expected Report");
+        };
+        assert_eq!((report.spec.epochs, report.spec.upto), (4, 2));
+        assert!(report.incremental);
+
+        let e = Command::parse(&args(&["--incremental"])).unwrap_err();
+        assert!(e.0.contains("--epochs"), "{e}");
+        let e = Command::parse(&args(&["--upto", "2"])).unwrap_err();
+        assert!(e.0.contains("--epochs"), "{e}");
+    }
+
+    #[test]
+    fn bench_epoch_mode_parses() {
+        let cmd = Command::parse(&args(&[
+            "bench",
+            "epoch",
+            "--scale",
+            "0.05",
+            "--epochs",
+            "3",
+            "--gate-floor",
+            "3.0",
+        ]))
+        .expect("bench epoch parses");
+        let Command::Bench(b) = cmd else {
+            panic!("expected Bench");
+        };
+        assert!(b.epoch);
+        assert_eq!(b.epochs, 3);
+        assert_eq!(b.out, "BENCH_epoch.json", "epoch mode default output");
+        assert_eq!(b.gate_floor, Some(3.0));
+
+        // `--epochs` belongs to epoch mode only.
+        let e = Command::parse(&args(&["bench", "--epochs", "3"])).unwrap_err();
+        assert!(e.0.contains("unknown bench argument"), "{e}");
     }
 
     #[test]

@@ -52,6 +52,8 @@ fn spec_for(args: &LoadGenArgs, client: usize, slot: usize) -> RunSpec {
         workers: args.workers,
         faults: 0.0,
         corruption: 0.0,
+        epochs: 0,
+        upto: 0,
     }
 }
 
@@ -277,6 +279,8 @@ pub fn fetch_snapshot(args: &LoadGenArgs) -> Result<String, String> {
         workers: args.workers,
         faults: 0.0,
         corruption: 0.0,
+        epochs: 0,
+        upto: 0,
     };
     let mut conn = Client::connect(&args.addr)?;
     let run = conn.call(&Request::Run(spec))?;

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! {"cmd":"run","scale":0.02,"seed":123,"workers":2}
+//! {"cmd":"advance","scale":0.02,"seed":123,"epochs":4}
 //! {"cmd":"status","run_key":"f3a1…"}
 //! {"cmd":"report","run_key":"f3a1…"}
 //! {"cmd":"health","run_key":"f3a1…"}
@@ -28,6 +29,10 @@ use serde::Value;
 pub enum Request {
     /// Execute (or serve from cache) the run described by the spec.
     Run(RunSpec),
+    /// Advance the epoch engine for a streaming spec (`epochs > 0`) and
+    /// return the post-advance snapshot. `upto: 0` means "one epoch
+    /// further than wherever the engine is".
+    Advance(RunSpec),
     /// Lifecycle of a run key: unknown / running / ready / failed.
     Status(String),
     /// The determinism snapshot of a finished run.
@@ -43,13 +48,19 @@ impl Request {
     pub fn encode(&self) -> String {
         let mut map = serde::Map::new();
         match self {
-            Request::Run(spec) => {
-                map.insert("cmd", Value::Str("run".into()));
+            Request::Run(spec) | Request::Advance(spec) => {
+                let cmd = match self {
+                    Request::Run(_) => "run",
+                    _ => "advance",
+                };
+                map.insert("cmd", Value::Str(cmd.into()));
                 map.insert("scale", Value::Float(spec.scale));
                 map.insert("seed", Value::UInt(spec.seed.into()));
                 map.insert("workers", Value::UInt(spec.workers as u128));
                 map.insert("faults", Value::Float(spec.faults));
                 map.insert("corruption", Value::Float(spec.corruption));
+                map.insert("epochs", Value::UInt(spec.epochs as u128));
+                map.insert("upto", Value::UInt(spec.upto as u128));
             }
             Request::Status(key) | Request::Report(key) | Request::Health(key) => {
                 let cmd = match self {
@@ -80,12 +91,13 @@ impl Request {
             .ok_or_else(|| "request needs a string `cmd` field".to_string())?;
         match cmd {
             "run" => Ok(Request::Run(decode_spec(map)?)),
+            "advance" => Ok(Request::Advance(decode_spec(map)?)),
             "status" => Ok(Request::Status(run_key_field(map)?)),
             "report" => Ok(Request::Report(run_key_field(map)?)),
             "health" => Ok(Request::Health(run_key_field(map)?)),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown cmd `{other}` (expected run/status/report/health/shutdown)"
+                "unknown cmd `{other}` (expected run/advance/status/report/health/shutdown)"
             )),
         }
     }
@@ -127,6 +139,8 @@ fn decode_spec(map: &serde::Map) -> Result<RunSpec, String> {
         workers: u64_field(map, "workers", defaults.workers as u64)? as usize,
         faults: f64_field(map, "faults", defaults.faults)?,
         corruption: f64_field(map, "corruption", defaults.corruption)?,
+        epochs: u64_field(map, "epochs", defaults.epochs as u64)? as u32,
+        upto: u64_field(map, "upto", defaults.upto as u64)? as u32,
     })
 }
 
@@ -205,9 +219,23 @@ mod tests {
             workers: 2,
             faults: 0.5,
             corruption: 0.25,
+            epochs: 4,
+            upto: 3,
         };
         let line = Request::Run(spec).encode();
         assert_eq!(Request::decode(&line), Ok(Request::Run(spec)));
+    }
+
+    #[test]
+    fn advance_request_round_trips() {
+        let spec = RunSpec {
+            scale: 0.02,
+            seed: 7,
+            epochs: 3,
+            ..RunSpec::default()
+        };
+        let line = Request::Advance(spec).encode();
+        assert_eq!(Request::decode(&line), Ok(Request::Advance(spec)));
     }
 
     #[test]
@@ -222,6 +250,7 @@ mod tests {
             (spec.seed, spec.workers, spec.faults, spec.corruption),
             (d.seed, d.workers, d.faults, d.corruption)
         );
+        assert_eq!((spec.epochs, spec.upto), (0, 0), "batch by default");
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::cli::{BenchArgs, ReportArgs};
 use ewhoring_core::pipeline::{
-    snapshot_json, Journal, Pipeline, PipelineOptions, PipelineReport, RunSpec, StageTiming,
-    TimingSource,
+    snapshot_json, stream_world, EpochEngine, Journal, Pipeline, PipelineOptions, PipelineReport,
+    RunSpec, StageTiming, TimingSource,
 };
 use ewhoring_core::report::full_report;
 use std::time::Instant;
@@ -38,7 +38,77 @@ pub fn main(args: &ReportArgs) -> Result<(), String> {
     let world = generate_world(&spec);
     let options = spec.options();
     let t = Instant::now();
-    let report = if let Some(dir) = &args.journal_dir {
+    // Streamed specs (`--epochs K`) never stage-journal — that path is
+    // batch-only — so they are routed first: either one fresh run
+    // through the stream code, or (`--incremental`) warm epoch
+    // advances on the engine, journal-checkpointed per epoch when
+    // `--journal-dir` is given.
+    let mut engine: Option<EpochEngine> = None;
+    let mut world = Some(world);
+    let report = if let Some(stream) = options.stream {
+        if args.stop_after.is_some() {
+            return Err(
+                "`--stop-after` is batch-only (stage journaling does not apply to `--epochs` runs)"
+                    .to_string(),
+            );
+        }
+        if args.incremental {
+            let held = world.take().expect("world generated above");
+            let built = match &args.journal_dir {
+                Some(dir) => {
+                    EpochEngine::with_journal(held, spec.epochs, options, std::path::Path::new(dir))
+                        .map_err(|e| format!("open epoch journal: {e}"))?
+                }
+                None => EpochEngine::new(held, spec.epochs, options),
+            };
+            let engine = engine.insert(built);
+            let upto = spec.effective_upto();
+            if engine.epoch() > 0 {
+                eprintln!(
+                    "resumed epoch engine at epoch {}/{}",
+                    engine.epoch(),
+                    engine.epochs()
+                );
+            }
+            if engine.epoch() > upto {
+                return Err(format!(
+                    "journal is already at epoch {}, past the requested --upto {upto}",
+                    engine.epoch()
+                ));
+            }
+            let mut last = None;
+            while engine.epoch() < upto {
+                let t = Instant::now();
+                let report = engine
+                    .advance()
+                    .map_err(|e| format!("advance to epoch {}: {e}", engine.epoch() + 1))?;
+                eprintln!(
+                    "epoch {}/{} advanced in {:.1?}",
+                    engine.epoch(),
+                    engine.epochs(),
+                    t.elapsed()
+                );
+                last = Some(report);
+            }
+            match last {
+                Some(report) => report,
+                // Every requested epoch was already journaled: nothing
+                // to advance, so recompute the report for printing.
+                None => engine
+                    .fresh_report()
+                    .map_err(|e| format!("recompute resumed epoch: {e}"))?,
+            }
+        } else {
+            // One fresh stream-mode run over the feed-normalized world —
+            // the same ids and order the epoch engine sees, so this
+            // output is byte-comparable with `--incremental` and serve
+            // `advance` snapshots.
+            let held = world.take().expect("world generated above");
+            world = Some(stream_world(held, stream));
+            Pipeline::new(options).run(world.as_ref().expect("stored above"))
+        }
+    } else if let Some(dir) = &args.journal_dir {
+        let world = world.as_ref().expect("world generated above");
         let dir = std::path::Path::new(dir);
         if !args.resume {
             // A fresh (non-resume) run must never trust leftover
@@ -54,7 +124,7 @@ pub fn main(args: &ReportArgs) -> Result<(), String> {
             // Simulated crash: run (and checkpoint) the first N stages,
             // then exit at the stage boundary without a report.
             let ctx = pipe
-                .run_prefix_resumable(&world, n, dir)
+                .run_prefix_resumable(world, n, dir)
                 .map_err(|e| format!("prefix run: {e}"))?;
             eprintln!(
                 "stopped after {} stage(s); journal under {}",
@@ -75,10 +145,17 @@ pub fn main(args: &ReportArgs) -> Result<(), String> {
             }
             return Ok(());
         }
-        pipe.run_resumable(&world, dir)
+        pipe.run_resumable(world, dir)
             .map_err(|e| format!("resumable run: {e}"))?
     } else {
-        Pipeline::new(options).run(&world)
+        Pipeline::new(options).run(world.as_ref().expect("world generated above"))
+    };
+    // The incremental path moved the world into the engine; every later
+    // use borrows it back from whichever place owns it.
+    let world: &World = match (&engine, &world) {
+        (Some(engine), _) => engine.world(),
+        (None, Some(world)) => world,
+        (None, None) => unreachable!("world is only taken by the engine path"),
     };
     eprintln!("pipeline finished in {:.1?}", t.elapsed());
     for t in &report.timings {
@@ -141,7 +218,7 @@ pub fn main(args: &ReportArgs) -> Result<(), String> {
             workers: 1,
             ..options
         })
-        .run(&world);
+        .run(world);
         eprintln!("serial run finished in {:.1?}", t.elapsed());
         let json = bench_baseline_json(
             spec.scale,
@@ -161,12 +238,17 @@ pub fn main(args: &ReportArgs) -> Result<(), String> {
 /// the machine-readable baseline — without the report printing the
 /// batch path does.
 pub fn bench_main(args: &BenchArgs) -> Result<(), String> {
+    if args.epoch {
+        return bench_epoch_main(args);
+    }
     let spec = RunSpec {
         scale: args.scale,
         seed: args.seed,
         workers: args.workers,
         faults: 0.0,
         corruption: 0.0,
+        epochs: 0,
+        upto: 0,
     };
     let world = generate_world(&spec);
     let t = Instant::now();
@@ -195,6 +277,89 @@ pub fn bench_main(args: &BenchArgs) -> Result<(), String> {
     eprintln!("bench baseline written to {}", args.out);
     if let Some(floor) = args.gate_floor {
         gate_measure_rate(&serial.timings, floor)?;
+    }
+    Ok(())
+}
+
+/// The `bench epoch` mode: advance the epoch engine through every
+/// epoch, timing each warm advance against a fresh full recompute of
+/// the same prefix, and write `BENCH_epoch.json`. The two reports are
+/// byte-identical by the epoch-equivalence guarantee (CI-enforced in
+/// `tests/determinism.rs`), so the comparison is strictly
+/// like-for-like; the asserts here are a cheap re-check.
+fn bench_epoch_main(args: &BenchArgs) -> Result<(), String> {
+    use std::fmt::Write as _;
+
+    let spec = RunSpec {
+        scale: args.scale,
+        seed: args.seed,
+        workers: args.workers,
+        faults: 0.0,
+        corruption: 0.0,
+        epochs: args.epochs,
+        upto: 0,
+    };
+    let world = generate_world(&spec);
+    let mut engine = EpochEngine::new(world, spec.epochs, spec.options());
+    let mut rows = String::new();
+    let mut final_speedup = 0.0;
+    for e in 1..=spec.epochs {
+        let t = Instant::now();
+        let warm = engine
+            .advance()
+            .map_err(|err| format!("advance to epoch {e}: {err}"))?;
+        let advance_us = t.elapsed().as_micros();
+        let t = Instant::now();
+        let fresh = engine
+            .fresh_report()
+            .map_err(|err| format!("full recompute at epoch {e}: {err}"))?;
+        let full_us = t.elapsed().as_micros();
+        let warm_snap = snapshot_json(&warm).map_err(|err| format!("render snapshot: {err}"))?;
+        let fresh_snap = snapshot_json(&fresh).map_err(|err| format!("render snapshot: {err}"))?;
+        if warm_snap != fresh_snap {
+            return Err(format!(
+                "epoch {e}: warm advance diverged from full recompute — equivalence violated"
+            ));
+        }
+        let speedup = if advance_us > 0 {
+            full_us as f64 / advance_us as f64
+        } else {
+            0.0
+        };
+        final_speedup = speedup;
+        eprintln!(
+            "epoch {e}/{}: advance {:.1} ms, full recompute {:.1} ms, delta speedup {speedup:.2}x",
+            spec.epochs,
+            advance_us as f64 / 1_000.0,
+            full_us as f64 / 1_000.0,
+        );
+        let _ = writeln!(
+            rows,
+            "    {{ \"epoch\": {e}, \"advance_us\": {advance_us}, \"full_us\": {full_us}, \"speedup\": {speedup:.2} }}{}",
+            if e < spec.epochs { "," } else { "" }
+        );
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let note = if cores == 1 {
+        "\n  \"note\": \"available_parallelism is 1; parallel stages ran effectively serial\","
+    } else {
+        ""
+    };
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"epochs\": {},\n  \"available_parallelism\": {cores},{note}\n  \"per_epoch\": [\n{rows}  ],\n  \"final_epoch_speedup\": {final_speedup:.2}\n}}\n",
+        spec.scale, spec.seed, spec.workers, spec.epochs,
+    );
+    std::fs::write(&args.out, json).map_err(|e| format!("write `{}`: {e}", args.out))?;
+    eprintln!("epoch bench written to {}", args.out);
+    if let Some(floor) = args.gate_floor {
+        if final_speedup < floor {
+            return Err(format!(
+                "bench gate FAILED: final-epoch delta ran {final_speedup:.2}x a full recompute, floor is {floor:.2}x"
+            ));
+        }
+        eprintln!(
+            "bench gate passed: final-epoch delta {final_speedup:.2}x a full recompute (floor {floor:.2}x)"
+        );
     }
     Ok(())
 }
@@ -302,8 +467,15 @@ fn bench_baseline_json(
         0.0
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // A one-core box cannot show worker scaling — annotate the baseline
+    // so a reader doesn't mistake the flat speedup for a regression.
+    let note = if cores == 1 {
+        "\n  \"note\": \"available_parallelism is 1; workers are clamped and the speedup is expected to be ~1x\","
+    } else {
+        ""
+    };
     format!(
-        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"available_parallelism\": {cores},\n  \"quarantined_records\": {quarantined_records},\n  \"parallel_stages\": [{}],\n  \"runs\": [\n{},\n{}\n  ],\n  \"aggregate_speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \"available_parallelism\": {cores},{note}\n  \"quarantined_records\": {quarantined_records},\n  \"parallel_stages\": [{}],\n  \"runs\": [\n{},\n{}\n  ],\n  \"aggregate_speedup\": {speedup:.2}\n}}\n",
         PARALLEL_STAGES
             .iter()
             .map(|s| format!("\"{s}\""))

@@ -19,20 +19,35 @@
 
 use crate::cli::ServeArgs;
 use crate::proto::{Request, Response};
-use ewhoring_core::pipeline::{snapshot_json, PipelineReport, RunCache, RunStatus};
+use ewhoring_core::pipeline::{
+    snapshot_json, EpochEngine, PipelineReport, RunCache, RunSpec, RunStatus,
+};
 use serde::Value;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use worldgen::World;
 
 /// A bound pipeline service, ready to [`run`](Server::run).
 pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     cache: Arc<RunCache>,
+    /// Live epoch engines for `advance` requests, keyed by the
+    /// upto-normalized run key (so every `upto` of one streamed run
+    /// shares one engine). The map lock is held across an advance,
+    /// which serializes engine work — the engines *are* mutable shared
+    /// state, and an interleaved advance on one engine would be a bug,
+    /// not a throughput win.
+    engines: Mutex<HashMap<String, EpochEngine>>,
+    /// Mirrors the cache's journal root so resumed engines pick their
+    /// checkpoints up from the same directory batch runs write to.
+    journal_dir: Option<String>,
     pool: usize,
     shutdown: Arc<AtomicBool>,
 }
@@ -54,6 +69,8 @@ impl Server {
             listener,
             local_addr,
             cache: Arc::new(cache),
+            engines: Mutex::new(HashMap::new()),
+            journal_dir: args.journal_dir.clone(),
             pool: args.pool.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -162,6 +179,7 @@ impl Server {
                 };
                 (response, false)
             }
+            Ok(Request::Advance(spec)) => (self.advance_response(&spec), false),
             Ok(Request::Status(key)) => {
                 let status = self.cache.status(&key);
                 (
@@ -175,6 +193,85 @@ impl Server {
             }
             Ok(Request::Report(key)) => (self.report_response(&key), false),
             Ok(Request::Health(key)) => (self.health_response(&key), false),
+        }
+    }
+
+    /// One `advance` request: look up (or lazily build) the epoch
+    /// engine for the spec's upto-normalized run key, advance it to the
+    /// requested epoch, and embed the post-advance determinism snapshot
+    /// — the exact bytes a batch run of the same spec would write.
+    fn advance_response(&self, spec: &RunSpec) -> String {
+        if spec.epochs == 0 {
+            return Response::error("advance needs `epochs` > 0 (a streamed spec)");
+        }
+        if spec.upto > spec.epochs {
+            return Response::error(format!("upto {} exceeds epochs {}", spec.upto, spec.epochs));
+        }
+        // All `upto` values of one streamed run share one engine; key
+        // by the full-run spec so clients need not agree on `upto`.
+        let engine_spec = RunSpec { upto: 0, ..*spec };
+        let key = match engine_spec.run_key() {
+            Ok(key) => key,
+            Err(e) => return Response::error(format!("bad spec: {e}")),
+        };
+        let t = Instant::now();
+        let mut engines = self.engines.lock().unwrap_or_else(|e| e.into_inner());
+        let engine = match engines.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(slot) => slot.into_mut(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let world = World::generate(engine_spec.world_config());
+                let engine = match &self.journal_dir {
+                    Some(dir) => {
+                        // Journal-backed: resume from the newest epoch
+                        // checkpoint this directory holds for the spec.
+                        match EpochEngine::with_journal(
+                            world,
+                            spec.epochs,
+                            engine_spec.options(),
+                            Path::new(dir),
+                        ) {
+                            Ok(engine) => engine,
+                            Err(e) => return Response::error(format!("engine init failed: {e}")),
+                        }
+                    }
+                    None => EpochEngine::new(world, spec.epochs, engine_spec.options()),
+                };
+                slot.insert(engine)
+            }
+        };
+        let target = if spec.upto == 0 {
+            engine.epoch() + 1
+        } else {
+            spec.upto
+        };
+        if target > engine.epochs() {
+            return Response::error(format!(
+                "already at final epoch {} of {}",
+                engine.epoch(),
+                engine.epochs()
+            ));
+        }
+        if target <= engine.epoch() {
+            return Response::error(format!(
+                "cannot rewind: engine is at epoch {}, requested {target}",
+                engine.epoch()
+            ));
+        }
+        let report = match engine.advance_to(target) {
+            Ok(Some(report)) => report,
+            Ok(None) => return Response::error("advance produced no report".to_string()),
+            Err(e) => return Response::error(format!("advance failed: {e}")),
+        };
+        match snapshot_json(&report) {
+            Ok(snapshot) => Response::ok(vec![
+                ("cmd", str_val("advance")),
+                ("run_key", str_val(&key)),
+                ("epoch", Value::UInt(engine.epoch() as u128)),
+                ("epochs", Value::UInt(engine.epochs() as u128)),
+                ("snapshot", str_val(&snapshot)),
+                ("wall_us", Value::UInt(t.elapsed().as_micros())),
+            ]),
+            Err(e) => Response::error(format!("snapshot failed: {e}")),
         }
     }
 

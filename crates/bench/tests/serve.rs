@@ -5,7 +5,7 @@
 use ewhoring_bench::cli::ServeArgs;
 use ewhoring_bench::proto::{Request, Response};
 use ewhoring_bench::serve::Server;
-use ewhoring_core::pipeline::{snapshot_json, Pipeline, RunSpec};
+use ewhoring_core::pipeline::{snapshot_json, stream_world, Pipeline, RunSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -18,6 +18,8 @@ fn tiny(seed: u64) -> RunSpec {
         workers: 1,
         faults: 0.0,
         corruption: 0.0,
+        epochs: 0,
+        upto: 0,
     }
 }
 
@@ -127,6 +129,62 @@ fn full_lifecycle_over_the_wire_matches_the_batch_snapshot() {
     let down = wire.call(&Request::Shutdown);
     assert!(down.is_ok());
     handle.join().expect("server thread exits after shutdown");
+}
+
+/// The epoch-serving acceptance test: `advance` steps a streamed spec
+/// one epoch per request, and the final wire-delivered snapshot is
+/// byte-identical to a batch run of the same spec — the epoch
+/// equivalence guarantee, observed through the service surface.
+#[test]
+fn advance_over_the_wire_matches_the_batch_stream_snapshot() {
+    let (_server, handle, addr) = start_server(2);
+    let spec = RunSpec {
+        epochs: 2,
+        ..tiny(0xABE)
+    };
+    let mut wire = Wire::connect(&addr);
+
+    // `advance` on a batch spec is a described error, not a crash.
+    let batch_spec = tiny(0xABE);
+    let bad = wire.call(&Request::Advance(batch_spec));
+    assert!(!bad.is_ok());
+    assert!(bad.error_text().unwrap_or_default().contains("epochs"));
+
+    // `upto: 0` means "one epoch further": two calls reach the final
+    // epoch of 2.
+    let first = wire.call(&Request::Advance(spec));
+    assert!(first.is_ok(), "{:?}", first.error_text());
+    assert_eq!(first.field("epoch").and_then(serde::Value::as_u64), Some(1));
+    let second = wire.call(&Request::Advance(spec));
+    assert!(second.is_ok(), "{:?}", second.error_text());
+    assert_eq!(
+        second.field("epoch").and_then(serde::Value::as_u64),
+        Some(2)
+    );
+    let wire_snapshot = second.str_field("snapshot").expect("snapshot field");
+
+    // Past the final epoch and rewinds are described errors.
+    let past = wire.call(&Request::Advance(spec));
+    assert!(!past.is_ok());
+    assert!(past.error_text().unwrap_or_default().contains("final"));
+    let rewind = wire.call(&Request::Advance(RunSpec { upto: 1, ..spec }));
+    assert!(!rewind.is_ok());
+    assert!(rewind.error_text().unwrap_or_default().contains("rewind"));
+
+    // Ground truth: one batch invocation of the same streamed spec,
+    // over the feed-normalized world the stream path runs on.
+    let world = stream_world(
+        World::generate(spec.world_config()),
+        spec.options().stream.expect("streamed spec"),
+    );
+    let batch = Pipeline::new(spec.options()).run(&world);
+    assert_eq!(
+        wire_snapshot,
+        snapshot_json(&batch).expect("batch snapshot")
+    );
+
+    wire.call(&Request::Shutdown);
+    handle.join().expect("server thread exits");
 }
 
 #[test]

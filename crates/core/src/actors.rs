@@ -72,10 +72,11 @@ pub const COHORT_THRESHOLDS: [usize; 7] = [1, 10, 50, 100, 200, 500, 1000];
 /// Computes per-actor metrics over the extracted eWhoring threads.
 pub fn actor_metrics(corpus: &Corpus, ewhoring_threads: &[ThreadId]) -> Vec<ActorMetrics> {
     let counts = corpus.posts_per_actor_in(ewhoring_threads);
+    let thread_set: HashSet<ThreadId> = ewhoring_threads.iter().copied().collect();
     let mut out: Vec<ActorMetrics> = Vec::with_capacity(counts.len());
     for (&actor, &ew_posts) in &counts {
         let (first_ew, last_ew) = corpus
-            .actor_span_in(actor, ewhoring_threads)
+            .actor_span_in_set(actor, &thread_set)
             .expect("actor posted in the set");
         let (first_post, last_post) = corpus.actor_activity_span(actor).expect("actor has posts");
         out.push(ActorMetrics {
@@ -250,6 +251,19 @@ pub struct KeyActorInputs<'a> {
 /// power iteration runs across `workers` threads (0 = all cores) and is
 /// bit-identical for any worker count.
 pub fn select_key_actors(inputs: &KeyActorInputs<'_>, k: usize, workers: usize) -> KeyActors {
+    let centrality = eigenvector_centrality_par(inputs.graph, 200, workers);
+    select_key_actors_with_centrality(inputs, &centrality, k)
+}
+
+/// [`select_key_actors`] with a caller-supplied centrality vector (one
+/// entry per graph node). The epoch pipeline maintains that vector
+/// incrementally via warm-started power iteration; the batch path
+/// computes it fresh — both feed the identical selection below.
+pub fn select_key_actors_with_centrality(
+    inputs: &KeyActorInputs<'_>,
+    centrality: &[f64],
+    k: usize,
+) -> KeyActors {
     let mut groups: BTreeMap<KeyGroup, Vec<ActorId>> = BTreeMap::new();
 
     // Packs: everyone with ≥6 shared packs; if that undershoots (small
@@ -297,7 +311,6 @@ pub fn select_key_actors(inputs: &KeyActorInputs<'_>, k: usize, workers: usize) 
     );
 
     // Influence: top-k eigenvector centrality.
-    let centrality = eigenvector_centrality_par(inputs.graph, 200, workers);
     let mut influential: Vec<(ActorId, f64)> = inputs
         .metrics
         .iter()

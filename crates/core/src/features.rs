@@ -14,6 +14,7 @@
 
 use crimebb::{Corpus, ThreadId};
 use linsvm::SparseVec;
+use synthrand::Day;
 use textkit::dtm::{TfIdf, Vocabulary};
 use textkit::lexicon::Lexicon;
 use textkit::tokenize::{count_char, tokenize_with_stopwords};
@@ -105,6 +106,56 @@ impl ThreadStats {
     }
 }
 
+/// [`thread_stats`] as of the end of day `cutoff`: replies and
+/// first-post fields only count posts dated on or before the cutoff.
+/// Posts are chronological within a thread, so the visible prefix is a
+/// `partition_point` — and because a thread's earlier posts never change,
+/// the result is identical whether computed on the corpus as of `cutoff`
+/// or on any later corpus. That is what lets a first-sight classification
+/// made at epoch `j` be replayed bit-exactly from a later corpus.
+pub fn thread_stats_at(
+    corpus: &Corpus,
+    catalog: &SiteCatalog,
+    thread: ThreadId,
+    cutoff: Day,
+) -> ThreadStats {
+    let t = corpus.thread(thread);
+    let posts = corpus.posts_in_thread(thread);
+    let visible = posts.partition_point(|&p| corpus.post(p).date <= cutoff);
+    let body = if visible > 0 {
+        corpus.post(posts[0]).body.as_str()
+    } else {
+        ""
+    };
+
+    let mut cloud = 0.0;
+    let mut image = 0.0;
+    let mut other = 0.0;
+    for url in extract_urls(body) {
+        match catalog.lookup(&url.domain()) {
+            Some(site) if site.kind == websim::SiteKind::CloudStorage => cloud += 1.0,
+            Some(_) => image += 1.0,
+            None => other += 1.0,
+        }
+    }
+
+    let request = Lexicon::request();
+    let tutorial = Lexicon::tutorial();
+    let top = Lexicon::top();
+
+    ThreadStats {
+        replies: visible.saturating_sub(1) as f64,
+        cloud_links: cloud,
+        image_links: image,
+        thread_links: other,
+        first_post_len: body.len() as f64,
+        question_marks: count_char(&t.heading, '?') as f64,
+        request_kw: request.count_matches(&t.heading) as f64,
+        tutorial_kw: tutorial.count_matches(&t.heading) as f64,
+        top_kw: top.count_matches(&t.heading) as f64,
+    }
+}
+
 /// The tokenised text of a thread: heading plus first-post body (the
 /// classifier "parses thread headings and posts").
 pub fn thread_tokens(corpus: &Corpus, thread: ThreadId) -> Vec<String> {
@@ -116,9 +167,23 @@ pub fn thread_tokens(corpus: &Corpus, thread: ThreadId) -> Vec<String> {
     tokens
 }
 
+/// [`thread_tokens`] as of the end of day `cutoff`: the first-post body
+/// only contributes if the first post exists by then.
+pub fn thread_tokens_at(corpus: &Corpus, thread: ThreadId, cutoff: Day) -> Vec<String> {
+    let t = corpus.thread(thread);
+    let mut tokens = tokenize_with_stopwords(&t.heading);
+    if let Some(p) = corpus.first_post(thread) {
+        if p.date <= cutoff {
+            tokens.extend(tokenize_with_stopwords(&p.body));
+        }
+    }
+    tokens
+}
+
 /// A fitted feature extractor: vocabulary + IDF weights over the training
-/// threads, reused unchanged at inference time.
-#[derive(Debug, Clone)]
+/// threads, reused unchanged at inference time. Serialisable so the epoch
+/// pipeline can freeze the bootstrap-trained extractor in its carry.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FeatureExtractor {
     vocab: Vocabulary,
     tfidf: TfIdf,
@@ -137,10 +202,50 @@ impl FeatureExtractor {
         FeatureExtractor { vocab, tfidf }
     }
 
+    /// [`FeatureExtractor::fit`] as of the end of day `cutoff`: the
+    /// vocabulary and IDF only see post text dated on or before the
+    /// cutoff. The epoch pipeline bootstraps its frozen extractor with
+    /// this — on the epoch-1 corpus it equals a plain [`fit`], and on
+    /// any later corpus it replays the epoch-1 fit bit-exactly (the
+    /// `_at` inputs are prefix-stable).
+    ///
+    /// [`fit`]: FeatureExtractor::fit
+    pub fn fit_at(
+        corpus: &Corpus,
+        train: &[ThreadId],
+        cutoff: Day,
+        workers: usize,
+    ) -> FeatureExtractor {
+        let docs: Vec<Vec<String>> =
+            crate::par::par_map(train, workers, |&t| thread_tokens_at(corpus, t, cutoff));
+        let vocab = Vocabulary::build(docs.iter().map(|d| d.iter()), 2);
+        let dtm = textkit::dtm::DocTermMatrix::from_docs_par(&vocab, &docs, workers);
+        let tfidf = TfIdf::fit_par(&dtm, workers);
+        FeatureExtractor { vocab, tfidf }
+    }
+
     /// Full feature vector of one thread: statistical block + TF-IDF block.
     pub fn features(&self, corpus: &Corpus, catalog: &SiteCatalog, thread: ThreadId) -> SparseVec {
         let stats = thread_stats(corpus, catalog, thread).to_sparse();
         let counts = self.vocab.count(&thread_tokens(corpus, thread));
+        let tfidf_row = self.tfidf.transform_row(&counts);
+        let text = SparseVec::from_sorted(tfidf_row);
+        stats.concat(&text, STAT_DIM)
+    }
+
+    /// [`FeatureExtractor::features`] as of the end of day `cutoff` —
+    /// the first-sight feature vector the epoch pipeline classifies new
+    /// threads with. Pure in `(thread's visible prefix, cutoff)`, so a
+    /// later corpus replays it bit-exactly.
+    pub fn features_at(
+        &self,
+        corpus: &Corpus,
+        catalog: &SiteCatalog,
+        thread: ThreadId,
+        cutoff: Day,
+    ) -> SparseVec {
+        let stats = thread_stats_at(corpus, catalog, thread, cutoff).to_sparse();
+        let counts = self.vocab.count(&thread_tokens_at(corpus, thread, cutoff));
         let tfidf_row = self.tfidf.transform_row(&counts);
         let text = SparseVec::from_sorted(tfidf_row);
         stats.concat(&text, STAT_DIM)
@@ -236,6 +341,39 @@ mod tests {
         // Statistical entries live below STAT_DIM; text entries above.
         assert!(fv.entries().iter().any(|&(i, _)| i < STAT_DIM));
         assert!(fv.entries().iter().any(|&(i, _)| i >= STAT_DIM));
+    }
+
+    /// Cutoff semantics: with the cutoff past every post the `_at`
+    /// variants equal the plain ones; before the first post only the
+    /// heading contributes; in between, replies are truncated.
+    #[test]
+    fn cutoff_variants_window_the_thread() {
+        let c = corpus();
+        let catalog = SiteCatalog::new();
+        let top = c.threads()[0].id;
+        let late = Day::from_ymd(2020, 1, 1);
+        assert_eq!(
+            thread_stats_at(&c, &catalog, top, late),
+            thread_stats(&c, &catalog, top)
+        );
+        assert_eq!(thread_tokens_at(&c, top, late), thread_tokens(&c, top),);
+
+        let early = Day::from_ymd(2013, 12, 31);
+        let s = thread_stats_at(&c, &catalog, top, early);
+        assert_eq!(s.replies, 0.0, "no posts visible before creation");
+        assert_eq!(s.cloud_links, 0.0);
+        assert_eq!(s.first_post_len, 0.0);
+        assert!(s.top_kw >= 2.0, "heading features survive the cutoff");
+        assert_eq!(
+            thread_tokens_at(&c, top, early),
+            tokenize_with_stopwords(&c.thread(top).heading)
+        );
+
+        let ex = FeatureExtractor::fit(&c, &[top], 1);
+        assert_eq!(
+            ex.features_at(&c, &catalog, top, late).entries(),
+            ex.features(&c, &catalog, top).entries()
+        );
     }
 
     #[test]

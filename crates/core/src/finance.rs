@@ -199,6 +199,133 @@ pub fn harvest_earnings(
     harvest
 }
 
+/// Streaming variant of [`harvest_earnings`]: a pure sequential fold
+/// over the global post timeline, resumable at any post index.
+///
+/// Posts carry dense chronological ids in streaming mode, so folding
+/// `carry.cursor..post_count` each epoch visits every post exactly once
+/// and in the same order whether the carry is warm (epoch slices) or
+/// fresh (one pass) — fold composition is what makes the warm advance
+/// byte-identical to the full recompute. Differences from the batch
+/// path, which keeps its own code: candidate posts arrive in timeline
+/// order rather than thread-major order, and the hosting whitelist
+/// snowballs *at sight* (a catalogue-known domain posted in an earnings
+/// thread joins the whitelist as its post is folded) instead of via the
+/// batch fixpoint sweep.
+pub fn harvest_earnings_stream(
+    world: &World,
+    gate: &SafetyGate,
+    ewhoring_threads: &[ThreadId],
+    carry: &mut crate::pipeline::epoch::FinanceCarry,
+) -> EarningsHarvest {
+    let corpus = &world.corpus;
+    // Idempotent on warm carries; seeds fresh ones.
+    for d in world.catalog.seed_whitelist() {
+        carry.whiteset.insert(d.to_string());
+    }
+    let ewset: HashSet<ThreadId> = ewhoring_threads.iter().copied().collect();
+    // Heading, board, and forum are fixed at thread creation, so this
+    // predicate answers the same at every epoch.
+    let is_earnings_thread = |t: ThreadId| -> bool {
+        let th = corpus.thread(t);
+        (ewset.contains(&t) && heading_is_earnings(&th.heading))
+            || (corpus.board(th.board).category == BoardCategory::BraggingRights
+                && corpus.forum_of_thread(t) == world.hackforums)
+    };
+
+    let n = corpus.posts().len();
+    for idx in carry.cursor..n {
+        let post = corpus.post(PostId(idx as u32));
+        let t = post.thread;
+        let earnings = is_earnings_thread(t);
+        let proof_offer = ewset.contains(&t) && post_is_proof_offer(&post.body);
+        if !(earnings || proof_offer) {
+            continue;
+        }
+        if earnings {
+            // At-sight snowball, before this post's own links filter.
+            for url in extract_urls(&post.body) {
+                let domain = url.domain();
+                if world.catalog.lookup(&domain).is_some() {
+                    carry.whiteset.insert(domain);
+                }
+            }
+        }
+        let mut any = false;
+        for url in extract_urls(&post.body) {
+            let domain = url.domain();
+            let is_image_host = world
+                .catalog
+                .lookup(&domain)
+                .is_some_and(|s| s.kind == SiteKind::ImageSharing);
+            if !is_image_host
+                || !carry.whiteset.contains(domain.as_str())
+                || !carry.seen_urls.insert(url.clone())
+            {
+                continue;
+            }
+            any = true;
+            carry.unique_urls += 1;
+            let image: StoredImage = match world.web.fetch(&world.catalog, &url) {
+                FetchOutcome::Image(img) | FetchOutcome::RemovalBanner(img) => img,
+                _ => continue,
+            };
+            carry.downloaded += 1;
+            let m = ImageMeasures::of(&image.render());
+            if let ScreenOutcome::ReportedAndDeleted { .. } = gate.screen(
+                &m.hash,
+                &url.to_https(),
+                post.date,
+                HostingRegion::NorthAmerica,
+                SiteType::ImageSharing,
+            ) {
+                carry.filtered_csam += 1;
+                continue;
+            }
+            if !m.is_sfv() {
+                carry.filtered_nsfv += 1;
+                continue;
+            }
+            carry.analysed += 1;
+            match world.annotate_proof(&image.spec) {
+                Some(info) => {
+                    let usd = world.fx.to_usd(info.amount, info.currency, info.taken);
+                    carry.proofs.push(ProofRecord {
+                        actor: info.actor,
+                        platform: info.platform,
+                        usd,
+                        transactions: info.transactions,
+                        month_index: info.taken.month_index(),
+                    });
+                }
+                None => carry.not_proof += 1,
+            }
+        }
+        if any {
+            carry.posts_with_links += 1;
+        }
+    }
+    carry.cursor = n;
+
+    EarningsHarvest {
+        earnings_threads: corpus
+            .threads()
+            .iter()
+            .filter(|th| is_earnings_thread(th.id))
+            .count(),
+        posts_with_links: carry.posts_with_links,
+        unique_urls: carry.unique_urls,
+        downloaded: carry.downloaded,
+        filtered_nsfv: carry.filtered_nsfv,
+        filtered_csam: carry.filtered_csam,
+        analysed: carry.analysed,
+        not_proof: carry.not_proof,
+        // Carried unfiltered: the per-run corruption plan is applied to
+        // this copy by the stage, never to the carry itself.
+        proofs: carry.proofs.clone(),
+    }
+}
+
 /// Platform display label (Figure 3 legend).
 pub fn platform_label(p: imagesim::PaymentPlatform) -> &'static str {
     match p {
@@ -302,10 +429,11 @@ pub fn analyse_currency_exchange(
         .filter(|&a| corpus.actor(a).forum == hackforums)
         .collect();
     qualifying.sort_unstable();
+    let thread_set: HashSet<ThreadId> = ewhoring_threads.iter().copied().collect();
 
     for actor in qualifying {
         let first_ew = corpus
-            .actor_span_in(actor, ewhoring_threads)
+            .actor_span_in_set(actor, &thread_set)
             .map(|(first, _)| first);
         let ce_threads =
             corpus.threads_started_by(actor, BoardCategory::CurrencyExchange, first_ew);

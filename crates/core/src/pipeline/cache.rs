@@ -29,7 +29,7 @@
 //!
 //! [`TimingSource::Journal`]: super::TimingSource::Journal
 
-use super::{journal, Pipeline, PipelineOptions, PipelineReport, StageError};
+use super::{journal, Pipeline, PipelineOptions, PipelineReport, StageError, StreamSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -54,6 +54,10 @@ pub struct RunSpec {
     pub faults: f64,
     /// Input-corruption severity.
     pub corruption: f64,
+    /// Feed epochs for streaming mode; `0` = classic batch run.
+    pub epochs: u32,
+    /// Epoch to report at in streaming mode; `0` = the final epoch.
+    pub upto: u32,
 }
 
 impl Default for RunSpec {
@@ -64,6 +68,8 @@ impl Default for RunSpec {
             workers: 4,
             faults: 0.0,
             corruption: 0.0,
+            epochs: 0,
+            upto: 0,
         }
     }
 }
@@ -89,7 +95,23 @@ impl RunSpec {
             workers: self.workers,
             fault_severity: self.faults,
             corruption_severity: self.corruption,
+            stream: (self.epochs > 0).then(|| StreamSpec {
+                epochs: self.epochs,
+                upto: self.effective_upto(),
+            }),
             ..PipelineOptions::default()
+        }
+    }
+
+    /// The epoch actually reported at: `upto` clamped into `1..=epochs`,
+    /// with `0` meaning the final epoch. `0` for batch specs.
+    pub fn effective_upto(&self) -> u32 {
+        if self.epochs == 0 {
+            0
+        } else if self.upto == 0 {
+            self.epochs
+        } else {
+            self.upto.min(self.epochs)
         }
     }
 
@@ -249,13 +271,18 @@ impl RunCache {
         }
     }
 
-    /// The compute path behind a cache miss.
+    /// The compute path behind a cache miss. Stream specs always run
+    /// fresh through the stream code path over the feed-normalized
+    /// world (per-stage journaling is batch-only; incremental serving
+    /// is the epoch engine's job — see the serve layer's `advance`).
     fn compute(&self, spec: &RunSpec) -> Result<Arc<PipelineReport>, StageError> {
         let world = World::generate(spec.world_config());
-        let pipeline = Pipeline::new(spec.options());
-        let report = match &self.journal_root {
-            Some(root) => pipeline.run_resumable(&world, root)?,
-            None => pipeline.run(&world),
+        let options = spec.options();
+        let pipeline = Pipeline::new(options);
+        let report = match (&self.journal_root, options.stream) {
+            (Some(root), None) => pipeline.run_resumable(&world, root)?,
+            (_, Some(stream)) => pipeline.run(&super::epoch::stream_world(world, stream)),
+            (None, None) => pipeline.run(&world),
         };
         Ok(Arc::new(report))
     }
@@ -273,6 +300,8 @@ mod tests {
             workers: 1,
             faults: 0.0,
             corruption: 0.0,
+            epochs: 0,
+            upto: 0,
         }
     }
 
@@ -312,6 +341,32 @@ mod tests {
             RunSpec {
                 scale: 0.02,
                 ..tiny(1)
+            }
+            .run_key()
+            .unwrap()
+        );
+        // Epoch slicing changes the run key (a stream run is not the
+        // batch run), and the full-stream key is upto-normalized:
+        // `upto: 0` and `upto: epochs` name the same run.
+        let streamed = RunSpec {
+            epochs: 4,
+            ..tiny(1)
+        };
+        assert_ne!(base, streamed.run_key().unwrap());
+        assert_eq!(
+            streamed.run_key().unwrap(),
+            RunSpec {
+                upto: 4,
+                ..streamed
+            }
+            .run_key()
+            .unwrap()
+        );
+        assert_ne!(
+            streamed.run_key().unwrap(),
+            RunSpec {
+                upto: 2,
+                ..streamed
             }
             .run_key()
             .unwrap()

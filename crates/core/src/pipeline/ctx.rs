@@ -341,6 +341,11 @@ pub struct StageCtx<'w> {
     pub(super) timings: Vec<StageTiming>,
     pub(super) items: usize,
     pub(super) health: Vec<StageHealth>,
+    /// Streaming mode only: the inter-epoch carry state. `Some` exactly
+    /// when `options.stream` is set; stages fork on it, take it, update
+    /// it, and put it back so the driver can hand it to the next epoch.
+    /// Always `None` in batch mode — batch stages never look at it.
+    pub carry: Option<super::epoch::EpochCarry>,
 
     // ---- artifacts, in production order ----
     /// Stage `extract`: the extraction set (§3).
@@ -470,6 +475,7 @@ impl<'w> StageCtx<'w> {
             timings: Vec::new(),
             items: 0,
             health: Vec::new(),
+            carry: options.stream.map(|_| super::epoch::EpochCarry::default()),
             extraction: None,
             all_threads: None,
             topcls: None,

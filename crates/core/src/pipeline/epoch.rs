@@ -1,0 +1,474 @@
+//! Inter-epoch carry state and the epoch engine (streaming mode).
+//!
+//! Streaming mode slices the forum feed into `K` calendar epochs
+//! ([`worldgen::Feed`]) and re-runs the pipeline after each slice lands.
+//! The expensive artifacts are not recomputed from scratch: every hot
+//! stage keeps a small, serialisable **carry** here and folds only the
+//! epoch's delta into it —
+//!
+//! * `top_classifier`: the bootstrap-frozen model (trained once at the
+//!   first boundary), first-sight decisions per thread, and an
+//!   incrementally grown vocabulary / document-frequency index
+//!   ([`StreamTextIndex`] — vocab union + new-doc rows, never a rebuild);
+//! * `measure_images`: a memo of every `(spec, transform)` pair already
+//!   measured (measures are pure, so memoised values are exact);
+//! * `nsfv`: the validation-set evaluation (pure in the seed);
+//! * `finance`: a fold cursor over the global post timeline plus the
+//!   funnel counters, whitelist, URL dedup set, and proof records;
+//! * `provenance`: a memo of every reverse-search outcome keyed
+//!   `(robust hash, post day)` — the reverse index and the Wayback
+//!   archive are static services, so outcomes are pure in the key;
+//! * `actors`: the reply/quote graph grown edge-by-edge plus the
+//!   warm-started eigenvector-centrality vector.
+//!
+//! The correctness contract is **epoch equivalence**: running the same
+//! stream code path with a fresh ([`EpochCarry::default`]) carry on the
+//! epoch-`e` world produces byte-identical artifacts to advancing a warm
+//! carry through epochs `1..=e`. Each stage's carry is designed so the
+//! warm fold and the fresh fold traverse the same data in the same
+//! order; the gate lives in `tests/determinism.rs`.
+//!
+//! [`EpochEngine`] owns the feed, the growing world, and the carry, and
+//! journals the carry at every epoch boundary (PR 4's record format), so
+//! a killed stream resumes from the last completed epoch.
+
+use super::journal::{Journal, LoadOutcome, StageRecord};
+use super::{Pipeline, PipelineOptions, PipelineReport, StageError, StreamSpec};
+use crate::finance::ProofRecord;
+use crate::nsfv::{ImageMeasures, NsfvValidation};
+use crate::provenance::QueryOutcome;
+use crate::topcls::{BootstrapModel, StreamIndexStats};
+use crimebb::ThreadId;
+use imagesim::RobustHash;
+use serde::{Deserialize, Serialize};
+use socgraph::DiGraph;
+use std::collections::HashSet;
+use std::path::Path;
+use synthrand::Day;
+use textkit::dtm::{DocTermMatrix, Vocabulary};
+use textkit::Url;
+use websim::StoredImage;
+use worldgen::{Feed, World};
+
+/// Everything the stream stages keep between epoch advances. `Default`
+/// is the fresh carry: running with it *is* the full recompute.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpochCarry {
+    /// `top_classifier` carry.
+    pub topcls: TopclsCarry,
+    /// `measure_images` carry.
+    pub measure: MeasureCarry,
+    /// `nsfv` carry: the memoised validation-set evaluation (pure in
+    /// the run seed, so computing it once is exact).
+    pub nsfv: Option<NsfvValidation>,
+    /// `finance` carry.
+    pub finance: FinanceCarry,
+    /// `provenance` carry.
+    pub provenance: ProvenanceCarry,
+    /// `actors` carry.
+    pub actors: ActorsCarry,
+}
+
+/// Carry of the `top_classifier` stage.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TopclsCarry {
+    /// Last epoch whose first-sight decisions are folded in.
+    pub epoch: u32,
+    /// The classifier bootstrapped at the first epoch boundary; `None`
+    /// until epoch 1 has run.
+    pub model: Option<BootstrapModel>,
+    /// First-sight decisions `(thread, ml, heuristic)` in decision
+    /// order: threads grouped by the epoch they appeared in, each
+    /// decided on its state as of that epoch's boundary.
+    pub decisions: Vec<(ThreadId, bool, bool)>,
+    /// The incrementally grown corpus text index.
+    pub index: StreamTextIndex,
+}
+
+/// An incrementally grown vocabulary + document-frequency table: the
+/// delta-update form of the DTM/TF-IDF build. Epoch advances extend the
+/// vocabulary (append-stable term ids), count only the new documents,
+/// and fold their rows into the running `df` — never a from-scratch
+/// rebuild. [`TfIdf::fit_from_df`] proves the resulting weights equal a
+/// full refit, which is what makes the fold exact.
+///
+/// [`TfIdf::fit_from_df`]: textkit::dtm::TfIdf::fit_from_df
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamTextIndex {
+    /// Union vocabulary over every folded document.
+    pub vocab: Vocabulary,
+    /// Document frequency per term id.
+    pub df: Vec<usize>,
+    /// Documents folded in.
+    pub docs: usize,
+}
+
+impl StreamTextIndex {
+    /// Folds one batch of tokenised documents into the index: vocab
+    /// union, transient count rows for the batch only, df accumulation.
+    pub fn fold(&mut self, docs: &[Vec<String>], workers: usize) {
+        if docs.is_empty() {
+            return;
+        }
+        self.vocab.extend(docs.iter().map(|d| d.iter()));
+        let mut dtm = DocTermMatrix::default();
+        dtm.append_docs_par(&self.vocab, docs, workers);
+        dtm.accumulate_df(&mut self.df, 0);
+        self.docs += docs.len();
+    }
+
+    /// Diagnostics snapshot, including the smoothed-IDF checksum
+    /// (`Σ ln((1+N)/(1+df)) + 1`, the [`TfIdf`] weight formula).
+    ///
+    /// [`TfIdf`]: textkit::dtm::TfIdf
+    pub fn stats(&self) -> StreamIndexStats {
+        let n = self.docs as f64;
+        StreamIndexStats {
+            terms: self.vocab.len(),
+            docs: self.docs,
+            idf_checksum: self
+                .df
+                .iter()
+                .map(|&d| ((1.0 + n) / (1.0 + d as f64)).ln() + 1.0)
+                .sum(),
+        }
+    }
+}
+
+/// Carry of the `measure_images` stage: every `(spec, transform)` pair
+/// ever measured, with its measures. Measures are pure functions of the
+/// pair (the arena-batch bit-identity contract), so a memo hit is exact
+/// no matter which epoch computed it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeasureCarry {
+    /// Memo entries in first-measured order.
+    pub memo: Vec<(StoredImage, ImageMeasures)>,
+}
+
+/// Carry of the `finance` stage: a pure fold over the global post
+/// timeline. Posts are processed exactly once, in post-id (= date)
+/// order, so warm and fresh carriers traverse the identical sequence
+/// and fold composition gives equivalence.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FinanceCarry {
+    /// Posts `0..cursor` are folded in.
+    pub cursor: usize,
+    /// Snowballed image-host whitelist (registered domains), grown
+    /// at-sight from earnings-thread posts.
+    pub whiteset: HashSet<String>,
+    /// URLs already counted (global dedup).
+    pub seen_urls: HashSet<Url>,
+    /// Posts that contributed at least one accepted link.
+    pub posts_with_links: usize,
+    /// Accepted unique URLs.
+    pub unique_urls: usize,
+    /// Successful downloads.
+    pub downloaded: usize,
+    /// Downloads excluded by the NSFV filter.
+    pub filtered_nsfv: usize,
+    /// Downloads flagged by the safety gate.
+    pub filtered_csam: usize,
+    /// Images reaching manual annotation.
+    pub analysed: usize,
+    /// Annotated images that were not proofs (pre-corruption count; the
+    /// per-run corruption filter adds its quarantines on top).
+    pub not_proof: usize,
+    /// Verified proof records, in fold order, *unfiltered* — the run's
+    /// corruption plan is applied to a copy each run so carried state
+    /// never depends on the plan.
+    pub proofs: Vec<ProofRecord>,
+}
+
+/// Carry of the `provenance` stage: every reverse-search outcome ever
+/// computed, keyed `(robust hash, post day)`. The reverse index and the
+/// Wayback archive are static services of the base world — only the
+/// forum timeline grows per epoch — so an outcome is a pure function of
+/// its key and a memo hit skips the linear index scan exactly.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProvenanceCarry {
+    /// Memo entries in first-queried order.
+    pub memo: Vec<(RobustHash, Day, QueryOutcome)>,
+}
+
+/// Carry of the `actors` stage: the §6.1 interaction graph grown
+/// edge-by-edge from the post timeline, plus the eigenvector-centrality
+/// vector warm-started across epochs (fixed iteration budget and
+/// tolerance, so the warm chain replays bit-identically from scratch).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ActorsCarry {
+    /// Last epoch folded into the graph and centrality chain.
+    pub epoch: u32,
+    /// Posts `0..cursor` are folded into the graph.
+    pub cursor: usize,
+    /// The reply/quote graph (all actors are nodes from epoch 0).
+    pub graph: DiGraph,
+    /// Centrality vector after the last epoch's warm-started iteration.
+    pub influence: Vec<f64>,
+}
+
+/// Materializes the world a streamed spec runs over: the time-ordered
+/// feed view advanced to `spec.upto` epochs. The feed re-assigns dense
+/// chronological thread/post ids, so a batch (non-incremental) run of a
+/// streamed spec MUST go through this — running the raw generated world
+/// produces id-shifted artifacts that can never match engine output.
+pub fn stream_world(world: World, spec: StreamSpec) -> World {
+    Feed::new(world, spec.epochs).world_at(spec.upto)
+}
+
+/// Drives a world through its epochs: applies each feed slice, runs the
+/// stream pipeline with the warm carry, and (optionally) checkpoints
+/// the carry at every boundary so a killed stream resumes from the last
+/// completed epoch instead of epoch 0.
+pub struct EpochEngine {
+    feed: Feed,
+    world: World,
+    epoch: u32,
+    carry: EpochCarry,
+    options: PipelineOptions,
+    journal: Option<Journal>,
+}
+
+impl EpochEngine {
+    /// Builds an engine over `world` sliced into `epochs` feed epochs.
+    /// The engine starts at epoch 0 (base world, fresh carry).
+    pub fn new(world: World, epochs: u32, options: PipelineOptions) -> EpochEngine {
+        let feed = Feed::new(world, epochs);
+        let world = feed.base_world();
+        EpochEngine {
+            feed,
+            world,
+            epoch: 0,
+            carry: EpochCarry::default(),
+            options,
+            journal: None,
+        }
+    }
+
+    /// [`EpochEngine::new`] with a checkpoint journal under
+    /// `journal_dir`. If a valid carry record exists for this run key,
+    /// the engine resumes from the most recent journaled epoch —
+    /// invalid or stale records are skipped, never trusted.
+    pub fn with_journal(
+        world: World,
+        epochs: u32,
+        options: PipelineOptions,
+        journal_dir: &Path,
+    ) -> Result<EpochEngine, StageError> {
+        let mut engine = EpochEngine::new(world, epochs, options);
+        let journal = Journal::open(journal_dir, &engine.world.config, &engine.journal_options())?;
+        for e in (1..=epochs).rev() {
+            let LoadOutcome::Hit(record) = journal.load((e - 1) as usize, &Self::record_name(e))
+            else {
+                continue;
+            };
+            let Ok(carry) = serde_json::from_value::<EpochCarry>(record.artifacts.clone()) else {
+                continue;
+            };
+            for j in 1..=e {
+                engine.feed.apply_epoch(&mut engine.world, j);
+            }
+            engine.epoch = e;
+            engine.carry = carry;
+            break;
+        }
+        engine.journal = Some(journal);
+        Ok(engine)
+    }
+
+    /// The run-key options shared by every epoch of this stream: `upto`
+    /// is normalised to 0 so all boundary checkpoints land in one run
+    /// directory (the epoch index lives in the record name instead).
+    fn journal_options(&self) -> PipelineOptions {
+        PipelineOptions {
+            stream: Some(StreamSpec {
+                epochs: self.feed.epochs(),
+                upto: 0,
+            }),
+            ..self.options
+        }
+    }
+
+    fn record_name(e: u32) -> String {
+        format!("epoch-{e}")
+    }
+
+    /// Number of epochs in the feed.
+    pub fn epochs(&self) -> u32 {
+        self.feed.epochs()
+    }
+
+    /// The last completed epoch (0 = nothing ran yet).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The world as of the last completed epoch.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The current carry (inspection / diagnostics).
+    pub fn carry(&self) -> &EpochCarry {
+        &self.carry
+    }
+
+    /// Applies the next feed slice and runs the stream pipeline with
+    /// the warm carry: the O(delta) advance. Checkpoints the refreshed
+    /// carry when a journal is attached. A hard stage failure poisons
+    /// the engine (the world has already advanced); recover by
+    /// rebuilding via [`EpochEngine::with_journal`].
+    pub fn advance(&mut self) -> Result<PipelineReport, StageError> {
+        assert!(
+            self.epoch < self.feed.epochs(),
+            "already at the final epoch"
+        );
+        let e = self.epoch + 1;
+        self.feed.apply_epoch(&mut self.world, e);
+        let options = PipelineOptions {
+            stream: Some(StreamSpec {
+                epochs: self.feed.epochs(),
+                upto: e,
+            }),
+            ..self.options
+        };
+        let carry = std::mem::take(&mut self.carry);
+        let (report, carry) = Pipeline::new(options).run_with_carry(&self.world, carry)?;
+        self.carry = carry;
+        self.epoch = e;
+        if let Some(journal) = &self.journal {
+            let record = StageRecord {
+                artifacts: serde_json::to_value(&self.carry).map_err(|err| {
+                    StageError::CorruptArtifact {
+                        path: Self::record_name(e),
+                        reason: format!("carry does not serialize: {err}"),
+                    }
+                })?,
+                quarantined: Vec::new(),
+                health: Vec::new(),
+                items: self.feed.epoch_len(e),
+            };
+            journal.save((e - 1) as usize, &Self::record_name(e), &record)?;
+        }
+        Ok(report)
+    }
+
+    /// Advances until epoch `e` (inclusive), returning the last report
+    /// — `None` when already at or past `e`.
+    pub fn advance_to(&mut self, e: u32) -> Result<Option<PipelineReport>, StageError> {
+        let e = e.min(self.feed.epochs());
+        let mut last = None;
+        while self.epoch < e {
+            last = Some(self.advance()?);
+        }
+        Ok(last)
+    }
+
+    /// Full recompute at the current epoch: the identical stream code
+    /// path run with a fresh carry over the same world. This is the
+    /// equivalence partner of the warm advance (and the baseline the
+    /// `bench epoch` speedup gate measures against).
+    pub fn fresh_report(&self) -> Result<PipelineReport, StageError> {
+        assert!(self.epoch >= 1, "no epoch has run yet");
+        let options = PipelineOptions {
+            stream: Some(StreamSpec {
+                epochs: self.feed.epochs(),
+                upto: self.epoch,
+            }),
+            ..self.options
+        };
+        Ok(Pipeline::new(options)
+            .run_with_carry(&self.world, EpochCarry::default())?
+            .0)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::pipeline::journal::run_key;
+
+    #[test]
+    fn carry_round_trips_through_serde() {
+        let mut carry = EpochCarry::default();
+        carry.topcls.epoch = 2;
+        carry.topcls.decisions = vec![(ThreadId(3), true, false), (ThreadId(9), false, true)];
+        carry
+            .topcls
+            .index
+            .fold(&[vec!["pack".to_string(), "pics".to_string()]], 1);
+        carry.finance.cursor = 41;
+        carry.finance.whiteset.insert("imgur.com".to_string());
+        carry
+            .finance
+            .seen_urls
+            .insert(Url::new("i.imgur.com", "/x"));
+        carry.actors.epoch = 2;
+        carry.actors.cursor = 41;
+        carry.actors.graph = DiGraph::with_nodes(3);
+        carry.actors.graph.add_edge(0, 1, 2.0);
+        carry.actors.influence = vec![0.25, 0.5, 0.25];
+
+        let value = serde_json::to_value(&carry).unwrap();
+        let back: EpochCarry = serde_json::from_value(value).unwrap();
+        assert_eq!(back.topcls.epoch, 2);
+        assert_eq!(back.topcls.decisions, carry.topcls.decisions);
+        assert_eq!(back.topcls.index.docs, 1);
+        assert_eq!(
+            back.topcls.index.vocab.len(),
+            carry.topcls.index.vocab.len()
+        );
+        assert_eq!(back.finance.cursor, 41);
+        assert!(back.finance.whiteset.contains("imgur.com"));
+        assert!(back
+            .finance
+            .seen_urls
+            .contains(&Url::new("i.imgur.com", "/x")));
+        assert_eq!(back.actors.graph.edge_count(), 1);
+        assert_eq!(back.actors.influence, carry.actors.influence);
+        assert!(back.nsfv.is_none());
+    }
+
+    #[test]
+    fn stream_index_stats_match_a_full_refit() {
+        let docs: Vec<Vec<String>> = vec![
+            vec!["pack".into(), "pics".into(), "pack".into()],
+            vec!["pics".into(), "tutorial".into()],
+        ];
+        let mut grown = StreamTextIndex::default();
+        grown.fold(&docs[..1], 1);
+        grown.fold(&docs[1..], 1);
+
+        let mut whole = StreamTextIndex::default();
+        whole.fold(&docs, 1);
+
+        assert_eq!(grown.stats(), whole.stats());
+        assert!(grown.stats().idf_checksum > 0.0);
+    }
+
+    #[test]
+    fn epoch_run_keys_are_shared_across_upto_but_not_with_batch() {
+        let config = worldgen::WorldConfig::test_scale(1);
+        let stream = |upto| PipelineOptions {
+            stream: Some(StreamSpec { epochs: 4, upto }),
+            ..PipelineOptions::default()
+        };
+        // The engine normalises `upto` to 0 for its run key; different
+        // live `upto` values would otherwise scatter checkpoints.
+        assert_eq!(
+            run_key(&config, &stream(0)).unwrap(),
+            run_key(&config, &stream(0)).unwrap()
+        );
+        assert_ne!(
+            run_key(&config, &stream(0)).unwrap(),
+            run_key(&config, &stream(3)).unwrap(),
+            "run_key itself still hashes the full options"
+        );
+        // A batch run must keep its pre-stream key: stripping the null
+        // `stream` field preserves old journal directories.
+        assert_ne!(
+            run_key(&config, &PipelineOptions::default()).unwrap(),
+            run_key(&config, &stream(0)).unwrap()
+        );
+    }
+}

@@ -70,6 +70,11 @@ pub fn run_key(config: &WorldConfig, options: &PipelineOptions) -> Result<String
         .map_err(|e| corrupt("run-key", format!("options do not serialize: {e}")))?;
     if let Some(map) = opts.as_object_mut() {
         map.remove("workers");
+        // A batch run (`stream: None`) must keep the pre-stream run key,
+        // so journals written before the epoch pipeline stay resumable.
+        if map.get("stream") == Some(&serde::Value::Null) {
+            map.remove("stream");
+        }
     }
     let opts_json = serde::render(&opts);
     Ok(format!(

@@ -41,6 +41,7 @@
 pub mod cache;
 pub mod corruption;
 pub mod ctx;
+pub mod epoch;
 pub mod journal;
 pub mod stages;
 
@@ -49,6 +50,7 @@ pub use corruption::{CorruptionPlan, QuarantineEntry, QuarantineLedger, RecordEr
 pub use ctx::{
     apply_deletions, ImageRef, ImageSource, KeptImages, MeasuredImages, StageCtx, StageError,
 };
+pub use epoch::{stream_world, EpochCarry, EpochEngine};
 pub use journal::Journal;
 pub use stages::measure::measure_batch;
 
@@ -62,6 +64,21 @@ use crate::topcls::TopClassification;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use worldgen::World;
+
+/// Epoch-sliced streaming mode: the feed is split into `epochs`
+/// calendar slices ([`worldgen::epoch_bound`]) and the pipeline sees
+/// only events up to slice `upto`'s boundary. With a warm
+/// [`EpochCarry`] ([`Pipeline::run_with_carry`]) each advance costs
+/// O(delta); with a fresh carry the same code path recomputes from
+/// scratch — the two are byte-identical by construction (the epoch
+/// equivalence gate in `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Number of calendar epochs the dataset window is split into.
+    pub epochs: u32,
+    /// Last epoch (1-based) whose events are visible to this run.
+    pub upto: u32,
+}
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -89,6 +106,10 @@ pub struct PipelineOptions {
     /// quarantine ledger instead of aborting the run. The plan's seed
     /// derives from `seed`, so runs stay reproducible.
     pub corruption_severity: f64,
+    /// `Some` selects epoch-sliced streaming mode (see [`StreamSpec`]);
+    /// `None` (default) is the classic whole-dataset batch pipeline,
+    /// byte-identical to the pre-streaming code.
+    pub stream: Option<StreamSpec>,
 }
 
 impl Default for PipelineOptions {
@@ -99,6 +120,7 @@ impl Default for PipelineOptions {
             workers: 0,
             fault_severity: 0.0,
             corruption_severity: 0.0,
+            stream: None,
         }
     }
 }
@@ -312,6 +334,30 @@ impl Pipeline {
         Ok(ctx)
     }
 
+    /// Streaming-mode run: executes every stage with `carry` as the
+    /// warm inter-epoch state and returns the refreshed carry alongside
+    /// the report. Requires `options.stream` to be set. Passing
+    /// [`EpochCarry::default`] is the *fresh-carry* run — a full
+    /// recompute through the identical stream code path — which is what
+    /// the epoch-equivalence gate compares warm advances against.
+    pub fn run_with_carry(
+        &self,
+        world: &World,
+        carry: EpochCarry,
+    ) -> Result<(PipelineReport, EpochCarry), StageError> {
+        assert!(
+            self.options.stream.is_some(),
+            "run_with_carry requires PipelineOptions::stream"
+        );
+        let mut ctx = StageCtx::new(world, self.options);
+        ctx.carry = Some(carry);
+        for stage in Self::stages() {
+            Self::step(stage.as_ref(), &mut ctx)?;
+        }
+        let carry = ctx.carry.take().expect("stages keep the carry in place");
+        Ok((ctx.into_report()?, carry))
+    }
+
     /// Runs every stage with a checkpoint journal under `journal_dir`:
     /// already-journaled stages are loaded instead of re-executed, every
     /// computed stage is checkpointed on completion. A run killed at any
@@ -337,6 +383,13 @@ impl Pipeline {
         n: usize,
         journal_dir: &std::path::Path,
     ) -> Result<StageCtx<'w>, StageError> {
+        // The stage journal captures artifacts, not inter-epoch carry
+        // state; epoch runs checkpoint whole-epoch boundaries through
+        // [`EpochEngine`] instead.
+        assert!(
+            self.options.stream.is_none(),
+            "stage-level journaling is batch-only; use EpochEngine for epoch checkpoints"
+        );
         let journal = Journal::open(journal_dir, &world.config, &self.options)?;
         let mut ctx = StageCtx::new(world, self.options);
         let mut journal_us: u128 = 0;

@@ -2,13 +2,15 @@
 
 use crate::actors::{
     actor_metrics, cohort_table, group_profiles, interaction_graph, interest_evolution, popularity,
-    select_key_actors, KeyActorInputs,
+    select_key_actors, select_key_actors_with_centrality, KeyActorInputs,
 };
 use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{Stage, StageCtx, StageError};
 use crimebb::{ActorId, BoardCategory, Corpus, ForumId, ThreadId};
-use std::collections::HashMap;
+use socgraph::{eigenvector_centrality_from, DiGraph};
+use std::collections::{HashMap, HashSet};
+use worldgen::epoch_bound;
 
 /// Produces `cohorts`, `fig4_points`, `key_actors`, `group_profiles`,
 /// and `interests`.
@@ -44,7 +46,65 @@ impl Stage for ActorsStage {
                 );
             }
         }
-        let graph = interaction_graph(&world.corpus, all_threads);
+        // Streaming fork: grow the carried interaction graph by the new
+        // epochs' posts only and warm-start the centrality iteration
+        // from the previous epoch's vector. The warm chain replays
+        // bit-identically from a fresh carry (same fold order, same
+        // fixed iteration budget), which keeps advance ≡ recompute.
+        let stream = if let Some(spec) = ctx.options.stream {
+            let carry = &mut ctx
+                .carry
+                .as_mut()
+                .expect("stream options imply a carry")
+                .actors;
+            let corpus = &world.corpus;
+            let n_actors = corpus.actors().len();
+            if carry.influence.is_empty() {
+                // Fresh carry: every actor exists from the base world on,
+                // so the node set is fixed across all epochs.
+                carry.graph = DiGraph::with_nodes(n_actors);
+                carry.influence = vec![1.0 / (n_actors as f64).sqrt(); n_actors];
+            }
+            let ewset: HashSet<ThreadId> = all_threads.iter().copied().collect();
+            let posts = corpus.posts();
+            for j in carry.epoch + 1..=spec.upto {
+                let bound = epoch_bound(&world.config, spec.epochs, j);
+                let boundary = posts.partition_point(|p| p.date <= bound);
+                for post in &posts[carry.cursor..boundary] {
+                    let t = post.thread;
+                    if !ewset.contains(&t) {
+                        continue;
+                    }
+                    // The opening post starts the thread, it replies to
+                    // nothing — same skip as the batch build.
+                    if corpus.posts_in_thread(t).first() == Some(&post.id) {
+                        continue;
+                    }
+                    let target = match post.quotes {
+                        Some(q) => corpus.post(q).author,
+                        None => corpus.thread(t).author,
+                    };
+                    if post.author != target {
+                        carry.graph.add_edge(post.author.0, target.0, 1.0);
+                    }
+                }
+                carry.cursor = boundary;
+                carry.influence = eigenvector_centrality_from(
+                    &carry.graph,
+                    &carry.influence,
+                    200,
+                    ctx.options.workers,
+                );
+            }
+            carry.epoch = spec.upto;
+            Some((carry.graph.clone(), carry.influence.clone()))
+        } else {
+            None
+        };
+        let (graph, centrality) = match stream {
+            Some((g, c)) => (g, Some(c)),
+            None => (interaction_graph(&world.corpus, all_threads), None),
+        };
         let pop = popularity(&world.corpus, all_threads);
 
         // Measured per-actor quantities for key-actor selection.
@@ -68,7 +128,10 @@ impl Stage for ActorsStage {
             graph: &graph,
             ce_by_actor: &ce_by_actor,
         };
-        let key_actors = select_key_actors(&inputs, ctx.options.k_key_actors, ctx.options.workers);
+        let key_actors = match &centrality {
+            Some(c) => select_key_actors_with_centrality(&inputs, c, ctx.options.k_key_actors),
+            None => select_key_actors(&inputs, ctx.options.k_key_actors, ctx.options.workers),
+        };
         let profiles = group_profiles(&inputs, &key_actors);
         let interests = interest_evolution(&world.corpus, &metrics, &key_actors.all);
 
@@ -92,14 +155,14 @@ pub(crate) fn ce_threads_by_actor(
     ewhoring_threads: &[ThreadId],
 ) -> HashMap<ActorId, usize> {
     let counts = corpus.posts_per_actor_in(ewhoring_threads);
+    let thread_set: std::collections::HashSet<ThreadId> =
+        ewhoring_threads.iter().copied().collect();
     let mut out = HashMap::new();
     for (&actor, &c) in &counts {
         if c <= 50 || corpus.actor(actor).forum != hackforums {
             continue;
         }
-        let first = corpus
-            .actor_span_in(actor, ewhoring_threads)
-            .map(|(f, _)| f);
+        let first = corpus.actor_span_in_set(actor, &thread_set).map(|(f, _)| f);
         let n = corpus
             .threads_started_by(actor, BoardCategory::CurrencyExchange, first)
             .len();

@@ -3,7 +3,9 @@
 //! Reuses the safety stage's gate so proof-of-earnings screenshots are
 //! screened through the same hash log the image screening used.
 
-use crate::finance::{analyse_currency_exchange, analyse_earnings, harvest_earnings};
+use crate::finance::{
+    analyse_currency_exchange, analyse_earnings, harvest_earnings, harvest_earnings_stream,
+};
 use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{Stage, StageCtx, StageError};
@@ -21,7 +23,19 @@ impl Stage for FinanceStage {
         let all_threads = require(&ctx.all_threads, "all_threads")?;
         let gate = require(&ctx.gate, "gate")?;
 
-        let mut harvest = harvest_earnings(world, gate, all_threads);
+        let mut harvest = if ctx.options.stream.is_some() {
+            // Streaming fork: fold only the posts that arrived since the
+            // carried cursor; counters, dedup sets, and proof records
+            // persist across epochs.
+            let carry = &mut ctx
+                .carry
+                .as_mut()
+                .expect("stream options imply a carry")
+                .finance;
+            harvest_earnings_stream(world, gate, all_threads, carry)
+        } else {
+            harvest_earnings(world, gate, all_threads)
+        };
 
         // Ingestion check on the parsed proofs: a corrupt currency cell
         // yields a non-finite USD amount once the exchange multiplier is

@@ -53,7 +53,18 @@ impl Stage for NsfvStage {
         let kept = require(&ctx.kept, "kept")?;
 
         let workers = ctx.options.workers;
-        let nsfv_validation = validate(&build_validation_set(ctx.options.seed ^ 0x24), workers);
+        // The validation-set evaluation is pure in the run seed, so
+        // streaming runs compute it at the first epoch and serve the
+        // memoised copy on every later advance.
+        let seed = ctx.options.seed;
+        let nsfv_validation = if ctx.options.stream.is_some() {
+            let carry = ctx.carry.as_mut().expect("stream options imply a carry");
+            *carry
+                .nsfv
+                .get_or_insert_with(|| validate(&build_validation_set(seed ^ 0x24), workers))
+        } else {
+            validate(&build_validation_set(seed ^ 0x24), workers)
+        };
         let previews_nsfv: Vec<(ImageMeasures, Day)> = kept
             .previews
             .iter()

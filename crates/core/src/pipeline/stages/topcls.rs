@@ -7,12 +7,14 @@
 //! this serial section, so the outcome is worker-independent.
 
 use crate::extract::EwhoringSet;
+use crate::features::thread_tokens_at;
 use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
 use crate::pipeline::{ForumRow, Stage, StageCtx, StageError};
-use crate::topcls::classify_tops;
+use crate::topcls::{bootstrap_at, classify_tops, TopClassification};
 use crimebb::{Corpus, ThreadId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use worldgen::epoch_bound;
 
 /// Produces `topcls` and `forums` (Table 1).
 pub struct TopClassifierStage;
@@ -52,14 +54,102 @@ impl Stage for TopClassifierStage {
         } else {
             all_threads
         };
-        let (_classifier, topcls) = classify_tops(
-            &mut ctx.rng,
-            &world.corpus,
-            &world.catalog,
-            &world.truth,
-            classify_input,
-            ctx.options.workers,
-        );
+        let topcls = if let Some(spec) = ctx.options.stream {
+            // Streaming fork: decisions are made once, at each thread's
+            // first-sight epoch boundary, against the bootstrap-frozen
+            // model — epoch N+1 only classifies epoch N+1's new threads.
+            // A fresh carry replays the identical per-epoch chain, which
+            // is what makes warm advance ≡ full recompute.
+            let carry = &mut ctx
+                .carry
+                .as_mut()
+                .expect("stream options imply a carry")
+                .topcls;
+            let workers = ctx.options.workers;
+            for j in carry.epoch + 1..=spec.upto {
+                let cutoff = epoch_bound(&world.config, spec.epochs, j);
+                // Threads that first appeared in epoch `j`. Extraction
+                // order is prefix-stable under the created-day window,
+                // so this sublist is identical whether computed on the
+                // epoch-`j` world (warm) or the epoch-`upto` one (fresh).
+                let fresh: Vec<ThreadId> = classify_input
+                    .iter()
+                    .copied()
+                    .filter(|&t| {
+                        let created = world.corpus.thread(t).created;
+                        created <= cutoff
+                            && (j == 1 || created > epoch_bound(&world.config, spec.epochs, j - 1))
+                    })
+                    .collect();
+                if carry.model.is_none() {
+                    carry.model = Some(bootstrap_at(
+                        &mut ctx.rng,
+                        &world.corpus,
+                        &world.catalog,
+                        &world.truth,
+                        &fresh,
+                        cutoff,
+                        workers,
+                    ));
+                }
+                let model = carry.model.as_ref().expect("bootstrapped above");
+                let decided =
+                    model.decide_at(&world.corpus, &world.catalog, &fresh, cutoff, workers);
+                carry
+                    .decisions
+                    .extend(fresh.iter().zip(&decided).map(|(&t, &(ml, h))| (t, ml, h)));
+                // Delta text-index update: only the new threads' tokens
+                // are counted; vocabulary ids are append-stable.
+                let docs: Vec<Vec<String>> = fresh
+                    .iter()
+                    .map(|&t| thread_tokens_at(&world.corpus, t, cutoff))
+                    .collect();
+                carry.index.fold(&docs, workers);
+            }
+            carry.epoch = spec.upto;
+
+            // Assemble the artifact from the carried first-sight
+            // decisions, tallied in current extraction order.
+            let by_thread: HashMap<ThreadId, (bool, bool)> = carry
+                .decisions
+                .iter()
+                .map(|&(t, ml, h)| (t, (ml, h)))
+                .collect();
+            let mut detected = Vec::new();
+            let (mut ml_count, mut heuristic_count, mut both_count) = (0, 0, 0);
+            for &t in classify_input {
+                let (ml, heur) = by_thread.get(&t).copied().unwrap_or((false, false));
+                debug_assert!(by_thread.contains_key(&t), "undecided thread {t}");
+                ml_count += usize::from(ml);
+                heuristic_count += usize::from(heur);
+                both_count += usize::from(ml && heur);
+                if ml || heur {
+                    detected.push(t);
+                }
+            }
+            let model = carry.model.as_ref().expect("at least one epoch ran");
+            TopClassification {
+                hybrid_metrics: model.hybrid_metrics,
+                ml_metrics: model.ml_metrics,
+                heuristic_metrics: model.heuristic_metrics,
+                sample_positives: model.sample_positives,
+                detected,
+                ml_count,
+                heuristic_count,
+                both_count,
+                stream_index: Some(carry.index.stats()),
+            }
+        } else {
+            let (_classifier, topcls) = classify_tops(
+                &mut ctx.rng,
+                &world.corpus,
+                &world.catalog,
+                &world.truth,
+                classify_input,
+                ctx.options.workers,
+            );
+            topcls
+        };
         let items = classify_input.len();
         let set = require(&ctx.extraction, "extraction")?;
         let forums = forum_rows(&world.corpus, set, &topcls.detected);

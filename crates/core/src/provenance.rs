@@ -10,9 +10,10 @@
 
 use crate::nsfv::ImageMeasures;
 use crimebb::ThreadId;
+use imagesim::RobustHash;
 use revsearch::{ClassifierKind, DomainClassifier, ReverseIndex, Wayback};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use synthrand::Day;
 use websim::OriginRegistry;
 
@@ -107,10 +108,18 @@ pub fn sample_pack_images(images: &[ImageMeasures]) -> Vec<ImageMeasures> {
     }
 }
 
-struct QueryOutcome {
-    matches: usize,
-    seen_before: bool,
-    domains: Vec<u32>,
+/// Outcome of one reverse search. Pure in `(measures.hash, posted)` for
+/// a fixed index + wayback archive — which is what makes it memoisable
+/// across epoch advances (the services are static; only the forum
+/// timeline grows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Matches located by the reverse index.
+    pub matches: usize,
+    /// Whether any copy was online before the forum post.
+    pub seen_before: bool,
+    /// Domain ids of every match (with repeats).
+    pub domains: Vec<u32>,
 }
 
 fn run_query(
@@ -144,6 +153,53 @@ pub fn analyse_provenance(
     pack_authors: &[crimebb::ActorId],
     previews: &[(ImageMeasures, Day)],
 ) -> ProvenanceResult {
+    analyse_with(origins, packs, pack_authors, previews, &mut |m, posted| {
+        run_query(index, wayback, m, posted)
+    })
+}
+
+/// [`analyse_provenance`] with a cross-run memo of reverse-search
+/// outcomes, keyed `(hash, posted)`. A hit skips the linear index scan
+/// and the Wayback lookups; the memoised value is exact because
+/// [`QueryOutcome`] is pure in the key for fixed services. Fresh
+/// outcomes are appended to `memo` in first-query order, so warm and
+/// fresh carriers build identical memos for the same prefix.
+pub fn analyse_provenance_memo(
+    index: &ReverseIndex,
+    wayback: &Wayback,
+    origins: &OriginRegistry,
+    packs: &[PackForAnalysis],
+    pack_authors: &[crimebb::ActorId],
+    previews: &[(ImageMeasures, Day)],
+    memo: &mut Vec<(RobustHash, Day, QueryOutcome)>,
+) -> ProvenanceResult {
+    let mut known: HashMap<(RobustHash, Day), QueryOutcome> =
+        memo.iter().map(|(h, d, q)| ((*h, *d), q.clone())).collect();
+    let mut fresh: Vec<(RobustHash, Day, QueryOutcome)> = Vec::new();
+    let result = analyse_with(origins, packs, pack_authors, previews, &mut |m, posted| {
+        let key = (m.hash, posted);
+        if let Some(hit) = known.get(&key) {
+            return hit.clone();
+        }
+        let q = run_query(index, wayback, m, posted);
+        known.insert(key, q.clone());
+        fresh.push((key.0, key.1, q.clone()));
+        q
+    });
+    memo.extend(fresh);
+    result
+}
+
+/// The §4.5 aggregation over an arbitrary query function — the seam
+/// that lets the memoised and direct paths share one traversal, so a
+/// memo hit cannot drift from a recomputed outcome.
+fn analyse_with(
+    origins: &OriginRegistry,
+    packs: &[PackForAnalysis],
+    pack_authors: &[crimebb::ActorId],
+    previews: &[(ImageMeasures, Day)],
+    query: &mut dyn FnMut(&ImageMeasures, Day) -> QueryOutcome,
+) -> ProvenanceResult {
     assert_eq!(packs.len(), pack_authors.len(), "author per pack");
     let mut result = ProvenanceResult {
         analysed_packs: packs.len(),
@@ -157,7 +213,7 @@ pub fn analyse_provenance(
     for (pack, &author) in packs.iter().zip(pack_authors) {
         let mut pack_zero = true;
         for m in sample_pack_images(&pack.images) {
-            let q = run_query(index, wayback, &m, pack.posted);
+            let q = query(&m, pack.posted);
             result.packs.total += 1;
             if q.matches > 0 {
                 result.packs.matched += 1;
@@ -191,7 +247,7 @@ pub fn analyse_provenance(
     // Previews: every NSFV image.
     let mut preview_match_sum = 0usize;
     for (m, posted) in previews {
-        let q = run_query(index, wayback, m, *posted);
+        let q = query(m, *posted);
         result.previews.total += 1;
         if q.matches > 0 {
             result.previews.matched += 1;
@@ -319,6 +375,56 @@ mod tests {
                 table.classifier
             );
         }
+    }
+
+    /// The memoised path must agree with the direct path on a cold memo,
+    /// and a warm re-run must add no entries (every query is a hit) while
+    /// still producing the identical result.
+    #[test]
+    fn memoised_analysis_matches_direct_and_reuses_entries() {
+        use worldgen::{World, WorldConfig};
+        let w = World::generate(WorldConfig::test_scale(0x962));
+        let mut packs = Vec::new();
+        let mut authors = Vec::new();
+        for rec in w.truth.packs.iter().take(20) {
+            if let Some(entry) = w.web.entry(&rec.url) {
+                if let websim::HostedObject::Pack { images } = &entry.object {
+                    packs.push(PackForAnalysis {
+                        thread: rec.thread,
+                        posted: rec.posted,
+                        images: images
+                            .iter()
+                            .take(10)
+                            .map(|s| ImageMeasures::of(&s.render()))
+                            .collect(),
+                    });
+                    authors.push(rec.actor);
+                }
+            }
+        }
+        assert!(!packs.is_empty());
+        let previews: Vec<(ImageMeasures, Day)> = packs
+            .iter()
+            .flat_map(|p| p.images.iter().take(1).map(|m| (m.clone(), p.posted)))
+            .collect();
+
+        let direct = analyse_provenance(
+            &w.index, &w.wayback, &w.origins, &packs, &authors, &previews,
+        );
+        let mut memo = Vec::new();
+        let cold = analyse_provenance_memo(
+            &w.index, &w.wayback, &w.origins, &packs, &authors, &previews, &mut memo,
+        );
+        let snap = |r: &ProvenanceResult| serde_json::to_string(r).unwrap();
+        assert_eq!(snap(&direct), snap(&cold));
+        assert!(!memo.is_empty());
+
+        let filled = memo.len();
+        let warm = analyse_provenance_memo(
+            &w.index, &w.wayback, &w.origins, &packs, &authors, &previews, &mut memo,
+        );
+        assert_eq!(snap(&direct), snap(&warm));
+        assert_eq!(memo.len(), filled, "warm re-run adds no memo entries");
     }
 
     #[test]

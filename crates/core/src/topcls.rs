@@ -10,12 +10,13 @@
 //! skimmed promising threads), while *labels* come from ground truth (the
 //! annotator reads the thread and is assumed accurate).
 
-use crate::features::{thread_stats, FeatureExtractor};
+use crate::features::{thread_stats, thread_stats_at, FeatureExtractor};
 use crimebb::{Corpus, ThreadId};
 use linsvm::{confusion, BinaryMetrics, LinearSvm, SparseVec, SvmConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
+use synthrand::Day;
 use websim::SiteCatalog;
 use worldgen::GroundTruth;
 
@@ -34,6 +35,32 @@ pub const TRAIN_SIZE: usize = 800;
 pub fn heuristic_is_top(corpus: &Corpus, catalog: &SiteCatalog, thread: ThreadId) -> bool {
     let s = thread_stats(corpus, catalog, thread);
     s.top_kw >= 2.0 && s.question_marks == 0.0 && s.request_kw == 0.0
+}
+
+/// [`heuristic_is_top`] as of the end of day `cutoff` — the heuristic's
+/// signals are all heading-derived, so the decision only depends on the
+/// thread existing by the cutoff; the `_at` stats make that explicit.
+pub fn heuristic_is_top_at(
+    corpus: &Corpus,
+    catalog: &SiteCatalog,
+    thread: ThreadId,
+    cutoff: Day,
+) -> bool {
+    let s = thread_stats_at(corpus, catalog, thread, cutoff);
+    s.top_kw >= 2.0 && s.question_marks == 0.0 && s.request_kw == 0.0
+}
+
+/// Streaming-mode text-index diagnostics: the incrementally maintained
+/// corpus vocabulary / document-frequency table (vocab union + new-doc
+/// rows per epoch, never a from-scratch rebuild).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamIndexStats {
+    /// Terms in the incrementally unioned vocabulary.
+    pub terms: usize,
+    /// Documents (first-sight thread texts) folded into the index.
+    pub docs: usize,
+    /// Sum of the IDF table — a cheap fingerprint of the whole index.
+    pub idf_checksum: f64,
 }
 
 /// Evaluation and application results of the hybrid classifier.
@@ -55,6 +82,9 @@ pub struct TopClassification {
     pub heuristic_count: usize,
     /// Flagged by both (paper: 1 995).
     pub both_count: usize,
+    /// Streaming runs only: incremental text-index diagnostics.
+    /// `None` in batch mode.
+    pub stream_index: Option<StreamIndexStats>,
 }
 
 /// The trained hybrid classifier plus its feature extractor.
@@ -210,8 +240,150 @@ pub fn classify_tops(
         ml_count,
         heuristic_count,
         both_count,
+        stream_index: None,
     };
     (classifier, result)
+}
+
+/// [`annotation_sample`] as of the end of day `cutoff`: the promising
+/// rule sees only posts dated on or before the cutoff, so the sample a
+/// later corpus selects is identical to the one the epoch-1 corpus
+/// selected (given the same RNG state and candidate list).
+pub fn annotation_sample_at(
+    rng: &mut StdRng,
+    corpus: &Corpus,
+    catalog: &SiteCatalog,
+    threads: &[ThreadId],
+    size: usize,
+    cutoff: Day,
+) -> Vec<ThreadId> {
+    let size = size.min(threads.len());
+    let mut promising: Vec<ThreadId> = Vec::new();
+    let mut rest: Vec<ThreadId> = Vec::new();
+    for &t in threads {
+        let s = thread_stats_at(corpus, catalog, t, cutoff);
+        if s.top_kw >= 1.0 && s.question_marks == 0.0 {
+            promising.push(t);
+        } else {
+            rest.push(t);
+        }
+    }
+    promising.shuffle(rng);
+    rest.shuffle(rng);
+    let n_promising = (size * 2 / 5).min(promising.len());
+    let mut sample: Vec<ThreadId> = promising.into_iter().take(n_promising).collect();
+    sample.extend(rest.into_iter().take(size - sample.len()));
+    sample.truncate(size);
+    sample
+}
+
+/// The bootstrap-frozen classifier of streaming mode: model and held-out
+/// metrics trained once at the first epoch boundary, then applied
+/// unchanged to every later epoch's new threads. Serialisable so the
+/// epoch carry can freeze it across advances.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BootstrapModel {
+    /// The frozen feature extractor (vocabulary + IDF at the boundary).
+    pub extractor: FeatureExtractor,
+    /// The frozen SVM.
+    pub svm: LinearSvm,
+    /// Held-out hybrid metrics, evaluated at the boundary.
+    pub hybrid_metrics: BinaryMetrics,
+    /// Held-out SVM-only metrics.
+    pub ml_metrics: BinaryMetrics,
+    /// Held-out heuristic-only metrics.
+    pub heuristic_metrics: BinaryMetrics,
+    /// TOPs in the annotated sample.
+    pub sample_positives: usize,
+}
+
+/// Trains the streaming bootstrap model: [`classify_tops`] steps 1–3
+/// with every input windowed to `cutoff` (the epoch-1 boundary).
+/// `threads` must be the threads existing by the cutoff, in extraction
+/// order. Pure in `(visible prefix, rng state)`, so the epoch-e corpus
+/// replays the epoch-1 training bit-exactly.
+pub fn bootstrap_at(
+    rng: &mut StdRng,
+    corpus: &Corpus,
+    catalog: &SiteCatalog,
+    truth: &GroundTruth,
+    threads: &[ThreadId],
+    cutoff: Day,
+    workers: usize,
+) -> BootstrapModel {
+    let sample = annotation_sample_at(rng, corpus, catalog, threads, ANNOTATION_SAMPLE, cutoff);
+    let labels: Vec<bool> = sample.iter().map(|&t| truth.is_top(t)).collect();
+    let sample_positives = labels.iter().filter(|&&l| l).count();
+
+    let n_train = (sample.len() * TRAIN_SIZE / ANNOTATION_SAMPLE).max(1);
+    let (train_idx, test_idx) = linsvm::train_test_split(sample.len(), n_train, 0x5711);
+    let train_threads: Vec<ThreadId> = train_idx.iter().map(|&i| sample[i]).collect();
+    let extractor = FeatureExtractor::fit_at(corpus, &train_threads, cutoff, workers);
+
+    let rows = |idx: &[usize]| -> Vec<SparseVec> {
+        let picked: Vec<ThreadId> = idx.iter().map(|&i| sample[i]).collect();
+        crate::par::par_map(&picked, workers, |&t| {
+            extractor.features_at(corpus, catalog, t, cutoff)
+        })
+    };
+    let mut train_x = rows(&train_idx);
+    let mut train_y: Vec<bool> = train_idx.iter().map(|&i| labels[i]).collect();
+    let positives: Vec<SparseVec> = train_x
+        .iter()
+        .zip(&train_y)
+        .filter(|&(_, &y)| y)
+        .map(|(x, _)| x.clone())
+        .collect();
+    for p in positives.into_iter().step_by(2) {
+        train_x.push(p);
+        train_y.push(true);
+    }
+    let test_x = rows(&test_idx);
+    let test_y: Vec<bool> = test_idx.iter().map(|&i| labels[i]).collect();
+
+    let svm = LinearSvm::train(&train_x, &train_y, SvmConfig::default());
+
+    let ml_pred: Vec<bool> = test_x.iter().map(|x| svm.predict(x)).collect();
+    let heur_pred: Vec<bool> = test_idx
+        .iter()
+        .map(|&i| heuristic_is_top_at(corpus, catalog, sample[i], cutoff))
+        .collect();
+    let hybrid_pred: Vec<bool> = ml_pred
+        .iter()
+        .zip(&heur_pred)
+        .map(|(&m, &h)| m || h)
+        .collect();
+
+    BootstrapModel {
+        hybrid_metrics: confusion(&hybrid_pred, &test_y).metrics(),
+        ml_metrics: confusion(&ml_pred, &test_y).metrics(),
+        heuristic_metrics: confusion(&heur_pred, &test_y).metrics(),
+        sample_positives,
+        extractor,
+        svm,
+    }
+}
+
+impl BootstrapModel {
+    /// First-sight decisions `(ml, heuristic)` for `threads`, each
+    /// evaluated on the thread state as of `cutoff`, across `workers`
+    /// threads in input order.
+    pub fn decide_at(
+        &self,
+        corpus: &Corpus,
+        catalog: &SiteCatalog,
+        threads: &[ThreadId],
+        cutoff: Day,
+        workers: usize,
+    ) -> Vec<(bool, bool)> {
+        crate::par::par_map(threads, workers, |&t| {
+            (
+                self.svm
+                    .predict(&self.extractor.features_at(corpus, catalog, t, cutoff)),
+                heuristic_is_top_at(corpus, catalog, t, cutoff),
+            )
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,7 @@
-//! The immutable corpus store and its builder.
+//! The append-only corpus store and its builder. Entities never change
+//! or disappear once added, so a corpus at time T is a strict prefix of
+//! the same corpus at any later time — the property the epoch feed
+//! (streaming ingestion) relies on.
 
 use crate::ids::{ActorId, BoardId, ForumId, PostId, ThreadId};
 use crate::model::{Actor, Board, BoardCategory, Forum, Post, Thread};
@@ -129,6 +132,64 @@ impl Corpus {
         Some((lo, hi))
     }
 
+    /// Appends a thread (without its initial post; add that with
+    /// [`Corpus::append_post`]) and returns its id. This is the streaming
+    /// ingestion primitive: a corpus only ever grows, so epoch replay can
+    /// extend an existing corpus in place instead of rebuilding it.
+    pub fn append_thread(
+        &mut self,
+        board: BoardId,
+        author: ActorId,
+        heading: impl Into<String>,
+        created: Day,
+    ) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(Thread {
+            id,
+            board,
+            author,
+            heading: heading.into(),
+            created,
+        });
+        self.threads_by_board[board.index()].push(id);
+        self.posts_by_thread.push(Vec::new());
+        id
+    }
+
+    /// Appends a post to `thread` and returns its id. Posts must be
+    /// appended in chronological order within a thread, and a quote may
+    /// only reference an already-appended post (debug builds assert both).
+    pub fn append_post(
+        &mut self,
+        thread: ThreadId,
+        author: ActorId,
+        date: Day,
+        body: impl Into<String>,
+        quotes: Option<PostId>,
+    ) -> PostId {
+        let id = PostId(self.posts.len() as u32);
+        if let Some(q) = quotes {
+            debug_assert!(q.index() < self.posts.len(), "quote of future post");
+        }
+        debug_assert!(
+            self.posts_by_thread[thread.index()]
+                .last()
+                .is_none_or(|&p| self.posts[p.index()].date <= date),
+            "posts must be appended in chronological order"
+        );
+        self.posts.push(Post {
+            id,
+            thread,
+            author,
+            date,
+            body: body.into(),
+            quotes,
+        });
+        self.posts_by_thread[thread.index()].push(id);
+        self.posts_by_actor[author.index()].push(id);
+        id
+    }
+
     /// Serialises to JSON (mirrors the paper's public data release).
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)
@@ -209,17 +270,7 @@ impl CorpusBuilder {
         heading: impl Into<String>,
         created: Day,
     ) -> ThreadId {
-        let id = ThreadId(self.corpus.threads.len() as u32);
-        self.corpus.threads.push(Thread {
-            id,
-            board,
-            author,
-            heading: heading.into(),
-            created,
-        });
-        self.corpus.threads_by_board[board.index()].push(id);
-        self.corpus.posts_by_thread.push(Vec::new());
-        id
+        self.corpus.append_thread(board, author, heading, created)
     }
 
     /// Adds a post to `thread` and returns its id. Posts must be appended
@@ -233,27 +284,7 @@ impl CorpusBuilder {
         body: impl Into<String>,
         quotes: Option<PostId>,
     ) -> PostId {
-        let id = PostId(self.corpus.posts.len() as u32);
-        if let Some(q) = quotes {
-            debug_assert!(q.index() < self.corpus.posts.len(), "quote of future post");
-        }
-        debug_assert!(
-            self.corpus.posts_by_thread[thread.index()]
-                .last()
-                .is_none_or(|&p| self.corpus.posts[p.index()].date <= date),
-            "posts must be appended in chronological order"
-        );
-        self.corpus.posts.push(Post {
-            id,
-            thread,
-            author,
-            date,
-            body: body.into(),
-            quotes,
-        });
-        self.corpus.posts_by_thread[thread.index()].push(id);
-        self.corpus.posts_by_actor[author.index()].push(id);
-        id
+        self.corpus.append_post(thread, author, date, body, quotes)
     }
 
     /// Number of posts added so far.

@@ -74,6 +74,18 @@ impl Corpus {
     /// First and last date an actor posted within `threads`, if they did.
     pub fn actor_span_in(&self, actor: ActorId, threads: &[ThreadId]) -> Option<(Day, Day)> {
         let set: std::collections::HashSet<ThreadId> = threads.iter().copied().collect();
+        self.actor_span_in_set(actor, &set)
+    }
+
+    /// [`Corpus::actor_span_in`] against a prebuilt thread set. Callers
+    /// that query many actors over the same thread list (actor metrics,
+    /// currency-exchange gates) build the set once instead of paying a
+    /// fresh `HashSet` allocation per actor.
+    pub fn actor_span_in_set(
+        &self,
+        actor: ActorId,
+        set: &std::collections::HashSet<ThreadId>,
+    ) -> Option<(Day, Day)> {
         let mut lo: Option<Day> = None;
         let mut hi: Option<Day> = None;
         for &p in self.posts_by(actor) {

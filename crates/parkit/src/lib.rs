@@ -25,10 +25,50 @@
 /// is tuned (and documented) in exactly one place.
 pub const SERIAL_CUTOFF: usize = 64;
 
-/// Resolves a `workers` knob: `0` means "all available cores".
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether [`effective_workers`] clamps to the host's core count.
+static CLAMP_TO_AVAILABLE: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the core-count clamp (process-global).
+///
+/// The clamp is on by default: oversubscribing a 1-core host with 4
+/// worker threads was measured *slower* than running serially
+/// (BENCH_pipeline.json aggregate_speedup 0.90), and the determinism
+/// contract means the clamp can never change output — only wall time.
+/// The worker-matrix tests disable it so `workers = 7` really spawns 7
+/// threads and exercises chunk boundaries even on small hosts.
+pub fn set_clamp_enabled(enabled: bool) {
+    CLAMP_TO_AVAILABLE.store(enabled, Ordering::Relaxed);
+}
+
+/// Current state of the core-count clamp.
+pub fn clamp_enabled() -> bool {
+    CLAMP_TO_AVAILABLE.load(Ordering::Relaxed)
+}
+
+/// The pure clamp rule: `0` means "all of `available`", anything else is
+/// capped at `available` (never below 1). Split out so the policy is
+/// unit-testable without touching the process-global switch.
+pub fn clamped_workers(requested: usize, available: usize) -> usize {
+    let available = available.max(1);
+    if requested == 0 {
+        available
+    } else {
+        requested.min(available)
+    }
+}
+
+/// Resolves a `workers` knob: `0` means "all available cores", and —
+/// unless the clamp is disabled via [`set_clamp_enabled`] — explicit
+/// requests are capped at `std::thread::available_parallelism()` so an
+/// oversubscribed knob degrades to the host's real parallelism.
 pub fn effective_workers(workers: usize) -> usize {
-    if workers == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
+    let available = std::thread::available_parallelism().map_or(4, |n| n.get());
+    if clamp_enabled() {
+        clamped_workers(workers, available)
+    } else if workers == 0 {
+        available
     } else {
         workers
     }
@@ -85,6 +125,39 @@ where
     })
     .expect("parallel scope");
     out
+}
+
+/// Fills `out[i] = f(i)` in place across `workers` threads — the
+/// allocation-free sibling of [`par_map_range`] for iterative solvers
+/// that sweep the same buffer every iteration. Chunking matches
+/// [`par_map_range`] exactly, and `f` is pure per index, so the filled
+/// buffer is identical at every worker count.
+pub fn par_fill_range<U, F>(out: &mut [U], workers: usize, f: F)
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let n = out.len();
+    let workers = effective_workers(workers);
+    if n < SERIAL_CUTOFF || workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    crossbeam::scope(|s| {
+        let f = &f;
+        for (c, part) in out.chunks_mut(chunk).enumerate() {
+            s.spawn(move |_| {
+                let start = c * chunk;
+                for (j, slot) in part.iter_mut().enumerate() {
+                    *slot = f(start + j);
+                }
+            });
+        }
+    })
+    .expect("parallel scope");
 }
 
 /// Splits `items` into one contiguous chunk per worker and maps `f` over
@@ -267,12 +340,51 @@ mod tests {
     #[test]
     fn zero_workers_means_all_cores() {
         assert!(effective_workers(0) >= 1);
-        assert_eq!(effective_workers(3), 3);
         // And the mapping still matches serial output.
         let items: Vec<u64> = (0..500).collect();
         assert_eq!(par_map(&items, 0, |&x| x * 7), {
             let s: Vec<u64> = items.iter().map(|&x| x * 7).collect();
             s
         });
+    }
+
+    /// The pure clamp rule, independent of the host's core count.
+    #[test]
+    fn clamp_rule_caps_at_available() {
+        assert_eq!(clamped_workers(0, 8), 8);
+        assert_eq!(clamped_workers(4, 8), 4);
+        assert_eq!(clamped_workers(16, 8), 8);
+        assert_eq!(clamped_workers(4, 1), 1);
+        assert_eq!(clamped_workers(0, 0), 1, "available is floored at 1");
+    }
+
+    #[test]
+    fn clamp_opt_out_honours_explicit_requests() {
+        // The switch is process-global; this test only ever *disables*
+        // it, matching what every worker-matrix test wants.
+        set_clamp_enabled(false);
+        assert!(!clamp_enabled());
+        assert_eq!(effective_workers(64), 64);
+        let items: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        assert_eq!(par_map(&items, 64, |&x| x * 3), serial);
+    }
+
+    #[test]
+    fn fill_range_matches_map_range_at_every_worker_count() {
+        set_clamp_enabled(false);
+        let reference = par_map_range(517, 1, |i| i * 31 + 7);
+        for workers in [1, 2, 3, 7, 16] {
+            let mut out = vec![0usize; 517];
+            par_fill_range(&mut out, workers, |i| i * 31 + 7);
+            assert_eq!(out, reference, "workers={workers}");
+        }
+        // Short buffers take the serial path.
+        let mut short = vec![0usize; 5];
+        par_fill_range(&mut short, 8, |i| i + 1);
+        assert_eq!(short, vec![1, 2, 3, 4, 5]);
+        let mut empty: Vec<usize> = Vec::new();
+        par_fill_range(&mut empty, 4, |i| i);
+        assert!(empty.is_empty());
     }
 }

@@ -17,7 +17,9 @@ pub mod graph;
 pub mod hindex;
 pub mod pagerank;
 
-pub use centrality::{eigenvector_centrality, eigenvector_centrality_par};
+pub use centrality::{
+    eigenvector_centrality, eigenvector_centrality_from, eigenvector_centrality_par,
+};
 pub use graph::DiGraph;
 pub use hindex::{h_index, i_index};
-pub use pagerank::{pagerank, pagerank_par};
+pub use pagerank::{pagerank, pagerank_par, pagerank_par_from};

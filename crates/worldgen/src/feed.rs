@@ -1,0 +1,418 @@
+//! Time-ordered epoch feed view of a generated world (streaming mode).
+//!
+//! The generator builds the corpus forum by forum, so entity ids are
+//! not chronological. The feed re-orders thread creations and posts
+//! into one global timeline, re-assigns dense ids in timeline order,
+//! and slices the timeline into `K` calendar epochs of equal length
+//! over the dataset window (2008-04 .. 2019-03). Because ids follow
+//! the timeline, the corpus at epoch `e` is a *strict prefix* of the
+//! corpus at epoch `e+1` — the invariant every incremental artifact in
+//! `core::pipeline::epoch` builds on.
+//!
+//! Forums, boards, and actors are registration-time metadata and exist
+//! from epoch 0 (their ids are unchanged); services (web, catalog,
+//! index, …) are shared in full at every epoch — the *forum feed* is
+//! what streams, the web is simply there when the crawler looks.
+
+use crate::config::WorldConfig;
+use crate::world::World;
+use crimebb::{ActorId, BoardId, CorpusBuilder, PostId, ThreadId};
+use std::collections::HashMap;
+use synthrand::Day;
+
+/// Calendar boundary of epoch `j` out of `epochs`: the last day that
+/// belongs to epoch `j`. `bound(0)` is the dataset start, `bound(epochs)`
+/// the dataset end; interior bounds divide the window evenly (integer
+/// day arithmetic, so every caller lands on the identical boundary).
+pub fn epoch_bound(config: &WorldConfig, epochs: u32, j: u32) -> Day {
+    let start = u64::from(config.dataset_start().0);
+    let end = u64::from(config.dataset_end().0);
+    let j = u64::from(j.min(epochs));
+    let day = start + (end - start) * j / u64::from(epochs.max(1));
+    Day(day as u32)
+}
+
+/// The epoch (1-based) a day falls into: the smallest `j` with
+/// `day <= bound(j)`. Days before the dataset window land in epoch 1,
+/// days after it in the final epoch.
+pub fn epoch_of_day(config: &WorldConfig, epochs: u32, day: Day) -> u32 {
+    (1..=epochs.max(1))
+        .find(|&j| day <= epoch_bound(config, epochs, j))
+        .unwrap_or(epochs.max(1))
+}
+
+/// One timeline event: a thread opens, or a post lands in one.
+#[derive(Debug, Clone)]
+enum FeedEvent {
+    Thread {
+        board: BoardId,
+        author: ActorId,
+        heading: String,
+        created: Day,
+    },
+    Post {
+        thread: ThreadId,
+        author: ActorId,
+        date: Day,
+        body: String,
+        quotes: Option<PostId>,
+    },
+}
+
+/// A generated world re-packaged as a time-ordered event feed sliced
+/// into `K` epochs. Build one with [`Feed::new`], then materialise any
+/// prefix with [`Feed::world_at`] or advance a growing world epoch by
+/// epoch with [`Feed::apply_epoch`].
+#[derive(Debug, Clone)]
+pub struct Feed {
+    epochs: u32,
+    /// The world with an empty timeline: forums/boards/actors, all
+    /// services, and the (id-remapped) ground truth — but no threads or
+    /// posts yet.
+    base: World,
+    events: Vec<FeedEvent>,
+    /// `ends[e]` = number of timeline events in epochs `1..=e`
+    /// (`ends[0] == 0`, `ends[epochs] == events.len()`).
+    ends: Vec<usize>,
+}
+
+impl Feed {
+    /// Re-orders `world` into a `K`-epoch feed. Consumes the world: the
+    /// feed's ids are re-assigned in timeline order, so the original
+    /// (generation-ordered) ids are no longer meaningful.
+    pub fn new(world: World, epochs: u32) -> Feed {
+        let epochs = epochs.max(1);
+        let World {
+            config,
+            corpus,
+            mut truth,
+            catalog,
+            web,
+            origins,
+            index,
+            wayback,
+            hashlist,
+            fx,
+            hackforums,
+        } = world;
+
+        // Sort key: (day, thread-before-post, original id). Original ids
+        // are unique per kind, so the order is total and deterministic.
+        // A quote always refers to an earlier post of the same thread,
+        // and within a thread original post ids follow posting order, so
+        // quoted posts sort (and thus replay) before their quoters.
+        #[derive(Clone, Copy)]
+        enum Key {
+            Thread(u32),
+            Post(u32),
+        }
+        let mut keys: Vec<(Day, u8, u32, Key)> =
+            Vec::with_capacity(corpus.threads().len() + corpus.posts().len());
+        for t in corpus.threads() {
+            keys.push((t.created, 0, t.id.0, Key::Thread(t.id.0)));
+        }
+        for p in corpus.posts() {
+            debug_assert!(
+                p.date >= corpus.thread(p.thread).created,
+                "post predates its thread"
+            );
+            keys.push((p.date, 1, p.id.0, Key::Post(p.id.0)));
+        }
+        keys.sort_unstable_by_key(|&(d, k, id, _)| (d, k, id));
+
+        // Pass 1: dense ids in timeline order.
+        let mut thread_map: Vec<ThreadId> = vec![ThreadId(u32::MAX); corpus.threads().len()];
+        let mut post_map: Vec<PostId> = vec![PostId(u32::MAX); corpus.posts().len()];
+        let (mut next_thread, mut next_post) = (0u32, 0u32);
+        for &(_, _, _, key) in &keys {
+            match key {
+                Key::Thread(orig) => {
+                    thread_map[orig as usize] = ThreadId(next_thread);
+                    next_thread += 1;
+                }
+                Key::Post(orig) => {
+                    post_map[orig as usize] = PostId(next_post);
+                    next_post += 1;
+                }
+            }
+        }
+
+        // Pass 2: the event list, with references remapped.
+        let events: Vec<FeedEvent> = keys
+            .iter()
+            .map(|&(_, _, _, key)| match key {
+                Key::Thread(orig) => {
+                    let t = corpus.thread(ThreadId(orig));
+                    FeedEvent::Thread {
+                        board: t.board,
+                        author: t.author,
+                        heading: t.heading.clone(),
+                        created: t.created,
+                    }
+                }
+                Key::Post(orig) => {
+                    let p = corpus.post(PostId(orig));
+                    FeedEvent::Post {
+                        thread: thread_map[p.thread.index()],
+                        author: p.author,
+                        date: p.date,
+                        body: p.body.clone(),
+                        quotes: p.quotes.map(|q| post_map[q.index()]),
+                    }
+                }
+            })
+            .collect();
+
+        // Epoch slice offsets (events are day-sorted, so each boundary is
+        // a partition point). The final epoch absorbs any stragglers.
+        let day_of = |ev: &FeedEvent| match ev {
+            FeedEvent::Thread { created, .. } => *created,
+            FeedEvent::Post { date, .. } => *date,
+        };
+        let mut ends = Vec::with_capacity(epochs as usize + 1);
+        ends.push(0);
+        for j in 1..epochs {
+            let bound = epoch_bound(&config, epochs, j);
+            ends.push(events.partition_point(|ev| day_of(ev) <= bound));
+        }
+        ends.push(events.len());
+
+        // Ground truth: remap the thread/post-keyed annotations; the
+        // spec- and actor-keyed ones are id-stable. The truth is shared
+        // unfiltered at every epoch — it is only consulted per-entity
+        // (`is_top`, proof annotation), so later-epoch entries are inert.
+        truth.thread_roles = truth
+            .thread_roles
+            .into_iter()
+            .map(|(t, role)| (thread_map[t.index()], role))
+            .collect::<HashMap<_, _>>();
+        for pack in &mut truth.packs {
+            pack.thread = thread_map[pack.thread.index()];
+        }
+        for t in &mut truth.csam_threads {
+            *t = thread_map[t.index()];
+        }
+        for p in &mut truth.proof_posts {
+            *p = post_map[p.index()];
+        }
+
+        // The base corpus: registration-time metadata only, in original
+        // order so forum/board/actor ids are unchanged.
+        let mut b = CorpusBuilder::new();
+        for f in corpus.forums() {
+            b.add_forum(f.name.clone());
+        }
+        for board in corpus.boards() {
+            b.add_board(board.forum, board.name.clone(), board.category);
+        }
+        for a in corpus.actors() {
+            b.add_actor(a.forum, a.name.clone(), a.registered);
+        }
+
+        Feed {
+            epochs,
+            base: World {
+                config,
+                corpus: b.build(),
+                truth,
+                catalog,
+                web,
+                origins,
+                index,
+                wayback,
+                hashlist,
+                fx,
+                hackforums,
+            },
+            events,
+            ends,
+        }
+    }
+
+    /// Number of epochs the timeline is sliced into.
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Calendar boundary of epoch `j` (see [`epoch_bound`]).
+    pub fn bound(&self, j: u32) -> Day {
+        epoch_bound(&self.base.config, self.epochs, j)
+    }
+
+    /// Timeline events in epoch `e` (1-based).
+    pub fn epoch_len(&self, e: u32) -> usize {
+        let e = e as usize;
+        self.ends[e] - self.ends[e - 1]
+    }
+
+    /// The world before any events: the starting point for incremental
+    /// ingestion via [`Feed::apply_epoch`].
+    pub fn base_world(&self) -> World {
+        self.base.clone()
+    }
+
+    /// Materialises the world as of the end of epoch `e` (0 = base) by
+    /// replaying the timeline prefix into a fresh corpus.
+    pub fn world_at(&self, e: u32) -> World {
+        let mut w = self.base.clone();
+        self.apply(&mut w, 0, self.ends[e.min(self.epochs) as usize]);
+        w
+    }
+
+    /// Appends epoch `e`'s events to a world currently at epoch `e - 1`.
+    /// Replay assigns the same dense ids whether a prefix is rebuilt
+    /// from scratch or grown epoch by epoch, which is what makes a
+    /// grown world *equal* to `world_at(e)` — debug builds assert the
+    /// caller really is at the preceding boundary.
+    pub fn apply_epoch(&self, world: &mut World, e: u32) {
+        let e = e as usize;
+        assert!(e >= 1 && e <= self.epochs as usize, "epoch out of range");
+        debug_assert_eq!(
+            world.corpus.threads().len() + world.corpus.posts().len(),
+            self.ends[e - 1],
+            "world is not at the preceding epoch boundary"
+        );
+        self.apply(world, self.ends[e - 1], self.ends[e]);
+    }
+
+    fn apply(&self, world: &mut World, from: usize, to: usize) {
+        for ev in &self.events[from..to] {
+            match ev {
+                FeedEvent::Thread {
+                    board,
+                    author,
+                    heading,
+                    created,
+                } => {
+                    world
+                        .corpus
+                        .append_thread(*board, *author, heading.clone(), *created);
+                }
+                FeedEvent::Post {
+                    thread,
+                    author,
+                    date,
+                    body,
+                    quotes,
+                } => {
+                    world
+                        .corpus
+                        .append_post(*thread, *author, *date, body.clone(), *quotes);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> World {
+        let mut config = WorldConfig::test_scale(0xFEED);
+        config.scale = 0.01;
+        World::generate(config)
+    }
+
+    #[test]
+    fn bounds_cover_the_dataset_window_exactly() {
+        let config = WorldConfig::test_scale(1);
+        for k in [1, 3, 7] {
+            assert_eq!(epoch_bound(&config, k, 0), config.dataset_start());
+            assert_eq!(epoch_bound(&config, k, k), config.dataset_end());
+            for j in 1..=k {
+                assert!(epoch_bound(&config, k, j - 1) < epoch_bound(&config, k, j));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_of_day_matches_bounds() {
+        let config = WorldConfig::test_scale(1);
+        let k = 4;
+        for j in 1..k {
+            let b = epoch_bound(&config, k, j);
+            assert_eq!(epoch_of_day(&config, k, b), j);
+            assert_eq!(epoch_of_day(&config, k, b.plus_days(1)), j + 1);
+        }
+        assert_eq!(epoch_of_day(&config, k, epoch_bound(&config, k, k)), k);
+        assert_eq!(epoch_of_day(&config, k, Day(0)), 1, "pre-window days");
+        assert_eq!(
+            epoch_of_day(&config, k, config.dataset_end().plus_days(9)),
+            k,
+            "post-window days"
+        );
+    }
+
+    #[test]
+    fn grown_world_equals_rebuilt_prefix_at_every_epoch() {
+        let k = 4;
+        let feed = Feed::new(tiny_world(), k);
+        let mut grown = feed.base_world();
+        for e in 1..=k {
+            feed.apply_epoch(&mut grown, e);
+            let rebuilt = feed.world_at(e);
+            assert_eq!(
+                grown.corpus.to_json().unwrap(),
+                rebuilt.corpus.to_json().unwrap(),
+                "epoch {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn final_epoch_replays_the_whole_corpus() {
+        let world = tiny_world();
+        let n_threads = world.corpus.threads().len();
+        let n_posts = world.corpus.posts().len();
+        let n_top = world.truth.top_count();
+        let feed = Feed::new(world, 3);
+        let full = feed.world_at(3);
+        assert_eq!(full.corpus.threads().len(), n_threads);
+        assert_eq!(full.corpus.posts().len(), n_posts);
+        assert_eq!(full.truth.top_count(), n_top);
+    }
+
+    #[test]
+    fn timeline_ids_are_chronological() {
+        let feed = Feed::new(tiny_world(), 2);
+        let w = feed.world_at(2);
+        let mut last = Day(0);
+        for p in w.corpus.posts() {
+            assert!(p.date >= last, "post ids follow the timeline");
+            last = p.date;
+        }
+        let mut last = Day(0);
+        for t in w.corpus.threads() {
+            assert!(t.created >= last, "thread ids follow the timeline");
+            last = t.created;
+        }
+    }
+
+    #[test]
+    fn truth_is_remapped_with_the_ids() {
+        let world = tiny_world();
+        let tops_by_heading: Vec<String> = world
+            .corpus
+            .threads()
+            .iter()
+            .filter(|t| world.truth.is_top(t.id))
+            .map(|t| t.heading.clone())
+            .collect();
+        let feed = Feed::new(world, 3);
+        let w = feed.world_at(3);
+        let remapped: Vec<String> = w
+            .corpus
+            .threads()
+            .iter()
+            .filter(|t| w.truth.is_top(t.id))
+            .map(|t| t.heading.clone())
+            .collect();
+        let mut a = tops_by_heading.clone();
+        let mut b = remapped.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "the same threads are TOPs after remapping");
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod actors;
 pub mod config;
+pub mod feed;
 pub mod finance;
 pub mod fx;
 pub mod headings;
@@ -39,6 +40,7 @@ pub mod truth;
 pub mod world;
 
 pub use config::{ForumProfile, WorldConfig, FORUM_PROFILES};
+pub use feed::{epoch_bound, epoch_of_day, Feed};
 pub use fx::FxTable;
 pub use truth::{GroundTruth, PackKind, PackRecord, ProofInfo, ThreadRole};
 pub use world::World;

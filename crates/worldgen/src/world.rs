@@ -19,6 +19,7 @@ use synthrand::{Day, LogNormal, SeedFactory, WeightedIndex};
 use websim::{OriginRegistry, SiteCatalog, WebStore};
 
 /// The generated world: corpus + web + services + ground truth.
+#[derive(Debug, Clone)]
 pub struct World {
     /// Generation parameters.
     pub config: WorldConfig,

@@ -97,3 +97,52 @@ fn world_regeneration_is_stable_across_calls() {
     let url_b: std::collections::BTreeSet<String> = b.web.urls().map(|u| u.to_https()).collect();
     assert_eq!(url_a, url_b);
 }
+
+/// The epoch-equivalence gate behind `core::pipeline::epoch`: after each
+/// warm advance (delta-only topcls decisions, memoised measures, graph
+/// append + warm-started centrality, finance fold), the report must be
+/// byte-identical to a full recompute at that epoch — the same stream
+/// code path run with a fresh carry over the same world — at every
+/// epoch boundary and across worker counts.
+#[test]
+fn epoch_advance_is_byte_identical_to_full_recompute() {
+    use ewhoring_core::pipeline::{EpochEngine, Pipeline, PipelineOptions};
+    use worldgen::{World, WorldConfig};
+
+    for workers in [1, 7] {
+        let options = PipelineOptions {
+            k_key_actors: 12,
+            workers,
+            ..PipelineOptions::default()
+        };
+        let world = World::generate(WorldConfig::test_scale(0xE70C));
+        let mut engine = EpochEngine::new(world, 3, options);
+        while engine.epoch() < engine.epochs() {
+            let warm = engine.advance().expect("advance");
+            let fresh = engine.fresh_report().expect("fresh recompute");
+            assert_eq!(
+                report_snapshot(&warm).as_bytes(),
+                report_snapshot(&fresh).as_bytes(),
+                "epoch {} diverged at workers={workers}",
+                engine.epoch()
+            );
+            if engine.epoch() == engine.epochs() {
+                // The final epoch's fresh-carry recompute is itself what
+                // `Pipeline::run` produces for the same stream options.
+                let batch = Pipeline::new(ewhoring_core::pipeline::PipelineOptions {
+                    stream: Some(ewhoring_core::pipeline::StreamSpec {
+                        epochs: engine.epochs(),
+                        upto: engine.epoch(),
+                    }),
+                    ..options
+                })
+                .run(engine.world());
+                assert_eq!(
+                    report_snapshot(&warm).as_bytes(),
+                    report_snapshot(&batch).as_bytes(),
+                    "plain run() with stream options diverged at workers={workers}"
+                );
+            }
+        }
+    }
+}

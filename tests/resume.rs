@@ -200,3 +200,55 @@ fn timing_sources_separate_journal_loads_from_compute() {
     );
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Kill-and-resume at an epoch boundary: advance a journaled epoch
+/// engine partway, drop it (only the checkpoint files survive, exactly
+/// like a crash between epochs), rebuild from the same journal dir, and
+/// finish. The resumed engine must pick up at the journaled epoch —
+/// not epoch 0 — and the final report must be byte-identical to an
+/// uninterrupted engine's, which in turn equals the full recompute.
+#[test]
+fn epoch_engine_resumes_from_journaled_boundary() {
+    use ewhoring_core::pipeline::EpochEngine;
+
+    let dir = temp_dir("epoch");
+    let options = PipelineOptions {
+        k_key_actors: 12,
+        ..PipelineOptions::default()
+    };
+    let epochs = 3;
+    let world = || World::generate(WorldConfig::test_scale(0x3E50));
+
+    // Uninterrupted reference.
+    let mut straight = EpochEngine::new(world(), epochs, options);
+    let reference = snapshot(
+        &straight
+            .advance_to(epochs)
+            .expect("straight run")
+            .expect("at least one epoch"),
+    );
+
+    // Crash after epoch 2: the engine is dropped mid-stream.
+    {
+        let mut engine =
+            EpochEngine::with_journal(world(), epochs, options, &dir).expect("open journal");
+        assert_eq!(engine.epoch(), 0, "fresh journal starts at epoch 0");
+        engine.advance_to(2).expect("advance to epoch 2");
+    }
+
+    // Resume: the journal alone restores epoch 2's world and carry.
+    let mut resumed =
+        EpochEngine::with_journal(world(), epochs, options, &dir).expect("reopen journal");
+    assert_eq!(resumed.epoch(), 2, "resumes at the journaled epoch");
+    let report = resumed
+        .advance_to(epochs)
+        .expect("finish resumed run")
+        .expect("one epoch left");
+    assert_eq!(
+        snapshot(&report).as_bytes(),
+        reference.as_bytes(),
+        "resumed final report diverged from the uninterrupted run"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

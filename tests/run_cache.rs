@@ -15,6 +15,8 @@ fn tiny(seed: u64) -> RunSpec {
         workers: 1,
         faults: 0.0,
         corruption: 0.0,
+        epochs: 0,
+        upto: 0,
     }
 }
 
