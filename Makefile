@@ -81,8 +81,9 @@ bench-serve: build
 # multiple of a full recompute (the `epoch` row of BENCH_floor.txt).
 bench-epoch:
 	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
-		bench epoch --scale 0.05 --workers 4 --epochs 6 --out BENCH_epoch.json \
-		--gate-floor $$(awk '$$1=="epoch"{print $$2}' BENCH_floor.txt)
+		bench epoch --scale 0.05 --workers 4 --epochs 20 --out BENCH_epoch.json \
+		--gate-floor $$(awk '$$1=="epoch"{print $$2}' BENCH_floor.txt) \
+		--flat-ceiling $$(awk '$$1=="epoch-flat"{print $$2}' BENCH_floor.txt)
 
 # Epoch smoke test wired into `make verify`: a small-scale incremental
 # run must produce a byte-identical snapshot to the one-shot batch run
@@ -99,6 +100,10 @@ smoke-epoch: build
 	./target/release/report bench epoch --scale 0.02 --workers 2 --epochs 3 \
 		--out .journals/smoke-epoch/bench.json \
 		--gate-floor $$(awk '$$1=="epoch-smoke"{print $$2}' BENCH_floor.txt)
+	grep -q '"stage_us"' .journals/smoke-epoch/bench.json
+	grep -Eq '"top_classifier": [1-9]' .journals/smoke-epoch/bench.json
+	grep -Eq '"actors": [1-9]' .journals/smoke-epoch/bench.json
+	grep -Eq '"finance": [1-9]' .journals/smoke-epoch/bench.json
 	rm -rf .journals/smoke-epoch
 
 # Kill-and-resume smoke test over the checkpoint journal: run the first

@@ -60,7 +60,7 @@ subcommands:
   bench epoch
            epoch-advance delta vs full recompute, written as BENCH_epoch.json
            [--scale S] [--seed SEED] [--workers N] [--epochs K] [--out PATH]
-           [--gate-floor FINAL_EPOCH_SPEEDUP]
+           [--gate-floor FINAL_EPOCH_SPEEDUP] [--flat-ceiling RATIO]
   help     this text"
 }
 
@@ -179,6 +179,15 @@ pub struct BenchArgs {
     /// warm advance is at least this many times faster than the full
     /// recompute. The committed floors live in `BENCH_floor.txt`.
     pub gate_floor: Option<f64>,
+    /// `--flat-ceiling R` (epoch mode): fail unless the final warm
+    /// advance's cost per new eWhoring thread is at most `R` times the
+    /// median per-thread cost of the earlier warm advances. Guards the
+    /// O(epoch delta) property itself: a fold that silently regresses
+    /// to re-scanning the corpus inflates the final epoch's per-thread
+    /// cost by the corpus/delta factor and trips this even while the
+    /// speedup floor still passes. Committed ceiling: `epoch-flat` in
+    /// `BENCH_floor.txt`.
+    pub flat_ceiling: Option<f64>,
     /// `bench epoch`: measure warm epoch advances against fresh full
     /// recomputes instead of the worker-scaling baseline.
     pub epoch: bool,
@@ -194,6 +203,7 @@ impl Default for BenchArgs {
             workers: 4,
             out: "BENCH_pipeline.json".to_string(),
             gate_floor: None,
+            flat_ceiling: None,
             epoch: false,
             epochs: 6,
         }
@@ -373,6 +383,9 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
             "--workers" => out.workers = parse_num(arg, take_value(arg, &mut it)?)?,
             "--out" => out.out = take_value(arg, &mut it)?.clone(),
             "--gate-floor" => out.gate_floor = Some(parse_num(arg, take_value(arg, &mut it)?)?),
+            "--flat-ceiling" if out.epoch => {
+                out.flat_ceiling = Some(parse_num(arg, take_value(arg, &mut it)?)?);
+            }
             "--epochs" if out.epoch => {
                 out.epochs = parse_num(arg, take_value(arg, &mut it)?)?;
                 if out.epochs == 0 {
@@ -535,6 +548,8 @@ mod tests {
             "3",
             "--gate-floor",
             "3.0",
+            "--flat-ceiling",
+            "1.5",
         ]))
         .expect("bench epoch parses");
         let Command::Bench(b) = cmd else {
@@ -544,9 +559,12 @@ mod tests {
         assert_eq!(b.epochs, 3);
         assert_eq!(b.out, "BENCH_epoch.json", "epoch mode default output");
         assert_eq!(b.gate_floor, Some(3.0));
+        assert_eq!(b.flat_ceiling, Some(1.5));
 
-        // `--epochs` belongs to epoch mode only.
+        // `--epochs` and `--flat-ceiling` belong to epoch mode only.
         let e = Command::parse(&args(&["bench", "--epochs", "3"])).unwrap_err();
+        assert!(e.0.contains("unknown bench argument"), "{e}");
+        let e = Command::parse(&args(&["bench", "--flat-ceiling", "1.5"])).unwrap_err();
         assert!(e.0.contains("unknown bench argument"), "{e}");
     }
 

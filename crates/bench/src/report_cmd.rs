@@ -303,12 +303,15 @@ fn bench_epoch_main(args: &BenchArgs) -> Result<(), String> {
     let mut engine = EpochEngine::new(world, spec.epochs, spec.options());
     let mut rows = String::new();
     let mut final_speedup = 0.0;
+    let mut advance_history: Vec<u128> = Vec::new();
+    let mut threads_history: Vec<usize> = Vec::new();
     for e in 1..=spec.epochs {
         let t = Instant::now();
         let warm = engine
             .advance()
             .map_err(|err| format!("advance to epoch {e}: {err}"))?;
         let advance_us = t.elapsed().as_micros();
+        advance_history.push(advance_us);
         let t = Instant::now();
         let fresh = engine
             .fresh_report()
@@ -327,26 +330,70 @@ fn bench_epoch_main(args: &BenchArgs) -> Result<(), String> {
             0.0
         };
         final_speedup = speedup;
+        // The epoch's content delta, measured in eWhoring threads seen
+        // to date (the extract stage's item count) — a deterministic
+        // seeded quantity, so it normalizes wall clocks without adding
+        // measurement noise of its own.
+        let threads_seen = warm
+            .timings
+            .iter()
+            .find(|t| t.stage == "extract")
+            .map_or(0, |t| t.items);
+        let new_threads = threads_seen.saturating_sub(threads_history.last().copied().unwrap_or(0));
+        threads_history.push(threads_seen);
+        // Per-stage wall clocks from the warm advance, so a regression
+        // in any one stage's delta-fold is attributable from the JSON
+        // alone.
+        let mut stage_us = String::new();
+        for (i, timing) in warm.timings.iter().enumerate() {
+            let _ = write!(
+                stage_us,
+                "{}\"{}\": {}",
+                if i > 0 { ", " } else { "" },
+                timing.stage,
+                timing.wall_us
+            );
+        }
+        // Serialized carry footprint after this advance — the price of
+        // flat-cost warm advances is state that grows with the corpus.
+        // Reported, not gated (see BENCH_floor.txt note).
+        let carry_bytes = serde_json::to_string(engine.carry())
+            .map(|s| s.len())
+            .map_err(|err| format!("serialize carry after epoch {e}: {err}"))?;
         eprintln!(
-            "epoch {e}/{}: advance {:.1} ms, full recompute {:.1} ms, delta speedup {speedup:.2}x",
+            "epoch {e}/{}: advance {:.1} ms, full recompute {:.1} ms, delta speedup {speedup:.2}x, carry {:.1} KiB",
             spec.epochs,
             advance_us as f64 / 1_000.0,
             full_us as f64 / 1_000.0,
+            carry_bytes as f64 / 1024.0,
         );
         let _ = writeln!(
             rows,
-            "    {{ \"epoch\": {e}, \"advance_us\": {advance_us}, \"full_us\": {full_us}, \"speedup\": {speedup:.2} }}{}",
+            "    {{ \"epoch\": {e}, \"advance_us\": {advance_us}, \"full_us\": {full_us}, \"speedup\": {speedup:.2}, \"new_threads\": {new_threads}, \"carry_bytes\": {carry_bytes}, \"stage_us\": {{ {stage_us} }} }}{}",
             if e < spec.epochs { "," } else { "" }
         );
     }
+    // Flatness: a warm advance's cost should track the epoch's content
+    // delta, not the corpus. Raw wall-clock ratios between epochs are
+    // meaningless here — the generated decade's activity ramps ~5x
+    // from the first to the last slice — so each advance is normalized
+    // by its epoch's new-thread count (a deterministic seeded quantity)
+    // and the final epoch's per-thread cost is compared against the
+    // median per-thread cost of the earlier warm advances. Both sides
+    // of the ratio are wall clocks from the same run, so a loaded host
+    // cancels out; only per-thread cost *growth* — the signature of a
+    // fold regressing to an O(corpus) rescan — moves it. Epoch 1 is
+    // excluded (cold build plus the pre-window backlog).
+    let flatness = advance_flatness(&advance_history, &threads_history);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let note = if cores == 1 {
         "\n  \"note\": \"available_parallelism is 1; parallel stages ran effectively serial\","
     } else {
         ""
     };
+    let flatness_json = flatness.map_or_else(|| "null".to_string(), |f| format!("{f:.2}"));
     let json = format!(
-        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"epochs\": {},\n  \"available_parallelism\": {cores},{note}\n  \"per_epoch\": [\n{rows}  ],\n  \"final_epoch_speedup\": {final_speedup:.2}\n}}\n",
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"epochs\": {},\n  \"available_parallelism\": {cores},{note}\n  \"per_epoch\": [\n{rows}  ],\n  \"final_epoch_speedup\": {final_speedup:.2},\n  \"advance_flatness\": {flatness_json}\n}}\n",
         spec.scale, spec.seed, spec.workers, spec.epochs,
     );
     std::fs::write(&args.out, json).map_err(|e| format!("write `{}`: {e}", args.out))?;
@@ -361,7 +408,51 @@ fn bench_epoch_main(args: &BenchArgs) -> Result<(), String> {
             "bench gate passed: final-epoch delta {final_speedup:.2}x a full recompute (floor {floor:.2}x)"
         );
     }
+    if let Some(ceiling) = args.flat_ceiling {
+        match flatness {
+            None => eprintln!(
+                "flatness gate skipped: needs at least 3 epochs with nonzero thread deltas, ran {}",
+                advance_history.len()
+            ),
+            Some(flat) if flat > ceiling => {
+                return Err(format!(
+                    "flatness gate FAILED: the final advance cost {flat:.2}x the median per-new-thread cost of the earlier warm advances, ceiling is {ceiling:.2}x — a fold has regressed to corpus-bound work"
+                ));
+            }
+            Some(flat) => eprintln!(
+                "flatness gate passed: final advance per-new-thread cost {flat:.2}x the warm median (ceiling {ceiling:.2}x)"
+            ),
+        }
+    }
     Ok(())
+}
+
+/// The per-content flatness ratio `bench epoch` gates on: the final
+/// epoch's advance cost per new eWhoring thread, divided by the median
+/// per-thread cost over the earlier warm epochs (2..final). Returns
+/// `None` when fewer than two warm epochs have a nonzero thread delta
+/// (nothing to compare). Thread deltas come from the seeded world, so
+/// the denominator carries no timing noise, and both wall clocks are
+/// from the same run, so background load cancels in the ratio.
+fn advance_flatness(advance_us: &[u128], threads_seen: &[usize]) -> Option<f64> {
+    let per_thread: Vec<f64> = (1..advance_us.len())
+        .filter_map(|i| {
+            let delta = threads_seen[i].checked_sub(threads_seen[i - 1])?;
+            (delta > 0).then(|| advance_us[i] as f64 / delta as f64)
+        })
+        .collect();
+    let (&last, earlier) = per_thread.split_last()?;
+    if earlier.is_empty() {
+        return None;
+    }
+    let mut sorted = earlier.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("per-thread costs are finite"));
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    (median > 0.0).then(|| last / median)
 }
 
 /// The `--gate-floor` check: the serial `measure_images` rate must reach
@@ -572,5 +663,30 @@ mod tests {
         let t = vec![timing(1, 5000, TimingSource::Journal)];
         let e = gate_measure_rate(&t, 1.0).unwrap_err();
         assert!(e.contains("no computed measure_images"), "{e}");
+    }
+
+    /// A perfectly delta-bound engine holds per-thread cost constant
+    /// even when the per-epoch content ramps; an O(corpus) regression
+    /// inflates the final epoch's per-thread cost.
+    #[test]
+    fn advance_flatness_is_per_thread_not_wall_clock() {
+        // 100us per new thread at every epoch, content ramping 5x:
+        // wall clocks grow but the ratio stays 1.0.
+        let adv = [5_000, 10_000, 20_000, 50_000];
+        let seen = [50, 150, 350, 850];
+        let flat = advance_flatness(&adv, &seen).expect("enough epochs");
+        assert!((flat - 1.0).abs() < 1e-9, "flat engine measures {flat}");
+
+        // The final advance rescans the corpus: per-thread cost jumps
+        // 4x and the ratio reports it.
+        let adv = [5_000, 10_000, 20_000, 200_000];
+        let flat = advance_flatness(&adv, &seen).expect("enough epochs");
+        assert!(flat > 3.9, "corpus-bound regression measures {flat}");
+
+        // Too little history to compare: no ratio, gate skips.
+        assert!(advance_flatness(&[5_000, 10_000, 20_000], &[50, 150, 350]).is_some());
+        assert!(advance_flatness(&[5_000, 10_000], &[50, 150]).is_none());
+        // A zero-delta epoch is dropped rather than dividing by zero.
+        assert!(advance_flatness(&[5_000, 9_000], &[50, 50]).is_none());
     }
 }

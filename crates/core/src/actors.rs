@@ -69,6 +69,83 @@ pub struct CohortRow {
 /// Table 8 thresholds.
 pub const COHORT_THRESHOLDS: [usize; 7] = [1, 10, 50, 100, 200, 500, 1000];
 
+/// Per-actor streaming counters behind the Table 8 / Figure 4 assembly
+/// (carried in the epoch carry's `ActorsCarry`). Each post is folded
+/// exactly once, at the epoch it arrives; [`ActorFold::metrics`] then
+/// assembles the same rows as [`actor_metrics`] over the full corpus.
+///
+/// Every counter is an integer count or a `min`/`max` over post days —
+/// all order-insensitive — so the fold is exact regardless of how the
+/// timeline is sliced into epochs, and there is no float operand order
+/// to preserve.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ActorFold {
+    /// Posts in eWhoring threads, indexed by actor id.
+    pub ew_posts: Vec<u32>,
+    /// Posts anywhere on the forum, indexed by actor id.
+    pub total_posts: Vec<u32>,
+    /// First eWhoring post day (`Day(u32::MAX)` until the first lands).
+    pub first_ew: Vec<Day>,
+    /// Last eWhoring post day (`Day(0)` until the first lands).
+    pub last_ew: Vec<Day>,
+    /// First post day anywhere (`Day(u32::MAX)` sentinel).
+    pub first_post: Vec<Day>,
+    /// Last post day anywhere (`Day(0)` sentinel).
+    pub last_post: Vec<Day>,
+}
+
+impl ActorFold {
+    /// Sizes every counter vector for `n_actors` (actors are
+    /// registration-time metadata and exist from epoch 0, so the node
+    /// set never grows). Idempotent on warm carries.
+    pub fn ensure(&mut self, n_actors: usize) {
+        self.ew_posts.resize(n_actors, 0);
+        self.total_posts.resize(n_actors, 0);
+        self.first_ew.resize(n_actors, Day(u32::MAX));
+        self.last_ew.resize(n_actors, Day(0));
+        self.first_post.resize(n_actors, Day(u32::MAX));
+        self.last_post.resize(n_actors, Day(0));
+    }
+
+    /// Folds one post into the counters. `in_ew` is whether the post's
+    /// thread is in the extracted eWhoring set — membership is decided
+    /// by the heading at thread creation, so the answer is identical at
+    /// every later epoch.
+    pub fn note_post(&mut self, actor: ActorId, date: Day, in_ew: bool) {
+        let i = actor.0 as usize;
+        self.total_posts[i] += 1;
+        self.first_post[i] = self.first_post[i].min(date);
+        self.last_post[i] = self.last_post[i].max(date);
+        if in_ew {
+            self.ew_posts[i] += 1;
+            self.first_ew[i] = self.first_ew[i].min(date);
+            self.last_ew[i] = self.last_ew[i].max(date);
+        }
+    }
+
+    /// Assembles the [`actor_metrics`] rows from the carried counters:
+    /// every actor with at least one eWhoring post, in ascending actor
+    /// id — the same order `actor_metrics` sorts into.
+    pub fn metrics(&self) -> Vec<ActorMetrics> {
+        let mut out = Vec::new();
+        for i in 0..self.ew_posts.len() {
+            if self.ew_posts[i] == 0 {
+                continue;
+            }
+            out.push(ActorMetrics {
+                actor: ActorId(i as u32),
+                ew_posts: self.ew_posts[i] as usize,
+                total_posts: self.total_posts[i] as usize,
+                first_ew: self.first_ew[i],
+                last_ew: self.last_ew[i],
+                days_before: self.first_ew[i].days_since(self.first_post[i]),
+                days_after: self.last_post[i].days_since(self.last_ew[i]),
+            });
+        }
+        out
+    }
+}
+
 /// Computes per-actor metrics over the extracted eWhoring threads.
 pub fn actor_metrics(corpus: &Corpus, ewhoring_threads: &[ThreadId]) -> Vec<ActorMetrics> {
     let counts = corpus.posts_per_actor_in(ewhoring_threads);
@@ -641,5 +718,33 @@ mod tests {
         if let Some(&(_, before, during, _)) = market {
             assert!(during > before, "market before {before} during {during}");
         }
+    }
+
+    /// The epoch-carry fold assembles the exact rows the batch
+    /// `actor_metrics` computes: integer counters and min/max day spans
+    /// are order-insensitive, so folding post-by-post over the timeline
+    /// equals the one-shot scan — serialized byte-for-byte.
+    #[test]
+    fn actor_fold_matches_batch_actor_metrics() {
+        let (w, threads, metrics) = setup();
+        let ewset: HashSet<ThreadId> = threads.iter().copied().collect();
+        let mut fold = ActorFold::default();
+        fold.ensure(w.corpus.actors().len());
+        let posts = w.corpus.posts();
+        // Fold in two arbitrary slices — the warm-carry shape — not one.
+        let split = posts.len() / 3;
+        for post in &posts[..split] {
+            fold.note_post(post.author, post.date, ewset.contains(&post.thread));
+        }
+        for post in &posts[split..] {
+            fold.note_post(post.author, post.date, ewset.contains(&post.thread));
+        }
+        let folded = fold.metrics();
+        assert!(!folded.is_empty());
+        assert_eq!(
+            serde_json::to_string(&folded).unwrap(),
+            serde_json::to_string(&metrics).unwrap(),
+            "folded counters must reproduce the batch scan"
+        );
     }
 }

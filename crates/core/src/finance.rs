@@ -17,7 +17,7 @@ use crate::nsfv::ImageMeasures;
 use crimebb::{ActorId, BoardCategory, Corpus, PostId, ThreadId};
 use safety::{HostingRegion, SafetyGate, ScreenOutcome, SiteType};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use synthrand::Day;
 use textkit::hw::{parse_hw_heading, Currency};
 use textkit::lexicon::{heading_is_earnings, post_is_proof_offer};
@@ -233,10 +233,23 @@ pub fn harvest_earnings_stream(
                 && corpus.forum_of_thread(t) == world.hackforums)
     };
 
+    let n_actors = corpus.actors().len();
+    carry.ew_posts_by_actor.resize(n_actors, 0);
+    carry.first_ew_by_actor.resize(n_actors, Day(u32::MAX));
+
     let n = corpus.posts().len();
     for idx in carry.cursor..n {
         let post = corpus.post(PostId(idx as u32));
         let t = post.thread;
+        if ewset.contains(&t) {
+            // Table 7 fold: tally the post toward its author's eWhoring
+            // count (and first-sight day) before the earnings/proof
+            // filter below drops it. Counts and `min` are
+            // order-insensitive, so the fold is exact per epoch slice.
+            let i = post.author.0 as usize;
+            carry.ew_posts_by_actor[i] += 1;
+            carry.first_ew_by_actor[i] = carry.first_ew_by_actor[i].min(post.date);
+        }
         let earnings = is_earnings_thread(t);
         let proof_offer = ewset.contains(&t) && post_is_proof_offer(&post.body);
         if !(earnings || proof_offer) {
@@ -307,12 +320,24 @@ pub fn harvest_earnings_stream(
     }
     carry.cursor = n;
 
+    // Thread-cursor fold: the funnel's earnings-thread tally and the
+    // Table 7 Currency Exchange ledger, each thread visited exactly
+    // once at creation. Board, forum, and heading are fixed then, so
+    // both predicates answer the same at every later epoch — the folded
+    // tallies equal a full rescan of the current corpus.
+    let threads = corpus.threads();
+    for th in &threads[carry.thread_cursor..] {
+        if is_earnings_thread(th.id) {
+            carry.earnings_threads += 1;
+        }
+        if corpus.board(th.board).category == BoardCategory::CurrencyExchange {
+            carry.ce_threads.push((th.author, th.id));
+        }
+    }
+    carry.thread_cursor = threads.len();
+
     EarningsHarvest {
-        earnings_threads: corpus
-            .threads()
-            .iter()
-            .filter(|th| is_earnings_thread(th.id))
-            .count(),
+        earnings_threads: carry.earnings_threads,
         posts_with_links: carry.posts_with_links,
         unique_urls: carry.unique_urls,
         downloaded: carry.downloaded,
@@ -336,65 +361,116 @@ pub fn platform_label(p: imagesim::PaymentPlatform) -> &'static str {
     }
 }
 
-/// Aggregates harvested proofs into the §5.2 numbers.
+/// Running earnings aggregates (§5.2): the fold form of
+/// [`analyse_earnings`], carried across epochs in streaming mode.
+///
+/// [`EarningsAgg::fold`] consumes proofs in record order; the per-actor
+/// USD sums therefore see their `+=` operands in the identical sequence
+/// whether the proof list arrives in one batch (fresh carry) or in
+/// per-epoch slices (warm carry) — fold composition over a prefix-stable
+/// list is what makes the warm aggregate byte-identical to the batch
+/// one. Sorted `Vec`s stand in for keyed maps so the aggregate both
+/// journals cleanly through JSON and assembles deterministically
+/// (equal-USD ties break in actor-id order, not hash order).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EarningsAgg {
+    /// `(actor, usd_total, proof_count)`, sorted by actor id.
+    pub per_actor: Vec<(ActorId, f64, usize)>,
+    /// Proof-image counts per platform label.
+    pub platform_counts: BTreeMap<String, usize>,
+    /// `(month_index, agc, paypal)`, sorted by month.
+    pub monthly: Vec<(i32, usize, usize)>,
+    /// USD total over proofs with itemised transactions.
+    pub tx_usd: f64,
+    /// Itemised transaction count.
+    pub tx_count: u64,
+    /// Proofs with itemised transactions.
+    pub detailed: usize,
+}
+
+impl EarningsAgg {
+    /// Folds a slice of proof records into the running aggregates.
+    pub fn fold(&mut self, proofs: &[ProofRecord]) {
+        for proof in proofs {
+            let e = match self
+                .per_actor
+                .binary_search_by_key(&proof.actor, |&(a, _, _)| a)
+            {
+                Ok(i) => &mut self.per_actor[i],
+                Err(i) => {
+                    self.per_actor.insert(i, (proof.actor, 0.0, 0));
+                    &mut self.per_actor[i]
+                }
+            };
+            e.1 += proof.usd;
+            e.2 += 1;
+            *self
+                .platform_counts
+                .entry(platform_label(proof.platform).to_string())
+                .or_insert(0) += 1;
+            let month = match self
+                .monthly
+                .binary_search_by_key(&proof.month_index, |&(m, _, _)| m)
+            {
+                Ok(i) => &mut self.monthly[i],
+                Err(i) => {
+                    self.monthly.insert(i, (proof.month_index, 0, 0));
+                    &mut self.monthly[i]
+                }
+            };
+            match proof.platform {
+                imagesim::PaymentPlatform::AmazonGiftCard => month.1 += 1,
+                imagesim::PaymentPlatform::PayPal => month.2 += 1,
+                _ => {}
+            }
+            if let Some(tx) = proof.transactions {
+                self.detailed += 1;
+                self.tx_usd += proof.usd;
+                self.tx_count += u64::from(tx);
+            }
+        }
+    }
+
+    /// Assembles the §5.2 analysis from the running aggregates.
+    pub fn finish(&self) -> EarningsAnalysis {
+        let mut totals: Vec<(f64, usize)> =
+            self.per_actor.iter().map(|&(_, u, n)| (u, n)).collect();
+        // Stable sort over actor-id-ordered input: equal USD totals
+        // keep ascending actor order — fully deterministic.
+        totals.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        let total_usd: f64 = totals.iter().map(|&(u, _)| u).sum();
+        let actors = totals.len();
+
+        EarningsAnalysis {
+            actors,
+            total_usd,
+            mean_per_actor: if actors > 0 {
+                total_usd / actors as f64
+            } else {
+                0.0
+            },
+            max_per_actor: totals.first().map_or(0.0, |&(u, _)| u),
+            per_actor: totals,
+            detailed_proofs: self.detailed,
+            avg_transaction_usd: if self.tx_count > 0 {
+                self.tx_usd / self.tx_count as f64
+            } else {
+                0.0
+            },
+            platform_counts: self.platform_counts.clone(),
+            monthly_platforms: self.monthly.clone(),
+        }
+    }
+}
+
+/// Aggregates harvested proofs into the §5.2 numbers: a one-shot
+/// [`EarningsAgg`] fold — the identical code path the streaming carry
+/// folds through, which is the fold == batch equivalence by
+/// construction.
 pub fn analyse_earnings(harvest: &EarningsHarvest) -> EarningsAnalysis {
-    let mut per_actor: HashMap<ActorId, (f64, usize)> = HashMap::new();
-    let mut platform_counts: BTreeMap<String, usize> = BTreeMap::new();
-    let mut monthly: BTreeMap<i32, (usize, usize)> = BTreeMap::new();
-    let mut tx_usd = 0.0;
-    let mut tx_count: u64 = 0;
-    let mut detailed = 0;
-
-    for proof in &harvest.proofs {
-        let e = per_actor.entry(proof.actor).or_insert((0.0, 0));
-        e.0 += proof.usd;
-        e.1 += 1;
-        *platform_counts
-            .entry(platform_label(proof.platform).to_string())
-            .or_insert(0) += 1;
-        match proof.platform {
-            imagesim::PaymentPlatform::AmazonGiftCard => {
-                monthly.entry(proof.month_index).or_insert((0, 0)).0 += 1;
-            }
-            imagesim::PaymentPlatform::PayPal => {
-                monthly.entry(proof.month_index).or_insert((0, 0)).1 += 1;
-            }
-            _ => {}
-        }
-        if let Some(tx) = proof.transactions {
-            detailed += 1;
-            tx_usd += proof.usd;
-            tx_count += u64::from(tx);
-        }
-    }
-
-    let mut totals: Vec<(f64, usize)> = per_actor.values().copied().collect();
-    totals.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
-    let total_usd: f64 = totals.iter().map(|&(u, _)| u).sum();
-    let actors = totals.len();
-
-    EarningsAnalysis {
-        actors,
-        total_usd,
-        mean_per_actor: if actors > 0 {
-            total_usd / actors as f64
-        } else {
-            0.0
-        },
-        max_per_actor: totals.first().map_or(0.0, |&(u, _)| u),
-        per_actor: totals,
-        detailed_proofs: detailed,
-        avg_transaction_usd: if tx_count > 0 {
-            tx_usd / tx_count as f64
-        } else {
-            0.0
-        },
-        platform_counts,
-        monthly_platforms: monthly
-            .into_iter()
-            .map(|(m, (agc, pp))| (m, agc, pp))
-            .collect(),
-    }
+    let mut agg = EarningsAgg::default();
+    agg.fold(&harvest.proofs);
+    agg.finish()
 }
 
 /// Table 7: currency-exchange activity of committed eWhoring actors.
@@ -460,6 +536,55 @@ pub fn analyse_currency_exchange(
     analysis
 }
 
+/// Streaming form of [`analyse_currency_exchange`]: reads the carried
+/// per-actor eWhoring tallies and the CE-thread ledger instead of
+/// rescanning every post in the extraction set.
+///
+/// Qualification (>50 eWhoring posts, HackForums membership, thread
+/// started on or after the actor's first eWhoring post) is re-checked at
+/// assembly because an actor can cross the post threshold epochs after
+/// opening a CE thread. Every output is a count keyed by a `BTreeMap`
+/// label, so assembly order cannot leak into the artifact — the result
+/// equals the batch rescan whenever the carried tallies match the
+/// corpus, which the fold in [`harvest_earnings_stream`] guarantees.
+pub fn analyse_currency_exchange_stream(
+    corpus: &Corpus,
+    hackforums: crimebb::ForumId,
+    carry: &crate::pipeline::epoch::FinanceCarry,
+) -> CurrencyExchangeAnalysis {
+    let mut analysis = CurrencyExchangeAnalysis::default();
+    let mut counted: HashSet<ActorId> = HashSet::new();
+    for &(actor, t) in &carry.ce_threads {
+        let i = actor.0 as usize;
+        if carry.ew_posts_by_actor[i] <= 50 || corpus.actor(actor).forum != hackforums {
+            continue;
+        }
+        // `threads_started_by` only looks inside the actor's own forum.
+        if corpus.forum_of_thread(t) != hackforums {
+            continue;
+        }
+        if corpus.thread(t).created < carry.first_ew_by_actor[i] {
+            continue;
+        }
+        counted.insert(actor);
+        analysis.threads += 1;
+        let (offered, wanted) = match parse_hw_heading(&corpus.thread(t).heading) {
+            Some(trade) => (trade.offered, trade.wanted),
+            None => (Currency::Unknown, Currency::Unknown),
+        };
+        *analysis
+            .offered
+            .entry(offered.label().to_string())
+            .or_insert(0) += 1;
+        *analysis
+            .wanted
+            .entry(wanted.label().to_string())
+            .or_insert(0) += 1;
+    }
+    analysis.actors = counted.len();
+    analysis
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +647,37 @@ mod tests {
         // ~60% of proofs are detailed.
         let detail_share = a.detailed_proofs as f64 / h.proofs.len() as f64;
         assert!((0.4..0.8).contains(&detail_share), "detail {detail_share}");
+    }
+
+    /// The epoch-carry fold is prefix-stable: folding the proof list in
+    /// arbitrary warm-advance slices then finishing equals the one-shot
+    /// `analyse_earnings` byte-for-byte. Every accumulator is either an
+    /// integer count or an f64 `+=` applied in the same per-proof order
+    /// regardless of where the slice boundaries fall.
+    #[test]
+    fn earnings_agg_split_fold_matches_one_shot() {
+        let w = world();
+        let set = extract_ewhoring_threads(&w.corpus);
+        let gate = SafetyGate::new(w.hashlist.clone());
+        let h = harvest_earnings(&w, &gate, &set.all_threads());
+        assert!(h.proofs.len() >= 3, "need proofs to split");
+        let mut whole = EarningsAgg::default();
+        whole.fold(&h.proofs);
+        for split in [1, h.proofs.len() / 2, h.proofs.len() - 1] {
+            let mut grown = EarningsAgg::default();
+            grown.fold(&h.proofs[..split]);
+            grown.fold(&h.proofs[split..]);
+            assert_eq!(
+                serde_json::to_string(&grown.finish()).unwrap(),
+                serde_json::to_string(&whole.finish()).unwrap(),
+                "split at {split} diverged"
+            );
+        }
+        assert_eq!(
+            serde_json::to_string(&whole.finish()).unwrap(),
+            serde_json::to_string(&analyse_earnings(&h)).unwrap(),
+            "fold-all + finish must be analyse_earnings"
+        );
     }
 
     #[test]

@@ -14,12 +14,15 @@
 //!   measured (measures are pure, so memoised values are exact);
 //! * `nsfv`: the validation-set evaluation (pure in the seed);
 //! * `finance`: a fold cursor over the global post timeline plus the
-//!   funnel counters, whitelist, URL dedup set, and proof records;
+//!   funnel counters, whitelist, URL dedup set, proof records, running
+//!   §5.2 earnings aggregates, and the Table 7 per-actor tallies and
+//!   CE-thread ledger (folded via a thread cursor);
 //! * `provenance`: a memo of every reverse-search outcome keyed
 //!   `(robust hash, post day)` — the reverse index and the Wayback
 //!   archive are static services, so outcomes are pure in the key;
-//! * `actors`: the reply/quote graph grown edge-by-edge plus the
-//!   warm-started eigenvector-centrality vector.
+//! * `actors`: the reply/quote graph grown edge-by-edge, the
+//!   warm-started eigenvector-centrality vector, and the per-actor
+//!   metric counters behind Table 8 / Figure 4.
 //!
 //! The correctness contract is **epoch equivalence**: running the same
 //! stream code path with a fresh ([`EpochCarry::default`]) carry on the
@@ -34,7 +37,8 @@
 
 use super::journal::{Journal, LoadOutcome, StageRecord};
 use super::{Pipeline, PipelineOptions, PipelineReport, StageError, StreamSpec};
-use crate::finance::ProofRecord;
+use crate::actors::ActorFold;
+use crate::finance::{EarningsAgg, ProofRecord};
 use crate::nsfv::{ImageMeasures, NsfvValidation};
 use crate::provenance::QueryOutcome;
 use crate::topcls::{BootstrapModel, StreamIndexStats};
@@ -153,6 +157,28 @@ pub struct MeasureCarry {
 pub struct FinanceCarry {
     /// Posts `0..cursor` are folded in.
     pub cursor: usize,
+    /// Threads `0..thread_cursor` are folded into the earnings-thread
+    /// tally and the CE-thread ledger below.
+    pub thread_cursor: usize,
+    /// Earnings-query threads seen so far (the funnel header): board,
+    /// forum, and heading are fixed at creation, so counting each
+    /// thread once equals a full rescan at any epoch.
+    pub earnings_threads: usize,
+    /// Per-actor posts in eWhoring threads (Table 7 qualification),
+    /// indexed by actor id.
+    pub ew_posts_by_actor: Vec<u32>,
+    /// Per-actor first eWhoring post day (`Day(u32::MAX)` sentinel).
+    pub first_ew_by_actor: Vec<Day>,
+    /// Every Currency Exchange thread at creation, `(author, thread)`
+    /// in timeline order; qualification is re-checked at assembly.
+    pub ce_threads: Vec<(crimebb::ActorId, ThreadId)>,
+    /// Running §5.2 earnings aggregates over `proofs[..agg_cursor]`.
+    /// Folded only when the run's corruption plan is inert — an enabled
+    /// plan filters a per-run copy of the proof list, so the stage
+    /// falls back to the one-shot aggregation instead.
+    pub agg: EarningsAgg,
+    /// Proofs `0..agg_cursor` are folded into `agg`.
+    pub agg_cursor: usize,
     /// Snowballed image-host whitelist (registered domains), grown
     /// at-sight from earnings-thread posts.
     pub whiteset: HashSet<String>,
@@ -198,12 +224,23 @@ pub struct ProvenanceCarry {
 pub struct ActorsCarry {
     /// Last epoch folded into the graph and centrality chain.
     pub epoch: u32,
-    /// Posts `0..cursor` are folded into the graph.
+    /// Posts `0..cursor` are folded into the graph and the metric
+    /// counters (one shared cursor: both folds walk the same slice).
     pub cursor: usize,
     /// The reply/quote graph (all actors are nodes from epoch 0).
     pub graph: DiGraph,
     /// Centrality vector after the last epoch's warm-started iteration.
     pub influence: Vec<f64>,
+    /// Per-actor metric counters behind Table 8 / Figure 4: integer
+    /// counts and day spans folded per epoch slice, assembled into the
+    /// same rows `actor_metrics` computes over the full corpus.
+    pub fold: ActorFold,
+    /// Threads `0..ce_cursor` are folded into the CE-thread ledger.
+    pub ce_cursor: usize,
+    /// Every Currency Exchange thread at creation, `(author, thread)`;
+    /// the >50-post qualification is re-checked at assembly because an
+    /// actor can cross the threshold epochs later.
+    pub ce_threads: Vec<(crimebb::ActorId, ThreadId)>,
 }
 
 /// Materializes the world a streamed spec runs over: the time-ordered
@@ -343,8 +380,12 @@ impl EpochEngine {
                         reason: format!("carry does not serialize: {err}"),
                     }
                 })?,
-                quarantined: Vec::new(),
-                health: Vec::new(),
+                // The epoch's full ledger and health log ride along in
+                // the checkpoint, so the record is a faithful account
+                // of the run that produced the carry (and a resumed
+                // engine's health section can be audited against it).
+                quarantined: report.quarantine.entries().to_vec(),
+                health: report.health.clone(),
                 items: self.feed.epoch_len(e),
             };
             journal.save((e - 1) as usize, &Self::record_name(e), &record)?;
@@ -403,11 +444,36 @@ mod tests {
             .finance
             .seen_urls
             .insert(Url::new("i.imgur.com", "/x"));
+        carry.finance.thread_cursor = 17;
+        carry.finance.earnings_threads = 4;
+        carry.finance.ew_posts_by_actor = vec![0, 55, 3];
+        carry.finance.first_ew_by_actor = vec![Day(u32::MAX), Day(120), Day(360)];
+        carry
+            .finance
+            .ce_threads
+            .push((crimebb::ActorId(1), ThreadId(9)));
+        carry
+            .finance
+            .agg
+            .per_actor
+            .push((crimebb::ActorId(1), 12.5, 2));
+        carry.finance.agg.monthly.push((24_193, 3, 1));
+        carry.finance.agg_cursor = 2;
         carry.actors.epoch = 2;
         carry.actors.cursor = 41;
         carry.actors.graph = DiGraph::with_nodes(3);
         carry.actors.graph.add_edge(0, 1, 2.0);
         carry.actors.influence = vec![0.25, 0.5, 0.25];
+        carry.actors.fold.ensure(3);
+        carry
+            .actors
+            .fold
+            .note_post(crimebb::ActorId(1), Day(200), true);
+        carry.actors.ce_cursor = 17;
+        carry
+            .actors
+            .ce_threads
+            .push((crimebb::ActorId(2), ThreadId(5)));
 
         let value = serde_json::to_value(&carry).unwrap();
         let back: EpochCarry = serde_json::from_value(value).unwrap();
@@ -424,8 +490,24 @@ mod tests {
             .finance
             .seen_urls
             .contains(&Url::new("i.imgur.com", "/x")));
+        assert_eq!(back.finance.thread_cursor, 17);
+        assert_eq!(back.finance.earnings_threads, 4);
+        assert_eq!(back.finance.ew_posts_by_actor, vec![0, 55, 3]);
+        assert_eq!(
+            back.finance.first_ew_by_actor,
+            vec![Day(u32::MAX), Day(120), Day(360)]
+        );
+        assert_eq!(back.finance.ce_threads, carry.finance.ce_threads);
+        assert_eq!(back.finance.agg.per_actor, carry.finance.agg.per_actor);
+        assert_eq!(back.finance.agg.monthly, carry.finance.agg.monthly);
+        assert_eq!(back.finance.agg_cursor, 2);
         assert_eq!(back.actors.graph.edge_count(), 1);
         assert_eq!(back.actors.influence, carry.actors.influence);
+        assert_eq!(back.actors.fold.ew_posts, carry.actors.fold.ew_posts);
+        assert_eq!(back.actors.fold.first_ew, carry.actors.fold.first_ew);
+        assert_eq!(back.actors.fold.last_post, carry.actors.fold.last_post);
+        assert_eq!(back.actors.ce_cursor, 17);
+        assert_eq!(back.actors.ce_threads, carry.actors.ce_threads);
         assert!(back.nsfv.is_none());
     }
 

@@ -2,7 +2,7 @@
 
 use crate::actors::{
     actor_metrics, cohort_table, group_profiles, interaction_graph, interest_evolution, popularity,
-    select_key_actors, select_key_actors_with_centrality, KeyActorInputs,
+    select_key_actors, select_key_actors_with_centrality, ActorFold, KeyActorInputs,
 };
 use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
@@ -27,30 +27,15 @@ impl Stage for ActorsStage {
         let crawl = require(&ctx.crawl, "crawl")?;
         let harvest = require(&ctx.harvest, "harvest")?;
 
-        let metrics = actor_metrics(&world.corpus, all_threads);
-        let cohorts = cohort_table(&metrics);
-        // Defensive finiteness gate on the Figure 4 scatter: a metric
-        // whose eWhoring percentage comes back non-finite (division on
-        // corrupt post counts) is quarantined rather than plotted. With
-        // healthy inputs this never fires and the artifact is identical.
-        let mut fig4_points: Vec<(usize, f64, u32, u32)> = Vec::with_capacity(metrics.len());
-        for (i, m) in metrics.iter().enumerate() {
-            let pct = m.pct_ewhoring();
-            if pct.is_finite() {
-                fig4_points.push((m.ew_posts, pct, m.days_before, m.days_after));
-            } else {
-                ctx.ledger.record(
-                    "actors",
-                    format!("actor_metric/{i}"),
-                    RecordErrorKind::NonFiniteFeature,
-                );
-            }
-        }
-        // Streaming fork: grow the carried interaction graph by the new
-        // epochs' posts only and warm-start the centrality iteration
-        // from the previous epoch's vector. The warm chain replays
-        // bit-identically from a fresh carry (same fold order, same
-        // fixed iteration budget), which keeps advance ≡ recompute.
+        // Streaming fork: grow the carried interaction graph and the
+        // per-actor metric counters by the new epochs' posts only,
+        // warm-start the centrality iteration from the previous epoch's
+        // vector, and assemble Table 8 / Figure 4 / Table 7 inputs from
+        // the carry instead of rescanning the corpus. The warm chain
+        // replays bit-identically from a fresh carry (same fold order,
+        // same fixed iteration budget; the metric counters are integer
+        // counts and day spans with no float order to preserve), which
+        // keeps advance ≡ recompute.
         let stream = if let Some(spec) = ctx.options.stream {
             let carry = &mut ctx
                 .carry
@@ -65,14 +50,19 @@ impl Stage for ActorsStage {
                 carry.graph = DiGraph::with_nodes(n_actors);
                 carry.influence = vec![1.0 / (n_actors as f64).sqrt(); n_actors];
             }
+            carry.fold.ensure(n_actors);
             let ewset: HashSet<ThreadId> = all_threads.iter().copied().collect();
             let posts = corpus.posts();
             for j in carry.epoch + 1..=spec.upto {
+                // Loop-invariant per epoch: one `epoch_bound` call, one
+                // `partition_point`, then a walk of the slice only.
                 let bound = epoch_bound(&world.config, spec.epochs, j);
                 let boundary = posts.partition_point(|p| p.date <= bound);
                 for post in &posts[carry.cursor..boundary] {
                     let t = post.thread;
-                    if !ewset.contains(&t) {
+                    let in_ew = ewset.contains(&t);
+                    carry.fold.note_post(post.author, post.date, in_ew);
+                    if !in_ew {
                         continue;
                     }
                     // The opening post starts the thread, it replies to
@@ -97,14 +87,54 @@ impl Stage for ActorsStage {
                 );
             }
             carry.epoch = spec.upto;
-            Some((carry.graph.clone(), carry.influence.clone()))
+            // CE-thread ledger grown at creation (board and author are
+            // fixed then); the >50-post qualification is re-checked at
+            // assembly because it can be crossed epochs later.
+            let threads = corpus.threads();
+            for th in &threads[carry.ce_cursor..] {
+                if corpus.board(th.board).category == BoardCategory::CurrencyExchange {
+                    carry.ce_threads.push((th.author, th.id));
+                }
+            }
+            carry.ce_cursor = threads.len();
+            let metrics = carry.fold.metrics();
+            let ce = ce_threads_from_fold(
+                &world.corpus,
+                world.hackforums,
+                &carry.fold,
+                &carry.ce_threads,
+            );
+            Some((metrics, carry.graph.clone(), carry.influence.clone(), ce))
         } else {
             None
         };
-        let (graph, centrality) = match stream {
-            Some((g, c)) => (g, Some(c)),
-            None => (interaction_graph(&world.corpus, all_threads), None),
+        let (metrics, graph, centrality, ce_by_actor) = match stream {
+            Some((m, g, c, ce)) => (m, g, Some(c), ce),
+            None => (
+                actor_metrics(&world.corpus, all_threads),
+                interaction_graph(&world.corpus, all_threads),
+                None,
+                ce_threads_by_actor(&world.corpus, world.hackforums, all_threads),
+            ),
         };
+        let cohorts = cohort_table(&metrics);
+        // Defensive finiteness gate on the Figure 4 scatter: a metric
+        // whose eWhoring percentage comes back non-finite (division on
+        // corrupt post counts) is quarantined rather than plotted. With
+        // healthy inputs this never fires and the artifact is identical.
+        let mut fig4_points: Vec<(usize, f64, u32, u32)> = Vec::with_capacity(metrics.len());
+        for (i, m) in metrics.iter().enumerate() {
+            let pct = m.pct_ewhoring();
+            if pct.is_finite() {
+                fig4_points.push((m.ew_posts, pct, m.days_before, m.days_after));
+            } else {
+                ctx.ledger.record(
+                    "actors",
+                    format!("actor_metric/{i}"),
+                    RecordErrorKind::NonFiniteFeature,
+                );
+            }
+        }
         let pop = popularity(&world.corpus, all_threads);
 
         // Measured per-actor quantities for key-actor selection.
@@ -118,7 +148,6 @@ impl Stage for ActorsStage {
         for proof in &harvest.proofs {
             *earnings_by_actor.entry(proof.actor).or_insert(0.0) += proof.usd;
         }
-        let ce_by_actor = ce_threads_by_actor(&world.corpus, world.hackforums, all_threads);
 
         let inputs = KeyActorInputs {
             metrics: &metrics,
@@ -169,6 +198,35 @@ pub(crate) fn ce_threads_by_actor(
         if n > 0 {
             out.insert(actor, n);
         }
+    }
+    out
+}
+
+/// Streaming form of [`ce_threads_by_actor`]: reads the carried
+/// per-actor eWhoring tallies and CE-thread ledger instead of rescanning
+/// every post in the extraction set. Same gates, re-checked at assembly;
+/// the output map's contents (never its iteration order) feed the
+/// key-actor ranking, so equality of contents is equality of artifact.
+pub(crate) fn ce_threads_from_fold(
+    corpus: &Corpus,
+    hackforums: ForumId,
+    fold: &ActorFold,
+    ce_threads: &[(ActorId, ThreadId)],
+) -> HashMap<ActorId, usize> {
+    let mut out = HashMap::new();
+    for &(actor, t) in ce_threads {
+        let i = actor.0 as usize;
+        if fold.ew_posts[i] <= 50 || corpus.actor(actor).forum != hackforums {
+            continue;
+        }
+        // `threads_started_by` only looks inside the actor's own forum.
+        if corpus.forum_of_thread(t) != hackforums {
+            continue;
+        }
+        if corpus.thread(t).created < fold.first_ew[i] {
+            continue;
+        }
+        *out.entry(actor).or_insert(0) += 1;
     }
     out
 }

@@ -4,7 +4,8 @@
 //! screened through the same hash log the image screening used.
 
 use crate::finance::{
-    analyse_currency_exchange, analyse_earnings, harvest_earnings, harvest_earnings_stream,
+    analyse_currency_exchange, analyse_currency_exchange_stream, analyse_earnings,
+    harvest_earnings, harvest_earnings_stream,
 };
 use crate::pipeline::corruption::RecordErrorKind;
 use crate::pipeline::ctx::require;
@@ -68,8 +69,35 @@ impl Stage for FinanceStage {
             }
         }
 
-        let earnings = analyse_earnings(&harvest);
-        let currency = analyse_currency_exchange(&world.corpus, world.hackforums, all_threads);
+        let (earnings, currency) = if ctx.options.stream.is_some() {
+            let carry = &mut ctx
+                .carry
+                .as_mut()
+                .expect("stream options imply a carry")
+                .finance;
+            // §5.2 aggregates: fold only the proofs that arrived since
+            // the carried cursor — the same `EarningsAgg` code path
+            // `analyse_earnings` runs in one shot, so the warm aggregate
+            // is byte-identical by fold composition. An enabled
+            // corruption plan filters a per-run *copy* of the proof
+            // list, so that path re-aggregates the filtered copy in
+            // full and leaves the clean carry untouched.
+            let earnings = if plan.is_enabled() {
+                analyse_earnings(&harvest)
+            } else {
+                carry.agg.fold(&carry.proofs[carry.agg_cursor..]);
+                carry.agg_cursor = carry.proofs.len();
+                carry.agg.finish()
+            };
+            // Table 7 from the carried per-actor tallies + CE ledger.
+            let currency = analyse_currency_exchange_stream(&world.corpus, world.hackforums, carry);
+            (earnings, currency)
+        } else {
+            (
+                analyse_earnings(&harvest),
+                analyse_currency_exchange(&world.corpus, world.hackforums, all_threads),
+            )
+        };
 
         ctx.note_items(all_threads.len());
         ctx.harvest = Some(harvest);

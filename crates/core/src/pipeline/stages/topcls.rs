@@ -66,35 +66,49 @@ impl Stage for TopClassifierStage {
                 .expect("stream options imply a carry")
                 .topcls;
             let workers = ctx.options.workers;
-            for j in carry.epoch + 1..=spec.upto {
-                let cutoff = epoch_bound(&world.config, spec.epochs, j);
-                // Threads that first appeared in epoch `j`. Extraction
-                // order is prefix-stable under the created-day window,
-                // so this sublist is identical whether computed on the
-                // epoch-`j` world (warm) or the epoch-`upto` one (fresh).
-                let fresh: Vec<ThreadId> = classify_input
-                    .iter()
-                    .copied()
-                    .filter(|&t| {
-                        let created = world.corpus.thread(t).created;
-                        created <= cutoff
-                            && (j == 1 || created > epoch_bound(&world.config, spec.epochs, j - 1))
-                    })
-                    .collect();
+            // Bucket this advance's undecided threads by first-sight
+            // epoch in ONE pass: thread creation days are prefix-stable
+            // under the calendar window, so a thread's epoch never
+            // changes once assigned. This replaces the former per-epoch
+            // full scans (each of which re-evaluated `epoch_bound`
+            // inside the filter closure, per thread) — the epoch bounds
+            // are now hoisted into one small ascending table. Buckets
+            // preserve extraction order, so each sublist is identical
+            // whether computed on the epoch-`j` world (warm) or the
+            // epoch-`upto` one (fresh).
+            let prev_bound = epoch_bound(&world.config, spec.epochs, carry.epoch);
+            let bounds: Vec<_> = (carry.epoch + 1..=spec.upto)
+                .map(|j| epoch_bound(&world.config, spec.epochs, j))
+                .collect();
+            let mut buckets: Vec<Vec<ThreadId>> = vec![Vec::new(); bounds.len()];
+            for &t in classify_input {
+                let created = world.corpus.thread(t).created;
+                // Epoch 1 has no lower cutoff (pre-window threads are
+                // first-sighted there), matching the old filter.
+                if carry.epoch > 0 && created <= prev_bound {
+                    continue; // decided in an earlier advance
+                }
+                // A thread past the last bound is never decided this
+                // advance (same as the old `created <= cutoff` filter).
+                if let Some(i) = bounds.iter().position(|&b| created <= b) {
+                    buckets[i].push(t);
+                }
+            }
+            for (fresh, &cutoff) in buckets.iter().zip(&bounds) {
                 if carry.model.is_none() {
                     carry.model = Some(bootstrap_at(
                         &mut ctx.rng,
                         &world.corpus,
                         &world.catalog,
                         &world.truth,
-                        &fresh,
+                        fresh,
                         cutoff,
                         workers,
                     ));
                 }
                 let model = carry.model.as_ref().expect("bootstrapped above");
                 let decided =
-                    model.decide_at(&world.corpus, &world.catalog, &fresh, cutoff, workers);
+                    model.decide_at(&world.corpus, &world.catalog, fresh, cutoff, workers);
                 carry
                     .decisions
                     .extend(fresh.iter().zip(&decided).map(|(&t, &(ml, h))| (t, ml, h)));

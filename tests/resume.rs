@@ -252,3 +252,94 @@ fn epoch_engine_resumes_from_journaled_boundary() {
 
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// The same boundary-kill drill with fault and corruption injection
+/// active: every epoch checkpoint must persist the epoch's quarantine
+/// ledger and stage-health section (not journal empty placeholders), so
+/// a resumed engine tells the same data-quality story as an unkilled
+/// one — and the final report is still byte-identical.
+#[test]
+fn epoch_engine_resume_preserves_quarantine_across_kill() {
+    use ewhoring_core::pipeline::EpochEngine;
+
+    let dir = temp_dir("epoch-corrupt");
+    let opts = options(2); // fault_severity 1.0, corruption_severity 0.75
+    let epochs = 3;
+    let world = || World::generate(WorldConfig::test_scale(0x3E50));
+
+    // Uninterrupted reference — and proof the corruption plan actually
+    // quarantined records, or the persistence claim goes untested.
+    let mut straight = EpochEngine::new(world(), epochs, opts);
+    let reference_report = straight
+        .advance_to(epochs)
+        .expect("straight run")
+        .expect("at least one epoch");
+    assert!(
+        !reference_report.quarantine.entries().is_empty(),
+        "corruption severity 0.75 must quarantine records at this scale"
+    );
+    let reference = snapshot(&reference_report);
+
+    // Crash after epoch 2, mid-corruption: only the checkpoints survive.
+    {
+        let mut engine =
+            EpochEngine::with_journal(world(), epochs, opts, &dir).expect("open journal");
+        engine.advance_to(2).expect("advance to epoch 2");
+    }
+
+    // The epoch-2 checkpoint record itself carries the ledger and the
+    // health rows, not `quarantined: []` placeholders.
+    let run_dir = run_subdir(&dir);
+    let record_path = fs::read_dir(&run_dir)
+        .expect("read run dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name().is_some_and(|n| {
+                let n = n.to_string_lossy();
+                n.contains("epoch-2") && n.ends_with(".json")
+            })
+        })
+        .expect("epoch-2 checkpoint record exists");
+    // The on-disk file is a checksummed envelope; the stage record is
+    // its embedded `payload` string.
+    let envelope: serde_json::Value =
+        serde_json::from_str(&fs::read_to_string(&record_path).expect("read record"))
+            .expect("checkpoint envelope parses");
+    let payload = envelope
+        .as_object()
+        .and_then(|o| o.get("payload"))
+        .and_then(|p| p.as_str())
+        .expect("envelope embeds the record payload");
+    let record: serde_json::Value =
+        serde_json::from_str(payload).expect("checkpoint record parses");
+    let record = record.as_object().expect("checkpoint record is an object");
+    assert!(
+        record
+            .get("quarantined")
+            .and_then(|q| q.as_array())
+            .is_some_and(|a| !a.is_empty()),
+        "epoch checkpoint must persist the epoch's quarantine ledger"
+    );
+    assert!(
+        record.get("health").and_then(|h| h.as_array()).is_some(),
+        "epoch checkpoint must carry the epoch's stage-health section"
+    );
+
+    // Resume and finish: byte-identical report, quarantine included
+    // (the snapshot serializes the ledger and health sections).
+    let mut resumed =
+        EpochEngine::with_journal(world(), epochs, opts, &dir).expect("reopen journal");
+    assert_eq!(resumed.epoch(), 2, "resumes at the journaled epoch");
+    let report = resumed
+        .advance_to(epochs)
+        .expect("finish resumed run")
+        .expect("one epoch left");
+    assert_eq!(
+        snapshot(&report).as_bytes(),
+        reference.as_bytes(),
+        "resumed report (quarantine and health included) diverged from the unkilled run"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
