@@ -11,9 +11,9 @@
 CARGO ?= cargo
 OFFLINE = --offline --locked
 
-.PHONY: verify fmt-check clippy build test bench-build bench bench-gate smoke-bench-gate bench-serve bench-epoch smoke-epoch smoke-resume smoke-serve clean-journal
+.PHONY: verify fmt-check clippy build test bench-build bench bench-gate smoke-bench-gate bench-serve bench-epoch smoke-epoch smoke-resume smoke-serve bench-shard smoke-shard clean-journal
 
-verify: fmt-check clippy build test bench-build smoke-resume smoke-serve smoke-bench-gate smoke-epoch
+verify: fmt-check clippy build test bench-build smoke-resume smoke-serve smoke-bench-gate smoke-epoch smoke-shard
 
 fmt-check:
 	$(CARGO) fmt --all -- --check
@@ -105,6 +105,35 @@ smoke-epoch: build
 	grep -Eq '"actors": [1-9]' .journals/smoke-epoch/bench.json
 	grep -Eq '"finance": [1-9]' .journals/smoke-epoch/bench.json
 	rm -rf .journals/smoke-epoch
+
+# Supervised-sharding baseline: one unsharded run, one sharded run over
+# the same world, a hard gate on snapshot equality (merge determinism),
+# and BENCH_shard.json with the wall-clock ratio plus the supervision
+# counters. The floor is the `shard` row of BENCH_floor.txt: sharded
+# throughput must stay above that fraction of the unsharded driver's.
+bench-shard:
+	$(CARGO) run $(OFFLINE) --release -p ewhoring-bench --bin report -- \
+		bench shard --scale 0.05 --workers 4 --shards 5 --out BENCH_shard.json \
+		--gate-floor $$(awk '$$1=="shard"{print $$2}' BENCH_floor.txt)
+
+# Sharding smoke test wired into `make verify`: a sharded CLI run must
+# produce a byte-identical snapshot to the unsharded run of the same
+# (scale, seed), and a run with a poisoned shard (every attempt fails)
+# must still complete, reporting the quarantined shard through the
+# supervision counters instead of crashing.
+smoke-shard: build
+	rm -rf .journals/smoke-shard && mkdir -p .journals/smoke-shard
+	./target/release/report 0.02 0x5AD --shards 3 \
+		--snapshot-json .journals/smoke-shard/sharded.json > /dev/null
+	./target/release/report 0.02 0x5AD \
+		--snapshot-json .journals/smoke-shard/unsharded.json > /dev/null
+	cmp .journals/smoke-shard/sharded.json .journals/smoke-shard/unsharded.json
+	./target/release/report 0.02 0x5AD --shards 3 \
+		--poison-shard 1 --poison-severity 1.0 \
+		> /dev/null 2> .journals/smoke-shard/poisoned.log
+	grep -q '1 quarantined' .journals/smoke-shard/poisoned.log
+	grep -q 'quarantine: ' .journals/smoke-shard/poisoned.log
+	rm -rf .journals/smoke-shard
 
 # Kill-and-resume smoke test over the checkpoint journal: run the first
 # four stages with a journal (simulated crash at the stage boundary),

@@ -18,7 +18,7 @@
 //! the legacy batch form (`report -- 0.3 0xSEED --flags…`), so every
 //! pre-service script keeps working.
 
-use ewhoring_core::pipeline::RunSpec;
+use ewhoring_core::pipeline::{RunSpec, ShardPoison};
 use std::fmt;
 
 /// A rejected command line: what was wrong, in one line. The dispatcher
@@ -46,6 +46,7 @@ subcommands:
   report   (default)  one batch pipeline run, report to stdout
            [scale] [seed] [--workers N] [--faults S] [--corruption S]
            [--epochs K] [--upto E] [--incremental]
+           [--shards N] [--poison-shard K] [--poison-panics M] [--poison-severity S]
            [--json PATH] [--snapshot-json PATH] [--bench-json PATH]
            [--journal-dir PATH] [--resume] [--stop-after N] [--intervention]
   serve    long-running pipeline service (line-delimited JSON over TCP)
@@ -61,6 +62,11 @@ subcommands:
            epoch-advance delta vs full recompute, written as BENCH_epoch.json
            [--scale S] [--seed SEED] [--workers N] [--epochs K] [--out PATH]
            [--gate-floor FINAL_EPOCH_SPEEDUP] [--flat-ceiling RATIO]
+  bench shard
+           supervised sharded run vs the unsharded driver, written as
+           BENCH_shard.json; fails hard if their snapshots differ
+           [--scale S] [--seed SEED] [--workers N] [--shards N] [--out PATH]
+           [--gate-floor SHARDED_OVER_UNSHARDED_RATIO]
   help     this text"
 }
 
@@ -87,6 +93,10 @@ pub struct ReportArgs {
     /// epoch engine, one warm advance per epoch, instead of one full
     /// stream-mode recompute.
     pub incremental: bool,
+    /// `--poison-shard K` (+ `--poison-panics` / `--poison-severity`):
+    /// inject a calibrated fault into shard `K` of a sharded run, to
+    /// exercise the restart and quarantine paths from the CLI.
+    pub poison: Option<ShardPoison>,
 }
 
 /// `serve` arguments.
@@ -193,6 +203,11 @@ pub struct BenchArgs {
     pub epoch: bool,
     /// `--epochs K` (epoch mode): how many slices to advance through.
     pub epochs: u32,
+    /// `bench shard`: measure the supervised sharded driver against
+    /// the unsharded run (and hard-gate on snapshot equality).
+    pub shard: bool,
+    /// `--shards N` (shard mode): shard count for the sharded leg.
+    pub shards: usize,
 }
 
 impl Default for BenchArgs {
@@ -206,6 +221,8 @@ impl Default for BenchArgs {
             flat_ceiling: None,
             epoch: false,
             epochs: 6,
+            shard: false,
+            shards: 5,
         }
     }
 }
@@ -271,6 +288,10 @@ fn parse_seed(flag: &str, raw: &str) -> Result<u64, CliError> {
 fn parse_report(args: &[String]) -> Result<ReportArgs, CliError> {
     let mut out = ReportArgs::default();
     let mut positional = 0;
+    let mut poison_shard: Option<u32> = None;
+    let mut poison_panics: u32 = 1;
+    let mut poison_severity: f64 = 0.0;
+    let mut poison_tuning = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -287,6 +308,16 @@ fn parse_report(args: &[String]) -> Result<ReportArgs, CliError> {
             "--epochs" => out.spec.epochs = parse_num(arg, take_value(arg, &mut it)?)?,
             "--upto" => out.spec.upto = parse_num(arg, take_value(arg, &mut it)?)?,
             "--incremental" => out.incremental = true,
+            "--shards" => out.spec.shards = parse_num(arg, take_value(arg, &mut it)?)?,
+            "--poison-shard" => poison_shard = Some(parse_num(arg, take_value(arg, &mut it)?)?),
+            "--poison-panics" => {
+                poison_panics = parse_num(arg, take_value(arg, &mut it)?)?;
+                poison_tuning = true;
+            }
+            "--poison-severity" => {
+                poison_severity = parse_num(arg, take_value(arg, &mut it)?)?;
+                poison_tuning = true;
+            }
             flag if flag.starts_with('-') => return err(format!("unknown flag `{flag}`")),
             _ => {
                 match positional {
@@ -303,6 +334,34 @@ fn parse_report(args: &[String]) -> Result<ReportArgs, CliError> {
     }
     if out.spec.upto > 0 && out.spec.epochs == 0 {
         return err("`--upto` requires `--epochs K`");
+    }
+    if out.spec.shards > 0 && out.spec.epochs > 0 {
+        return err("`--shards` is batch-only; it cannot be combined with `--epochs`");
+    }
+    if out.spec.shards > 0 && out.journal_dir.is_some() {
+        return err("`--shards` cannot be combined with `--journal-dir` (sharded runs recompute)");
+    }
+    match poison_shard {
+        Some(shard) => {
+            if out.spec.shards == 0 {
+                return err("`--poison-shard` requires `--shards N`");
+            }
+            if shard as usize >= out.spec.shards {
+                return err(format!(
+                    "`--poison-shard {shard}` is out of range for `--shards {}`",
+                    out.spec.shards
+                ));
+            }
+            out.poison = Some(ShardPoison {
+                shard,
+                panics: poison_panics,
+                severity: poison_severity,
+            });
+        }
+        None if poison_tuning => {
+            return err("`--poison-panics`/`--poison-severity` require `--poison-shard K`");
+        }
+        None => {}
     }
     Ok(out)
 }
@@ -374,6 +433,10 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
         out.epoch = true;
         out.out = "BENCH_epoch.json".to_string();
         args = &args[1..];
+    } else if args.first().map(String::as_str) == Some("shard") {
+        out.shard = true;
+        out.out = "BENCH_shard.json".to_string();
+        args = &args[1..];
     }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -390,6 +453,12 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, CliError> {
                 out.epochs = parse_num(arg, take_value(arg, &mut it)?)?;
                 if out.epochs == 0 {
                     return err("`--epochs` must be at least 1");
+                }
+            }
+            "--shards" if out.shard => {
+                out.shards = parse_num(arg, take_value(arg, &mut it)?)?;
+                if out.shards == 0 {
+                    return err("`--shards` must be at least 1");
                 }
             }
             other => return err(format!("unknown bench argument `{other}`")),
@@ -565,6 +634,67 @@ mod tests {
         let e = Command::parse(&args(&["bench", "--epochs", "3"])).unwrap_err();
         assert!(e.0.contains("unknown bench argument"), "{e}");
         let e = Command::parse(&args(&["bench", "--flat-ceiling", "1.5"])).unwrap_err();
+        assert!(e.0.contains("unknown bench argument"), "{e}");
+    }
+
+    #[test]
+    fn shard_flags_parse_and_are_validated() {
+        let cmd = Command::parse(&args(&[
+            "0.02",
+            "7",
+            "--shards",
+            "5",
+            "--poison-shard",
+            "2",
+            "--poison-panics",
+            "3",
+            "--poison-severity",
+            "1.0",
+        ]))
+        .expect("sharded report form parses");
+        let Command::Report(report) = cmd else {
+            panic!("expected Report");
+        };
+        assert_eq!(report.spec.shards, 5);
+        let poison = report.poison.expect("poison parsed");
+        assert_eq!((poison.shard, poison.panics), (2, 3));
+        assert_eq!(poison.severity, 1.0);
+
+        let e = Command::parse(&args(&["--poison-shard", "0"])).unwrap_err();
+        assert!(e.0.contains("--shards"), "{e}");
+        let e = Command::parse(&args(&["--poison-panics", "2"])).unwrap_err();
+        assert!(e.0.contains("--poison-shard"), "{e}");
+        let e = Command::parse(&args(&["--shards", "2", "--poison-shard", "2"])).unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+        let e = Command::parse(&args(&["--shards", "2", "--epochs", "3"])).unwrap_err();
+        assert!(e.0.contains("batch-only"), "{e}");
+        let e = Command::parse(&args(&["--shards", "2", "--journal-dir", ".j"])).unwrap_err();
+        assert!(e.0.contains("journal-dir"), "{e}");
+    }
+
+    #[test]
+    fn bench_shard_mode_parses() {
+        let cmd = Command::parse(&args(&[
+            "bench",
+            "shard",
+            "--scale",
+            "0.05",
+            "--shards",
+            "3",
+            "--gate-floor",
+            "0.25",
+        ]))
+        .expect("bench shard parses");
+        let Command::Bench(b) = cmd else {
+            panic!("expected Bench");
+        };
+        assert!(b.shard);
+        assert_eq!(b.shards, 3);
+        assert_eq!(b.out, "BENCH_shard.json", "shard mode default output");
+        assert_eq!(b.gate_floor, Some(0.25));
+
+        // `--shards` belongs to shard mode only.
+        let e = Command::parse(&args(&["bench", "--shards", "3"])).unwrap_err();
         assert!(e.0.contains("unknown bench argument"), "{e}");
     }
 

@@ -54,6 +54,7 @@ fn spec_for(args: &LoadGenArgs, client: usize, slot: usize) -> RunSpec {
         corruption: 0.0,
         epochs: 0,
         upto: 0,
+        shards: 0,
     }
 }
 
@@ -281,6 +282,7 @@ pub fn fetch_snapshot(args: &LoadGenArgs) -> Result<String, String> {
         corruption: 0.0,
         epochs: 0,
         upto: 0,
+        shards: 0,
     };
     let mut conn = Client::connect(&args.addr)?;
     let run = conn.call(&Request::Run(spec))?;

@@ -61,6 +61,7 @@ impl Request {
                 map.insert("corruption", Value::Float(spec.corruption));
                 map.insert("epochs", Value::UInt(spec.epochs as u128));
                 map.insert("upto", Value::UInt(spec.upto as u128));
+                map.insert("shards", Value::UInt(spec.shards as u128));
             }
             Request::Status(key) | Request::Report(key) | Request::Health(key) => {
                 let cmd = match self {
@@ -141,6 +142,7 @@ fn decode_spec(map: &serde::Map) -> Result<RunSpec, String> {
         corruption: f64_field(map, "corruption", defaults.corruption)?,
         epochs: u64_field(map, "epochs", defaults.epochs as u64)? as u32,
         upto: u64_field(map, "upto", defaults.upto as u64)? as u32,
+        shards: u64_field(map, "shards", defaults.shards as u64)? as usize,
     })
 }
 
@@ -221,6 +223,7 @@ mod tests {
             corruption: 0.25,
             epochs: 4,
             upto: 3,
+            shards: 2,
         };
         let line = Request::Run(spec).encode();
         assert_eq!(Request::decode(&line), Ok(Request::Run(spec)));
@@ -251,6 +254,7 @@ mod tests {
             (d.seed, d.workers, d.faults, d.corruption)
         );
         assert_eq!((spec.epochs, spec.upto), (0, 0), "batch by default");
+        assert_eq!(spec.shards, 0, "unsharded by default");
     }
 
     #[test]

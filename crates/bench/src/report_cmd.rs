@@ -36,7 +36,10 @@ fn generate_world(spec: &RunSpec) -> World {
 pub fn main(args: &ReportArgs) -> Result<(), String> {
     let spec = args.spec;
     let world = generate_world(&spec);
-    let options = spec.options();
+    let options = PipelineOptions {
+        poison: args.poison,
+        ..spec.options()
+    };
     let t = Instant::now();
     // Streamed specs (`--epochs K`) never stage-journal — that path is
     // batch-only — so they are routed first: either one fresh run
@@ -168,6 +171,13 @@ pub fn main(args: &ReportArgs) -> Result<(), String> {
             t.source.as_str()
         );
     }
+    if spec.shards > 0 {
+        let s = report.supervision;
+        eprintln!(
+            "  supervision: {} shard run(s), {} restarted, {} quarantined",
+            s.shards_run, s.shards_restarted, s.shards_quarantined
+        );
+    }
     if !report.quarantine.is_empty() || !report.health.is_empty() {
         eprintln!(
             "  quarantine: {} record(s) quarantined, {} stage intervention(s) — see the pipeline-health section",
@@ -241,6 +251,9 @@ pub fn bench_main(args: &BenchArgs) -> Result<(), String> {
     if args.epoch {
         return bench_epoch_main(args);
     }
+    if args.shard {
+        return bench_shard_main(args);
+    }
     let spec = RunSpec {
         scale: args.scale,
         seed: args.seed,
@@ -249,6 +262,7 @@ pub fn bench_main(args: &BenchArgs) -> Result<(), String> {
         corruption: 0.0,
         epochs: 0,
         upto: 0,
+        shards: 0,
     };
     let world = generate_world(&spec);
     let t = Instant::now();
@@ -298,6 +312,7 @@ fn bench_epoch_main(args: &BenchArgs) -> Result<(), String> {
         corruption: 0.0,
         epochs: args.epochs,
         upto: 0,
+        shards: 0,
     };
     let world = generate_world(&spec);
     let mut engine = EpochEngine::new(world, spec.epochs, spec.options());
@@ -423,6 +438,112 @@ fn bench_epoch_main(args: &BenchArgs) -> Result<(), String> {
                 "flatness gate passed: final advance per-new-thread cost {flat:.2}x the warm median (ceiling {ceiling:.2}x)"
             ),
         }
+    }
+    Ok(())
+}
+
+/// The `bench shard` mode: one unsharded run, one supervised sharded
+/// run over the same world, a hard gate on snapshot equality (the merge
+/// coordinator's byte-identity contract, also CI-enforced in
+/// `tests/determinism.rs`), and `BENCH_shard.json` recording the
+/// wall-clock ratio plus the supervision counters.
+fn bench_shard_main(args: &BenchArgs) -> Result<(), String> {
+    use std::fmt::Write as _;
+
+    let spec = RunSpec {
+        scale: args.scale,
+        seed: args.seed,
+        workers: args.workers,
+        faults: 0.0,
+        corruption: 0.0,
+        epochs: 0,
+        upto: 0,
+        shards: 0,
+    };
+    let world = generate_world(&spec);
+    let t = Instant::now();
+    let unsharded = Pipeline::new(spec.options()).run(&world);
+    let unsharded_us = t.elapsed().as_micros();
+    eprintln!(
+        "unsharded run finished in {:.1} ms",
+        unsharded_us as f64 / 1_000.0
+    );
+    let t = Instant::now();
+    let sharded = Pipeline::new(PipelineOptions {
+        shards: args.shards,
+        ..spec.options()
+    })
+    .run(&world);
+    let sharded_us = t.elapsed().as_micros();
+    eprintln!(
+        "sharded run (shards={}) finished in {:.1} ms",
+        args.shards,
+        sharded_us as f64 / 1_000.0
+    );
+    let unsharded_snap = snapshot_json(&unsharded).map_err(|e| format!("render snapshot: {e}"))?;
+    let sharded_snap = snapshot_json(&sharded).map_err(|e| format!("render snapshot: {e}"))?;
+    if unsharded_snap != sharded_snap {
+        return Err(format!(
+            "sharded run (shards={}) diverged from the unsharded driver — merge determinism violated",
+            args.shards
+        ));
+    }
+    eprintln!("snapshots identical: sharded merge matches the unsharded driver byte-for-byte");
+    // The gate ratio: sharded throughput relative to unsharded
+    // (unsharded wall / sharded wall). 1.0 = free sharding; the floor
+    // bounds the supervision overhead from below.
+    let ratio = if sharded_us > 0 {
+        unsharded_us as f64 / sharded_us as f64
+    } else {
+        0.0
+    };
+    let s = sharded.supervision;
+    eprintln!(
+        "supervision: {} shard run(s), {} restarted, {} quarantined",
+        s.shards_run, s.shards_restarted, s.shards_quarantined
+    );
+    let stage_map = |timings: &[StageTiming]| {
+        let mut out = String::new();
+        for (i, t) in timings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\": {}",
+                if i > 0 { ", " } else { "" },
+                t.stage,
+                t.wall_us
+            );
+        }
+        out
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let note = if cores == 1 {
+        "\n  \"note\": \"available_parallelism is 1; shard workers ran effectively serial, so the ratio measures supervision overhead, not scaling\","
+    } else {
+        ""
+    };
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"shards\": {},\n  \"available_parallelism\": {cores},{note}\n  \"unsharded_us\": {unsharded_us},\n  \"sharded_us\": {sharded_us},\n  \"sharded_over_unsharded_ratio\": {ratio:.2},\n  \"snapshot_identical\": true,\n  \"supervision\": {{ \"shards_run\": {}, \"shards_restarted\": {}, \"shards_quarantined\": {} }},\n  \"unsharded_stage_us\": {{ {} }},\n  \"sharded_stage_us\": {{ {} }}\n}}\n",
+        spec.scale,
+        spec.seed,
+        spec.workers,
+        args.shards,
+        s.shards_run,
+        s.shards_restarted,
+        s.shards_quarantined,
+        stage_map(&unsharded.timings),
+        stage_map(&sharded.timings),
+    );
+    std::fs::write(&args.out, json).map_err(|e| format!("write `{}`: {e}", args.out))?;
+    eprintln!("shard bench written to {}", args.out);
+    if let Some(floor) = args.gate_floor {
+        if ratio < floor {
+            return Err(format!(
+                "bench gate FAILED: sharded run reached {ratio:.2}x the unsharded throughput, floor is {floor:.2}x"
+            ));
+        }
+        eprintln!(
+            "bench gate passed: sharded run at {ratio:.2}x the unsharded throughput (floor {floor:.2}x)"
+        );
     }
     Ok(())
 }

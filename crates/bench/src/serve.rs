@@ -363,6 +363,16 @@ fn health_value(report: &PipelineReport) -> Value {
         Value::UInt(report.crawl.unreachable_links as u128),
     );
     crawl.insert("wait_us", Value::UInt(cs.wait_us.total() as u128));
+    // The supervision counters: all zero for unsharded runs, the
+    // run/restart/quarantine tallies for supervised sharded runs.
+    let mut supervision = serde::Map::new();
+    let s = &report.supervision;
+    supervision.insert("shards_run", Value::UInt(s.shards_run as u128));
+    supervision.insert("shards_restarted", Value::UInt(s.shards_restarted as u128));
+    supervision.insert(
+        "shards_quarantined",
+        Value::UInt(s.shards_quarantined as u128),
+    );
     let mut map = serde::Map::new();
     map.insert("stages", Value::Array(stages));
     map.insert(
@@ -371,6 +381,7 @@ fn health_value(report: &PipelineReport) -> Value {
     );
     map.insert("stage_events", Value::Array(events));
     map.insert("crawl", Value::Object(crawl));
+    map.insert("supervision", Value::Object(supervision));
     Value::Object(map)
 }
 

@@ -20,6 +20,7 @@ fn tiny(seed: u64) -> RunSpec {
         corruption: 0.0,
         epochs: 0,
         upto: 0,
+        shards: 0,
     }
 }
 
@@ -119,6 +120,18 @@ fn full_lifecycle_over_the_wire_matches_the_batch_snapshot() {
     assert!(!stages.is_empty());
     assert!(payload.get("crawl").and_then(|v| v.as_object()).is_some());
     assert!(payload.get("quarantined_records").is_some());
+    // Supervision counters ride along; all zero for an unsharded run.
+    let supervision = payload
+        .get("supervision")
+        .and_then(|v| v.as_object())
+        .expect("supervision object");
+    for field in ["shards_run", "shards_restarted", "shards_quarantined"] {
+        assert_eq!(
+            supervision.get(field).and_then(serde::Value::as_u64),
+            Some(0),
+            "{field} of an unsharded run"
+        );
+    }
 
     // A malformed line is an error response, not a dropped connection.
     let bad = wire.send_line(r#"{"cmd":"fly"}"#);
@@ -181,6 +194,60 @@ fn advance_over_the_wire_matches_the_batch_stream_snapshot() {
     assert_eq!(
         wire_snapshot,
         snapshot_json(&batch).expect("batch snapshot")
+    );
+
+    wire.call(&Request::Shutdown);
+    handle.join().expect("server thread exits");
+}
+
+/// A sharded `run` request routes through the supervised driver, shares
+/// the unsharded spec's run key (shard count is execution topology),
+/// and reports its supervision counters through `health`.
+#[test]
+fn sharded_run_over_the_wire_matches_and_reports_supervision() {
+    let (_server, handle, addr) = start_server(2);
+    let sharded = RunSpec {
+        shards: 3,
+        ..tiny(0xC0FFEE)
+    };
+    let mut wire = Wire::connect(&addr);
+
+    let run = wire.call(&Request::Run(sharded));
+    assert!(run.is_ok(), "{:?}", run.error_text());
+    let key = run.str_field("run_key").expect("run key").to_string();
+    assert_eq!(
+        key,
+        tiny(0xC0FFEE).run_key().expect("run key"),
+        "shard count must not fork the run key"
+    );
+
+    // The wire snapshot equals a batch *unsharded* run byte-for-byte —
+    // the merge coordinator's determinism contract over the service.
+    let report = wire.call(&Request::Report(key.clone()));
+    let wire_snapshot = report.str_field("snapshot").expect("snapshot field");
+    let world = World::generate(sharded.world_config());
+    let batch = Pipeline::new(tiny(0xC0FFEE).options()).run(&world);
+    assert_eq!(
+        wire_snapshot,
+        snapshot_json(&batch).expect("batch snapshot")
+    );
+
+    let health = wire.call(&Request::Health(key));
+    let payload = health.field("health").and_then(|v| v.as_object()).unwrap();
+    let supervision = payload
+        .get("supervision")
+        .and_then(|v| v.as_object())
+        .expect("supervision object");
+    assert_eq!(
+        supervision.get("shards_run").and_then(serde::Value::as_u64),
+        Some(6),
+        "3 shards through 2 supervised rounds (survey + tokenize)"
+    );
+    assert_eq!(
+        supervision
+            .get("shards_quarantined")
+            .and_then(serde::Value::as_u64),
+        Some(0)
     );
 
     wire.call(&Request::Shutdown);

@@ -123,6 +123,23 @@ impl ActorFold {
         }
     }
 
+    /// Merges another fold's counters in — the shard coordinator's half
+    /// of the fold. Counts add; first/last days take min/max, matching
+    /// the sentinels [`ActorFold::ensure`] seeds. Because every post is
+    /// folded into exactly one shard's partial, merging the partials in
+    /// any order reproduces the single-process fold exactly.
+    pub fn merge(&mut self, other: &ActorFold) {
+        self.ensure(other.ew_posts.len());
+        for i in 0..other.ew_posts.len() {
+            self.ew_posts[i] += other.ew_posts[i];
+            self.total_posts[i] += other.total_posts[i];
+            self.first_ew[i] = self.first_ew[i].min(other.first_ew[i]);
+            self.last_ew[i] = self.last_ew[i].max(other.last_ew[i]);
+            self.first_post[i] = self.first_post[i].min(other.first_post[i]);
+            self.last_post[i] = self.last_post[i].max(other.last_post[i]);
+        }
+    }
+
     /// Assembles the [`actor_metrics`] rows from the carried counters:
     /// every actor with at least one eWhoring post, in ascending actor
     /// id — the same order `actor_metrics` sorts into.

@@ -47,16 +47,27 @@ impl EwhoringSet {
 
 /// Runs the §3 extraction over the corpus.
 pub fn extract_ewhoring_threads(corpus: &Corpus) -> EwhoringSet {
+    extract_ewhoring_threads_in(corpus, 0..corpus.forums().len())
+}
+
+/// Runs the §3 extraction for one contiguous span of forums (by corpus
+/// index) — the shard-worker seam. Extraction is per-forum independent:
+/// a thread's `seen` entry can only be produced by its own forum's
+/// boards, so restricting both loops to `forums` yields exactly the
+/// `per_forum` rows the full extraction produces for those forums, in
+/// the same order. The returned set's `per_forum` covers only the span.
+pub fn extract_ewhoring_threads_in(corpus: &Corpus, forums: std::ops::Range<usize>) -> EwhoringSet {
+    let span = &corpus.forums()[forums.clone()];
     let mut per_forum: Vec<(ForumId, Vec<ThreadId>)> =
-        corpus.forums().iter().map(|f| (f.id, Vec::new())).collect();
+        span.iter().map(|f| (f.id, Vec::new())).collect();
 
     // Dedicated-board threads (Hackforums' eWhoring section).
     let mut seen: HashSet<ThreadId> = HashSet::new();
-    for forum in corpus.forums() {
+    for (slot, forum) in span.iter().enumerate() {
         for board in corpus.boards_in_category(forum.id, BoardCategory::EWhoring) {
             for &t in corpus.threads_in_board(board.id) {
                 if seen.insert(t) {
-                    per_forum[forum.id.index()].1.push(t);
+                    per_forum[slot].1.push(t);
                 }
             }
         }
@@ -70,8 +81,10 @@ pub fn extract_ewhoring_threads(corpus: &Corpus) -> EwhoringSet {
         }
         if heading_is_ewhoring(&thread.heading) {
             let forum = corpus.board(thread.board).forum;
-            seen.insert(thread.id);
-            per_forum[forum.index()].1.push(thread.id);
+            if forums.contains(&forum.index()) {
+                seen.insert(thread.id);
+                per_forum[forum.index() - forums.start].1.push(thread.id);
+            }
         }
     }
 
@@ -152,5 +165,27 @@ mod tests {
     fn empty_corpus_extracts_nothing() {
         let set = extract_ewhoring_threads(&Corpus::default());
         assert!(set.is_empty());
+    }
+
+    /// The shard seam: per-forum spans concatenate to the full set.
+    #[test]
+    fn forum_spans_concatenate_to_full_extraction() {
+        let c = corpus();
+        let full = extract_ewhoring_threads(&c);
+        for split in 1..=c.forums().len() {
+            let a = extract_ewhoring_threads_in(&c, 0..split);
+            let b = extract_ewhoring_threads_in(&c, split..c.forums().len());
+            let stitched: Vec<_> = a
+                .per_forum
+                .iter()
+                .chain(b.per_forum.iter())
+                .cloned()
+                .collect();
+            assert_eq!(
+                serde_json::to_string(&stitched).unwrap(),
+                serde_json::to_string(&full.per_forum).unwrap(),
+                "split at {split}"
+            );
+        }
     }
 }

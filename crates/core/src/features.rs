@@ -196,8 +196,19 @@ impl FeatureExtractor {
     pub fn fit(corpus: &Corpus, train: &[ThreadId], workers: usize) -> FeatureExtractor {
         let docs: Vec<Vec<String>> =
             crate::par::par_map(train, workers, |&t| thread_tokens(corpus, t));
+        Self::fit_from_docs(&docs, workers)
+    }
+
+    /// Fits vocabulary and IDF on pre-tokenised documents, one per
+    /// training thread **in training order**. This is the merge seam for
+    /// sharded runs: shard workers tokenise their contiguous span of the
+    /// training set, the coordinator concatenates the per-shard document
+    /// lists in shard order (= training order), and this fit — vocabulary
+    /// union, document-term matrix, IDF — is then byte-identical to a
+    /// single-process [`FeatureExtractor::fit`] over the same threads.
+    pub fn fit_from_docs(docs: &[Vec<String>], workers: usize) -> FeatureExtractor {
         let vocab = Vocabulary::build(docs.iter().map(|d| d.iter()), 2);
-        let dtm = textkit::dtm::DocTermMatrix::from_docs_par(&vocab, &docs, workers);
+        let dtm = textkit::dtm::DocTermMatrix::from_docs_par(&vocab, docs, workers);
         let tfidf = TfIdf::fit_par(&dtm, workers);
         FeatureExtractor { vocab, tfidf }
     }

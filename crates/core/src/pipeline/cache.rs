@@ -58,6 +58,10 @@ pub struct RunSpec {
     pub epochs: u32,
     /// Epoch to report at in streaming mode; `0` = the final epoch.
     pub upto: u32,
+    /// Supervised shard workers; `0` = the classic unsharded driver.
+    /// Excluded from the run key — output is shard-count-independent,
+    /// exactly like `workers`.
+    pub shards: usize,
 }
 
 impl Default for RunSpec {
@@ -70,6 +74,7 @@ impl Default for RunSpec {
             corruption: 0.0,
             epochs: 0,
             upto: 0,
+            shards: 0,
         }
     }
 }
@@ -99,6 +104,7 @@ impl RunSpec {
                 epochs: self.epochs,
                 upto: self.effective_upto(),
             }),
+            shards: self.shards,
             ..PipelineOptions::default()
         }
     }
@@ -134,6 +140,10 @@ pub fn snapshot_json(report: &PipelineReport) -> Result<String, StageError> {
     })?;
     if let Some(obj) = value.as_object_mut() {
         obj.remove("timings");
+        // Supervision counters are scheduling bookkeeping, like
+        // timings: a sharded run's snapshot must equal the unsharded
+        // run's byte-for-byte.
+        obj.remove("supervision");
     }
     serde_json::to_string_pretty(&value).map_err(|e| StageError::CorruptArtifact {
         path: "snapshot".to_string(),
@@ -280,9 +290,12 @@ impl RunCache {
         let options = spec.options();
         let pipeline = Pipeline::new(options);
         let report = match (&self.journal_root, options.stream) {
-            (Some(root), None) => pipeline.run_resumable(&world, root)?,
+            // Stage-level journaling covers the unsharded batch driver
+            // only; sharded runs always compute through the supervised
+            // driver (their snapshot is identical either way).
+            (Some(root), None) if options.shards == 0 => pipeline.run_resumable(&world, root)?,
             (_, Some(stream)) => pipeline.run(&super::epoch::stream_world(world, stream)),
-            (None, None) => pipeline.run(&world),
+            _ => pipeline.run(&world),
         };
         Ok(Arc::new(report))
     }
@@ -302,6 +315,7 @@ mod tests {
             corruption: 0.0,
             epochs: 0,
             upto: 0,
+            shards: 0,
         }
     }
 
@@ -312,6 +326,16 @@ mod tests {
             base,
             RunSpec {
                 workers: 7,
+                ..tiny(1)
+            }
+            .run_key()
+            .unwrap()
+        );
+        // Shard count is execution topology, not a different run.
+        assert_eq!(
+            base,
+            RunSpec {
+                shards: 5,
                 ..tiny(1)
             }
             .run_key()

@@ -34,6 +34,9 @@ pub enum RecordErrorKind {
     CorruptImageBytes,
     /// A numeric input that produced a non-finite value.
     NonFiniteFeature,
+    /// A whole shard exhausted its restart budget and was quarantined
+    /// by the supervisor; its partition is missing from the report.
+    ShardFailure,
 }
 
 impl RecordErrorKind {
@@ -45,6 +48,7 @@ impl RecordErrorKind {
             RecordErrorKind::InvalidUtf8Heading => "invalid UTF-8 heading",
             RecordErrorKind::CorruptImageBytes => "corrupt image bytes",
             RecordErrorKind::NonFiniteFeature => "non-finite feature",
+            RecordErrorKind::ShardFailure => "shard failure",
         }
     }
 }

@@ -346,6 +346,13 @@ pub struct StageCtx<'w> {
     /// it, and put it back so the driver can hand it to the next epoch.
     /// Always `None` in batch mode — batch stages never look at it.
     pub carry: Option<super::epoch::EpochCarry>,
+    /// Sharded mode only: the merged per-shard actor partials (fold
+    /// counters, interaction edges, CE ledger) the shard coordinator
+    /// hands to the `actors` stage. Always `None` in batch mode.
+    pub shard_actors: Option<super::shard::ShardActorPartials>,
+    /// Supervision counters (shards run / restarted / quarantined);
+    /// all zero on an unsharded run.
+    pub supervision: super::Supervision,
 
     // ---- artifacts, in production order ----
     /// Stage `extract`: the extraction set (§3).
@@ -476,6 +483,8 @@ impl<'w> StageCtx<'w> {
             items: 0,
             health: Vec::new(),
             carry: options.stream.map(|_| super::epoch::EpochCarry::default()),
+            shard_actors: None,
+            supervision: super::Supervision::default(),
             extraction: None,
             all_threads: None,
             topcls: None,
@@ -552,6 +561,7 @@ impl<'w> StageCtx<'w> {
             interests: take!(interests),
             quarantine: self.ledger,
             health: self.health,
+            supervision: self.supervision,
             timings: self.timings,
         })
     }

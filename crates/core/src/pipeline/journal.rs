@@ -70,10 +70,18 @@ pub fn run_key(config: &WorldConfig, options: &PipelineOptions) -> Result<String
         .map_err(|e| corrupt("run-key", format!("options do not serialize: {e}")))?;
     if let Some(map) = opts.as_object_mut() {
         map.remove("workers");
+        // Shard count is execution topology, like `workers`: the
+        // supervised driver produces the same artifacts at every shard
+        // count, so it must not fork the run key either.
+        map.remove("shards");
         // A batch run (`stream: None`) must keep the pre-stream run key,
         // so journals written before the epoch pipeline stay resumable.
         if map.get("stream") == Some(&serde::Value::Null) {
             map.remove("stream");
+        }
+        // Likewise an unpoisoned run keeps the pre-shard run key.
+        if map.get("poison") == Some(&serde::Value::Null) {
+            map.remove("poison");
         }
     }
     let opts_json = serde::render(&opts);

@@ -43,6 +43,7 @@ pub mod corruption;
 pub mod ctx;
 pub mod epoch;
 pub mod journal;
+pub mod shard;
 pub mod stages;
 
 pub use cache::{snapshot_json, CachedRun, RunCache, RunSpec, RunStatus};
@@ -52,6 +53,7 @@ pub use ctx::{
 };
 pub use epoch::{stream_world, EpochCarry, EpochEngine};
 pub use journal::Journal;
+pub use shard::{RestartPolicy, RoundOutcome, RoundStats, ShardPoison, Supervision, Supervisor};
 pub use stages::measure::measure_batch;
 
 use crate::actors::{CohortRow, GroupProfile, InterestEvolution, KeyActors};
@@ -110,6 +112,17 @@ pub struct PipelineOptions {
     /// `None` (default) is the classic whole-dataset batch pipeline,
     /// byte-identical to the pre-streaming code.
     pub stream: Option<StreamSpec>,
+    /// Shard the run by forum across `shards` supervised worker threads
+    /// (`0`, the default, is the classic unsharded driver). The merged
+    /// report is byte-identical at every shard count, so — like
+    /// `workers` — this knob is excluded from the journal run key.
+    /// Mutually exclusive with `stream` (the epoch engine has its own
+    /// incremental driver).
+    pub shards: usize,
+    /// Deterministic shard-failure injection for supervision tests
+    /// (panics and/or hard errors on one shard); `None` (default)
+    /// injects nothing. Only meaningful when `shards > 0`.
+    pub poison: Option<shard::ShardPoison>,
 }
 
 impl Default for PipelineOptions {
@@ -121,6 +134,8 @@ impl Default for PipelineOptions {
             fault_severity: 0.0,
             corruption_severity: 0.0,
             stream: None,
+            shards: 0,
+            poison: None,
         }
     }
 }
@@ -272,6 +287,11 @@ pub struct PipelineReport {
     /// Stage-health events (recovered retries, degradations). Empty on
     /// a clean run.
     pub health: Vec<StageHealth>,
+    /// Supervision counters for sharded runs (shards run / restarted /
+    /// quarantined); all zero on an unsharded run. Stripped from
+    /// determinism snapshots alongside `timings` — restarts are
+    /// scheduling events, not measurements.
+    pub supervision: Supervision,
     /// Wall-clock + throughput per executed stage.
     pub timings: StageTimings,
 }
@@ -316,7 +336,21 @@ impl Pipeline {
     }
 
     /// Runs every stage against `world` and assembles the report.
+    ///
+    /// With `options.shards > 0` the run executes through the
+    /// supervised shard driver ([`shard::run_sharded`]): the corpus
+    /// scans fan out per-forum across panic-isolated shard workers and
+    /// a merge coordinator folds the partials — byte-identical to the
+    /// unsharded run at every shard count.
     pub fn run(&self, world: &World) -> PipelineReport {
+        if self.options.shards > 0 {
+            assert!(
+                self.options.stream.is_none(),
+                "sharded execution is batch-only; epoch streaming has its own driver"
+            );
+            return shard::run_sharded(self.options, world)
+                .expect("the sharded driver produces every artifact");
+        }
         self.run_prefix(world, usize::MAX)
             .and_then(StageCtx::into_report)
             .expect("the full stage graph produces every artifact")
@@ -348,6 +382,10 @@ impl Pipeline {
         assert!(
             self.options.stream.is_some(),
             "run_with_carry requires PipelineOptions::stream"
+        );
+        assert!(
+            self.options.shards == 0,
+            "sharded execution is batch-only; epoch streaming has its own driver"
         );
         let mut ctx = StageCtx::new(world, self.options);
         ctx.carry = Some(carry);
@@ -389,6 +427,11 @@ impl Pipeline {
         assert!(
             self.options.stream.is_none(),
             "stage-level journaling is batch-only; use EpochEngine for epoch checkpoints"
+        );
+        assert!(
+            self.options.shards == 0,
+            "stage-level journaling covers the unsharded driver only; \
+             sharded runs recompute (they are cheap by construction)"
         );
         let journal = Journal::open(journal_dir, &world.config, &self.options)?;
         let mut ctx = StageCtx::new(world, self.options);

@@ -108,14 +108,32 @@ impl Stage for ActorsStage {
         } else {
             None
         };
-        let (metrics, graph, centrality, ce_by_actor) = match stream {
-            Some((m, g, c, ce)) => (m, g, Some(c), ce),
-            None => (
+        let (metrics, graph, centrality, ce_by_actor) = if let Some((m, g, c, ce)) = stream {
+            (m, g, Some(c), ce)
+        } else if let Some(partials) = ctx.shard_actors.take() {
+            // Sharded fork: the merge coordinator already folded every
+            // shard's per-actor counters, edge list, and CE ledger.
+            // Replaying the concatenated edges in shard (= forum) order
+            // reproduces the batch graph's `add_edge` sequence exactly,
+            // so the centrality iteration is byte-identical too.
+            let mut graph = DiGraph::with_nodes(world.corpus.actors().len());
+            for &(a, b) in &partials.edges {
+                graph.add_edge(a, b, 1.0);
+            }
+            let ce = ce_threads_from_fold(
+                &world.corpus,
+                world.hackforums,
+                &partials.fold,
+                &partials.ce_threads,
+            );
+            (partials.fold.metrics(), graph, None, ce)
+        } else {
+            (
                 actor_metrics(&world.corpus, all_threads),
                 interaction_graph(&world.corpus, all_threads),
                 None,
                 ce_threads_by_actor(&world.corpus, world.hackforums, all_threads),
-            ),
+            )
         };
         let cohorts = cohort_table(&metrics);
         // Defensive finiteness gate on the Figure 4 scatter: a metric

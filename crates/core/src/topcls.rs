@@ -155,6 +155,27 @@ pub fn classify_tops(
     threads: &[ThreadId],
     workers: usize,
 ) -> (TopClassifier, TopClassification) {
+    classify_tops_with_fit(rng, corpus, catalog, truth, threads, workers, |train| {
+        FeatureExtractor::fit(corpus, train, workers)
+    })
+}
+
+/// [`classify_tops`] with the feature fit injected. The sharded driver
+/// passes a closure that farms the training-set tokenisation out to
+/// supervised shard workers and fits on the concatenated documents
+/// ([`FeatureExtractor::fit_from_docs`]); `fit` is called exactly where
+/// the batch path calls [`FeatureExtractor::fit`], so the annotation
+/// rng stream on `rng` is untouched and the classifier is byte-
+/// identical whenever the injected fit is.
+pub fn classify_tops_with_fit(
+    rng: &mut StdRng,
+    corpus: &Corpus,
+    catalog: &SiteCatalog,
+    truth: &GroundTruth,
+    threads: &[ThreadId],
+    workers: usize,
+    fit: impl FnOnce(&[ThreadId]) -> FeatureExtractor,
+) -> (TopClassifier, TopClassification) {
     // 1. Annotate.
     let sample = annotation_sample(rng, corpus, catalog, threads, ANNOTATION_SAMPLE);
     let labels: Vec<bool> = sample.iter().map(|&t| truth.is_top(t)).collect();
@@ -164,7 +185,7 @@ pub fn classify_tops(
     let n_train = (sample.len() * TRAIN_SIZE / ANNOTATION_SAMPLE).max(1);
     let (train_idx, test_idx) = linsvm::train_test_split(sample.len(), n_train, 0x5711);
     let train_threads: Vec<ThreadId> = train_idx.iter().map(|&i| sample[i]).collect();
-    let extractor = FeatureExtractor::fit(corpus, &train_threads, workers);
+    let extractor = fit(&train_threads);
 
     let rows = |idx: &[usize]| -> Vec<SparseVec> {
         let picked: Vec<ThreadId> = idx.iter().map(|&i| sample[i]).collect();

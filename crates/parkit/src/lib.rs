@@ -13,6 +13,45 @@
 //! Worker threads come from the `crossbeam::scope` stub, which spawns
 //! real OS threads via `std::thread::scope`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A worker closure panicked inside a parallel primitive. Carries the
+/// stage label the caller supplied, the chunk index the panic came from,
+/// and the rendered panic payload — enough to name the poisoned
+/// partition without aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Caller-supplied stage label (e.g. `"measure_images"`).
+    pub stage: &'static str,
+    /// Which chunk's worker panicked (0 for the serial path).
+    pub chunk: usize,
+    /// The panic payload, rendered (`&str`/`String` payloads verbatim).
+    pub payload: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parallel worker panicked in stage `{}` (chunk {}): {}",
+            self.stage, self.chunk, self.payload
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a caught panic payload for [`WorkerPanic::payload`].
+fn panic_payload(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Inputs shorter than this run serially on the calling thread.
 ///
 /// Rationale: spawning a scoped OS thread costs on the order of tens of
@@ -104,27 +143,87 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    match try_par_map_range("par_map_range", n, workers, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`par_map`]: a panicking worker closure surfaces as a
+/// [`WorkerPanic`] naming `stage` and the chunk index instead of
+/// aborting the run. The supervision layer uses this to quarantine a
+/// poisoned partition while the other shards keep their results.
+pub fn try_par_map<T, U, F>(
+    stage: &'static str,
+    items: &[T],
+    workers: usize,
+    f: F,
+) -> Result<Vec<U>, WorkerPanic>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    try_par_map_range(stage, items.len(), workers, |i| f(&items[i]))
+}
+
+/// Fallible [`par_map_range`]: every worker (and the serial fallback)
+/// runs under `catch_unwind`, so the first panicking chunk is reported
+/// as a typed [`WorkerPanic`] and the scope still joins cleanly.
+pub fn try_par_map_range<U, F>(
+    stage: &'static str,
+    n: usize,
+    workers: usize,
+    f: F,
+) -> Result<Vec<U>, WorkerPanic>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
     let workers = effective_workers(workers);
     if n < SERIAL_CUTOFF || workers <= 1 {
-        return (0..n).map(f).collect();
+        return catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect::<Vec<U>>())).map_err(
+            |e| WorkerPanic {
+                stage,
+                chunk: 0,
+                payload: panic_payload(e),
+            },
+        );
     }
     let chunk = n.div_ceil(workers);
     let mut out: Vec<U> = Vec::with_capacity(n);
+    let mut failure: Option<WorkerPanic> = None;
     crossbeam::scope(|s| {
         let f = &f;
         let handles: Vec<_> = (0..n)
             .step_by(chunk)
             .map(|start| {
                 let end = (start + chunk).min(n);
-                s.spawn(move |_| (start..end).map(f).collect::<Vec<U>>())
+                s.spawn(move |_| {
+                    catch_unwind(AssertUnwindSafe(|| (start..end).map(f).collect::<Vec<U>>()))
+                })
             })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("parallel worker panicked"));
+        for (c, h) in handles.into_iter().enumerate() {
+            match h.join().expect("worker holds its own panic") {
+                Ok(part) => out.extend(part),
+                Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(WorkerPanic {
+                            stage,
+                            chunk: c,
+                            payload: panic_payload(e),
+                        });
+                    }
+                }
+            }
         }
     })
     .expect("parallel scope");
-    out
+    match failure {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
 }
 
 /// Fills `out[i] = f(i)` in place across `workers` threads — the
@@ -174,24 +273,63 @@ where
     U: Send,
     F: Fn(&[T]) -> U + Sync,
 {
+    match try_par_map_chunks("par_map_chunks", items, workers, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`par_map_chunks`]: the chunk index in the error is the
+/// index of the per-worker chunk whose closure panicked (0 for the
+/// serial single-chunk path).
+pub fn try_par_map_chunks<T, U, F>(
+    stage: &'static str,
+    items: &[T],
+    workers: usize,
+    f: F,
+) -> Result<Vec<U>, WorkerPanic>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
     let workers = effective_workers(workers);
     if items.len() < SERIAL_CUTOFF || workers <= 1 {
-        return vec![f(items)];
+        return catch_unwind(AssertUnwindSafe(|| vec![f(items)])).map_err(|e| WorkerPanic {
+            stage,
+            chunk: 0,
+            payload: panic_payload(e),
+        });
     }
     let chunk = items.len().div_ceil(workers);
     let mut out: Vec<U> = Vec::with_capacity(workers);
+    let mut failure: Option<WorkerPanic> = None;
     crossbeam::scope(|s| {
         let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|part| s.spawn(move |_| f(part)))
+            .map(|part| s.spawn(move |_| catch_unwind(AssertUnwindSafe(|| f(part)))))
             .collect();
-        for h in handles {
-            out.push(h.join().expect("parallel worker panicked"));
+        for (c, h) in handles.into_iter().enumerate() {
+            match h.join().expect("worker holds its own panic") {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(WorkerPanic {
+                            stage,
+                            chunk: c,
+                            payload: panic_payload(e),
+                        });
+                    }
+                }
+            }
         }
     })
     .expect("parallel scope");
-    out
+    match failure {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
 }
 
 /// Mixes a block index into a base seed (splitmix-style odd constant).
@@ -368,6 +506,51 @@ mod tests {
         let items: Vec<u64> = (0..500).collect();
         let serial: Vec<u64> = items.iter().map(|&x| x * 3).collect();
         assert_eq!(par_map(&items, 64, |&x| x * 3), serial);
+    }
+
+    /// The satellite contract: a deliberately panicking closure on the
+    /// parallel path surfaces a typed error naming stage + chunk,
+    /// instead of aborting via `join().expect`.
+    #[test]
+    fn panicking_worker_surfaces_typed_error() {
+        set_clamp_enabled(false);
+        let err = try_par_map_range("demo_stage", 1000, 4, |i| {
+            if i == 700 {
+                panic!("poisoned item {i}");
+            }
+            i * 2
+        })
+        .unwrap_err();
+        assert_eq!(err.stage, "demo_stage");
+        assert_eq!(err.chunk, 2, "item 700 falls in the third 250-item chunk");
+        assert!(err.payload.contains("poisoned item 700"));
+        assert!(err.to_string().contains("demo_stage"));
+        // The same closure without the poison succeeds through the shim.
+        let ok = try_par_map_range("demo_stage", 1000, 4, |i| i * 2).unwrap();
+        assert_eq!(ok, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_catches_panics_too() {
+        let err = try_par_map("tiny", &[1u32, 2, 3], 4, |_| -> u32 { panic!("boom") }).unwrap_err();
+        assert_eq!((err.stage, err.chunk), ("tiny", 0));
+        assert_eq!(err.payload, "boom");
+    }
+
+    #[test]
+    fn chunked_panics_name_their_chunk() {
+        set_clamp_enabled(false);
+        let items: Vec<u64> = (0..500).collect();
+        let err = try_par_map_chunks("fold", &items, 5, |part| {
+            if part.contains(&499) {
+                panic!("last chunk");
+            }
+            part.len()
+        })
+        .unwrap_err();
+        assert_eq!(err.stage, "fold");
+        assert_eq!(err.chunk, 4, "500 items over 5 workers: chunks of 100");
+        assert_eq!(err.payload, "last chunk");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod finance;
 pub mod fx;
 pub mod headings;
 pub mod packs;
+pub mod partition;
 pub mod threads;
 pub mod truth;
 pub mod world;
@@ -42,5 +43,6 @@ pub mod world;
 pub use config::{ForumProfile, WorldConfig, FORUM_PROFILES};
 pub use feed::{epoch_bound, epoch_of_day, Feed};
 pub use fx::FxTable;
+pub use partition::partition_spans;
 pub use truth::{GroundTruth, PackKind, PackRecord, ProofInfo, ThreadRole};
 pub use world::World;

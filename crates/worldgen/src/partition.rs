@@ -1,0 +1,66 @@
+//! Contiguous shard partitioning for supervised sharded runs.
+//!
+//! The corpus is naturally partitioned — ten forums, per-site crawl
+//! domains — and the shard driver in `ewhoring-core` splits a run by
+//! forum across supervised workers. The split itself lives here, next
+//! to the generator that defines the forum ordering, so the partition
+//! seam is shared by worldgen and the pipeline: contiguous, near-equal
+//! spans in the *input* order, which is what keeps a merge-by-
+//! concatenation byte-identical to the unsharded traversal.
+
+use std::ops::Range;
+
+/// Splits `0..n_items` into `shards` contiguous, near-equal spans.
+///
+/// The first `n_items % shards` spans get one extra item, so span
+/// lengths differ by at most one and every item lands in exactly one
+/// span, in order. `shards == 0` is treated as 1; when `shards >
+/// n_items` the trailing spans are empty (they still exist, so a
+/// supervisor can keep its shard indexing stable).
+pub fn partition_spans(n_items: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    let base = n_items / shards;
+    let extra = n_items % shards;
+    let mut spans = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        spans.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n_items);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_everything_in_order() {
+        for n in [0, 1, 7, 10, 64, 1000] {
+            for shards in [1, 2, 3, 5, 7, 13] {
+                let spans = partition_spans(n, shards);
+                assert_eq!(spans.len(), shards, "n={n} shards={shards}");
+                let flat: Vec<usize> = spans.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} shards={shards}");
+                let (min, max) = spans
+                    .iter()
+                    .map(|s| s.len())
+                    .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+                assert!(max - min <= 1, "near-equal spans: n={n} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one_span() {
+        assert_eq!(partition_spans(10, 0), vec![0..10]);
+    }
+
+    #[test]
+    fn more_shards_than_items_leaves_trailing_spans_empty() {
+        let spans = partition_spans(3, 5);
+        assert_eq!(spans, vec![0..1, 1..2, 2..3, 3..3, 3..3]);
+    }
+}

@@ -1,12 +1,14 @@
 //! Reproducibility: the entire measurement — world generation plus all
 //! eight pipeline stages — must be a pure function of the seed.
 
-/// Serializes a report with the only nondeterministic field (wall-clock
-/// stage timings) stripped — the canonical snapshot form.
+/// Serializes a report with the scheduling-dependent fields (wall-clock
+/// stage timings, shard supervision counters) stripped — the canonical
+/// snapshot form.
 fn report_snapshot(report: &ewhoring_core::PipelineReport) -> String {
     let json = serde_json::to_string(report).expect("json");
     let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
     v.as_object_mut().unwrap().remove("timings");
+    v.as_object_mut().unwrap().remove("supervision");
     v.to_string()
 }
 
@@ -70,6 +72,41 @@ fn report_is_byte_identical_across_worker_counts() {
             reference.as_bytes(),
             "workers={workers} diverged from the serial report"
         );
+    }
+}
+
+/// The merge-coordinator contract behind `core::pipeline::shard`: a
+/// supervised sharded run must produce a report byte-identical to the
+/// unsharded driver at *every* shard count — including `1` (pure
+/// supervision overhead), counts that divide the forum list unevenly,
+/// and counts exceeding it — and at every worker count inside each
+/// shard. Extraction is per-forum independent, the actor fold is
+/// order-insensitive under forum-major concatenation, and the edge
+/// replay preserves the batch insertion order, so nothing may move.
+#[test]
+fn sharded_run_is_byte_identical_to_the_unsharded_driver() {
+    use ewhoring_core::pipeline::{Pipeline, PipelineOptions};
+
+    let world = ewhoring_suite::demo_world(0xD37);
+    let run = |shards: usize, workers: usize| {
+        let report = Pipeline::new(PipelineOptions {
+            k_key_actors: 12,
+            workers,
+            shards,
+            ..PipelineOptions::default()
+        })
+        .run(&world);
+        report_snapshot(&report)
+    };
+    let reference = run(0, 1);
+    for shards in [1, 2, 5] {
+        for workers in [1, 2, 7] {
+            assert_eq!(
+                run(shards, workers).as_bytes(),
+                reference.as_bytes(),
+                "shards={shards} workers={workers} diverged from the unsharded report"
+            );
+        }
     }
 }
 

@@ -17,6 +17,7 @@ fn tiny(seed: u64) -> RunSpec {
         corruption: 0.0,
         epochs: 0,
         upto: 0,
+        shards: 0,
     }
 }
 
